@@ -1,0 +1,264 @@
+//! Dummy-message intervals and per-edge interval maps.
+//!
+//! The dummy interval `[e]` of a channel `e` is the largest number of
+//! consecutive sequence numbers the channel's producer may filter (send no
+//! data message for) before it must emit a dummy message on `e`.  An
+//! interval of [`DummyInterval::Infinite`] means the channel never needs
+//! dummy messages (it lies on no relevant undirected cycle).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use fila_graph::{EdgeId, Graph};
+
+/// The dummy-message interval of a single channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DummyInterval {
+    /// A dummy must be sent after at most this many consecutively filtered
+    /// sequence numbers.  Always at least 1.
+    Finite(u64),
+    /// The channel never requires dummy messages.
+    Infinite,
+}
+
+impl DummyInterval {
+    /// The smaller (more conservative) of two intervals.
+    pub fn min(self, other: DummyInterval) -> DummyInterval {
+        match (self, other) {
+            (DummyInterval::Infinite, x) | (x, DummyInterval::Infinite) => x,
+            (DummyInterval::Finite(a), DummyInterval::Finite(b)) => {
+                DummyInterval::Finite(a.min(b))
+            }
+        }
+    }
+
+    /// Returns the finite value, if any.
+    pub fn finite(self) -> Option<u64> {
+        match self {
+            DummyInterval::Finite(v) => Some(v),
+            DummyInterval::Infinite => None,
+        }
+    }
+
+    /// True if the interval is finite.
+    pub fn is_finite(self) -> bool {
+        matches!(self, DummyInterval::Finite(_))
+    }
+
+    /// Builds a finite interval from a buffer length, clamping to at least 1.
+    pub fn from_length(len: u64) -> DummyInterval {
+        DummyInterval::Finite(len.max(1))
+    }
+
+    /// Builds the ratio interval `len / hops` used by the Non-Propagation
+    /// algorithm, applying the requested [`Rounding`] and clamping to ≥ 1.
+    pub fn from_ratio(len: u64, hops: u64, rounding: Rounding) -> DummyInterval {
+        debug_assert!(hops > 0, "hop count of a path is positive");
+        let v = match rounding {
+            Rounding::Ceil => len.div_ceil(hops),
+            Rounding::Floor => len / hops,
+        };
+        DummyInterval::Finite(v.max(1))
+    }
+}
+
+impl PartialOrd for DummyInterval {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DummyInterval {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (DummyInterval::Infinite, DummyInterval::Infinite) => Ordering::Equal,
+            (DummyInterval::Infinite, _) => Ordering::Greater,
+            (_, DummyInterval::Infinite) => Ordering::Less,
+            (DummyInterval::Finite(a), DummyInterval::Finite(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Display for DummyInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DummyInterval::Finite(v) => write!(f, "{v}"),
+            DummyInterval::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+/// Rounding mode for the Non-Propagation ratio `L / h`.
+///
+/// Fig. 3 of the paper rounds **up** (`8/3 → 3`); [`Rounding::Ceil`] matches
+/// the figure and is the default.  [`Rounding::Floor`] is the strictly
+/// conservative choice (never a larger interval than the exact ratio) and is
+/// exposed for the ablation study described in `DESIGN.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Rounding {
+    /// Round the ratio up (paper's Fig. 3 behaviour).
+    #[default]
+    Ceil,
+    /// Round the ratio down (conservative).
+    Floor,
+}
+
+/// A per-edge table of dummy intervals, indexed by [`EdgeId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalMap {
+    intervals: Vec<DummyInterval>,
+}
+
+impl IntervalMap {
+    /// Creates a map for `edge_count` edges, all initialised to `Infinite`.
+    pub fn all_infinite(edge_count: usize) -> Self {
+        IntervalMap {
+            intervals: vec![DummyInterval::Infinite; edge_count],
+        }
+    }
+
+    /// Creates a map sized for the edges of `g`, all `Infinite`.
+    pub fn for_graph(g: &Graph) -> Self {
+        Self::all_infinite(g.edge_count())
+    }
+
+    /// Number of edges covered.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True if the map covers no edges.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The interval for `e`.
+    #[inline]
+    pub fn get(&self, e: EdgeId) -> DummyInterval {
+        self.intervals[e.index()]
+    }
+
+    /// Overwrites the interval for `e`.
+    #[inline]
+    pub fn set(&mut self, e: EdgeId, interval: DummyInterval) {
+        self.intervals[e.index()] = interval;
+    }
+
+    /// Tightens the interval for `e` to the minimum of its current value and
+    /// `candidate`.
+    #[inline]
+    pub fn tighten(&mut self, e: EdgeId, candidate: DummyInterval) {
+        let cur = self.intervals[e.index()];
+        self.intervals[e.index()] = cur.min(candidate);
+    }
+
+    /// Iterator over `(edge, interval)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeId, DummyInterval)> + '_ {
+        self.intervals
+            .iter()
+            .enumerate()
+            .map(|(i, &iv)| (EdgeId::from_raw(i as u32), iv))
+    }
+
+    /// Number of edges with a finite interval.
+    pub fn finite_count(&self) -> usize {
+        self.intervals.iter().filter(|iv| iv.is_finite()).count()
+    }
+
+    /// Smallest finite interval in the map, if any.
+    pub fn min_finite(&self) -> Option<u64> {
+        self.intervals.iter().filter_map(|iv| iv.finite()).min()
+    }
+
+    /// True if `other` is at least as conservative as `self` on every edge
+    /// (every interval in `other` is ≤ the corresponding one here).  Used to
+    /// check that an efficient algorithm's plan is *safe* with respect to the
+    /// exhaustive baseline.
+    pub fn dominates(&self, other: &IntervalMap) -> bool {
+        debug_assert_eq!(self.len(), other.len());
+        self.intervals
+            .iter()
+            .zip(other.intervals.iter())
+            .all(|(mine, theirs)| theirs <= mine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_and_ordering() {
+        let inf = DummyInterval::Infinite;
+        let three = DummyInterval::Finite(3);
+        let five = DummyInterval::Finite(5);
+        assert_eq!(inf.min(three), three);
+        assert_eq!(three.min(inf), three);
+        assert_eq!(three.min(five), three);
+        assert!(three < five);
+        assert!(five < inf);
+        assert_eq!(inf.min(inf), inf);
+    }
+
+    #[test]
+    fn ratio_rounding_matches_fig3() {
+        // Fig. 3: 6/3 = 2 exactly; 8/3 rounds up to 3.
+        assert_eq!(
+            DummyInterval::from_ratio(6, 3, Rounding::Ceil),
+            DummyInterval::Finite(2)
+        );
+        assert_eq!(
+            DummyInterval::from_ratio(8, 3, Rounding::Ceil),
+            DummyInterval::Finite(3)
+        );
+        assert_eq!(
+            DummyInterval::from_ratio(8, 3, Rounding::Floor),
+            DummyInterval::Finite(2)
+        );
+    }
+
+    #[test]
+    fn ratio_clamps_to_one() {
+        assert_eq!(
+            DummyInterval::from_ratio(1, 5, Rounding::Floor),
+            DummyInterval::Finite(1)
+        );
+        assert_eq!(DummyInterval::from_length(0), DummyInterval::Finite(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DummyInterval::Finite(7).to_string(), "7");
+        assert_eq!(DummyInterval::Infinite.to_string(), "∞");
+    }
+
+    #[test]
+    fn interval_map_tighten_and_queries() {
+        let mut m = IntervalMap::all_infinite(3);
+        let e0 = EdgeId::from_raw(0);
+        let e1 = EdgeId::from_raw(1);
+        assert_eq!(m.get(e0), DummyInterval::Infinite);
+        m.tighten(e0, DummyInterval::Finite(6));
+        m.tighten(e0, DummyInterval::Finite(9));
+        assert_eq!(m.get(e0), DummyInterval::Finite(6));
+        m.set(e1, DummyInterval::Finite(2));
+        assert_eq!(m.finite_count(), 2);
+        assert_eq!(m.min_finite(), Some(2));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.iter().count(), 3);
+    }
+
+    #[test]
+    fn dominates_checks_per_edge_safety() {
+        let mut exact = IntervalMap::all_infinite(2);
+        exact.set(EdgeId::from_raw(0), DummyInterval::Finite(6));
+        let mut conservative = exact.clone();
+        conservative.set(EdgeId::from_raw(0), DummyInterval::Finite(4));
+        // `conservative` is safe w.r.t. `exact`.
+        assert!(exact.dominates(&conservative));
+        // The other way around is not safe.
+        assert!(!conservative.dominates(&exact));
+        // Equality dominates both ways.
+        assert!(exact.dominates(&exact.clone()));
+    }
+}

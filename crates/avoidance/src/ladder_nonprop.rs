@@ -1,0 +1,324 @@
+//! Non-Propagation-algorithm intervals on SP-ladders (§VI.B of the paper),
+//! `O(|G|³)`.
+//!
+//! As with the Propagation case, cycles internal to each contracted
+//! constituent are handled by the SP algorithm on that constituent's
+//! component tree; this module adds the external-cycle constraints.  For
+//! every fork `w` (the ladder source or a cross-link tail), every *potential
+//! sink* `t` (the ladder sink or a cross-link head), and every ordered pair
+//! of distinct constituents `(c_e, c_o)` leaving `w`, the paper bounds every
+//! edge `e` of every constituent `H` lying on a `w → t` path that starts
+//! through `c_e` by
+//!
+//! ```text
+//! [e] ← min([e],  L_o(w, t)  /  (h_e(w, t) − h(H) + h(H, e)) )
+//! ```
+//!
+//! where `L_o(w, t)` is the shortest buffer length of a `w → t` path
+//! starting through `c_o` and `h_e(w, t)` the largest hop count of a
+//! `w → t` path starting through `c_e` (both computed over the ladder
+//! skeleton using the per-constituent `L(H)` / `h(H)` metrics).  Path
+//! lengths never decrease by substituting the longest hop count, so the
+//! bound is conservative whenever `H` does not lie on the hop-longest path,
+//! exactly as in the paper.
+
+use std::collections::HashMap;
+
+use fila_graph::{Graph, NodeId};
+use fila_spdag::{CompId, SpForest, SpMetrics};
+
+use crate::interval::{DummyInterval, IntervalMap, Rounding};
+use crate::ladder::LadderDecomposition;
+use crate::ladder_prop::LadderIndex;
+
+/// One directed constituent of the ladder skeleton.
+#[derive(Debug, Clone, Copy)]
+struct SkelEdge {
+    from: NodeId,
+    to: NodeId,
+    comp: CompId,
+}
+
+/// Applies the external-cycle Non-Propagation constraints of one SP-ladder
+/// block to `intervals`.
+pub fn apply_ladder_nonpropagation(
+    _g: &Graph,
+    forest: &SpForest,
+    metrics: &SpMetrics,
+    ladder: &LadderDecomposition,
+    rounding: Rounding,
+    intervals: &mut IntervalMap,
+) {
+    let index = LadderIndex::new(ladder);
+
+    // Skeleton adjacency and a topological order of the block's vertices.
+    let edges: Vec<SkelEdge> = ladder
+        .rails
+        .iter()
+        .map(|r| SkelEdge { from: r.from, to: r.to, comp: r.comp })
+        .chain(ladder.rungs.iter().map(|r| SkelEdge {
+            from: r.tail,
+            to: r.head,
+            comp: r.comp,
+        }))
+        .collect();
+    let mut vertices: Vec<NodeId> = ladder.left.clone();
+    for &v in &ladder.right {
+        if !vertices.contains(&v) {
+            vertices.push(v);
+        }
+    }
+    let order = topo_order_of_block(&vertices, &edges);
+
+    // Potential sinks: the ladder sink plus every cross-link head.
+    let mut sinks: Vec<NodeId> = vec![ladder.sink];
+    for r in &ladder.rungs {
+        if !sinks.contains(&r.head) {
+            sinks.push(r.head);
+        }
+    }
+
+    for &w in index.forks() {
+        let outgoing = index.outgoing_constituents(ladder, w);
+        if outgoing.len() < 2 {
+            continue;
+        }
+        // For each outgoing constituent, the skeleton-level DP tables of
+        // shortest buffer length and longest hop count to every vertex,
+        // where the path is forced to start through that constituent.
+        let tables: Vec<(CompId, NodeId, Dp)> = outgoing
+            .iter()
+            .map(|&(comp, next)| {
+                (
+                    comp,
+                    next,
+                    Dp::from_start(metrics, &edges, &order, comp, next),
+                )
+            })
+            .collect();
+
+        for (i, (comp_e, _, dp_e)) in tables.iter().enumerate() {
+            for (j, (_, _, dp_o)) in tables.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                for &t in &sinks {
+                    if t == w {
+                        continue;
+                    }
+                    let (Some(h_e), Some(l_o)) =
+                        (dp_e.longest_hops(t), dp_o.shortest_buffer(t))
+                    else {
+                        continue;
+                    };
+                    // Every constituent H on some w -> t path that starts
+                    // through c_e: H itself, plus any constituent reachable
+                    // from c_e's head that can still reach t.
+                    for edge in &edges {
+                        let on_path = if edge.comp == *comp_e {
+                            true
+                        } else {
+                            dp_e.reaches(edge.from) && can_reach(&edges, &order, edge.to, t)
+                        };
+                        if !on_path {
+                            continue;
+                        }
+                        let h_comp = metrics.h(edge.comp);
+                        for (e, h_e_edge) in metrics.h_per_edge(forest, edge.comp) {
+                            let denom = h_e.saturating_sub(h_comp).saturating_add(h_e_edge).max(1);
+                            intervals
+                                .tighten(e, DummyInterval::from_ratio(l_o, denom, rounding));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-start DP tables over the ladder skeleton.
+struct Dp {
+    shortest: HashMap<NodeId, u64>,
+    longest: HashMap<NodeId, u64>,
+}
+
+impl Dp {
+    /// Builds the tables for paths that start at the fork, traverse
+    /// `first_comp` to `first_next`, and then continue freely.
+    fn from_start(
+        metrics: &SpMetrics,
+        edges: &[SkelEdge],
+        order: &[NodeId],
+        first_comp: CompId,
+        first_next: NodeId,
+    ) -> Dp {
+        let mut shortest = HashMap::new();
+        let mut longest = HashMap::new();
+        shortest.insert(first_next, metrics.l(first_comp));
+        longest.insert(first_next, metrics.h(first_comp));
+        for &v in order {
+            let (Some(&sv), Some(&lv)) = (shortest.get(&v), longest.get(&v)) else {
+                continue;
+            };
+            for edge in edges.iter().filter(|e| e.from == v) {
+                let cand_s = sv.saturating_add(metrics.l(edge.comp));
+                let cand_l = lv.saturating_add(metrics.h(edge.comp));
+                shortest
+                    .entry(edge.to)
+                    .and_modify(|cur| *cur = (*cur).min(cand_s))
+                    .or_insert(cand_s);
+                longest
+                    .entry(edge.to)
+                    .and_modify(|cur| *cur = (*cur).max(cand_l))
+                    .or_insert(cand_l);
+            }
+        }
+        Dp { shortest, longest }
+    }
+
+    fn shortest_buffer(&self, t: NodeId) -> Option<u64> {
+        self.shortest.get(&t).copied()
+    }
+
+    fn longest_hops(&self, t: NodeId) -> Option<u64> {
+        self.longest.get(&t).copied()
+    }
+
+    fn reaches(&self, v: NodeId) -> bool {
+        self.shortest.contains_key(&v)
+    }
+}
+
+/// Topological order of the block's vertices with respect to its skeleton
+/// edges (the block is small, so a simple Kahn pass suffices).
+fn topo_order_of_block(vertices: &[NodeId], edges: &[SkelEdge]) -> Vec<NodeId> {
+    let mut indeg: HashMap<NodeId, usize> = vertices.iter().map(|&v| (v, 0)).collect();
+    for e in edges {
+        *indeg.get_mut(&e.to).expect("edge endpoint in block") += 1;
+    }
+    let mut queue: Vec<NodeId> = vertices
+        .iter()
+        .copied()
+        .filter(|v| indeg[v] == 0)
+        .collect();
+    let mut out = Vec::with_capacity(vertices.len());
+    while let Some(v) = queue.pop() {
+        out.push(v);
+        for e in edges.iter().filter(|e| e.from == v) {
+            let d = indeg.get_mut(&e.to).expect("endpoint");
+            *d -= 1;
+            if *d == 0 {
+                queue.push(e.to);
+            }
+        }
+    }
+    out
+}
+
+/// Whether `from` can reach `to` following skeleton edges.
+fn can_reach(edges: &[SkelEdge], order: &[NodeId], from: NodeId, to: NodeId) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut reach: HashMap<NodeId, bool> = HashMap::new();
+    reach.insert(from, true);
+    for &v in order {
+        if !reach.get(&v).copied().unwrap_or(false) {
+            continue;
+        }
+        for e in edges.iter().filter(|e| e.from == v) {
+            reach.insert(e.to, true);
+        }
+    }
+    reach.get(&to).copied().unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cs4::{decompose_cs4, Cs4Segment};
+    use crate::exhaustive::exhaustive_intervals;
+    use crate::nonprop_sp::nonprop_into;
+    use crate::plan::Algorithm;
+    use fila_graph::GraphBuilder;
+
+    fn cs4_nonprop(g: &Graph, rounding: Rounding) -> IntervalMap {
+        let d = decompose_cs4(g).unwrap();
+        let metrics = SpMetrics::compute(g, &d.forest);
+        let mut intervals = IntervalMap::for_graph(g);
+        for ve in &d.skeleton {
+            nonprop_into(&d.forest, &metrics, ve.comp, rounding, &mut intervals);
+        }
+        for seg in &d.segments {
+            if let Cs4Segment::Ladder(ladder) = seg {
+                apply_ladder_nonpropagation(g, &d.forest, &metrics, ladder, rounding, &mut intervals);
+            }
+        }
+        intervals
+    }
+
+    #[test]
+    fn fig4_left_nonprop_is_safe_wrt_exhaustive() {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("x", "a", 2).unwrap();
+        b.edge_with_capacity("x", "b", 3).unwrap();
+        b.edge_with_capacity("a", "y", 4).unwrap();
+        b.edge_with_capacity("b", "y", 5).unwrap();
+        b.edge_with_capacity("a", "b", 1).unwrap();
+        let g = b.build().unwrap();
+        for rounding in [Rounding::Ceil, Rounding::Floor] {
+            let fast = cs4_nonprop(&g, rounding);
+            let exact =
+                exhaustive_intervals(&g, Algorithm::NonPropagation, rounding).unwrap();
+            assert!(
+                exact.dominates(&fast),
+                "ladder non-propagation plan must be safe ({rounding:?})\nfast:\n{fast:?}\nexact:\n{exact:?}"
+            );
+            // Every edge that the exact analysis bounds must also be bounded
+            // by the efficient analysis.
+            for (e, iv) in exact.iter() {
+                if iv.is_finite() {
+                    assert!(fast.get(e).is_finite(), "edge {e} lost its bound");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_rung_ladder_nonprop_is_safe() {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("x", "u1", 2).unwrap();
+        b.edge_with_capacity("u1", "u2", 3).unwrap();
+        b.edge_with_capacity("u2", "y", 4).unwrap();
+        b.edge_with_capacity("x", "v1", 5).unwrap();
+        b.edge_with_capacity("v1", "v2", 1).unwrap();
+        b.edge_with_capacity("v2", "y", 2).unwrap();
+        b.edge_with_capacity("u1", "v1", 6).unwrap();
+        b.edge_with_capacity("u2", "v2", 1).unwrap();
+        let g = b.build().unwrap();
+        let fast = cs4_nonprop(&g, Rounding::Floor);
+        let exact =
+            exhaustive_intervals(&g, Algorithm::NonPropagation, Rounding::Floor).unwrap();
+        assert!(exact.dominates(&fast));
+    }
+
+    #[test]
+    fn ladder_with_contracted_limbs_nonprop_is_safe() {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("x", "p", 2).unwrap();
+        b.edge_with_capacity("x", "q", 3).unwrap();
+        b.edge_with_capacity("p", "u1", 1).unwrap();
+        b.edge_with_capacity("q", "u1", 1).unwrap();
+        b.edge_with_capacity("u1", "m", 2).unwrap();
+        b.edge_with_capacity("m", "y", 2).unwrap();
+        b.edge_with_capacity("x", "v1", 4).unwrap();
+        b.edge_with_capacity("v1", "y", 5).unwrap();
+        b.edge_with_capacity("u1", "v1", 3).unwrap();
+        let g = b.build().unwrap();
+        for rounding in [Rounding::Ceil, Rounding::Floor] {
+            let fast = cs4_nonprop(&g, rounding);
+            let exact = exhaustive_intervals(&g, Algorithm::NonPropagation, rounding).unwrap();
+            assert!(exact.dominates(&fast), "{rounding:?}");
+        }
+    }
+}

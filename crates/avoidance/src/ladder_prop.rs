@@ -1,0 +1,385 @@
+//! Propagation-algorithm intervals on SP-ladders (§VI.A of the paper),
+//! `O(|G|)` after the SP reduction.
+//!
+//! The cycles *internal* to each contracted constituent (rail segment,
+//! cross-link, or absorbed chord graph) are handled by running `SETIVALS` on
+//! that constituent's component tree; this module adds the constraints from
+//! *external* cycles — those that traverse at least two constituents.
+//! External cycles have their sources at the ladder source `X` or at
+//! cross-link tails (Fact VI.1), so only edges leaving those fork vertices
+//! get new constraints.
+//!
+//! For a fork `w` the paper defines `Ls(w)` (the shortest "escape" starting
+//! down `w`'s own rail and ending at a potential sink) and `Lk(w)` (the
+//! shortest escape starting across `w`'s cross-link), computed by the
+//! bottom-up recurrences of §VI.A; every edge leaving `w` inside one
+//! constituent is then bounded by the best escape through any *other*
+//! constituent leaving `w`.  We generalise the recurrences slightly (see
+//! `DESIGN.md`): a vertex may be the tail of several cross-links, and a
+//! branch that has just crossed to the other side may stop at its landing
+//! vertex only if a *second* cross-link also arrives there.
+
+use std::collections::HashMap;
+
+use fila_graph::{Graph, NodeId};
+use fila_spdag::{CompId, SpForest, SpMetrics};
+
+use crate::interval::{DummyInterval, IntervalMap};
+use crate::ladder::{LadderDecomposition, Side};
+
+/// Applies the external-cycle Propagation constraints of one SP-ladder block
+/// to `intervals`.  Internal-cycle constraints must be applied separately by
+/// running `SETIVALS` on every constituent component (the planner does so).
+pub fn apply_ladder_propagation(
+    g: &Graph,
+    forest: &SpForest,
+    metrics: &SpMetrics,
+    ladder: &LadderDecomposition,
+    intervals: &mut IntervalMap,
+) {
+    let index = LadderIndex::new(ladder);
+    let starts = compute_start_values(metrics, ladder, &index);
+
+    for &w in index.forks() {
+        let Some(outgoing) = starts.get(&w) else { continue };
+        if outgoing.len() < 2 {
+            // A single outgoing constituent cannot be the source of an
+            // external cycle.
+            continue;
+        }
+        for (i, &(comp_i, _)) in outgoing.iter().enumerate() {
+            let mut bound = DummyInterval::Infinite;
+            for (j, &(_, start_j)) in outgoing.iter().enumerate() {
+                if i != j && start_j != u64::MAX {
+                    bound = bound.min(DummyInterval::from_length(start_j));
+                }
+            }
+            if !bound.is_finite() {
+                continue;
+            }
+            for e in forest.edges_in(comp_i) {
+                if g.tail(e) == w {
+                    intervals.tighten(e, bound);
+                }
+            }
+        }
+    }
+}
+
+/// Static shape information about a ladder block shared by the Propagation
+/// and Non-Propagation ladder algorithms.
+pub(crate) struct LadderIndex {
+    forks: Vec<NodeId>,
+    side_vertices: [Vec<NodeId>; 2],
+    rail_out: HashMap<NodeId, (NodeId, CompId)>,
+    rungs_by_tail: HashMap<NodeId, Vec<(NodeId, CompId)>>,
+    rung_head_count: HashMap<NodeId, usize>,
+}
+
+impl LadderIndex {
+    pub(crate) fn new(ladder: &LadderDecomposition) -> Self {
+        let mut rail_out = HashMap::new();
+        for r in &ladder.rails {
+            rail_out.insert(r.from, (r.to, r.comp));
+        }
+        let mut rungs_by_tail: HashMap<NodeId, Vec<(NodeId, CompId)>> = HashMap::new();
+        let mut rung_head_count: HashMap<NodeId, usize> = HashMap::new();
+        for r in &ladder.rungs {
+            rungs_by_tail.entry(r.tail).or_default().push((r.head, r.comp));
+            *rung_head_count.entry(r.head).or_default() += 1;
+        }
+        let mut forks: Vec<NodeId> = vec![ladder.source];
+        for r in &ladder.rungs {
+            if !forks.contains(&r.tail) {
+                forks.push(r.tail);
+            }
+        }
+        LadderIndex {
+            forks,
+            side_vertices: [ladder.left.clone(), ladder.right.clone()],
+            rail_out,
+            rungs_by_tail,
+            rung_head_count,
+        }
+    }
+
+    /// The ladder source plus every cross-link tail.
+    pub(crate) fn forks(&self) -> &[NodeId] {
+        &self.forks
+    }
+
+    /// Ordered vertices of one side, including the source and sink.
+    pub(crate) fn vertices(&self, side: Side) -> &[NodeId] {
+        match side {
+            Side::Left => &self.side_vertices[0],
+            Side::Right => &self.side_vertices[1],
+        }
+    }
+
+    /// The rail leaving `v` downwards, as `(next vertex, component)`.
+    pub(crate) fn rail_out(&self, v: NodeId) -> Option<(NodeId, CompId)> {
+        self.rail_out.get(&v).copied()
+    }
+
+    /// Cross-links leaving `v`, as `(head, component)` pairs.
+    pub(crate) fn rungs_out(&self, v: NodeId) -> &[(NodeId, CompId)] {
+        self.rungs_by_tail.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of cross-links whose head is `v`.
+    pub(crate) fn rung_heads_at(&self, v: NodeId) -> usize {
+        self.rung_head_count.get(&v).copied().unwrap_or(0)
+    }
+
+    /// All constituents leaving `w`: its rail(s) plus its cross-links.  The
+    /// source has two rails (one per side); internal forks have one.
+    pub(crate) fn outgoing_constituents(
+        &self,
+        ladder: &LadderDecomposition,
+        w: NodeId,
+    ) -> Vec<(CompId, NodeId)> {
+        let mut out = Vec::new();
+        if w == ladder.source {
+            for side in [Side::Left, Side::Right] {
+                let first = self.vertices(side)[1];
+                if let Some(rail) = ladder
+                    .rails
+                    .iter()
+                    .find(|r| r.from == w && r.to == first)
+                {
+                    out.push((rail.comp, first));
+                }
+            }
+        } else if let Some((next, comp)) = self.rail_out(w) {
+            out.push((comp, next));
+        }
+        for &(head, comp) in self.rungs_out(w) {
+            out.push((comp, head));
+        }
+        out
+    }
+}
+
+/// Computes, for every fork `w`, the list of `(outgoing constituent,
+/// shortest escape length through that constituent)` pairs — the `Ls` / `Lk`
+/// values of §VI.A.
+fn compute_start_values(
+    metrics: &SpMetrics,
+    ladder: &LadderDecomposition,
+    index: &LadderIndex,
+) -> HashMap<NodeId, Vec<(CompId, u64)>> {
+    // `down[(side, v)]` = cheapest completion of a branch that is at `v`,
+    // having arrived along its own side's rail, and may now stop (if a
+    // cross-link arrives at `v` or `v` is the sink), cross a cross-link at
+    // `v` and stop at its head, or keep descending.
+    let mut down: HashMap<(u8, NodeId), u64> = HashMap::new();
+    for side in [Side::Left, Side::Right] {
+        let verts = index.vertices(side);
+        for &v in verts.iter().rev() {
+            if v == ladder.source {
+                continue;
+            }
+            let mut best = u64::MAX;
+            if v == ladder.sink || index.rung_heads_at(v) >= 1 {
+                best = 0;
+            }
+            for &(_, comp) in index.rungs_out(v) {
+                best = best.min(metrics.l(comp));
+            }
+            if let Some((next, rail)) = index.rail_out(v) {
+                let below = down.get(&(side_key(side), next)).copied().unwrap_or(u64::MAX);
+                best = best.min(metrics.l(rail).saturating_add(below));
+            }
+            down.insert((side_key(side), v), best);
+        }
+    }
+
+    let down_at = |v: NodeId| -> u64 {
+        let side = ladder.side_of(v).map(side_key).unwrap_or_else(|| {
+            if v == ladder.sink {
+                // Either key works for the sink; it is stored for both sides.
+                0
+            } else {
+                0
+            }
+        });
+        if v == ladder.sink {
+            return 0;
+        }
+        down.get(&(side, v)).copied().unwrap_or(u64::MAX)
+    };
+
+    let mut starts: HashMap<NodeId, Vec<(CompId, u64)>> = HashMap::new();
+    for &w in index.forks() {
+        let mut list = Vec::new();
+        // Rails leaving w (two for the source, at most one otherwise): the
+        // escape descends that side and may not stop at w itself.
+        let rail_list: Vec<(CompId, NodeId)> = index
+            .outgoing_constituents(ladder, w)
+            .into_iter()
+            .filter(|(comp, _)| !index.rungs_out(w).iter().any(|&(_, c)| c == *comp))
+            .collect();
+        for (comp, next) in rail_list {
+            let below = if next == ladder.sink { 0 } else { down_at(next) };
+            list.push((comp, metrics.l(comp).saturating_add(below)));
+        }
+        // Cross-links leaving w: cross, then either stop at the landing
+        // vertex (only if a second cross-link arrives there), cross again,
+        // or descend the other side.
+        for &(head, comp) in index.rungs_out(w) {
+            let mut cont = u64::MAX;
+            if index.rung_heads_at(head) >= 2 {
+                cont = 0;
+            }
+            for &(_, c2) in index.rungs_out(head) {
+                cont = cont.min(metrics.l(c2));
+            }
+            if let Some((next, rail)) = index.rail_out(head) {
+                let below = if next == ladder.sink { 0 } else { down_at(next) };
+                cont = cont.min(metrics.l(rail).saturating_add(below));
+            }
+            list.push((comp, metrics.l(comp).saturating_add(cont)));
+        }
+        starts.insert(w, list);
+    }
+    starts
+}
+
+fn side_key(side: Side) -> u8 {
+    match side {
+        Side::Left => 0,
+        Side::Right => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cs4::{decompose_cs4, Cs4Segment};
+    use crate::exhaustive::exhaustive_intervals;
+    use crate::interval::Rounding;
+    use crate::plan::Algorithm;
+    use crate::prop_sp::setivals_into;
+    use fila_graph::GraphBuilder;
+
+    /// Computes full Propagation intervals for a CS4 graph the way the
+    /// planner does: SETIVALS inside every contracted constituent, then the
+    /// ladder updates for every ladder block.
+    fn cs4_propagation(g: &Graph) -> IntervalMap {
+        let d = decompose_cs4(g).unwrap();
+        let metrics = SpMetrics::compute(g, &d.forest);
+        let mut intervals = IntervalMap::for_graph(g);
+        for ve in &d.skeleton {
+            setivals_into(
+                &d.forest,
+                &metrics,
+                ve.comp,
+                DummyInterval::Infinite,
+                &mut intervals,
+            );
+        }
+        for seg in &d.segments {
+            if let Cs4Segment::Ladder(ladder) = seg {
+                apply_ladder_propagation(g, &d.forest, &metrics, ladder, &mut intervals);
+            }
+        }
+        intervals
+    }
+
+    #[test]
+    fn fig4_left_matches_exhaustive() {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("x", "a", 2).unwrap();
+        b.edge_with_capacity("x", "b", 3).unwrap();
+        b.edge_with_capacity("a", "y", 4).unwrap();
+        b.edge_with_capacity("b", "y", 5).unwrap();
+        b.edge_with_capacity("a", "b", 1).unwrap();
+        let g = b.build().unwrap();
+        let fast = cs4_propagation(&g);
+        let exact = exhaustive_intervals(&g, Algorithm::Propagation, Rounding::Ceil).unwrap();
+        assert_eq!(fast, exact);
+    }
+
+    #[test]
+    fn two_rung_ladder_matches_exhaustive() {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("x", "u1", 2).unwrap();
+        b.edge_with_capacity("u1", "u2", 3).unwrap();
+        b.edge_with_capacity("u2", "y", 4).unwrap();
+        b.edge_with_capacity("x", "v1", 5).unwrap();
+        b.edge_with_capacity("v1", "v2", 1).unwrap();
+        b.edge_with_capacity("v2", "y", 2).unwrap();
+        b.edge_with_capacity("u1", "v1", 6).unwrap();
+        b.edge_with_capacity("u2", "v2", 1).unwrap();
+        let g = b.build().unwrap();
+        let fast = cs4_propagation(&g);
+        let exact = exhaustive_intervals(&g, Algorithm::Propagation, Rounding::Ceil).unwrap();
+        // The efficient plan must never be laxer than the exact one
+        // (safety); on this ladder it is in fact identical.
+        assert!(exact.dominates(&fast));
+        assert_eq!(fast, exact);
+    }
+
+    #[test]
+    fn opposite_direction_rungs_match_exhaustive() {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("x", "u1", 2).unwrap();
+        b.edge_with_capacity("u1", "u2", 3).unwrap();
+        b.edge_with_capacity("u2", "y", 4).unwrap();
+        b.edge_with_capacity("x", "v1", 5).unwrap();
+        b.edge_with_capacity("v1", "v2", 1).unwrap();
+        b.edge_with_capacity("v2", "y", 2).unwrap();
+        b.edge_with_capacity("u1", "v1", 6).unwrap();
+        b.edge_with_capacity("v2", "u2", 1).unwrap();
+        let g = b.build().unwrap();
+        let fast = cs4_propagation(&g);
+        let exact = exhaustive_intervals(&g, Algorithm::Propagation, Rounding::Ceil).unwrap();
+        assert!(exact.dominates(&fast), "ladder plan must be safe");
+    }
+
+    #[test]
+    fn ladder_with_contracted_limbs_is_safe_and_internal_cycles_exact() {
+        // Rails and rungs that are themselves SP subgraphs (diamonds and
+        // chains) — the contracted constituents carry internal cycles too.
+        let mut b = GraphBuilder::new();
+        // left rail: x -> u1 via a diamond, u1 -> y via a chain
+        b.edge_with_capacity("x", "p", 2).unwrap();
+        b.edge_with_capacity("x", "q", 3).unwrap();
+        b.edge_with_capacity("p", "u1", 1).unwrap();
+        b.edge_with_capacity("q", "u1", 1).unwrap();
+        b.edge_with_capacity("u1", "m", 2).unwrap();
+        b.edge_with_capacity("m", "y", 2).unwrap();
+        // right rail: x -> v1 -> y
+        b.edge_with_capacity("x", "v1", 4).unwrap();
+        b.edge_with_capacity("v1", "y", 5).unwrap();
+        // cross-link u1 -> v1 (two parallel edges => internal cycle).
+        b.edge_with_capacity("u1", "v1", 3).unwrap();
+        b.edge_with_capacity("u1", "v1", 7).unwrap();
+        let g = b.build().unwrap();
+        let fast = cs4_propagation(&g);
+        let exact = exhaustive_intervals(&g, Algorithm::Propagation, Rounding::Ceil).unwrap();
+        assert!(exact.dominates(&fast), "must be at least as tight as exact");
+        // Internal cycle of the diamond: [xp] and [xq] bounded by the
+        // sibling branch, exactly as the exhaustive result says.
+        let xp = g.edge_by_names("x", "p").unwrap();
+        let xq = g.edge_by_names("x", "q").unwrap();
+        assert_eq!(fast.get(xp), exact.get(xp));
+        assert_eq!(fast.get(xq), exact.get(xq));
+    }
+
+    #[test]
+    fn shared_tail_rungs_are_safe() {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("x", "u1", 2).unwrap();
+        b.edge_with_capacity("u1", "y", 3).unwrap();
+        b.edge_with_capacity("x", "v1", 4).unwrap();
+        b.edge_with_capacity("v1", "v2", 5).unwrap();
+        b.edge_with_capacity("v2", "y", 6).unwrap();
+        b.edge_with_capacity("u1", "v1", 7).unwrap();
+        b.edge_with_capacity("u1", "v2", 8).unwrap();
+        let g = b.build().unwrap();
+        let fast = cs4_propagation(&g);
+        let exact = exhaustive_intervals(&g, Algorithm::Propagation, Rounding::Ceil).unwrap();
+        assert!(exact.dominates(&fast));
+    }
+}

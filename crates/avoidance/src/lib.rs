@@ -1,0 +1,48 @@
+//! # fila-avoidance
+//!
+//! The compile-time side of filtering-aware deadlock avoidance: computing,
+//! for every channel `e` of a streaming DAG with finite buffers, the
+//! **dummy-message interval** `[e]` required by the Propagation and
+//! Non-Propagation deadlock-avoidance protocols of Buhler et al.
+//!
+//! The crate implements every algorithm of the paper:
+//!
+//! * [`prop_sp`] — `SETIVALS`, the `O(|G|)` top-down computation of
+//!   Propagation intervals on SP-DAGs (Algorithm 1, §IV.A), plus the naive
+//!   `O(|G|²)` post-order variant used as an ablation baseline;
+//! * [`nonprop_sp`] — the `O(|G|²)` Non-Propagation computation on SP-DAGs
+//!   (§IV.B);
+//! * [`cs4`] / [`ladder`] — recognition and decomposition of CS4 DAGs into a
+//!   serial chain of SP-DAGs and SP-ladders (§V);
+//! * [`ladder_prop`] / [`ladder_nonprop`] — the `O(|G|)` and `O(|G|³)`
+//!   interval computations on SP-ladders (§VI);
+//! * [`exhaustive`] — the exponential cycle-enumeration baseline that works
+//!   on arbitrary DAGs (§II.B), used both as the only option for general
+//!   topologies and as the ground truth the efficient algorithms are
+//!   validated against;
+//! * [`planner`] — a front door that classifies the topology and dispatches
+//!   to the cheapest applicable algorithm;
+//! * [`verify`] — safety/optimality cross-checks of a computed plan against
+//!   the cycle-level definition.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cs4;
+pub mod exhaustive;
+pub mod interval;
+pub mod ladder;
+pub mod ladder_nonprop;
+pub mod ladder_prop;
+pub mod nonprop_sp;
+pub mod plan;
+pub mod planner;
+pub mod prop_sp;
+pub mod verify;
+
+pub use cs4::{classify, Cs4Decomposition, Cs4Segment, GraphClass};
+pub use interval::{DummyInterval, IntervalMap, Rounding};
+pub use ladder::LadderDecomposition;
+pub use plan::{Algorithm, AvoidancePlan};
+pub use planner::Planner;
+pub use verify::{verify_plan, Verification};

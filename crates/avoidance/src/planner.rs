@@ -1,0 +1,298 @@
+//! The front door of the compile-time analysis: classify a topology and
+//! compute its deadlock-avoidance plan with the cheapest applicable
+//! algorithm.
+//!
+//! ```
+//! use fila_graph::GraphBuilder;
+//! use fila_avoidance::{Planner, Algorithm, DummyInterval};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.edge_with_capacity("a", "b", 2).unwrap();
+//! b.edge_with_capacity("b", "e", 5).unwrap();
+//! b.edge_with_capacity("e", "f", 1).unwrap();
+//! b.edge_with_capacity("a", "c", 3).unwrap();
+//! b.edge_with_capacity("c", "d", 1).unwrap();
+//! b.edge_with_capacity("d", "f", 2).unwrap();
+//! let g = b.build().unwrap();
+//!
+//! let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+//! let ab = g.edge_by_names("a", "b").unwrap();
+//! assert_eq!(plan.interval(ab), DummyInterval::Finite(6));
+//! ```
+
+use fila_graph::{Graph, Result};
+use fila_spdag::{recognize, Recognition, SpMetrics};
+
+use crate::cs4::{classify, decompose_cs4, Cs4Segment, GraphClass};
+use crate::exhaustive::{exhaustive_intervals_bounded, DEFAULT_CYCLE_BOUND};
+use crate::interval::{DummyInterval, IntervalMap, Rounding};
+use crate::ladder_nonprop::apply_ladder_nonpropagation;
+use crate::ladder_prop::apply_ladder_propagation;
+use crate::nonprop_sp::nonprop_into;
+use crate::plan::{Algorithm, AvoidancePlan};
+use crate::prop_sp::setivals_into;
+
+/// Builder-style planner for deadlock-avoidance plans.
+#[derive(Debug, Clone)]
+pub struct Planner<'g> {
+    graph: &'g Graph,
+    algorithm: Algorithm,
+    rounding: Rounding,
+    force_exhaustive: bool,
+    cycle_bound: usize,
+}
+
+impl<'g> Planner<'g> {
+    /// Creates a planner for `graph` with the default configuration
+    /// (Propagation protocol, ceiling rounding, structural dispatch).
+    pub fn new(graph: &'g Graph) -> Self {
+        Planner {
+            graph,
+            algorithm: Algorithm::Propagation,
+            rounding: Rounding::Ceil,
+            force_exhaustive: false,
+            cycle_bound: DEFAULT_CYCLE_BOUND,
+        }
+    }
+
+    /// Selects the runtime protocol to compute intervals for.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the rounding mode for Non-Propagation ratios.
+    pub fn rounding(mut self, rounding: Rounding) -> Self {
+        self.rounding = rounding;
+        self
+    }
+
+    /// Forces the exponential general-DAG algorithm even when the topology
+    /// admits an efficient one (used for cross-validation and benchmarks).
+    pub fn force_exhaustive(mut self, force: bool) -> Self {
+        self.force_exhaustive = force;
+        self
+    }
+
+    /// Bounds the number of cycles the exhaustive fallback may enumerate.
+    pub fn cycle_bound(mut self, bound: usize) -> Self {
+        self.cycle_bound = bound;
+        self
+    }
+
+    /// Classifies the topology without computing a plan.
+    pub fn classify(&self) -> Result<GraphClass> {
+        classify(self.graph)
+    }
+
+    /// Computes the plan.
+    pub fn plan(&self) -> Result<AvoidancePlan> {
+        Ok(self.plan_with_class()?.1)
+    }
+
+    /// Computes the plan and reports which topology class (and therefore
+    /// which algorithm family) was used.
+    pub fn plan_with_class(&self) -> Result<(GraphClass, AvoidancePlan)> {
+        let g = self.graph;
+        let class = if self.force_exhaustive {
+            GraphClass::General
+        } else {
+            classify(g)?
+        };
+        let intervals = match class {
+            GraphClass::SeriesParallel => {
+                let decomposition = match recognize(g)? {
+                    Recognition::SeriesParallel(d) => d,
+                    Recognition::NotSeriesParallel(_) => {
+                        unreachable!("classified SP but recognition disagrees")
+                    }
+                };
+                let metrics = SpMetrics::compute(g, &decomposition.forest);
+                let mut intervals = IntervalMap::for_graph(g);
+                match self.algorithm {
+                    Algorithm::Propagation => setivals_into(
+                        &decomposition.forest,
+                        &metrics,
+                        decomposition.root,
+                        DummyInterval::Infinite,
+                        &mut intervals,
+                    ),
+                    Algorithm::NonPropagation => nonprop_into(
+                        &decomposition.forest,
+                        &metrics,
+                        decomposition.root,
+                        self.rounding,
+                        &mut intervals,
+                    ),
+                }
+                intervals
+            }
+            GraphClass::Cs4 => {
+                let d = decompose_cs4(g)?;
+                let metrics = SpMetrics::compute(g, &d.forest);
+                let mut intervals = IntervalMap::for_graph(g);
+                // Cycles internal to each contracted constituent.
+                for ve in &d.skeleton {
+                    match self.algorithm {
+                        Algorithm::Propagation => setivals_into(
+                            &d.forest,
+                            &metrics,
+                            ve.comp,
+                            DummyInterval::Infinite,
+                            &mut intervals,
+                        ),
+                        Algorithm::NonPropagation => nonprop_into(
+                            &d.forest,
+                            &metrics,
+                            ve.comp,
+                            self.rounding,
+                            &mut intervals,
+                        ),
+                    }
+                }
+                // External cycles of each ladder block.
+                for seg in &d.segments {
+                    if let Cs4Segment::Ladder(ladder) = seg {
+                        match self.algorithm {
+                            Algorithm::Propagation => apply_ladder_propagation(
+                                g,
+                                &d.forest,
+                                &metrics,
+                                ladder,
+                                &mut intervals,
+                            ),
+                            Algorithm::NonPropagation => apply_ladder_nonpropagation(
+                                g,
+                                &d.forest,
+                                &metrics,
+                                ladder,
+                                self.rounding,
+                                &mut intervals,
+                            ),
+                        }
+                    }
+                }
+                intervals
+            }
+            GraphClass::General => {
+                exhaustive_intervals_bounded(g, self.algorithm, self.rounding, self.cycle_bound)?
+            }
+        };
+        Ok((
+            class,
+            AvoidancePlan::new(g, self.algorithm, self.rounding, intervals),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fila_graph::GraphBuilder;
+    use fila_spdag::{build_sp, SpSpec};
+
+    fn fig3() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("a", "b", 2).unwrap();
+        b.edge_with_capacity("b", "e", 5).unwrap();
+        b.edge_with_capacity("e", "f", 1).unwrap();
+        b.edge_with_capacity("a", "c", 3).unwrap();
+        b.edge_with_capacity("c", "d", 1).unwrap();
+        b.edge_with_capacity("d", "f", 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn plans_fig3_with_both_protocols() {
+        let g = fig3();
+        let (class, prop) = Planner::new(&g)
+            .algorithm(Algorithm::Propagation)
+            .plan_with_class()
+            .unwrap();
+        assert_eq!(class, GraphClass::SeriesParallel);
+        assert_eq!(
+            prop.interval(g.edge_by_names("a", "b").unwrap()),
+            DummyInterval::Finite(6)
+        );
+        let np = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap();
+        assert_eq!(
+            np.interval(g.edge_by_names("a", "c").unwrap()),
+            DummyInterval::Finite(3)
+        );
+    }
+
+    #[test]
+    fn plans_cs4_graphs_via_ladder_algorithms() {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("x", "a", 2).unwrap();
+        b.edge_with_capacity("x", "b", 3).unwrap();
+        b.edge_with_capacity("a", "y", 4).unwrap();
+        b.edge_with_capacity("b", "y", 5).unwrap();
+        b.edge_with_capacity("a", "b", 1).unwrap();
+        let g = b.build().unwrap();
+        let (class, plan) = Planner::new(&g).plan_with_class().unwrap();
+        assert_eq!(class, GraphClass::Cs4);
+        assert_eq!(
+            plan.interval(g.edge_by_names("a", "y").unwrap()),
+            DummyInterval::Finite(6)
+        );
+    }
+
+    #[test]
+    fn plans_general_graphs_via_exhaustive() {
+        let mut b = GraphBuilder::new();
+        for (s, t) in [
+            ("x", "a"), ("x", "b"),
+            ("a", "c"), ("a", "d"), ("b", "c"), ("b", "d"),
+            ("c", "y"), ("d", "y"),
+        ] {
+            b.edge_with_capacity(s, t, 2).unwrap();
+        }
+        let g = b.build().unwrap();
+        let (class, plan) = Planner::new(&g).plan_with_class().unwrap();
+        assert_eq!(class, GraphClass::General);
+        assert!(plan.channels_needing_dummies() >= 6);
+    }
+
+    #[test]
+    fn force_exhaustive_matches_structural_plan_on_sp_dags() {
+        let (g, _) = build_sp(&SpSpec::Series(vec![
+            SpSpec::Parallel(vec![SpSpec::Edge(3), SpSpec::pipeline(&[1, 4])]),
+            SpSpec::MultiEdge(vec![2, 5]),
+        ]));
+        for algorithm in [Algorithm::Propagation, Algorithm::NonPropagation] {
+            let fast = Planner::new(&g).algorithm(algorithm).plan().unwrap();
+            let slow = Planner::new(&g)
+                .algorithm(algorithm)
+                .force_exhaustive(true)
+                .plan()
+                .unwrap();
+            assert_eq!(fast.intervals(), slow.intervals(), "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn cycle_bound_propagates_to_exhaustive() {
+        let mut b = GraphBuilder::new();
+        for i in 0..8 {
+            let mid = format!("m{i}");
+            b.edge("s", &mid).unwrap();
+            b.edge(&mid, "t").unwrap();
+        }
+        let g = b.build().unwrap();
+        let planner = Planner::new(&g).force_exhaustive(true).cycle_bound(3);
+        assert!(planner.plan().is_err());
+    }
+
+    #[test]
+    fn classify_is_exposed() {
+        let g = fig3();
+        assert_eq!(
+            Planner::new(&g).classify().unwrap(),
+            GraphClass::SeriesParallel
+        );
+    }
+}

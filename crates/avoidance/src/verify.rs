@@ -1,0 +1,157 @@
+//! Cross-validation of computed plans against the cycle-level definition.
+//!
+//! A plan is **safe** if every edge's interval is no larger than the value
+//! demanded by the exhaustive cycle-level definition (§II.B) — smaller
+//! intervals only mean more dummy messages, never deadlock.  A plan is
+//! **exact** if the intervals coincide.  The paper proves exactness of its
+//! SP algorithms (Claim IV.1 / Corollary IV.2); the ladder algorithms are
+//! exact in the common cases and conservative in the corner cases discussed
+//! in `DESIGN.md`, which is precisely what experiment E11 measures.
+
+use fila_graph::{EdgeId, Graph, Result};
+
+use crate::exhaustive::exhaustive_intervals_bounded;
+use crate::interval::DummyInterval;
+use crate::plan::AvoidancePlan;
+
+/// The outcome of verifying a plan against the exhaustive baseline.
+#[derive(Debug, Clone)]
+pub struct Verification {
+    /// True if no edge's interval exceeds the cycle-level requirement.
+    pub safe: bool,
+    /// True if every edge's interval equals the cycle-level requirement.
+    pub exact: bool,
+    /// Edges where the plan is *larger* than allowed (unsafe), as
+    /// `(edge, plan interval, required interval)`.
+    pub violations: Vec<(EdgeId, DummyInterval, DummyInterval)>,
+    /// Edges where the plan is strictly smaller than required
+    /// (safe but conservative).
+    pub conservative: Vec<(EdgeId, DummyInterval, DummyInterval)>,
+}
+
+impl Verification {
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "safe: {}, exact: {}, violations: {}, conservative edges: {}",
+            self.safe,
+            self.exact,
+            self.violations.len(),
+            self.conservative.len()
+        )
+    }
+}
+
+/// Verifies `plan` against the exhaustive cycle-level definition, using the
+/// plan's own protocol and rounding mode.
+///
+/// This is exponential in the worst case (it enumerates every undirected
+/// simple cycle); use it on test- and example-sized graphs.
+pub fn verify_plan(g: &Graph, plan: &AvoidancePlan) -> Result<Verification> {
+    verify_plan_bounded(g, plan, crate::exhaustive::DEFAULT_CYCLE_BOUND)
+}
+
+/// [`verify_plan`] with an explicit bound on enumerated cycles.
+pub fn verify_plan_bounded(
+    g: &Graph,
+    plan: &AvoidancePlan,
+    max_cycles: usize,
+) -> Result<Verification> {
+    let required =
+        exhaustive_intervals_bounded(g, plan.algorithm(), plan.rounding(), max_cycles)?;
+    let mut violations = Vec::new();
+    let mut conservative = Vec::new();
+    for (e, req) in required.iter() {
+        let got = plan.interval(e);
+        if got > req {
+            violations.push((e, got, req));
+        } else if got < req {
+            conservative.push((e, got, req));
+        }
+    }
+    Ok(Verification {
+        safe: violations.is_empty(),
+        exact: violations.is_empty() && conservative.is_empty(),
+        violations,
+        conservative,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{IntervalMap, Rounding};
+    use crate::plan::Algorithm;
+    use crate::planner::Planner;
+    use fila_graph::GraphBuilder;
+    use fila_spdag::{build_sp, SpSpec};
+
+    #[test]
+    fn sp_plans_verify_exactly() {
+        let (g, _) = build_sp(&SpSpec::Series(vec![
+            SpSpec::Parallel(vec![SpSpec::Edge(3), SpSpec::pipeline(&[1, 4]), SpSpec::Edge(9)]),
+            SpSpec::MultiEdge(vec![2, 5]),
+        ]));
+        for algorithm in [Algorithm::Propagation, Algorithm::NonPropagation] {
+            let plan = Planner::new(&g).algorithm(algorithm).plan().unwrap();
+            let v = verify_plan(&g, &plan).unwrap();
+            assert!(v.safe, "{algorithm}: {}", v.summary());
+            assert!(v.exact, "{algorithm}: {}", v.summary());
+        }
+    }
+
+    #[test]
+    fn cs4_plans_verify_safely() {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("x", "u1", 2).unwrap();
+        b.edge_with_capacity("u1", "u2", 3).unwrap();
+        b.edge_with_capacity("u2", "y", 4).unwrap();
+        b.edge_with_capacity("x", "v1", 5).unwrap();
+        b.edge_with_capacity("v1", "v2", 1).unwrap();
+        b.edge_with_capacity("v2", "y", 2).unwrap();
+        b.edge_with_capacity("u1", "v1", 6).unwrap();
+        b.edge_with_capacity("u2", "v2", 1).unwrap();
+        let g = b.build().unwrap();
+        for algorithm in [Algorithm::Propagation, Algorithm::NonPropagation] {
+            let plan = Planner::new(&g).algorithm(algorithm).plan().unwrap();
+            let v = verify_plan(&g, &plan).unwrap();
+            assert!(v.safe, "{algorithm}: {}", v.summary());
+        }
+        // The Propagation ladder algorithm is exact on this example.
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        assert!(verify_plan(&g, &plan).unwrap().exact);
+    }
+
+    #[test]
+    fn a_deliberately_broken_plan_is_flagged() {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("a", "b", 2).unwrap();
+        b.edge_with_capacity("a", "b", 3).unwrap();
+        let g = b.build().unwrap();
+        // Claim both edges never need dummies, which is wrong.
+        let plan = AvoidancePlan::new(
+            &g,
+            Algorithm::Propagation,
+            Rounding::Ceil,
+            IntervalMap::for_graph(&g),
+        );
+        let v = verify_plan(&g, &plan).unwrap();
+        assert!(!v.safe);
+        assert_eq!(v.violations.len(), 2);
+        assert!(v.summary().contains("violations: 2"));
+    }
+
+    #[test]
+    fn verification_respects_cycle_bound() {
+        let mut b = GraphBuilder::new();
+        for i in 0..8 {
+            let mid = format!("m{i}");
+            b.edge("s", &mid).unwrap();
+            b.edge(&mid, "t").unwrap();
+        }
+        let g = b.build().unwrap();
+        let plan = Planner::new(&g).plan().unwrap();
+        assert!(verify_plan_bounded(&g, &plan, 3).is_err());
+        assert!(verify_plan_bounded(&g, &plan, 1000).unwrap().safe);
+    }
+}

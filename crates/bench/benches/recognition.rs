@@ -1,0 +1,44 @@
+//! E4/E5: topology classification and decomposition cost — SP recognition,
+//! CS4/ladder decomposition, and the brute-force cycle-level CS4 check on
+//! the paper's figures and generated graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fila_avoidance::cs4::{decompose_cs4, is_cs4_by_cycle_enumeration};
+use fila_avoidance::classify;
+use fila_bench::{ladder_of_size, sp_dag_of_size, LADDER_RUNGS, SP_SIZES};
+use fila_spdag::recognize;
+use fila_workloads::figures;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recognition");
+    group.sample_size(10);
+    for &size in SP_SIZES {
+        let (g, _) = sp_dag_of_size(size);
+        group.bench_with_input(BenchmarkId::new("sp_recognition", size), &size, |b, _| {
+            b.iter(|| black_box(recognize(&g).unwrap().is_sp()))
+        });
+    }
+    for &rungs in LADDER_RUNGS {
+        let g = ladder_of_size(rungs);
+        group.bench_with_input(BenchmarkId::new("cs4_decomposition", rungs), &rungs, |b, _| {
+            b.iter(|| black_box(decompose_cs4(&g).unwrap()))
+        });
+    }
+    group.bench_function("classify_fig4_crosslink", |b| {
+        let g = figures::fig4_crosslink(2);
+        b.iter(|| black_box(classify(&g).unwrap()))
+    });
+    group.bench_function("classify_fig4_butterfly", |b| {
+        let g = figures::fig4_butterfly(2);
+        b.iter(|| black_box(classify(&g).unwrap()))
+    });
+    group.bench_function("bruteforce_cs4_check_fig5", |b| {
+        let g = figures::fig5_ladder(3);
+        b.iter(|| black_box(is_cs4_by_cycle_enumeration(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

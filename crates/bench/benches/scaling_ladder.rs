@@ -1,0 +1,43 @@
+//! E9/E10: compile-time scaling of the CS4 / SP-ladder interval algorithms
+//! (Propagation linear, Non-Propagation cubic in the rung count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fila_avoidance::{Algorithm, Planner};
+use fila_bench::{ladder_of_size, LADDER_RUNGS};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_ladder");
+    group.sample_size(10);
+    for &rungs in LADDER_RUNGS {
+        let g = ladder_of_size(rungs);
+        group.bench_with_input(BenchmarkId::new("ladder_prop", rungs), &rungs, |b, _| {
+            b.iter(|| {
+                black_box(
+                    Planner::new(&g)
+                        .algorithm(Algorithm::Propagation)
+                        .plan()
+                        .unwrap(),
+                )
+            })
+        });
+        // The cubic Non-Propagation computation is only run on the smaller
+        // sweep points to keep bench times reasonable.
+        if rungs <= 128 {
+            group.bench_with_input(BenchmarkId::new("ladder_nonprop", rungs), &rungs, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        Planner::new(&g)
+                            .algorithm(Algorithm::NonPropagation)
+                            .plan()
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Each bench target regenerates one figure or asymptotic claim of the
+//! paper; the mapping is documented in `DESIGN.md` (per-experiment index)
+//! and the measured outcomes are recorded in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+use fila_graph::Graph;
+use fila_workloads::generators::{random_ladder, random_sp_dag, GeneratorConfig, LadderConfig};
+
+/// Edge-count sweep used by the scaling benchmarks (E6/E7/E9/E10).
+pub const SP_SIZES: &[usize] = &[64, 256, 1024, 4096];
+
+/// Rung-count sweep used by the ladder scaling benchmarks.
+pub const LADDER_RUNGS: &[usize] = &[8, 32, 128, 512];
+
+/// Branch counts for the exponential-baseline sweep (E8).
+pub const CHAIN_COUNTS: &[usize] = &[4, 8, 12, 16];
+
+/// Builds a random SP-DAG of roughly `edges` edges (deterministic seed).
+pub fn sp_dag_of_size(edges: usize) -> (Graph, fila_spdag::SpDecomposition) {
+    random_sp_dag(&GeneratorConfig {
+        target_edges: edges,
+        seed: edges as u64,
+        ..Default::default()
+    })
+}
+
+/// Builds a random SP-ladder with `rungs` cross-links (deterministic seed).
+pub fn ladder_of_size(rungs: usize) -> Graph {
+    random_ladder(&LadderConfig {
+        rungs,
+        seed: rungs as u64,
+        ..Default::default()
+    })
+}

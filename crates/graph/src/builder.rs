@@ -1,0 +1,159 @@
+//! A fluent builder for constructing streaming-application graphs by name.
+//!
+//! [`GraphBuilder`] lets examples, tests and workload generators write
+//! topologies the way the paper draws them — "edge from `a` to `b` with
+//! buffer 3" — without juggling ids.  Nodes are created on first mention.
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::ids::{EdgeId, NodeId};
+use crate::multigraph::Graph;
+
+/// Incrementally builds a [`Graph`], addressing nodes by name.
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    graph: Graph,
+    by_name: HashMap<String, NodeId>,
+    default_capacity: u64,
+}
+
+impl GraphBuilder {
+    /// Creates a builder whose [`GraphBuilder::edge`] calls use a default
+    /// buffer capacity of 1.
+    pub fn new() -> Self {
+        GraphBuilder {
+            graph: Graph::new(),
+            by_name: HashMap::new(),
+            default_capacity: 1,
+        }
+    }
+
+    /// Sets the buffer capacity used by [`GraphBuilder::edge`].
+    pub fn default_capacity(mut self, capacity: u64) -> Self {
+        self.default_capacity = capacity;
+        self
+    }
+
+    /// Returns the id for `name`, creating the node if needed.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.graph.add_node(name);
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Adds an edge with the builder's default capacity.
+    pub fn edge(&mut self, src: &str, dst: &str) -> Result<EdgeId> {
+        self.edge_with_capacity(src, dst, self.default_capacity)
+    }
+
+    /// Adds an edge with an explicit buffer capacity.
+    pub fn edge_with_capacity(&mut self, src: &str, dst: &str, capacity: u64) -> Result<EdgeId> {
+        let s = self.node(src);
+        let d = self.node(dst);
+        self.graph.add_edge(s, d, capacity)
+    }
+
+    /// Adds a directed chain `names[0] -> names[1] -> ...` with the default
+    /// capacity on every hop, returning the created edge ids.
+    pub fn chain(&mut self, names: &[&str]) -> Result<Vec<EdgeId>> {
+        let mut edges = Vec::with_capacity(names.len().saturating_sub(1));
+        for pair in names.windows(2) {
+            edges.push(self.edge(pair[0], pair[1])?);
+        }
+        Ok(edges)
+    }
+
+    /// Number of nodes created so far.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Read-only view of the graph built so far.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Finishes building without validation.  Useful when intentionally
+    /// constructing malformed graphs in tests.
+    pub fn build_unchecked(self) -> Graph {
+        self.graph
+    }
+
+    /// Finishes building, checking the global model invariants
+    /// (non-empty, acyclic, connected).
+    pub fn build(self) -> Result<Graph> {
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::GraphError;
+
+    #[test]
+    fn builds_named_nodes_once() {
+        let mut b = GraphBuilder::new();
+        let a1 = b.node("a");
+        let a2 = b.node("a");
+        assert_eq!(a1, a2);
+        assert_eq!(b.node_count(), 1);
+    }
+
+    #[test]
+    fn edge_uses_default_capacity() {
+        let mut b = GraphBuilder::new().default_capacity(5);
+        let e = b.edge("x", "y").unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.capacity(e), 5);
+    }
+
+    #[test]
+    fn explicit_capacity_overrides_default() {
+        let mut b = GraphBuilder::new().default_capacity(5);
+        let e = b.edge_with_capacity("x", "y", 2).unwrap();
+        assert_eq!(b.graph().capacity(e), 2);
+    }
+
+    #[test]
+    fn chain_builds_a_pipeline() {
+        let mut b = GraphBuilder::new();
+        let edges = b.chain(&["a", "b", "c", "d"]).unwrap();
+        assert_eq!(edges.len(), 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.single_source().unwrap(), g.node_by_name("a").unwrap());
+        assert_eq!(g.single_sink().unwrap(), g.node_by_name("d").unwrap());
+    }
+
+    #[test]
+    fn build_validates_connectivity() {
+        let mut b = GraphBuilder::new();
+        b.edge("a", "b").unwrap();
+        b.node("stranded");
+        assert!(matches!(b.build(), Err(GraphError::Disconnected { .. })));
+    }
+
+    #[test]
+    fn build_detects_directed_cycles() {
+        let mut b = GraphBuilder::new();
+        b.edge("a", "b").unwrap();
+        b.edge("b", "c").unwrap();
+        b.edge("c", "a").unwrap();
+        assert!(matches!(b.build(), Err(GraphError::NotAcyclic { .. })));
+    }
+
+    #[test]
+    fn build_unchecked_skips_validation() {
+        let mut b = GraphBuilder::new();
+        b.edge("a", "b").unwrap();
+        b.node("stranded");
+        let g = b.build_unchecked();
+        assert_eq!(g.node_count(), 3);
+    }
+}

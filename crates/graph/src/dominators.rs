@@ -1,0 +1,255 @@
+//! Dominator and post-dominator trees for single-source / single-sink DAGs.
+//!
+//! The structural lemmas of §III of the paper are phrased in terms of
+//! domination ("Z dominates all nodes of P other than W") and immediate
+//! post-domination ("every node in an SP-DAG has an immediate
+//! postdominator").  These trees are exposed so that property tests can
+//! check those lemmas directly on generated SP-DAGs, and so that the ladder
+//! recogniser can sanity-check candidate decompositions.
+//!
+//! The implementation is the classic Cooper–Harvey–Kennedy iterative
+//! algorithm over a reverse-postorder numbering.  On DAGs a single pass
+//! converges, so the cost is effectively `O(|E| · α)` and in practice linear.
+
+use crate::error::{GraphError, Result};
+use crate::ids::NodeId;
+use crate::multigraph::Graph;
+use crate::topo::{topo_positions, topological_order};
+
+/// The immediate-dominator (or immediate-post-dominator) relation of a graph.
+#[derive(Debug, Clone)]
+pub struct DominatorTree {
+    root: NodeId,
+    /// `idom[v]` is the immediate dominator of `v`; `None` for the root and
+    /// for nodes unreachable from it.
+    idom: Vec<Option<NodeId>>,
+}
+
+impl DominatorTree {
+    /// The root of the tree (the graph source for dominators, the sink for
+    /// post-dominators).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Immediate dominator of `v` (`None` for the root or unreachable nodes).
+    pub fn idom(&self, v: NodeId) -> Option<NodeId> {
+        self.idom[v.index()]
+    }
+
+    /// Returns `true` if `a` dominates `b` (every path from the root to `b`
+    /// passes through `a`).  Every node dominates itself.
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = Some(b);
+        while let Some(v) = cur {
+            if v == a {
+                return true;
+            }
+            if v == self.root {
+                return false;
+            }
+            cur = self.idom[v.index()];
+        }
+        false
+    }
+
+    /// Depth of `v` below the root, or `None` if unreachable.
+    pub fn depth(&self, v: NodeId) -> Option<usize> {
+        let mut d = 0;
+        let mut cur = v;
+        loop {
+            if cur == self.root {
+                return Some(d);
+            }
+            match self.idom[cur.index()] {
+                Some(p) => {
+                    cur = p;
+                    d += 1;
+                }
+                None => return None,
+            }
+        }
+    }
+}
+
+/// Computes the dominator tree rooted at the graph's unique source.
+pub fn dominator_tree(g: &Graph) -> Result<DominatorTree> {
+    let root = g.single_source()?;
+    compute(g, root, Direction::Forward)
+}
+
+/// Computes the post-dominator tree rooted at the graph's unique sink.
+pub fn postdominator_tree(g: &Graph) -> Result<DominatorTree> {
+    let root = g.single_sink()?;
+    compute(g, root, Direction::Backward)
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Forward,
+    Backward,
+}
+
+fn preds<'a>(g: &'a Graph, v: NodeId, dir: Direction) -> Box<dyn Iterator<Item = NodeId> + 'a> {
+    match dir {
+        Direction::Forward => Box::new(g.in_edges(v).iter().map(move |&e| g.tail(e))),
+        Direction::Backward => Box::new(g.out_edges(v).iter().map(move |&e| g.head(e))),
+    }
+}
+
+fn compute(g: &Graph, root: NodeId, dir: Direction) -> Result<DominatorTree> {
+    if g.node_count() == 0 {
+        return Err(GraphError::Empty);
+    }
+    // A topological order of the DAG is a valid reverse-postorder for the
+    // forward direction; its reverse works for the backward direction.
+    let mut order = topological_order(g)?;
+    if matches!(dir, Direction::Backward) {
+        order.reverse();
+    }
+    debug_assert_eq!(order.first().copied(), Some(root), "root must be first");
+    // In the chosen order the root comes first only if it is the unique
+    // source (resp. sink); `single_source`/`single_sink` guarantee that, but
+    // Kahn's algorithm may emit several zero-degree nodes in any order when
+    // the graph is disconnected, so enforce it explicitly.
+    let order: Vec<NodeId> = std::iter::once(root)
+        .chain(order.into_iter().filter(|&v| v != root))
+        .collect();
+    let pos = topo_positions(g, &order);
+
+    let mut idom: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    idom[root.index()] = Some(root);
+
+    let intersect = |idom: &[Option<NodeId>], mut a: NodeId, mut b: NodeId| -> NodeId {
+        while a != b {
+            while pos[a.index()] > pos[b.index()] {
+                a = idom[a.index()].expect("processed node has idom");
+            }
+            while pos[b.index()] > pos[a.index()] {
+                b = idom[b.index()].expect("processed node has idom");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &v in order.iter().skip(1) {
+            let mut new_idom: Option<NodeId> = None;
+            for p in preds(g, v, dir) {
+                if idom[p.index()].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[v.index()] != Some(ni) {
+                    idom[v.index()] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Normalise: the root has no immediate dominator.
+    idom[root.index()] = None;
+    Ok(DominatorTree { root, idom })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.edge("a", "b").unwrap();
+        b.edge("a", "c").unwrap();
+        b.edge("b", "d").unwrap();
+        b.edge("c", "d").unwrap();
+        b.edge("d", "e").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let g = diamond();
+        let t = dominator_tree(&g).unwrap();
+        let n = |s: &str| g.node_by_name(s).unwrap();
+        assert_eq!(t.root(), n("a"));
+        assert_eq!(t.idom(n("a")), None);
+        assert_eq!(t.idom(n("b")), Some(n("a")));
+        assert_eq!(t.idom(n("c")), Some(n("a")));
+        // d's paths go through either b or c, so its idom is a.
+        assert_eq!(t.idom(n("d")), Some(n("a")));
+        assert_eq!(t.idom(n("e")), Some(n("d")));
+        assert!(t.dominates(n("a"), n("e")));
+        assert!(t.dominates(n("d"), n("e")));
+        assert!(!t.dominates(n("b"), n("d")));
+        assert!(t.dominates(n("b"), n("b")));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let g = diamond();
+        let t = postdominator_tree(&g).unwrap();
+        let n = |s: &str| g.node_by_name(s).unwrap();
+        assert_eq!(t.root(), n("e"));
+        assert_eq!(t.idom(n("e")), None);
+        assert_eq!(t.idom(n("d")), Some(n("e")));
+        assert_eq!(t.idom(n("b")), Some(n("d")));
+        assert_eq!(t.idom(n("c")), Some(n("d")));
+        // a is immediately postdominated by d (its split rejoins at d).
+        assert_eq!(t.idom(n("a")), Some(n("d")));
+        assert!(t.dominates(n("d"), n("a")), "d postdominates a");
+    }
+
+    #[test]
+    fn chain_dominators_are_predecessors() {
+        let mut b = GraphBuilder::new();
+        b.chain(&["a", "b", "c", "d"]).unwrap();
+        let g = b.build().unwrap();
+        let t = dominator_tree(&g).unwrap();
+        let n = |s: &str| g.node_by_name(s).unwrap();
+        assert_eq!(t.idom(n("d")), Some(n("c")));
+        assert_eq!(t.depth(n("d")), Some(3));
+        assert_eq!(t.depth(n("a")), Some(0));
+    }
+
+    #[test]
+    fn sp_dag_every_node_has_immediate_postdominator() {
+        // Observation in §III: in an SP-DAG every node has an immediate
+        // postdominator.
+        let mut b = GraphBuilder::new();
+        b.edge("x", "p").unwrap();
+        b.edge("x", "q").unwrap();
+        b.edge("p", "y").unwrap();
+        b.edge("q", "y").unwrap();
+        b.edge("y", "z").unwrap();
+        b.edge("y", "w").unwrap();
+        b.edge("z", "t").unwrap();
+        b.edge("w", "t").unwrap();
+        let g = b.build().unwrap();
+        let t = postdominator_tree(&g).unwrap();
+        for v in g.node_ids() {
+            if v == t.root() {
+                continue;
+            }
+            assert!(t.idom(v).is_some(), "{v} lacks an immediate postdominator");
+        }
+    }
+
+    #[test]
+    fn requires_single_source() {
+        let mut b = GraphBuilder::new();
+        b.edge("a", "c").unwrap();
+        b.edge("b", "c").unwrap();
+        let g = b.build().unwrap();
+        assert!(dominator_tree(&g).is_err());
+        assert!(postdominator_tree(&g).is_ok());
+    }
+}

@@ -1,0 +1,97 @@
+//! Graphviz DOT export for debugging and documentation.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::ids::EdgeId;
+use crate::multigraph::Graph;
+
+/// Options controlling DOT rendering.
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Optional per-edge annotations appended to the capacity label (for
+    /// example the computed dummy interval).
+    pub edge_annotations: HashMap<EdgeId, String>,
+    /// Graph title rendered as a label.
+    pub title: Option<String>,
+}
+
+/// Renders the graph in Graphviz DOT syntax.  Edge labels show the buffer
+/// capacity and any caller-provided annotation.
+pub fn to_dot(g: &Graph, options: &DotOptions) -> String {
+    let mut out = String::new();
+    out.push_str("digraph fila {\n");
+    out.push_str("  rankdir=TB;\n  node [shape=circle, fontsize=11];\n");
+    if let Some(title) = &options.title {
+        let _ = writeln!(out, "  label=\"{}\";", escape(title));
+    }
+    for (id, node) in g.nodes() {
+        let _ = writeln!(out, "  {} [label=\"{}\"];", id.index(), escape(&node.name));
+    }
+    for (id, edge) in g.edges() {
+        let mut label = format!("cap={}", edge.capacity);
+        if let Some(extra) = options.edge_annotations.get(&id) {
+            label.push_str("\\n");
+            label.push_str(extra);
+        }
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            edge.src.index(),
+            edge.dst.index(),
+            label
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the graph with default options.
+pub fn to_dot_simple(g: &Graph) -> String {
+    to_dot(g, &DotOptions::default())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn renders_nodes_edges_and_labels() {
+        let mut b = GraphBuilder::new();
+        let e = b.edge_with_capacity("split", "join", 4).unwrap();
+        let g = b.build().unwrap();
+        let mut opts = DotOptions::default();
+        opts.title = Some("demo".into());
+        opts.edge_annotations.insert(e, "[e]=3".into());
+        let dot = to_dot(&g, &opts);
+        assert!(dot.contains("digraph fila"));
+        assert!(dot.contains("label=\"split\""));
+        assert!(dot.contains("cap=4"));
+        assert!(dot.contains("[e]=3"));
+        assert!(dot.contains("label=\"demo\""));
+    }
+
+    #[test]
+    fn simple_rendering_has_one_line_per_element() {
+        let mut b = GraphBuilder::new();
+        b.edge("a", "b").unwrap();
+        b.edge("b", "c").unwrap();
+        let g = b.build().unwrap();
+        let dot = to_dot_simple(&g);
+        assert_eq!(dot.matches(" -> ").count(), 2);
+    }
+
+    #[test]
+    fn escapes_quotes_in_names() {
+        let mut b = GraphBuilder::new();
+        b.edge("say \"hi\"", "b").unwrap();
+        let g = b.build().unwrap();
+        let dot = to_dot_simple(&g);
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

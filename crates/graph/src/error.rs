@@ -1,0 +1,102 @@
+//! Error type shared by the graph construction and analysis routines.
+
+use std::fmt;
+
+use crate::ids::{EdgeId, NodeId};
+
+/// Result alias used across `fila-graph`.
+pub type Result<T, E = GraphError> = std::result::Result<T, E>;
+
+/// Errors produced while building or analysing a streaming-application graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced a node that does not exist in this graph.
+    UnknownNode(NodeId),
+    /// An edge id referenced an edge that does not exist in this graph.
+    UnknownEdge(EdgeId),
+    /// An edge would create a self-loop, which the streaming model forbids.
+    SelfLoop(NodeId),
+    /// The graph contains a directed cycle; the model only admits DAGs.
+    NotAcyclic {
+        /// A node known to participate in the directed cycle.
+        witness: NodeId,
+    },
+    /// The graph has no nodes, which several analyses cannot handle.
+    Empty,
+    /// The graph is not connected (as an undirected graph).
+    Disconnected {
+        /// A node unreachable from the first node in the undirected sense.
+        witness: NodeId,
+    },
+    /// The analysis requires a unique source node but found zero or several.
+    NotSingleSource {
+        /// All source nodes found (nodes with no incoming edges).
+        sources: Vec<NodeId>,
+    },
+    /// The analysis requires a unique sink node but found zero or several.
+    NotSingleSink {
+        /// All sink nodes found (nodes with no outgoing edges).
+        sinks: Vec<NodeId>,
+    },
+    /// A buffer capacity of zero was supplied; the model requires every
+    /// channel to hold at least one message.
+    ZeroCapacity {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// A structural requirement of a specific analysis was violated.
+    Structure(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::UnknownEdge(e) => write!(f, "unknown edge {e}"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            GraphError::NotAcyclic { witness } => {
+                write!(f, "graph contains a directed cycle through {witness}")
+            }
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::Disconnected { witness } => {
+                write!(f, "graph is not (undirected-)connected; {witness} is unreachable")
+            }
+            GraphError::NotSingleSource { sources } => {
+                write!(f, "expected exactly one source node, found {}", sources.len())
+            }
+            GraphError::NotSingleSink { sinks } => {
+                write!(f, "expected exactly one sink node, found {}", sinks.len())
+            }
+            GraphError::ZeroCapacity { edge } => {
+                write!(f, "edge {edge} has zero buffer capacity")
+            }
+            GraphError::Structure(msg) => write!(f, "structural requirement violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::UnknownNode(NodeId::from_raw(3));
+        assert!(e.to_string().contains("n3"));
+        let e = GraphError::NotSingleSource {
+            sources: vec![NodeId::from_raw(0), NodeId::from_raw(1)],
+        };
+        assert!(e.to_string().contains("found 2"));
+        let e = GraphError::Structure("no outer cycle".into());
+        assert!(e.to_string().contains("no outer cycle"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GraphError::Empty);
+    }
+}

@@ -1,0 +1,304 @@
+//! Detection of subgraphs homeomorphic to `K4`.
+//!
+//! Lemma V.1 of the paper shows that a CS4 DAG contains no subgraph
+//! homeomorphic to `K4` (the complete graph on four vertices), which is the
+//! classical characterisation of *undirected* series-parallel graphs
+//! (Duffin 1965).  We use the equally classical reduction characterisation:
+//! an undirected multigraph is `K4`-subdivision-free iff it can be reduced
+//! to the empty graph by exhaustively
+//!
+//! * deleting isolated vertices,
+//! * deleting degree-1 vertices together with their edge,
+//! * suppressing degree-2 vertices (merging their two incident edges), and
+//! * merging parallel edges / deleting self-loops.
+//!
+//! The four branch vertices of a `K4` subdivision all have degree ≥ 3 and
+//! survive every reduction, so the reduction empties the graph iff no such
+//! subdivision exists.
+
+use crate::multigraph::Graph;
+
+/// A small mutable undirected multigraph used only for the reduction.
+struct Scratch {
+    /// adjacency: for each vertex, list of (edge index) into `ends`.
+    adj: Vec<Vec<usize>>,
+    /// endpoints of each edge; `None` once deleted.
+    ends: Vec<Option<(usize, usize)>>,
+    alive_vertices: usize,
+}
+
+impl Scratch {
+    fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut adj = vec![Vec::new(); n];
+        let mut ends = Vec::with_capacity(g.edge_count());
+        for (_, e) in g.edges() {
+            let idx = ends.len();
+            ends.push(Some((e.src.index(), e.dst.index())));
+            adj[e.src.index()].push(idx);
+            adj[e.dst.index()].push(idx);
+        }
+        Scratch {
+            adj,
+            ends,
+            alive_vertices: n,
+        }
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        self.adj[v]
+            .iter()
+            .filter(|&&e| self.ends[e].is_some())
+            .count()
+    }
+
+    fn live_incident(&self, v: usize) -> Vec<usize> {
+        self.adj[v]
+            .iter()
+            .copied()
+            .filter(|&e| self.ends[e].is_some())
+            .collect()
+    }
+
+    fn other(&self, e: usize, v: usize) -> usize {
+        let (a, b) = self.ends[e].expect("live edge");
+        if a == v {
+            b
+        } else {
+            a
+        }
+    }
+
+    fn delete_edge(&mut self, e: usize) {
+        self.ends[e] = None;
+    }
+
+    /// Runs the reduction to a fixed point and reports whether the graph
+    /// became empty (no live edges and every vertex isolated).
+    fn reduces_to_empty(&mut self) -> bool {
+        let n = self.adj.len();
+        let mut removed = vec![false; n];
+        let mut queue: Vec<usize> = (0..n).collect();
+        while let Some(v) = queue.pop() {
+            if removed[v] {
+                continue;
+            }
+            // Drop self-loops and merge parallel edges incident to v first.
+            let incident = self.live_incident(v);
+            // Self-loops.
+            for &e in &incident {
+                let (a, b) = self.ends[e].expect("live");
+                if a == b {
+                    self.delete_edge(e);
+                }
+            }
+            // Parallel edges: keep one per neighbour.
+            let incident = self.live_incident(v);
+            let mut seen_neighbour: Vec<(usize, usize)> = Vec::new();
+            for &e in &incident {
+                let w = self.other(e, v);
+                if let Some(&(_, _keep)) = seen_neighbour.iter().find(|&&(nb, _)| nb == w) {
+                    self.delete_edge(e);
+                    // The neighbour's degree changed; revisit it.
+                    queue.push(w);
+                } else {
+                    seen_neighbour.push((w, e));
+                }
+            }
+            match self.degree(v) {
+                0 => {
+                    removed[v] = true;
+                    self.alive_vertices -= 1;
+                }
+                1 => {
+                    let e = self.live_incident(v)[0];
+                    let w = self.other(e, v);
+                    self.delete_edge(e);
+                    removed[v] = true;
+                    self.alive_vertices -= 1;
+                    queue.push(w);
+                }
+                2 => {
+                    let inc = self.live_incident(v);
+                    let (e1, e2) = (inc[0], inc[1]);
+                    let w1 = self.other(e1, v);
+                    let w2 = self.other(e2, v);
+                    // Suppress v: replace e1, e2 by a single edge w1 - w2.
+                    self.delete_edge(e1);
+                    self.delete_edge(e2);
+                    removed[v] = true;
+                    self.alive_vertices -= 1;
+                    if w1 == w2 {
+                        // The merged edge would be a self-loop; drop it.
+                        queue.push(w1);
+                    } else {
+                        let idx = self.ends.len();
+                        self.ends.push(Some((w1, w2)));
+                        self.adj[w1].push(idx);
+                        self.adj[w2].push(idx);
+                        queue.push(w1);
+                        queue.push(w2);
+                    }
+                }
+                _ => {
+                    // Degree >= 3 after local cleanup: leave for now; it may
+                    // become reducible when a neighbour is processed, in
+                    // which case it is re-queued above.
+                }
+            }
+        }
+        // The graph is K4-free iff no vertex of degree >= 3 survived.  After
+        // the fixed point, surviving vertices all have degree >= 3 (any
+        // lower-degree vertex would have been re-queued and removed), so it
+        // suffices to check that everything was removed.
+        (0..n).all(|v| removed[v] || self.degree(v) == 0)
+    }
+}
+
+/// Returns `true` if the underlying undirected multigraph of `g` contains a
+/// subgraph homeomorphic to `K4`.
+pub fn has_k4_subdivision(g: &Graph) -> bool {
+    !is_k4_free(g)
+}
+
+/// Returns `true` if the underlying undirected multigraph of `g` contains
+/// **no** subgraph homeomorphic to `K4` (i.e. it is undirected
+/// series-parallel in the generalised sense).
+pub fn is_k4_free(g: &Graph) -> bool {
+    if g.edge_count() == 0 {
+        return true;
+    }
+    Scratch::from_graph(g).reduces_to_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn trees_and_chains_are_k4_free() {
+        let mut b = GraphBuilder::new();
+        b.chain(&["a", "b", "c", "d", "e"]).unwrap();
+        b.edge("b", "x").unwrap();
+        b.edge("c", "y").unwrap();
+        let g = b.build().unwrap();
+        assert!(is_k4_free(&g));
+    }
+
+    #[test]
+    fn diamond_and_parallel_edges_are_k4_free() {
+        let mut b = GraphBuilder::new();
+        b.edge("a", "b").unwrap();
+        b.edge("a", "b").unwrap();
+        b.edge("b", "c").unwrap();
+        b.edge("b", "c").unwrap();
+        b.edge("a", "c").unwrap();
+        let g = b.build().unwrap();
+        assert!(is_k4_free(&g));
+    }
+
+    #[test]
+    fn crosslinked_split_join_is_k4_free() {
+        // Fig. 4 left: split/join with a cross edge a -> b; not an SP-DAG
+        // but still K4-free (and CS4).
+        let mut b = GraphBuilder::new();
+        for (s, t) in [("x", "a"), ("x", "b"), ("a", "y"), ("b", "y"), ("a", "b")] {
+            b.edge(s, t).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert!(is_k4_free(&g));
+    }
+
+    #[test]
+    fn butterfly_contains_k4_subdivision() {
+        // Fig. 4 right: the butterfly has the cycle a-c-b-d plus paths
+        // through X and Y, giving a K4 subdivision on {a, b, c/X, d/Y}.
+        let mut b = GraphBuilder::new();
+        for (s, t) in [
+            ("x", "a"), ("x", "b"),
+            ("a", "c"), ("a", "d"), ("b", "c"), ("b", "d"),
+            ("c", "y"), ("d", "y"),
+        ] {
+            b.edge(s, t).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert!(has_k4_subdivision(&g));
+    }
+
+    #[test]
+    fn explicit_k4_is_detected() {
+        let mut b = GraphBuilder::new();
+        // Orient K4 acyclically: 1->2,1->3,1->4,2->3,2->4,3->4.
+        for (s, t) in [("1", "2"), ("1", "3"), ("1", "4"), ("2", "3"), ("2", "4"), ("3", "4")] {
+            b.edge(s, t).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert!(has_k4_subdivision(&g));
+    }
+
+    #[test]
+    fn k4_subdivision_with_long_paths_is_detected() {
+        let mut b = GraphBuilder::new();
+        // Same as explicit K4 but every connection is a 2-hop path.
+        let mut i = 0;
+        for (s, t) in [("1", "2"), ("1", "3"), ("1", "4"), ("2", "3"), ("2", "4"), ("3", "4")] {
+            let mid = format!("m{i}");
+            i += 1;
+            b.edge(s, &mid).unwrap();
+            b.edge(&mid, t).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert!(has_k4_subdivision(&g));
+    }
+
+    #[test]
+    fn ladder_with_many_rungs_is_k4_free() {
+        // A long ladder: left path u0..u5, right path v0..v5, rungs ui->vi.
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            b.edge(&format!("u{i}"), &format!("u{}", i + 1)).unwrap();
+            b.edge(&format!("v{i}"), &format!("v{}", i + 1)).unwrap();
+        }
+        for i in 1..5 {
+            b.edge(&format!("u{i}"), &format!("v{i}")).unwrap();
+        }
+        b.edge("s", "u0").unwrap();
+        b.edge("s", "v0").unwrap();
+        b.edge("u5", "t").unwrap();
+        b.edge("v5", "t").unwrap();
+        let g = b.build().unwrap();
+        // Non-crossing rungs keep the graph an SP-ladder, which is CS4 and
+        // therefore K4-free (Lemma V.1 / Corollary V.5).
+        assert!(is_k4_free(&g));
+    }
+
+    #[test]
+    fn crossing_rungs_create_a_k4_subdivision() {
+        // Same ladder but with two *crossing* rungs u1->v3 and u3->v1 (the
+        // proof of Lemma V.6 shows crossing chord graphs yield K4).
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.edge(&format!("u{i}"), &format!("u{}", i + 1)).unwrap();
+            b.edge(&format!("v{i}"), &format!("v{}", i + 1)).unwrap();
+        }
+        b.edge("s", "u0").unwrap();
+        b.edge("s", "v0").unwrap();
+        b.edge("u4", "t").unwrap();
+        b.edge("v4", "t").unwrap();
+        b.edge("u1", "v3").unwrap();
+        b.edge("u3", "v1").unwrap();
+        let g = b.build().unwrap();
+        assert!(has_k4_subdivision(&g));
+    }
+
+    #[test]
+    fn empty_and_single_edge_graphs() {
+        let g = Graph::new();
+        assert!(is_k4_free(&g));
+        let mut b = GraphBuilder::new();
+        b.edge("a", "b").unwrap();
+        let g = b.build().unwrap();
+        assert!(is_k4_free(&g));
+    }
+}

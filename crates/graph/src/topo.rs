@@ -1,0 +1,202 @@
+//! Topological ordering, acyclicity checking, and reachability queries.
+
+use crate::error::{GraphError, Result};
+use crate::ids::{EdgeId, NodeId};
+use crate::multigraph::Graph;
+
+/// Computes a topological order of all nodes using Kahn's algorithm.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NotAcyclic`] if the graph has a directed cycle; the
+/// witness is a node that participates in one.
+pub fn topological_order(g: &Graph) -> Result<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut indegree: Vec<usize> = (0..n)
+        .map(|i| g.in_degree(NodeId::from_raw(i as u32)))
+        .collect();
+    let mut queue: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&v| indegree[v.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for &e in g.out_edges(v) {
+            let w = g.head(e);
+            indegree[w.index()] -= 1;
+            if indegree[w.index()] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    if order.len() != n {
+        let witness = g
+            .node_ids()
+            .find(|&v| indegree[v.index()] > 0)
+            .expect("a node with nonzero residual in-degree must exist");
+        return Err(GraphError::NotAcyclic { witness });
+    }
+    Ok(order)
+}
+
+/// Returns `true` if the graph has no directed cycle.
+pub fn is_acyclic(g: &Graph) -> bool {
+    topological_order(g).is_ok()
+}
+
+/// Position of each node in a given topological order (inverse permutation).
+pub fn topo_positions(g: &Graph, order: &[NodeId]) -> Vec<usize> {
+    let mut pos = vec![usize::MAX; g.node_count()];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    pos
+}
+
+/// Set of nodes reachable from `start` by directed paths (including `start`).
+pub fn reachable_from(g: &Graph, start: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    while let Some(v) = stack.pop() {
+        for &e in g.out_edges(v) {
+            let w = g.head(e);
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                stack.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// Set of nodes that can reach `target` by directed paths (including it).
+pub fn reaching(g: &Graph, target: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![target];
+    seen[target.index()] = true;
+    while let Some(v) = stack.pop() {
+        for &e in g.in_edges(v) {
+            let w = g.tail(e);
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                stack.push(w);
+            }
+        }
+    }
+    seen
+}
+
+/// `true` if there is a directed path from `from` to `to` (or they are equal).
+pub fn has_path(g: &Graph, from: NodeId, to: NodeId) -> bool {
+    reachable_from(g, from)[to.index()]
+}
+
+/// The edges that lie on at least one directed path from `from` to `to`.
+///
+/// An edge `(u, v)` qualifies iff `u` is reachable from `from` and `to` is
+/// reachable from `v`.
+pub fn edges_on_paths(g: &Graph, from: NodeId, to: NodeId) -> Vec<EdgeId> {
+    let fwd = reachable_from(g, from);
+    let bwd = reaching(g, to);
+    g.edge_ids()
+        .filter(|&e| {
+            let (u, v) = g.endpoints(e);
+            fwd[u.index()] && bwd[v.index()]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.edge("a", "b").unwrap();
+        b.edge("a", "c").unwrap();
+        b.edge("b", "d").unwrap();
+        b.edge("c", "d").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let order = topological_order(&g).unwrap();
+        let pos = topo_positions(&g, &order);
+        for (_, e) in g.edges() {
+            assert!(pos[e.src.index()] < pos[e.dst.index()]);
+        }
+        assert_eq!(order.len(), g.node_count());
+    }
+
+    #[test]
+    fn topo_positions_inverse() {
+        let g = diamond();
+        let order = topological_order(&g).unwrap();
+        let pos = topo_positions(&g, &order);
+        for (i, &v) in order.iter().enumerate() {
+            assert_eq!(pos[v.index()], i);
+        }
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut b = GraphBuilder::new();
+        b.edge("a", "b").unwrap();
+        b.edge("b", "c").unwrap();
+        b.edge("c", "a").unwrap();
+        let g = b.build_unchecked();
+        assert!(!is_acyclic(&g));
+        assert!(matches!(
+            topological_order(&g),
+            Err(GraphError::NotAcyclic { .. })
+        ));
+    }
+
+    #[test]
+    fn reachability_forward_and_backward() {
+        let g = diamond();
+        let a = g.node_by_name("a").unwrap();
+        let b = g.node_by_name("b").unwrap();
+        let c = g.node_by_name("c").unwrap();
+        let d = g.node_by_name("d").unwrap();
+        assert!(has_path(&g, a, d));
+        assert!(has_path(&g, a, a));
+        assert!(!has_path(&g, b, c));
+        assert!(!has_path(&g, d, a));
+        let r = reaching(&g, d);
+        assert!(g.node_ids().all(|v| r[v.index()]));
+        let r = reaching(&g, b);
+        assert!(r[a.index()] && r[b.index()] && !r[c.index()] && !r[d.index()]);
+    }
+
+    #[test]
+    fn edges_on_paths_excludes_side_branches() {
+        let mut b = GraphBuilder::new();
+        b.edge("a", "b").unwrap();
+        b.edge("b", "c").unwrap();
+        let side = b.edge("b", "x").unwrap();
+        b.edge("x", "c").unwrap();
+        b.edge("c", "d").unwrap();
+        let g = b.build().unwrap();
+        let a = g.node_by_name("a").unwrap();
+        let c = g.node_by_name("c").unwrap();
+        let on = edges_on_paths(&g, a, c);
+        // a->b, b->c, b->x, x->c all lie on some a..c path.
+        assert_eq!(on.len(), 4);
+        assert!(on.contains(&side));
+        // but c->d does not.
+        let cd = g.edge_by_names("c", "d").unwrap();
+        assert!(!on.contains(&cd));
+    }
+
+    #[test]
+    fn empty_graph_topo_is_empty() {
+        let g = Graph::new();
+        assert!(topological_order(&g).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! # fila-runtime
+//!
+//! A streaming runtime for the filtering dataflow model of Buhler et al.
+//! (PPoPP 2012): compute nodes connected by finite-buffer FIFO channels,
+//! where each input carries a monotonically increasing sequence number and a
+//! node may *filter* (send no output for) any input on any subset of its
+//! output channels.
+//!
+//! With finite buffers such applications can deadlock even though the graph
+//! is acyclic (Fig. 2 of the paper).  This crate implements the two
+//! deadlock-avoidance protocols the paper's compile-time analysis
+//! parameterises — the **Propagation** and **Non-Propagation** dummy-message
+//! algorithms — as wrappers around the user's node behaviours, plus two
+//! execution engines:
+//!
+//! * [`Simulator`] — a deterministic, single-threaded discrete-event
+//!   executor with *exact* deadlock detection (it knows precisely when no
+//!   node can make progress), used by the tests and benchmarks;
+//! * [`ThreadedExecutor`] — one OS thread per node over crossbeam bounded
+//!   channels, with a progress watchdog for deadlock detection; this is the
+//!   "real" concurrent runtime exercising the same wrapper logic.
+//!
+//! The deliberate pairing lets every experiment be run both exactly and
+//! under real concurrency.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod filters;
+pub mod message;
+pub mod node;
+pub mod report;
+pub mod simulator;
+pub mod threaded;
+pub mod topology;
+pub mod wrapper;
+
+pub use filters::{Bernoulli, Broadcast, Collector, ModuloFilter, RouteRoundRobin};
+pub use message::{Message, Payload};
+pub use node::{FireDecision, FireInput, NodeBehavior};
+pub use report::{BlockedInfo, BlockedReason, ExecutionReport};
+pub use simulator::Simulator;
+pub use threaded::ThreadedExecutor;
+pub use topology::{BehaviorFactory, Topology};
+pub use wrapper::{AvoidanceMode, DummyWrapper};

@@ -1,0 +1,89 @@
+//! Execution reports: what happened during a run.
+
+use fila_graph::{EdgeId, NodeId};
+
+/// Why a node was unable to make progress when the run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedReason {
+    /// The node is waiting for a message on an empty input channel.
+    WaitingForInput(EdgeId),
+    /// The node is waiting for space on a full output channel.
+    WaitingForSpace(EdgeId),
+}
+
+/// One blocked node in a deadlock report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedInfo {
+    /// The blocked node.
+    pub node: NodeId,
+    /// What it is blocked on.
+    pub reason: BlockedReason,
+}
+
+/// Summary of one execution (simulated or threaded).
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionReport {
+    /// True if every node reached end-of-stream.
+    pub completed: bool,
+    /// True if the run was declared deadlocked.
+    pub deadlocked: bool,
+    /// Number of input sequence numbers offered at each source.
+    pub inputs_offered: u64,
+    /// Total data messages delivered over all channels.
+    pub data_messages: u64,
+    /// Total dummy messages delivered over all channels.
+    pub dummy_messages: u64,
+    /// Data messages delivered per channel, indexed by edge id.
+    pub per_edge_data: Vec<u64>,
+    /// Dummy messages delivered per channel, indexed by edge id.
+    pub per_edge_dummies: Vec<u64>,
+    /// Number of data-bearing sequence numbers consumed by sink nodes.
+    pub sink_firings: u64,
+    /// Scheduler steps (simulator) or total firings (threaded engine).
+    pub steps: u64,
+    /// Nodes that were blocked when the run stopped (empty on completion).
+    pub blocked: Vec<BlockedInfo>,
+}
+
+impl ExecutionReport {
+    /// Fraction of delivered messages that were dummies (0.0 when nothing
+    /// was delivered).
+    pub fn dummy_overhead(&self) -> f64 {
+        let total = self.data_messages + self.dummy_messages;
+        if total == 0 {
+            0.0
+        } else {
+            self.dummy_messages as f64 / total as f64
+        }
+    }
+
+    /// True if the run neither completed nor deadlocked (e.g. it was stopped
+    /// by a step bound).
+    pub fn inconclusive(&self) -> bool {
+        !self.completed && !self.deadlocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_overhead_handles_empty_runs() {
+        let r = ExecutionReport::default();
+        assert_eq!(r.dummy_overhead(), 0.0);
+        assert!(r.inconclusive());
+    }
+
+    #[test]
+    fn dummy_overhead_ratio() {
+        let r = ExecutionReport {
+            data_messages: 75,
+            dummy_messages: 25,
+            completed: true,
+            ..Default::default()
+        };
+        assert!((r.dummy_overhead() - 0.25).abs() < 1e-9);
+        assert!(!r.inconclusive());
+    }
+}

@@ -1,0 +1,584 @@
+//! A deterministic, single-threaded executor with exact deadlock detection.
+//!
+//! The simulator advances one node at a time, repeatedly scanning for a node
+//! that can make progress (deliver a buffered output, or accept the next
+//! sequence number).  When no node can progress and not every node has
+//! reached end-of-stream, the run is *deadlocked* — exactly the condition
+//! the paper's avoidance machinery is designed to prevent — and the report
+//! records which node is blocked on which channel.
+//!
+//! Determinism makes the simulator the reference engine for the tests and
+//! benchmarks; the multi-threaded engine ([`crate::ThreadedExecutor`])
+//! exercises the same wrapper logic under real concurrency.
+
+use std::collections::VecDeque;
+
+use fila_avoidance::AvoidancePlan;
+use fila_graph::{EdgeId, NodeId};
+
+use crate::message::Message;
+use crate::node::{FireDecision, FireInput};
+use crate::report::{BlockedInfo, BlockedReason, ExecutionReport};
+use crate::topology::Topology;
+use crate::wrapper::{AvoidanceMode, DummyWrapper, PropagationTrigger};
+
+/// Deterministic single-threaded execution engine.
+#[derive(Debug, Clone)]
+pub struct Simulator<'t> {
+    topology: &'t Topology,
+    mode: AvoidanceMode,
+    trigger: PropagationTrigger,
+    max_steps: u64,
+}
+
+impl<'t> Simulator<'t> {
+    /// Creates a simulator with deadlock avoidance disabled.
+    pub fn new(topology: &'t Topology) -> Self {
+        Simulator {
+            topology,
+            mode: AvoidanceMode::Disabled,
+            trigger: PropagationTrigger::default(),
+            max_steps: u64::MAX,
+        }
+    }
+
+    /// Enables deadlock avoidance following `plan`.
+    pub fn with_plan(mut self, plan: &AvoidancePlan) -> Self {
+        self.mode = AvoidanceMode::Plan(plan.clone());
+        self
+    }
+
+    /// Sets the avoidance mode explicitly.
+    pub fn avoidance(mut self, mode: AvoidanceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects the Propagation-protocol trigger (see
+    /// [`PropagationTrigger`]); the default is the paper's literal trigger.
+    pub fn propagation_trigger(mut self, trigger: PropagationTrigger) -> Self {
+        self.trigger = trigger;
+        self
+    }
+
+    /// Bounds the number of scheduler steps (a safety valve for exploratory
+    /// runs; the default is effectively unbounded).
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Runs the application, offering `inputs` sequence numbers at every
+    /// source node, and returns the execution report.
+    pub fn run(&self, inputs: u64) -> ExecutionReport {
+        Run::new(self.topology, &self.mode, self.trigger, inputs).execute(self.max_steps)
+    }
+}
+
+struct NodeState {
+    behavior: Box<dyn crate::node::NodeBehavior>,
+    wrapper: DummyWrapper,
+    pending: VecDeque<(EdgeId, Message)>,
+    is_source: bool,
+    next_source_seq: u64,
+    eos_queued: bool,
+    done: bool,
+}
+
+struct Run<'t> {
+    topology: &'t Topology,
+    inputs: u64,
+    channels: Vec<VecDeque<Message>>,
+    capacities: Vec<usize>,
+    nodes: Vec<NodeState>,
+    report: ExecutionReport,
+}
+
+impl<'t> Run<'t> {
+    fn new(
+        topology: &'t Topology,
+        mode: &AvoidanceMode,
+        trigger: PropagationTrigger,
+        inputs: u64,
+    ) -> Self {
+        let g = topology.graph();
+        let channels = vec![VecDeque::new(); g.edge_count()];
+        let capacities = g
+            .edge_ids()
+            .map(|e| g.capacity(e) as usize)
+            .collect::<Vec<_>>();
+        let nodes = g
+            .node_ids()
+            .map(|n| NodeState {
+                behavior: topology.build_behavior(n),
+                wrapper: DummyWrapper::with_trigger(g, n, mode, trigger),
+                pending: VecDeque::new(),
+                is_source: g.in_degree(n) == 0,
+                next_source_seq: 0,
+                eos_queued: false,
+                done: false,
+            })
+            .collect();
+        let report = ExecutionReport {
+            inputs_offered: inputs,
+            per_edge_data: vec![0; g.edge_count()],
+            per_edge_dummies: vec![0; g.edge_count()],
+            ..Default::default()
+        };
+        Run {
+            topology,
+            inputs,
+            channels,
+            capacities,
+            nodes,
+            report,
+        }
+    }
+
+    fn execute(mut self, max_steps: u64) -> ExecutionReport {
+        let node_ids: Vec<NodeId> = self.topology.graph().node_ids().collect();
+        loop {
+            let mut progressed = false;
+            for &n in &node_ids {
+                if self.report.steps >= max_steps {
+                    return self.finish(false, false);
+                }
+                if self.step(n) {
+                    progressed = true;
+                    self.report.steps += 1;
+                }
+            }
+            if self.nodes.iter().all(|s| s.done) {
+                return self.finish(true, false);
+            }
+            if !progressed {
+                return self.finish(false, true);
+            }
+        }
+    }
+
+    fn finish(mut self, completed: bool, stalled: bool) -> ExecutionReport {
+        self.report.completed = completed;
+        if !completed && stalled {
+            let g = self.topology.graph();
+            let mut blocked = Vec::new();
+            for (idx, state) in self.nodes.iter().enumerate() {
+                if state.done {
+                    continue;
+                }
+                let node = NodeId::from_raw(idx as u32);
+                if let Some(&(edge, _)) = state.pending.front() {
+                    blocked.push(BlockedInfo {
+                        node,
+                        reason: BlockedReason::WaitingForSpace(edge),
+                    });
+                } else if let Some(&edge) = g
+                    .in_edges(node)
+                    .iter()
+                    .find(|&&e| self.channels[e.index()].is_empty())
+                {
+                    blocked.push(BlockedInfo {
+                        node,
+                        reason: BlockedReason::WaitingForInput(edge),
+                    });
+                }
+            }
+            // A stalled run is a deadlock; hitting the step bound instead
+            // leaves the report inconclusive.
+            self.report.deadlocked = true;
+            self.report.blocked = blocked;
+        }
+        self.report
+    }
+
+    /// Attempts to make progress on one node; returns whether it did.
+    fn step(&mut self, node: NodeId) -> bool {
+        // Phase 1: flush pending outputs (a node blocked on a full channel
+        // cannot do anything else, mirroring a blocking send).
+        if self.flush_pending(node) {
+            return true;
+        }
+        if !self.nodes[node.index()].pending.is_empty() {
+            return false;
+        }
+        if self.nodes[node.index()].done {
+            return false;
+        }
+        let g = self.topology.graph();
+        if self.nodes[node.index()].is_source {
+            return self.step_source(node);
+        }
+
+        // Interior / sink node: can it accept the next sequence number?
+        let in_edges = g.in_edges(node);
+        if in_edges
+            .iter()
+            .any(|&e| self.channels[e.index()].is_empty())
+        {
+            return false;
+        }
+        let accept_seq = in_edges
+            .iter()
+            .map(|&e| self.channels[e.index()].front().expect("non-empty").seq())
+            .min()
+            .expect("nodes reaching here have inputs");
+
+        if accept_seq == u64::MAX {
+            // End of stream on every input.
+            let out: Vec<EdgeId> = g.out_edges(node).to_vec();
+            for e in out {
+                self.nodes[node.index()].pending.push_back((e, Message::Eos));
+            }
+            let state = &mut self.nodes[node.index()];
+            state.eos_queued = true;
+            self.flush_pending(node);
+            self.mark_done_if_drained(node);
+            return true;
+        }
+
+        // Consume every head carrying this sequence number.
+        let mut data_in: Vec<Option<u64>> = vec![None; in_edges.len()];
+        let mut consumed_dummy = false;
+        for (idx, &e) in in_edges.iter().enumerate() {
+            let channel = &mut self.channels[e.index()];
+            let head_seq = channel.front().expect("non-empty").seq();
+            if head_seq == accept_seq {
+                match channel.pop_front().expect("non-empty") {
+                    Message::Data { payload, .. } => data_in[idx] = Some(payload),
+                    Message::Dummy { .. } => consumed_dummy = true,
+                    Message::Eos => unreachable!("EOS has maximal sequence number"),
+                }
+            }
+        }
+
+        let out_count = g.out_degree(node);
+        let decision = if data_in.iter().any(Option::is_some) {
+            let input = FireInput {
+                seq: accept_seq,
+                data_in: &data_in,
+            };
+            if out_count == 0 {
+                self.report.sink_firings += 1;
+            }
+            self.nodes[node.index()].behavior.fire(&input)
+        } else {
+            FireDecision::silence(out_count)
+        };
+        self.queue_outputs(node, accept_seq, &decision, consumed_dummy);
+        self.flush_pending(node);
+        self.mark_done_if_drained(node);
+        true
+    }
+
+    fn step_source(&mut self, node: NodeId) -> bool {
+        let g = self.topology.graph();
+        let state = &mut self.nodes[node.index()];
+        if state.next_source_seq < self.inputs {
+            let seq = state.next_source_seq;
+            state.next_source_seq += 1;
+            let decision = state.behavior.fire(&FireInput { seq, data_in: &[] });
+            self.queue_outputs(node, seq, &decision, false);
+            self.flush_pending(node);
+            return true;
+        }
+        if !state.eos_queued {
+            state.eos_queued = true;
+            let out: Vec<EdgeId> = g.out_edges(node).to_vec();
+            for e in out {
+                self.nodes[node.index()].pending.push_back((e, Message::Eos));
+            }
+            self.flush_pending(node);
+            self.mark_done_if_drained(node);
+            return true;
+        }
+        self.mark_done_if_drained(node);
+        false
+    }
+
+    /// Queues the data and dummy messages produced for one sequence number.
+    fn queue_outputs(
+        &mut self,
+        node: NodeId,
+        seq: u64,
+        decision: &FireDecision,
+        consumed_dummy: bool,
+    ) {
+        let g = self.topology.graph();
+        let out_edges: Vec<EdgeId> = g.out_edges(node).to_vec();
+        debug_assert_eq!(decision.emit.len(), out_edges.len());
+        let sent_data: Vec<bool> = decision.emit.iter().map(Option::is_some).collect();
+        let dummies = self.nodes[node.index()]
+            .wrapper
+            .on_accept(&sent_data, consumed_dummy);
+        let state = &mut self.nodes[node.index()];
+        for (idx, &e) in out_edges.iter().enumerate() {
+            if let Some(payload) = decision.emit[idx] {
+                state.pending.push_back((e, Message::Data { seq, payload }));
+            }
+            if dummies[idx] {
+                // Under the heartbeat trigger a dummy may accompany a data
+                // message with the same sequence number; consumers tolerate
+                // this (the dummy simply carries no new information).
+                state.pending.push_back((e, Message::Dummy { seq }));
+            }
+        }
+    }
+
+    /// Delivers as many pending outputs as channel capacities allow.
+    ///
+    /// Delivery is FIFO *per channel* but channels do not block one another:
+    /// a full channel must not delay a dummy message destined for a
+    /// different, empty channel (the deadlock-avoidance guarantee relies on
+    /// the dummy getting out), so each output channel behaves like an
+    /// independent blocking port.
+    fn flush_pending(&mut self, node: NodeId) -> bool {
+        let mut delivered = false;
+        let mut blocked_edges: Vec<EdgeId> = Vec::new();
+        let mut i = 0;
+        while i < self.nodes[node.index()].pending.len() {
+            let (edge, message) = self.nodes[node.index()].pending[i];
+            if blocked_edges.contains(&edge) {
+                i += 1;
+                continue;
+            }
+            let channel = &mut self.channels[edge.index()];
+            if channel.len() >= self.capacities[edge.index()] {
+                blocked_edges.push(edge);
+                i += 1;
+                continue;
+            }
+            channel.push_back(message);
+            self.nodes[node.index()].pending.remove(i);
+            delivered = true;
+            match message {
+                Message::Data { .. } => {
+                    self.report.data_messages += 1;
+                    self.report.per_edge_data[edge.index()] += 1;
+                }
+                Message::Dummy { .. } => {
+                    self.report.dummy_messages += 1;
+                    self.report.per_edge_dummies[edge.index()] += 1;
+                }
+                Message::Eos => {}
+            }
+        }
+        if delivered {
+            self.mark_done_if_drained(node);
+        }
+        delivered
+    }
+
+    fn mark_done_if_drained(&mut self, node: NodeId) {
+        let state = &mut self.nodes[node.index()];
+        if state.eos_queued && state.pending.is_empty() {
+            state.done = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::{Broadcast, ModuloFilter, Predicate};
+    use fila_avoidance::{Algorithm, Planner};
+    use fila_graph::{Graph, GraphBuilder};
+
+    fn fig2(buffer: u64) -> Graph {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("A", "B", buffer).unwrap();
+        b.edge_with_capacity("B", "C", buffer).unwrap();
+        b.edge_with_capacity("A", "C", buffer).unwrap();
+        b.build().unwrap()
+    }
+
+    fn pipeline() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.chain(&["src", "mid", "dst"]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pipeline_without_filtering_completes() {
+        let g = pipeline();
+        let topo = Topology::from_graph(&g);
+        let report = Simulator::new(&topo).run(100);
+        assert!(report.completed);
+        assert!(!report.deadlocked);
+        assert_eq!(report.data_messages, 200);
+        assert_eq!(report.dummy_messages, 0);
+        assert_eq!(report.sink_firings, 100);
+    }
+
+    #[test]
+    fn fig2_deadlocks_without_avoidance() {
+        // A filters everything it sends to C; with finite buffers the
+        // application deadlocks exactly as in Fig. 2.
+        let g = fig2(2);
+        let a = g.node_by_name("A").unwrap();
+        let topo = Topology::from_graph(&g)
+            // A sends data to B always, to C never (out_edges(A) = [A->B, A->C]).
+            .with(a, || Predicate::new(2, |_seq, out| out == 0));
+        let report = Simulator::new(&topo).run(1000);
+        assert!(report.deadlocked, "expected deadlock: {report:?}");
+        assert!(!report.completed);
+        assert!(!report.blocked.is_empty());
+    }
+
+    #[test]
+    fn fig2_completes_with_propagation_plan() {
+        let g = fig2(2);
+        let a = g.node_by_name("A").unwrap();
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        let topo = Topology::from_graph(&g)
+            .with(a, || Predicate::new(2, |_seq, out| out == 0));
+        let report = Simulator::new(&topo).with_plan(&plan).run(1000);
+        assert!(report.completed, "avoidance must prevent deadlock: {report:?}");
+        assert!(!report.deadlocked);
+        assert!(report.dummy_messages > 0, "dummies must actually flow");
+    }
+
+    #[test]
+    fn fig2_completes_with_nonpropagation_plan() {
+        let g = fig2(2);
+        let a = g.node_by_name("A").unwrap();
+        let plan = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap();
+        let topo = Topology::from_graph(&g)
+            .with(a, || Predicate::new(2, |_seq, out| out == 0));
+        let report = Simulator::new(&topo).with_plan(&plan).run(1000);
+        assert!(report.completed, "{report:?}");
+        assert!(report.dummy_messages > 0);
+    }
+
+    #[test]
+    fn periodic_filtering_with_plan_is_safe_at_tiny_buffers() {
+        let g = fig2(1);
+        let a = g.node_by_name("A").unwrap();
+        for algorithm in [Algorithm::Propagation, Algorithm::NonPropagation] {
+            let plan = Planner::new(&g).algorithm(algorithm).plan().unwrap();
+            let topo = Topology::from_graph(&g)
+                .with(a, || Predicate::new(2, |seq, out| out == 0 || seq % 7 == 0));
+            let report = Simulator::new(&topo).with_plan(&plan).run(500);
+            assert!(report.completed, "{algorithm}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn split_join_with_heavy_filtering_completes_with_plan() {
+        // Fig. 1 style split/join where one recogniser keeps only a sliver
+        // of the traffic: the classic filtering deadlock.
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("split", "left", 4).unwrap();
+        b.edge_with_capacity("split", "right", 4).unwrap();
+        b.edge_with_capacity("left", "join", 4).unwrap();
+        b.edge_with_capacity("right", "join", 4).unwrap();
+        let g = b.build().unwrap();
+        let split = g.node_by_name("split").unwrap();
+        let left = g.node_by_name("left").unwrap();
+        let right = g.node_by_name("right").unwrap();
+        let topo = Topology::from_graph(&g)
+            .with(split, || Broadcast::new(2))
+            .with(left, || ModuloFilter::new(1, 5, 0))
+            .with(right, || ModuloFilter::new(1, 50, 3));
+        // Without a plan the application deadlocks.
+        let without = Simulator::new(&topo).run(2000);
+        assert!(without.deadlocked, "{without:?}");
+        // The filtering happens at the recognisers (interior nodes of the
+        // cycle), which the Non-Propagation protocol handles.
+        let plan = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap();
+        let with_plan = Simulator::new(&topo).with_plan(&plan).run(2000);
+        assert!(with_plan.completed, "{with_plan:?}");
+    }
+
+    #[test]
+    fn interior_filtering_defeats_the_literal_propagation_trigger() {
+        // Reproduction finding (see the wrapper module docs): when the
+        // filtering happens at an interior node of the empty path, the
+        // literal "only after filtering" trigger never creates a dummy and
+        // the deadlock persists; the heartbeat trigger prevents it.
+        use crate::wrapper::PropagationTrigger;
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("split", "left", 4).unwrap();
+        b.edge_with_capacity("split", "right", 4).unwrap();
+        b.edge_with_capacity("left", "join", 4).unwrap();
+        b.edge_with_capacity("right", "join", 4).unwrap();
+        let g = b.build().unwrap();
+        let split = g.node_by_name("split").unwrap();
+        let right = g.node_by_name("right").unwrap();
+        let topo = Topology::from_graph(&g)
+            .with(split, || Broadcast::new(2))
+            .with(right, || ModuloFilter::new(1, 64, 1));
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        let literal = Simulator::new(&topo)
+            .with_plan(&plan)
+            .propagation_trigger(PropagationTrigger::OnFilterOnly)
+            .run(2000);
+        assert!(literal.deadlocked, "{literal:?}");
+        // The Non-Propagation protocol handles interior filtering by
+        // construction.
+        let np_plan = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap();
+        let np = Simulator::new(&topo).with_plan(&np_plan).run(2000);
+        assert!(np.completed, "{np:?}");
+    }
+
+    #[test]
+    fn dummy_traffic_is_bounded_by_data_traffic_shape() {
+        // Propagation should send noticeably fewer dummies than the number
+        // of filtered inputs when buffers are large.
+        let g = fig2(16);
+        let a = g.node_by_name("A").unwrap();
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        let topo = Topology::from_graph(&g)
+            .with(a, || Predicate::new(2, |_seq, out| out == 0));
+        let report = Simulator::new(&topo).with_plan(&plan).run(1000);
+        assert!(report.completed);
+        // Interval on A->C is 32 (two hops of 16), so at most ~1000/32 + 1
+        // dummies on that channel.
+        let ac = g.edge_by_names("A", "C").unwrap();
+        assert!(report.per_edge_dummies[ac.index()] <= 1000 / 32 + 2);
+    }
+
+    #[test]
+    fn max_steps_yields_inconclusive_report() {
+        let g = pipeline();
+        let topo = Topology::from_graph(&g);
+        let report = Simulator::new(&topo).max_steps(5).run(1_000_000);
+        assert!(report.inconclusive());
+    }
+
+    #[test]
+    fn zero_inputs_complete_immediately() {
+        let g = fig2(2);
+        let topo = Topology::from_graph(&g);
+        let report = Simulator::new(&topo).run(0);
+        assert!(report.completed);
+        assert_eq!(report.data_messages, 0);
+    }
+
+    #[test]
+    fn per_edge_counters_sum_to_totals() {
+        let g = fig2(4);
+        let a = g.node_by_name("A").unwrap();
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        let topo = Topology::from_graph(&g)
+            .with(a, || Predicate::new(2, |seq, out| out == 0 || seq % 3 == 0));
+        let report = Simulator::new(&topo).with_plan(&plan).run(300);
+        assert!(report.completed);
+        assert_eq!(
+            report.per_edge_data.iter().sum::<u64>(),
+            report.data_messages
+        );
+        assert_eq!(
+            report.per_edge_dummies.iter().sum::<u64>(),
+            report.dummy_messages
+        );
+    }
+}

@@ -1,0 +1,472 @@
+//! A multi-threaded execution engine: one OS thread per compute node,
+//! communicating over crossbeam bounded channels.
+//!
+//! The channel capacities are exactly the buffer sizes of the application
+//! graph (each receiver holds one message in a local "peek" slot so that the
+//! sequence-number acceptance rule of §II.A can be applied across several
+//! input channels; the crossbeam channel is therefore created one slot
+//! smaller).  Deadlock cannot be detected exactly in a running concurrent
+//! system, so the engine uses the conventional approach: a watchdog that
+//! declares deadlock when no message has been produced or consumed for a
+//! configurable quiet period, after which all workers abort cleanly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+use fila_avoidance::AvoidancePlan;
+use fila_graph::{EdgeId, NodeId};
+
+use crate::message::Message;
+use crate::node::{FireDecision, FireInput};
+use crate::report::ExecutionReport;
+use crate::topology::Topology;
+use crate::wrapper::{AvoidanceMode, DummyWrapper, PropagationTrigger};
+
+/// Multi-threaded execution engine.
+#[derive(Debug, Clone)]
+pub struct ThreadedExecutor<'t> {
+    topology: &'t Topology,
+    mode: AvoidanceMode,
+    trigger: PropagationTrigger,
+    quiet_period: Duration,
+}
+
+impl<'t> ThreadedExecutor<'t> {
+    /// Creates an executor with deadlock avoidance disabled and a 500 ms
+    /// watchdog quiet period.
+    pub fn new(topology: &'t Topology) -> Self {
+        ThreadedExecutor {
+            topology,
+            mode: AvoidanceMode::Disabled,
+            trigger: PropagationTrigger::default(),
+            quiet_period: Duration::from_millis(500),
+        }
+    }
+
+    /// Enables deadlock avoidance following `plan`.
+    pub fn with_plan(mut self, plan: &AvoidancePlan) -> Self {
+        self.mode = AvoidanceMode::Plan(plan.clone());
+        self
+    }
+
+    /// Sets the avoidance mode explicitly.
+    pub fn avoidance(mut self, mode: AvoidanceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects the Propagation-protocol trigger (see
+    /// [`PropagationTrigger`]); the default is the paper's literal trigger.
+    pub fn propagation_trigger(mut self, trigger: PropagationTrigger) -> Self {
+        self.trigger = trigger;
+        self
+    }
+
+    /// Sets how long the system must be completely quiet (no sends, no
+    /// receives) before the watchdog declares a deadlock.
+    pub fn quiet_period(mut self, quiet: Duration) -> Self {
+        self.quiet_period = quiet;
+        self
+    }
+
+    /// Runs the application, offering `inputs` sequence numbers at every
+    /// source, and returns the execution report.
+    pub fn run(&self, inputs: u64) -> ExecutionReport {
+        let g = self.topology.graph();
+        let edge_count = g.edge_count();
+
+        // Channel per edge; capacity reduced by the receiver-side peek slot.
+        let mut senders: Vec<Option<Sender<Message>>> = Vec::with_capacity(edge_count);
+        let mut receivers: Vec<Option<Receiver<Message>>> = Vec::with_capacity(edge_count);
+        for e in g.edge_ids() {
+            let cap = (g.capacity(e) as usize).saturating_sub(1);
+            let (tx, rx) = bounded(cap);
+            senders.push(Some(tx));
+            receivers.push(Some(rx));
+        }
+
+        let shared = Arc::new(Shared {
+            abort: AtomicBool::new(false),
+            progress: AtomicU64::new(0),
+            finished_nodes: AtomicU64::new(0),
+            data_messages: AtomicU64::new(0),
+            dummy_messages: AtomicU64::new(0),
+            sink_firings: AtomicU64::new(0),
+            firings: AtomicU64::new(0),
+            per_edge_data: (0..edge_count).map(|_| AtomicU64::new(0)).collect(),
+            per_edge_dummies: (0..edge_count).map(|_| AtomicU64::new(0)).collect(),
+        });
+
+        let node_count = g.node_count() as u64;
+        std::thread::scope(|scope| {
+            for n in g.node_ids() {
+                let worker = Worker {
+                    topology: self.topology,
+                    node: n,
+                    inputs,
+                    senders: g
+                        .out_edges(n)
+                        .iter()
+                        .map(|&e| (e, senders[e.index()].clone().expect("sender present")))
+                        .collect(),
+                    receivers: g
+                        .in_edges(n)
+                        .iter()
+                        .map(|&e| (e, receivers[e.index()].take().expect("one consumer per edge")))
+                        .collect(),
+                    wrapper: DummyWrapper::with_trigger(g, n, &self.mode, self.trigger),
+                    shared: Arc::clone(&shared),
+                };
+                scope.spawn(move || worker.run());
+            }
+            // Drop the original sender handles so channels close when the
+            // producing workers finish.
+            drop(senders);
+
+            // Watchdog: declare deadlock after a quiet period with no
+            // progress while workers remain.
+            let mut last_progress = shared.progress.load(Ordering::Relaxed);
+            let mut last_change = Instant::now();
+            loop {
+                std::thread::sleep(Duration::from_millis(5));
+                if shared.finished_nodes.load(Ordering::Relaxed) >= node_count {
+                    break;
+                }
+                let now_progress = shared.progress.load(Ordering::Relaxed);
+                if now_progress != last_progress {
+                    last_progress = now_progress;
+                    last_change = Instant::now();
+                } else if last_change.elapsed() >= self.quiet_period {
+                    shared.abort.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+        });
+
+        let deadlocked = shared.abort.load(Ordering::SeqCst);
+        ExecutionReport {
+            completed: !deadlocked,
+            deadlocked,
+            inputs_offered: inputs,
+            data_messages: shared.data_messages.load(Ordering::Relaxed),
+            dummy_messages: shared.dummy_messages.load(Ordering::Relaxed),
+            per_edge_data: shared
+                .per_edge_data
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            per_edge_dummies: shared
+                .per_edge_dummies
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sink_firings: shared.sink_firings.load(Ordering::Relaxed),
+            steps: shared.firings.load(Ordering::Relaxed),
+            blocked: Vec::new(),
+        }
+    }
+}
+
+struct Shared {
+    abort: AtomicBool,
+    progress: AtomicU64,
+    finished_nodes: AtomicU64,
+    data_messages: AtomicU64,
+    dummy_messages: AtomicU64,
+    sink_firings: AtomicU64,
+    firings: AtomicU64,
+    per_edge_data: Vec<AtomicU64>,
+    per_edge_dummies: Vec<AtomicU64>,
+}
+
+struct Worker<'t> {
+    topology: &'t Topology,
+    node: NodeId,
+    inputs: u64,
+    senders: Vec<(EdgeId, Sender<Message>)>,
+    receivers: Vec<(EdgeId, Receiver<Message>)>,
+    wrapper: DummyWrapper,
+    shared: Arc<Shared>,
+}
+
+impl Worker<'_> {
+    fn run(mut self) {
+        let mut behavior = self.topology.build_behavior(self.node);
+        if self.receivers.is_empty() {
+            self.run_source(behavior.as_mut());
+        } else {
+            self.run_interior(behavior.as_mut());
+        }
+        self.shared.finished_nodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn run_source(&mut self, behavior: &mut dyn crate::node::NodeBehavior) {
+        for seq in 0..self.inputs {
+            if self.aborted() {
+                return;
+            }
+            let decision = behavior.fire(&FireInput { seq, data_in: &[] });
+            self.shared.firings.fetch_add(1, Ordering::Relaxed);
+            if !self.emit(seq, &decision, false) {
+                return;
+            }
+        }
+        self.broadcast_eos();
+    }
+
+    fn run_interior(&mut self, behavior: &mut dyn crate::node::NodeBehavior) {
+        let n_in = self.receivers.len();
+        let mut heads: Vec<Option<Message>> = vec![None; n_in];
+        loop {
+            // Fill every empty peek slot (this is where a node blocks when
+            // an upstream producer has filtered everything on that channel).
+            for (idx, (_, rx)) in self.receivers.iter().enumerate() {
+                if heads[idx].is_some() {
+                    continue;
+                }
+                match self.recv(rx) {
+                    Some(m) => heads[idx] = Some(m),
+                    None => return,
+                }
+            }
+            let accept_seq = heads
+                .iter()
+                .map(|m| m.expect("all heads filled").seq())
+                .min()
+                .expect("interior nodes have inputs");
+            if accept_seq == u64::MAX {
+                self.broadcast_eos();
+                return;
+            }
+            let mut data_in: Vec<Option<u64>> = vec![None; n_in];
+            let mut consumed_dummy = false;
+            for (idx, head) in heads.iter_mut().enumerate() {
+                let m = head.expect("filled");
+                if m.seq() == accept_seq {
+                    match m {
+                        Message::Data { payload, .. } => data_in[idx] = Some(payload),
+                        Message::Dummy { .. } => consumed_dummy = true,
+                        Message::Eos => unreachable!("EOS has maximal sequence"),
+                    }
+                    *head = None;
+                    self.shared.progress.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let out_count = self.senders.len();
+            let decision = if data_in.iter().any(Option::is_some) {
+                if out_count == 0 {
+                    self.shared.sink_firings.fetch_add(1, Ordering::Relaxed);
+                }
+                self.shared.firings.fetch_add(1, Ordering::Relaxed);
+                behavior.fire(&FireInput {
+                    seq: accept_seq,
+                    data_in: &data_in,
+                })
+            } else {
+                FireDecision::silence(out_count)
+            };
+            if !self.emit(accept_seq, &decision, consumed_dummy) {
+                return;
+            }
+        }
+    }
+
+    /// Sends the data and dummy messages for one accepted sequence number.
+    /// Returns false if the run was aborted mid-send.
+    fn emit(&mut self, seq: u64, decision: &FireDecision, consumed_dummy: bool) -> bool {
+        let sent_data: Vec<bool> = decision.emit.iter().map(Option::is_some).collect();
+        let dummies = self.wrapper.on_accept(&sent_data, consumed_dummy);
+        let mut outgoing: Vec<(EdgeId, Sender<Message>, Vec<Message>)> = Vec::new();
+        for (idx, (edge, tx)) in self.senders.iter().enumerate() {
+            let mut messages: Vec<Message> = Vec::with_capacity(2);
+            if let Some(payload) = decision.emit[idx] {
+                messages.push(Message::Data { seq, payload });
+            }
+            if dummies[idx] {
+                // Under the heartbeat trigger a dummy may accompany a data
+                // message carrying the same sequence number.
+                messages.push(Message::Dummy { seq });
+            }
+            if !messages.is_empty() {
+                outgoing.push((*edge, tx.clone(), messages));
+            }
+        }
+        // Drain all output ports concurrently: a full channel must not delay
+        // the messages destined for a different channel (per-channel order
+        // is still preserved), otherwise a dummy aimed at an empty channel
+        // could be stuck behind a blocked data send and defeat the
+        // deadlock-avoidance protocol.
+        while outgoing.iter().any(|(_, _, msgs)| !msgs.is_empty()) {
+            if self.aborted() {
+                return false;
+            }
+            let mut made_progress = false;
+            for (edge, tx, msgs) in outgoing.iter_mut() {
+                let Some(&message) = msgs.first() else { continue };
+                match tx.try_send(message) {
+                    Ok(()) => {
+                        msgs.remove(0);
+                        made_progress = true;
+                        self.shared.progress.fetch_add(1, Ordering::Relaxed);
+                        match message {
+                            Message::Data { .. } => {
+                                self.shared.data_messages.fetch_add(1, Ordering::Relaxed);
+                                self.shared.per_edge_data[edge.index()]
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            Message::Dummy { .. } => {
+                                self.shared.dummy_messages.fetch_add(1, Ordering::Relaxed);
+                                self.shared.per_edge_dummies[edge.index()]
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            Message::Eos => {}
+                        }
+                    }
+                    Err(crossbeam::channel::TrySendError::Full(_)) => {}
+                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                        msgs.clear();
+                    }
+                }
+            }
+            if !made_progress {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        true
+    }
+
+    fn broadcast_eos(&self) {
+        for (_, tx) in &self.senders {
+            let _ = send_blocking(tx, Message::Eos, &self.shared);
+        }
+    }
+
+    fn recv(&self, rx: &Receiver<Message>) -> Option<Message> {
+        loop {
+            if self.aborted() {
+                return None;
+            }
+            match rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(m) => {
+                    self.shared.progress.fetch_add(1, Ordering::Relaxed);
+                    return Some(m);
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                // A disconnected channel means the producer aborted early;
+                // treat it as end of stream.
+                Err(RecvTimeoutError::Disconnected) => return Some(Message::Eos),
+            }
+        }
+    }
+
+    fn aborted(&self) -> bool {
+        self.shared.abort.load(Ordering::SeqCst)
+    }
+}
+
+/// Sends with periodic abort checks; returns false if the run aborted.
+fn send_blocking(tx: &Sender<Message>, message: Message, shared: &Shared) -> bool {
+    let mut msg = message;
+    loop {
+        if shared.abort.load(Ordering::SeqCst) {
+            return false;
+        }
+        match tx.send_timeout(msg, Duration::from_millis(10)) {
+            Ok(()) => {
+                shared.progress.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            Err(SendTimeoutError::Timeout(m)) => msg = m,
+            Err(SendTimeoutError::Disconnected(_)) => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::{ModuloFilter, Predicate};
+    use fila_avoidance::{Algorithm, Planner};
+    use fila_graph::{Graph, GraphBuilder};
+
+    fn fig2(buffer: u64) -> Graph {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("A", "B", buffer).unwrap();
+        b.edge_with_capacity("B", "C", buffer).unwrap();
+        b.edge_with_capacity("A", "C", buffer).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pipeline_completes_threaded() {
+        let mut b = GraphBuilder::new();
+        b.chain(&["src", "mid", "dst"]).unwrap();
+        let g = b.build().unwrap();
+        let topo = Topology::from_graph(&g);
+        let report = ThreadedExecutor::new(&topo).run(200);
+        assert!(report.completed, "{report:?}");
+        assert_eq!(report.data_messages, 400);
+        assert_eq!(report.sink_firings, 200);
+    }
+
+    #[test]
+    fn fig2_deadlocks_threaded_without_avoidance() {
+        let g = fig2(2);
+        let a = g.node_by_name("A").unwrap();
+        let topo = Topology::from_graph(&g)
+            .with(a, || Predicate::new(2, |_seq, out| out == 0));
+        let report = ThreadedExecutor::new(&topo)
+            .quiet_period(Duration::from_millis(200))
+            .run(500);
+        assert!(report.deadlocked, "{report:?}");
+    }
+
+    #[test]
+    fn fig2_completes_threaded_with_plan() {
+        let g = fig2(2);
+        let a = g.node_by_name("A").unwrap();
+        for algorithm in [Algorithm::Propagation, Algorithm::NonPropagation] {
+            let plan = Planner::new(&g).algorithm(algorithm).plan().unwrap();
+            let topo = Topology::from_graph(&g)
+                .with(a, || Predicate::new(2, |_seq, out| out == 0));
+            let report = ThreadedExecutor::new(&topo)
+                .with_plan(&plan)
+                .quiet_period(Duration::from_millis(500))
+                .run(500);
+            assert!(report.completed, "{algorithm}: {report:?}");
+            assert!(report.dummy_messages > 0);
+        }
+    }
+
+    #[test]
+    fn threaded_and_simulated_agree_on_data_counts() {
+        // Deterministic filtering: both engines must deliver exactly the
+        // same number of data messages (dummy counts may differ slightly
+        // because thread interleaving changes when gaps are observed).
+        let g = fig2(4);
+        let a = g.node_by_name("A").unwrap();
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        let topo = Topology::from_graph(&g)
+            .with(a, || Predicate::new(2, |seq, out| out == 0 || seq % 4 == 0));
+        let sim = crate::Simulator::new(&topo).with_plan(&plan).run(400);
+        let thr = ThreadedExecutor::new(&topo).with_plan(&plan).run(400);
+        assert!(sim.completed && thr.completed);
+        assert_eq!(sim.data_messages, thr.data_messages);
+        assert_eq!(sim.sink_firings, thr.sink_firings);
+    }
+
+    #[test]
+    fn rendezvous_capacity_one_channels_work() {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("s", "m", 1).unwrap();
+        b.edge_with_capacity("m", "t", 1).unwrap();
+        let g = b.build().unwrap();
+        let m = g.node_by_name("m").unwrap();
+        let topo = Topology::from_graph(&g).with(m, || ModuloFilter::new(1, 2, 0));
+        let report = ThreadedExecutor::new(&topo).run(100);
+        assert!(report.completed, "{report:?}");
+        assert_eq!(report.sink_firings, 50);
+    }
+}

@@ -1,0 +1,336 @@
+//! The dummy-message deadlock-avoidance wrappers (the runtime side of the
+//! authors' SPAA'10 protocols).
+//!
+//! Both protocols are implemented by the language runtime around the user's
+//! node behaviour, with no participation from application code:
+//!
+//! * **Propagation**: only channels with a finite dummy interval originate
+//!   dummies (those are exactly the outgoing channels of nodes with two
+//!   outgoing edges on some undirected cycle); additionally, a node that
+//!   consumed a dummy must forward dummies on every output channel it is not
+//!   sending data on.
+//! * **Non-Propagation**: every channel with a finite interval originates a
+//!   dummy when its producer has gone `[e]` consecutive sequence numbers
+//!   without sending anything on it; received dummies are consumed silently
+//!   and never forwarded.
+//!
+//! ### Reproduction note: the Propagation trigger
+//!
+//! The paper summarises the Propagation trigger in one sentence: "a dummy is
+//! sent on a channel whenever its source has gone too long without sending a
+//! data message on the channel" (the protocol itself is defined in the
+//! authors' SPAA'10 paper, which this reproduction does not have access to).
+//! Two readings are implemented:
+//!
+//! * [`PropagationTrigger::OnFilterOnly`] (default; the literal wording):
+//!   data traffic resets the gap counter, so dummies appear only after the
+//!   fork has filtered `[e]` consecutive inputs on `e`.  This provably
+//!   prevents the deadlocks caused by filtering *at fork nodes* — the
+//!   scenario of Figs. 1–3 — but a cycle can still deadlock when an interior
+//!   node of the would-be empty path does the filtering, because no dummy is
+//!   ever created for the propagation rule to propagate (experiment E12b
+//!   demonstrates this; the Non-Propagation protocol handles it).
+//! * [`PropagationTrigger::Heartbeat`]: the fork emits a dummy on `e`
+//!   whenever `[e]` sequence numbers elapse since the last dummy on `e`,
+//!   regardless of data traffic.  This covers interior filtering, but the
+//!   extra dummies occupy buffer slots that the interval computation assumed
+//!   were available for data, so with very tight buffers it can itself
+//!   deadlock; treat it as an experimental variant.
+//!
+//! The intervals come from an [`AvoidancePlan`] computed by
+//! `fila-avoidance`; [`AvoidanceMode::Disabled`] turns the wrapper off,
+//! which is how the deadlock of Fig. 2 is reproduced experimentally.
+
+use fila_avoidance::{Algorithm, AvoidancePlan, DummyInterval};
+use fila_graph::{Graph, NodeId};
+
+/// How the runtime should avoid deadlock.
+#[derive(Debug, Clone, Default)]
+pub enum AvoidanceMode {
+    /// No dummy messages are ever sent; filtering applications may deadlock.
+    #[default]
+    Disabled,
+    /// Follow the given plan (protocol + per-channel intervals).
+    Plan(AvoidancePlan),
+}
+
+impl AvoidanceMode {
+    /// The protocol in effect, if any.
+    pub fn algorithm(&self) -> Option<Algorithm> {
+        match self {
+            AvoidanceMode::Disabled => None,
+            AvoidanceMode::Plan(p) => Some(p.algorithm()),
+        }
+    }
+}
+
+/// When a Propagation-protocol fork emits interval-triggered dummies.
+/// See the module documentation for the trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PropagationTrigger {
+    /// Emit a dummy on `e` only after `[e]` sequence numbers without a data
+    /// message on `e` (the paper's literal wording; the default).
+    #[default]
+    OnFilterOnly,
+    /// Emit a dummy on `e` every `[e]` sequence numbers regardless of data
+    /// traffic (only a dummy resets the counter).  Covers interior-node
+    /// filtering but consumes buffer slack; see the module documentation.
+    Heartbeat,
+}
+
+/// Per-node dummy-message state: one gap counter per output channel.
+#[derive(Debug, Clone)]
+pub struct DummyWrapper {
+    algorithm: Option<Algorithm>,
+    trigger: PropagationTrigger,
+    /// Interval per output channel (aligned with `graph.out_edges(node)`).
+    intervals: Vec<DummyInterval>,
+    /// Sequence numbers since the counter was last reset, per output channel.
+    gap: Vec<u64>,
+}
+
+impl DummyWrapper {
+    /// Builds the wrapper state for one node under the given mode, using the
+    /// default Propagation trigger.
+    pub fn new(graph: &Graph, node: NodeId, mode: &AvoidanceMode) -> Self {
+        Self::with_trigger(graph, node, mode, PropagationTrigger::default())
+    }
+
+    /// Builds the wrapper state with an explicit Propagation trigger.
+    pub fn with_trigger(
+        graph: &Graph,
+        node: NodeId,
+        mode: &AvoidanceMode,
+        trigger: PropagationTrigger,
+    ) -> Self {
+        let out = graph.out_edges(node);
+        let (algorithm, intervals) = match mode {
+            AvoidanceMode::Disabled => (None, vec![DummyInterval::Infinite; out.len()]),
+            AvoidanceMode::Plan(plan) => (
+                Some(plan.algorithm()),
+                out.iter().map(|&e| plan.interval(e)).collect(),
+            ),
+        };
+        DummyWrapper {
+            algorithm,
+            trigger,
+            intervals,
+            gap: vec![0; out.len()],
+        }
+    }
+
+    /// Number of output channels tracked.
+    pub fn outputs(&self) -> usize {
+        self.gap.len()
+    }
+
+    /// Processes one accepted sequence number.
+    ///
+    /// * `sent_data[i]` — whether the node emits a data message on output
+    ///   `i` for this sequence number;
+    /// * `consumed_dummy` — whether any of the messages consumed at this
+    ///   sequence number was a dummy.
+    ///
+    /// Returns, per output channel, whether a dummy message (with this
+    /// sequence number) must also be sent.
+    pub fn on_accept(&mut self, sent_data: &[bool], consumed_dummy: bool) -> Vec<bool> {
+        debug_assert_eq!(sent_data.len(), self.gap.len());
+        let mut dummies = vec![false; self.gap.len()];
+        let Some(algorithm) = self.algorithm else {
+            return dummies;
+        };
+        for i in 0..self.gap.len() {
+            match algorithm {
+                Algorithm::Propagation => {
+                    // Forward received dummies on every channel not carrying
+                    // data for this sequence number.
+                    if consumed_dummy && !sent_data[i] {
+                        dummies[i] = true;
+                        self.gap[i] = 0;
+                        continue;
+                    }
+                    if sent_data[i] && self.trigger == PropagationTrigger::OnFilterOnly {
+                        self.gap[i] = 0;
+                        continue;
+                    }
+                    self.gap[i] += 1;
+                    if let DummyInterval::Finite(k) = self.intervals[i] {
+                        if self.gap[i] >= k {
+                            dummies[i] = true;
+                            self.gap[i] = 0;
+                        }
+                    }
+                }
+                Algorithm::NonPropagation => {
+                    if sent_data[i] {
+                        self.gap[i] = 0;
+                        continue;
+                    }
+                    self.gap[i] += 1;
+                    if let DummyInterval::Finite(k) = self.intervals[i] {
+                        if self.gap[i] >= k {
+                            dummies[i] = true;
+                            self.gap[i] = 0;
+                        }
+                    }
+                }
+            }
+        }
+        dummies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fila_avoidance::interval::IntervalMap;
+    use fila_avoidance::{Planner, Rounding};
+    use fila_graph::GraphBuilder;
+
+    fn fig2() -> Graph {
+        // A -> B -> C plus A -> C, the deadlock example.
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("A", "B", 2).unwrap();
+        b.edge_with_capacity("B", "C", 2).unwrap();
+        b.edge_with_capacity("A", "C", 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn disabled_mode_never_sends_dummies() {
+        let g = fig2();
+        let a = g.node_by_name("A").unwrap();
+        let mut w = DummyWrapper::new(&g, a, &AvoidanceMode::Disabled);
+        for _ in 0..100 {
+            assert!(w.on_accept(&[false, false], false).iter().all(|&d| !d));
+        }
+    }
+
+    #[test]
+    fn interval_counter_triggers_dummies_on_filtered_channel() {
+        let g = fig2();
+        let a = g.node_by_name("A").unwrap();
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        let mut w = DummyWrapper::with_trigger(
+            &g,
+            a,
+            &AvoidanceMode::Plan(plan.clone()),
+            PropagationTrigger::OnFilterOnly,
+        );
+        let ac_interval = plan
+            .interval(g.edge_by_names("A", "C").unwrap())
+            .finite()
+            .unwrap();
+        // Keep sending data on A->B but filtering A->C; after `ac_interval`
+        // accepted inputs a dummy is due on A->C (out index 1) and under the
+        // literal trigger nothing ever fires on A->B.
+        let mut fired_at = None;
+        for step in 1..=ac_interval + 1 {
+            let dummies = w.on_accept(&[true, false], false);
+            assert!(!dummies[0], "data-carrying channel stays silent");
+            if dummies[1] {
+                fired_at = Some(step);
+                break;
+            }
+        }
+        assert_eq!(fired_at, Some(ac_interval));
+        // The counter resets after the dummy.
+        let dummies = w.on_accept(&[true, false], false);
+        assert!(!dummies[1]);
+    }
+
+    #[test]
+    fn heartbeat_trigger_fires_even_on_data_carrying_channels() {
+        let g = fig2();
+        let a = g.node_by_name("A").unwrap();
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        let ab_interval = plan
+            .interval(g.edge_by_names("A", "B").unwrap())
+            .finite()
+            .unwrap();
+        let mut w = DummyWrapper::with_trigger(
+            &g,
+            a,
+            &AvoidanceMode::Plan(plan),
+            PropagationTrigger::Heartbeat,
+        );
+        let mut fired_at = None;
+        for step in 1..=ab_interval + 1 {
+            let dummies = w.on_accept(&[true, true], false);
+            if dummies[0] {
+                fired_at = Some(step);
+                break;
+            }
+        }
+        assert_eq!(fired_at, Some(ab_interval));
+    }
+
+    #[test]
+    fn propagation_forwards_consumed_dummies() {
+        let g = fig2();
+        let b = g.node_by_name("B").unwrap();
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        let mut w = DummyWrapper::new(&g, b, &AvoidanceMode::Plan(plan));
+        // B consumed a dummy and produces no data: it must forward a dummy
+        // even though its own interval is infinite.
+        let dummies = w.on_accept(&[false], true);
+        assert_eq!(dummies, vec![true]);
+        // Without a consumed dummy, B's infinite interval sends nothing.
+        let dummies = w.on_accept(&[false], false);
+        assert_eq!(dummies, vec![false]);
+    }
+
+    #[test]
+    fn nonpropagation_does_not_forward() {
+        let g = fig2();
+        let b = g.node_by_name("B").unwrap();
+        let plan = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .rounding(Rounding::Ceil)
+            .plan()
+            .unwrap();
+        let mut w = DummyWrapper::new(&g, b, &AvoidanceMode::Plan(plan.clone()));
+        // Consuming a dummy does not force forwarding under Non-Propagation;
+        // only B's own finite interval (if any) matters.
+        let dummies = w.on_accept(&[false], true);
+        let bc = g.edge_by_names("B", "C").unwrap();
+        match plan.interval(bc) {
+            DummyInterval::Finite(1) => assert_eq!(dummies, vec![true]),
+            _ => assert_eq!(dummies, vec![false]),
+        }
+    }
+
+    #[test]
+    fn nonpropagation_data_resets_gap_counter() {
+        let g = fig2();
+        let a = g.node_by_name("A").unwrap();
+        // Hand-made plan with interval 3 on both outputs.
+        let mut m = IntervalMap::for_graph(&g);
+        for e in g.out_edges(a) {
+            m.set(*e, DummyInterval::Finite(3));
+        }
+        let plan = AvoidancePlan::new(&g, Algorithm::NonPropagation, Rounding::Ceil, m);
+        let mut w = DummyWrapper::new(&g, a, &AvoidanceMode::Plan(plan));
+        // Filter twice, send data, filter twice more: no dummy yet (counter
+        // reset by the data message), then one more filtered input fires it.
+        assert!(!w.on_accept(&[false, true], false)[0]);
+        assert!(!w.on_accept(&[false, true], false)[0]);
+        assert!(!w.on_accept(&[true, true], false)[0]);
+        assert!(!w.on_accept(&[false, true], false)[0]);
+        assert!(!w.on_accept(&[false, true], false)[0]);
+        assert!(w.on_accept(&[false, true], false)[0]);
+    }
+
+    #[test]
+    fn infinite_intervals_never_fire() {
+        let g = fig2();
+        let b = g.node_by_name("B").unwrap();
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        // B -> C never lies first on a cycle branch out of a fork, so its
+        // interval is infinite and no heartbeat is emitted.
+        let mut w = DummyWrapper::new(&g, b, &AvoidanceMode::Plan(plan));
+        for _ in 0..1000 {
+            assert_eq!(w.on_accept(&[true], false), vec![false]);
+        }
+    }
+}

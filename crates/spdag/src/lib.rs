@@ -1,0 +1,46 @@
+//! # fila-spdag
+//!
+//! Series-parallel DAG machinery for the deadlock-avoidance analysis of
+//! Buhler et al. (PPoPP 2012).
+//!
+//! A **series-parallel DAG** (SP-DAG, §III of the paper) is a two-terminal
+//! directed acyclic multigraph built recursively from single multi-edges by
+//! *serial composition* `Sc(H1, H2)` (merge the sink of `H1` with the source
+//! of `H2`) and *parallel composition* `Pc(H1, H2)` (merge the sources and
+//! the sinks).  The efficient dummy-interval algorithms of §IV operate on
+//! the *component tree* of this recursive structure.
+//!
+//! This crate provides:
+//!
+//! * [`forest::SpForest`] / [`forest::SpDecomposition`] — the component
+//!   tree (arena-based, n-ary, with per-component source and sink);
+//! * [`reduce`] — a tracked series/parallel **reduction** that recognises
+//!   SP-DAGs in near-linear time (Valdes–Tarjan–Lawler style) and, for
+//!   non-SP inputs, returns the reduced *skeleton* with one fully built
+//!   component tree per surviving virtual edge (this skeleton is what the
+//!   CS4 / SP-ladder analysis of `fila-avoidance` consumes);
+//! * [`recognize`] — the user-facing recognition API;
+//! * [`metrics`] — the per-component quantities `L(H)` (shortest
+//!   source-to-sink buffer length), `h(H)` (longest source-to-sink hop
+//!   count) and `h(H, e)` (longest hop count through a given edge) used by
+//!   the interval algorithms;
+//! * [`compose`] — programmatic construction of SP-DAGs from a
+//!   specification, returning both the graph and its ground-truth
+//!   decomposition (used heavily by generators and property tests);
+//! * [`validate`] — structural consistency checks for decompositions.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod compose;
+pub mod forest;
+pub mod metrics;
+pub mod recognize;
+pub mod reduce;
+pub mod validate;
+
+pub use compose::{build_sp, SpSpec};
+pub use forest::{CompId, SpComponent, SpDecomposition, SpForest, SpKind};
+pub use metrics::SpMetrics;
+pub use recognize::{recognize, Recognition};
+pub use reduce::{reduce, Reduction, VirtualEdge};

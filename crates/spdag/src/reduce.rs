@@ -1,0 +1,396 @@
+//! Tracked series/parallel reduction of two-terminal DAGs.
+//!
+//! The classical recognition algorithm for two-terminal series-parallel
+//! multigraphs (Valdes, Tarjan and Lawler, cited as [16] by the paper)
+//! repeatedly applies two local rewrites:
+//!
+//! * **parallel reduction** — two edges with the same tail and head are
+//!   replaced by one;
+//! * **series reduction** — an internal vertex with exactly one incoming and
+//!   one outgoing edge is suppressed, its two edges merged into one.
+//!
+//! The graph is SP iff the rewrites reduce it to a single edge between its
+//! two terminals.  We *track* the rewrites: every surviving "virtual edge"
+//! carries the [`CompId`] of the SP component tree built from the original
+//! edges it absorbed, so a successful reduction directly yields the
+//! decomposition tree `T` that the paper's interval algorithms traverse, and
+//! an unsuccessful one yields the reduced **skeleton** (virtual edges plus
+//! their component trees) that the SP-ladder analysis of §VI starts from.
+
+use fila_graph::{Graph, GraphError, NodeId, Result};
+
+use crate::forest::{CompId, SpDecomposition, SpForest, SpKind};
+
+/// An edge of the reduced graph: a contracted SP subgraph of the original.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualEdge {
+    /// Source terminal of the contracted subgraph.
+    pub src: NodeId,
+    /// Sink terminal of the contracted subgraph.
+    pub dst: NodeId,
+    /// The component tree describing the contracted subgraph.
+    pub comp: CompId,
+}
+
+/// Result of running the tracked reduction to a fixed point.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// Arena holding every component tree built during the reduction.
+    pub forest: SpForest,
+    /// The virtual edges that survived (the *skeleton*).  For an SP-DAG this
+    /// is a single edge from `source` to `sink`.
+    pub skeleton: Vec<VirtualEdge>,
+    /// The unique source of the input graph.
+    pub source: NodeId,
+    /// The unique sink of the input graph.
+    pub sink: NodeId,
+}
+
+impl Reduction {
+    /// True if the input graph was series-parallel.
+    pub fn is_sp(&self) -> bool {
+        matches!(self.skeleton.as_slice(),
+            [only] if only.src == self.source && only.dst == self.sink)
+    }
+
+    /// Converts a successful reduction into an [`SpDecomposition`]; returns
+    /// `None` if the graph was not SP.
+    pub fn into_decomposition(self) -> Option<SpDecomposition> {
+        if !self.is_sp() {
+            return None;
+        }
+        let root = self.skeleton[0].comp;
+        Some(SpDecomposition {
+            forest: self.forest,
+            root,
+        })
+    }
+}
+
+struct Work {
+    forest: SpForest,
+    /// `edges[i]` is `None` once the virtual edge has been merged away.
+    edges: Vec<Option<VirtualEdge>>,
+    /// Per node, indices into `edges` (may contain dead entries).
+    out: Vec<Vec<usize>>,
+    inn: Vec<Vec<usize>>,
+}
+
+impl Work {
+    fn live_out(&self, v: NodeId) -> Vec<usize> {
+        self.out[v.index()]
+            .iter()
+            .copied()
+            .filter(|&i| self.edges[i].is_some())
+            .collect()
+    }
+
+    fn live_in(&self, v: NodeId) -> Vec<usize> {
+        self.inn[v.index()]
+            .iter()
+            .copied()
+            .filter(|&i| self.edges[i].is_some())
+            .collect()
+    }
+
+    fn add_virtual(&mut self, ve: VirtualEdge) -> usize {
+        let idx = self.edges.len();
+        self.out[ve.src.index()].push(idx);
+        self.inn[ve.dst.index()].push(idx);
+        self.edges.push(Some(ve));
+        idx
+    }
+
+    /// Creates a parallel composition, flattening nested parallel children.
+    fn make_parallel(&mut self, children: Vec<CompId>) -> CompId {
+        let mut flat = Vec::with_capacity(children.len());
+        for c in children {
+            match &self.forest.component(c).kind {
+                SpKind::Parallel(grand) => flat.extend(grand.iter().copied()),
+                _ => flat.push(c),
+            }
+        }
+        self.forest.add_parallel(flat)
+    }
+
+    /// Creates a series composition, flattening nested series children.
+    fn make_series(&mut self, first: CompId, second: CompId) -> CompId {
+        let mut flat = Vec::new();
+        for c in [first, second] {
+            match &self.forest.component(c).kind {
+                SpKind::Series(grand) => flat.extend(grand.iter().copied()),
+                _ => flat.push(c),
+            }
+        }
+        self.forest.add_series(flat)
+    }
+}
+
+/// Runs the tracked reduction on a two-terminal DAG.
+///
+/// # Errors
+///
+/// Fails if the graph is not a valid two-terminal DAG (empty, cyclic,
+/// disconnected, or without unique source/sink), or if it has no edges.
+pub fn reduce(g: &Graph) -> Result<Reduction> {
+    let (source, sink) = g.validate_two_terminal()?;
+    if g.edge_count() == 0 {
+        return Err(GraphError::Structure(
+            "series-parallel analysis requires at least one edge".into(),
+        ));
+    }
+
+    let n = g.node_count();
+    let mut work = Work {
+        forest: SpForest::new(),
+        edges: Vec::with_capacity(g.edge_count()),
+        out: vec![Vec::new(); n],
+        inn: vec![Vec::new(); n],
+    };
+    for e in g.edge_ids() {
+        let (src, dst) = g.endpoints(e);
+        let comp = work.forest.add_leaf(g, e);
+        work.add_virtual(VirtualEdge { src, dst, comp });
+    }
+
+    let mut queue: Vec<NodeId> = g.node_ids().collect();
+    let mut queued = vec![true; n];
+    while let Some(v) = queue.pop() {
+        queued[v.index()] = false;
+
+        // Parallel reductions at v: merge bundles of live out-edges of v
+        // that share a head.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let live = work.live_out(v);
+            'outer: for (i, &a) in live.iter().enumerate() {
+                let dst = work.edges[a].expect("live").dst;
+                let mut bundle = vec![a];
+                for &b in live.iter().skip(i + 1) {
+                    if work.edges[b].expect("live").dst == dst {
+                        bundle.push(b);
+                    }
+                }
+                if bundle.len() >= 2 {
+                    let comps: Vec<CompId> = bundle
+                        .iter()
+                        .map(|&idx| work.edges[idx].expect("live").comp)
+                        .collect();
+                    for &idx in &bundle {
+                        work.edges[idx] = None;
+                    }
+                    let comp = work.make_parallel(comps);
+                    work.add_virtual(VirtualEdge { src: v, dst, comp });
+                    if !queued[dst.index()] {
+                        queued[dst.index()] = true;
+                        queue.push(dst);
+                    }
+                    changed = true;
+                    break 'outer;
+                }
+            }
+        }
+
+        // Series reduction at v (only for internal vertices).
+        if v != source && v != sink {
+            let live_in = work.live_in(v);
+            let live_out = work.live_out(v);
+            if live_in.len() == 1 && live_out.len() == 1 {
+                let a = live_in[0];
+                let b = live_out[0];
+                let ea = work.edges[a].expect("live");
+                let eb = work.edges[b].expect("live");
+                debug_assert_eq!(ea.dst, v);
+                debug_assert_eq!(eb.src, v);
+                work.edges[a] = None;
+                work.edges[b] = None;
+                let comp = work.make_series(ea.comp, eb.comp);
+                work.add_virtual(VirtualEdge {
+                    src: ea.src,
+                    dst: eb.dst,
+                    comp,
+                });
+                for w in [ea.src, eb.dst] {
+                    if !queued[w.index()] {
+                        queued[w.index()] = true;
+                        queue.push(w);
+                    }
+                }
+            }
+        }
+    }
+
+    let skeleton: Vec<VirtualEdge> = work.edges.iter().flatten().copied().collect();
+    Ok(Reduction {
+        forest: work.forest,
+        skeleton,
+        source,
+        sink,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fila_graph::GraphBuilder;
+
+    fn names(g: &Graph, v: NodeId) -> String {
+        g.node(v).name.clone()
+    }
+
+    #[test]
+    fn pipeline_reduces_to_single_edge() {
+        let mut b = GraphBuilder::new();
+        b.chain(&["a", "b", "c", "d", "e"]).unwrap();
+        let g = b.build().unwrap();
+        let r = reduce(&g).unwrap();
+        assert!(r.is_sp());
+        let d = r.into_decomposition().unwrap();
+        assert_eq!(d.edges().len(), 4);
+        assert!(matches!(
+            d.forest.component(d.root).kind,
+            SpKind::Series(ref c) if c.len() == 4
+        ));
+    }
+
+    #[test]
+    fn multi_edge_is_sp() {
+        let mut b = GraphBuilder::new();
+        b.edge("a", "b").unwrap();
+        b.edge("a", "b").unwrap();
+        b.edge("a", "b").unwrap();
+        let g = b.build().unwrap();
+        let d = reduce(&g).unwrap().into_decomposition().unwrap();
+        assert!(matches!(
+            d.forest.component(d.root).kind,
+            SpKind::Parallel(ref c) if c.len() == 3
+        ));
+    }
+
+    #[test]
+    fn fig3_cycle_is_sp_with_two_branches() {
+        let mut b = GraphBuilder::new();
+        b.chain(&["a", "b", "e", "f"]).unwrap();
+        b.chain(&["a", "c", "d", "f"]).unwrap();
+        let g = b.build().unwrap();
+        let r = reduce(&g).unwrap();
+        assert!(r.is_sp());
+        let d = r.into_decomposition().unwrap();
+        assert_eq!(names(&g, d.source()), "a");
+        assert_eq!(names(&g, d.sink()), "f");
+        // Root is a parallel of two 3-edge series chains.
+        match &d.forest.component(d.root).kind {
+            SpKind::Parallel(children) => {
+                assert_eq!(children.len(), 2);
+                for &c in children {
+                    assert!(matches!(
+                        d.forest.component(c).kind,
+                        SpKind::Series(ref s) if s.len() == 3
+                    ));
+                }
+            }
+            other => panic!("expected parallel root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_split_join_is_sp() {
+        // a -> {b -> {c,d} -> e, f} -> g : a diamond nested inside a split.
+        let mut b = GraphBuilder::new();
+        b.chain(&["a", "b", "c", "e", "g"]).unwrap();
+        b.edge("b", "d").unwrap();
+        b.edge("d", "e").unwrap();
+        b.edge("a", "f").unwrap();
+        b.edge("f", "g").unwrap();
+        let g = b.build().unwrap();
+        let r = reduce(&g).unwrap();
+        assert!(r.is_sp());
+        assert_eq!(r.into_decomposition().unwrap().edges().len(), 8);
+    }
+
+    #[test]
+    fn crosslinked_split_join_is_not_sp() {
+        // Fig. 4 left: the simplest non-SP two-terminal DAG.
+        let mut b = GraphBuilder::new();
+        for (s, t) in [("x", "a"), ("x", "b"), ("a", "y"), ("b", "y"), ("a", "b")] {
+            b.edge(s, t).unwrap();
+        }
+        let g = b.build().unwrap();
+        let r = reduce(&g).unwrap();
+        assert!(!r.is_sp());
+        // The irreducible skeleton keeps all five edges (nothing can merge).
+        assert_eq!(r.skeleton.len(), 5);
+        assert!(r.clone().into_decomposition().is_none());
+    }
+
+    #[test]
+    fn ladder_skeleton_contracts_sp_limbs() {
+        // A ladder whose side rails are two-hop chains: the reduction must
+        // contract each rail segment into one virtual edge but cannot finish.
+        let mut b = GraphBuilder::new();
+        // left rail with intermediate nodes, right rail direct.
+        b.chain(&["x", "l1", "u", "l2", "y"]).unwrap();
+        b.chain(&["x", "v", "y"]).unwrap();
+        b.edge("u", "v").unwrap();
+        let g = b.build().unwrap();
+        let r = reduce(&g).unwrap();
+        assert!(!r.is_sp());
+        // Skeleton: x->u, u->y, x->v, v->y, u->v  (five virtual edges).
+        assert_eq!(r.skeleton.len(), 5);
+        let u = g.node_by_name("u").unwrap();
+        let x = g.node_by_name("x").unwrap();
+        let xu = r
+            .skeleton
+            .iter()
+            .find(|ve| ve.src == x && ve.dst == u)
+            .expect("contracted rail x->u exists");
+        // That virtual edge absorbed the two original edges x->l1->u.
+        assert_eq!(r.forest.edges_in(xu.comp).len(), 2);
+    }
+
+    #[test]
+    fn butterfly_is_not_sp() {
+        let mut b = GraphBuilder::new();
+        for (s, t) in [
+            ("x", "a"), ("x", "b"),
+            ("a", "c"), ("a", "d"), ("b", "c"), ("b", "d"),
+            ("c", "y"), ("d", "y"),
+        ] {
+            b.edge(s, t).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert!(!reduce(&g).unwrap().is_sp());
+    }
+
+    #[test]
+    fn rejects_graphs_without_two_terminals() {
+        let mut b = GraphBuilder::new();
+        b.edge("a", "c").unwrap();
+        b.edge("b", "c").unwrap();
+        let g = b.build().unwrap();
+        assert!(reduce(&g).is_err());
+    }
+
+    #[test]
+    fn rejects_single_node_graph() {
+        let mut g = Graph::new();
+        g.add_node("only");
+        assert!(reduce(&g).is_err());
+    }
+
+    #[test]
+    fn decomposition_covers_each_edge_exactly_once() {
+        let mut b = GraphBuilder::new();
+        b.chain(&["s", "p", "t"]).unwrap();
+        b.edge("s", "t").unwrap();
+        b.edge("s", "q").unwrap();
+        b.edge("q", "t").unwrap();
+        let g = b.build().unwrap();
+        let d = reduce(&g).unwrap().into_decomposition().unwrap();
+        let mut edges = d.edges();
+        edges.sort();
+        edges.dedup();
+        assert_eq!(edges.len(), g.edge_count());
+    }
+}

@@ -1,0 +1,181 @@
+//! The exact graphs of the paper's figures.
+//!
+//! Node names follow the paper's labels so that tests and examples can refer
+//! to edges by name (for example `g.edge_by_names("a", "b")` on the Fig. 3
+//! cycle).
+
+use fila_graph::{Graph, GraphBuilder};
+
+/// Fig. 1: the simple split/join topology `A -> {B, C} -> D`.
+///
+/// Buffer capacities are uniform (`buffer` messages per channel).
+pub fn fig1_split_join(buffer: u64) -> Graph {
+    let mut b = GraphBuilder::new().default_capacity(buffer);
+    b.edge("A", "B").unwrap();
+    b.edge("A", "C").unwrap();
+    b.edge("B", "D").unwrap();
+    b.edge("C", "D").unwrap();
+    b.build().expect("fig1 is a valid two-terminal DAG")
+}
+
+/// Fig. 2: the three-node deadlock example `A -> B -> C` with the bypass
+/// channel `A -> C`.
+pub fn fig2_triangle(buffer: u64) -> Graph {
+    let mut b = GraphBuilder::new().default_capacity(buffer);
+    b.edge("A", "B").unwrap();
+    b.edge("B", "C").unwrap();
+    b.edge("A", "C").unwrap();
+    b.build().expect("fig2 is a valid two-terminal DAG")
+}
+
+/// Fig. 3: the six-node cycle used to illustrate interval computation, with
+/// the buffer capacities printed in the figure (`ab=2, be=5, ef=1, ac=3,
+/// cd=1, df=2`).
+///
+/// The paper's worked results: Propagation `[ab] = 6`, `[ac] = 8`, all other
+/// edges unbounded; Non-Propagation `[ab] = [be] = [ef] = 2` and
+/// `[ac] = [cd] = [df] = 3` (rounded up).
+pub fn fig3_cycle() -> Graph {
+    let mut b = GraphBuilder::new();
+    b.edge_with_capacity("a", "b", 2).unwrap();
+    b.edge_with_capacity("b", "e", 5).unwrap();
+    b.edge_with_capacity("e", "f", 1).unwrap();
+    b.edge_with_capacity("a", "c", 3).unwrap();
+    b.edge_with_capacity("c", "d", 1).unwrap();
+    b.edge_with_capacity("d", "f", 2).unwrap();
+    b.build().expect("fig3 is a valid two-terminal DAG")
+}
+
+/// Fig. 4 (left): the simplest two-terminal DAG that is not series-parallel
+/// — a split/join `X -> {a, b} -> Y` augmented with the cross channel
+/// `a -> b`.  It is CS4.
+pub fn fig4_crosslink(buffer: u64) -> Graph {
+    let mut b = GraphBuilder::new().default_capacity(buffer);
+    b.edge("X", "a").unwrap();
+    b.edge("X", "b").unwrap();
+    b.edge("a", "Y").unwrap();
+    b.edge("b", "Y").unwrap();
+    b.edge("a", "b").unwrap();
+    b.build().expect("fig4 left is a valid two-terminal DAG")
+}
+
+/// Fig. 4 (right): the "butterfly" used for FFT-style decompositions.  Its
+/// cycle `a-c-b-d` has two sources and two sinks, so the graph is not CS4.
+pub fn fig4_butterfly(buffer: u64) -> Graph {
+    let mut b = GraphBuilder::new().default_capacity(buffer);
+    for (s, t) in [
+        ("X", "a"), ("X", "b"),
+        ("a", "c"), ("a", "d"), ("b", "c"), ("b", "d"),
+        ("c", "Y"), ("d", "Y"),
+    ] {
+        b.edge(s, t).unwrap();
+    }
+    b.build().expect("butterfly is a valid two-terminal DAG")
+}
+
+/// The conclusion's CS4 rewrite of the butterfly: the direct channel
+/// `b -> c` is re-routed through `d` (data from `b` to `c` takes an extra
+/// hop), yielding an SP-ladder with cross-links `a -> d` and `d -> c`.
+pub fn butterfly_rewritten(buffer: u64) -> Graph {
+    let mut b = GraphBuilder::new().default_capacity(buffer);
+    for (s, t) in [
+        ("X", "a"), ("X", "b"),
+        ("a", "c"), ("a", "d"), ("b", "d"),
+        ("d", "c"),
+        ("c", "Y"), ("d", "Y"),
+    ] {
+        b.edge(s, t).unwrap();
+    }
+    b.build().expect("rewritten butterfly is a valid two-terminal DAG")
+}
+
+/// Fig. 5: the thirteen-node SP-ladder whose decomposition is drawn in the
+/// paper (outer cycle `b-a-f-j-m-k` after contraction, with the diamond
+/// `c/d/e` and the chord structure `g/h/i/l` absorbed into SP constituents).
+pub fn fig5_ladder(buffer: u64) -> Graph {
+    let mut b = GraphBuilder::new().default_capacity(buffer);
+    // Left outer path a -> b -> ... -> m and right outer path a -> f -> j -> m,
+    // following the figure's lettering: `a` is the source, `m` the sink.
+    // left rail with a decorated diamond between b and k.
+    b.edge("a", "b").unwrap();
+    b.edge("b", "c").unwrap();
+    b.edge("c", "d").unwrap();
+    b.edge("c", "e").unwrap();
+    b.edge("d", "k").unwrap();
+    b.edge("e", "k").unwrap();
+    b.edge("k", "m").unwrap();
+    // right rail a -> f -> g/h -> i -> j -> m (an SP segment between f and j).
+    b.edge("a", "f").unwrap();
+    b.edge("f", "g").unwrap();
+    b.edge("f", "h").unwrap();
+    b.edge("g", "i").unwrap();
+    b.edge("h", "i").unwrap();
+    b.edge("i", "j").unwrap();
+    b.edge("j", "m").unwrap();
+    // cross-links: b -> f (upper rung) and j -> k (lower rung, right-to-left),
+    // plus the mid-ladder link l hanging between the rails.
+    b.edge("b", "f").unwrap();
+    b.edge("j", "l").unwrap();
+    b.edge("l", "k").unwrap();
+    b.build().expect("fig5 is a valid two-terminal DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fila_avoidance::{classify, GraphClass};
+    use fila_avoidance::cs4::is_cs4_by_cycle_enumeration;
+    use fila_spdag::recognize;
+
+    #[test]
+    fn fig1_is_series_parallel() {
+        let g = fig1_split_join(4);
+        assert_eq!(classify(&g).unwrap(), GraphClass::SeriesParallel);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn fig2_is_series_parallel_with_three_edges() {
+        let g = fig2_triangle(2);
+        assert_eq!(classify(&g).unwrap(), GraphClass::SeriesParallel);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn fig3_capacities_match_the_figure() {
+        let g = fig3_cycle();
+        assert_eq!(g.capacity(g.edge_by_names("a", "b").unwrap()), 2);
+        assert_eq!(g.capacity(g.edge_by_names("b", "e").unwrap()), 5);
+        assert_eq!(g.capacity(g.edge_by_names("e", "f").unwrap()), 1);
+        assert_eq!(g.capacity(g.edge_by_names("a", "c").unwrap()), 3);
+        assert_eq!(g.capacity(g.edge_by_names("c", "d").unwrap()), 1);
+        assert_eq!(g.capacity(g.edge_by_names("d", "f").unwrap()), 2);
+        assert!(recognize(&g).unwrap().is_sp());
+    }
+
+    #[test]
+    fn fig4_classifications_match_the_paper() {
+        let left = fig4_crosslink(2);
+        assert!(!recognize(&left).unwrap().is_sp());
+        assert_eq!(classify(&left).unwrap(), GraphClass::Cs4);
+        let butterfly = fig4_butterfly(2);
+        assert_eq!(classify(&butterfly).unwrap(), GraphClass::General);
+        assert!(!is_cs4_by_cycle_enumeration(&butterfly));
+    }
+
+    #[test]
+    fn rewritten_butterfly_is_cs4() {
+        let g = butterfly_rewritten(2);
+        assert_eq!(classify(&g).unwrap(), GraphClass::Cs4);
+        assert!(is_cs4_by_cycle_enumeration(&g));
+    }
+
+    #[test]
+    fn fig5_is_cs4_but_not_sp() {
+        let g = fig5_ladder(3);
+        assert!(!recognize(&g).unwrap().is_sp());
+        assert_eq!(classify(&g).unwrap(), GraphClass::Cs4);
+        assert!(is_cs4_by_cycle_enumeration(&g));
+    }
+}

@@ -1,0 +1,23 @@
+//! # fila-workloads
+//!
+//! Workloads for exercising and evaluating the deadlock-avoidance stack:
+//!
+//! * [`figures`] — the exact graphs drawn in the paper (Figs. 1–6), with the
+//!   buffer capacities used in the worked examples;
+//! * [`generators`] — seeded random topology generators (SP-DAGs by
+//!   recursive composition, SP-ladders with a configurable rung count,
+//!   parallel-chain stress graphs for the exponential baseline, and layered
+//!   general DAGs);
+//! * [`apps`] — runnable application topologies modelled on the paper's
+//!   motivating examples (an object-recognition split/join with data
+//!   dependent recognisers and a biosequence filtering pipeline), expressed
+//!   as [`fila_runtime::Topology`] values ready to execute.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apps;
+pub mod figures;
+pub mod generators;
+
+pub use generators::{GeneratorConfig, LadderConfig};

@@ -1,0 +1,28 @@
+//! Experiment E3 (Fig. 3): print the dummy-interval tables for the paper's
+//! worked example and cross-check them against the exponential baseline.
+//!
+//! ```sh
+//! cargo run --example interval_report
+//! ```
+
+use fila::avoidance::{verify_plan, Rounding};
+use fila::prelude::*;
+
+fn main() {
+    let g = fila::workloads::figures::fig3_cycle();
+    for (algorithm, rounding) in [
+        (Algorithm::Propagation, Rounding::Ceil),
+        (Algorithm::NonPropagation, Rounding::Ceil),
+        (Algorithm::NonPropagation, Rounding::Floor),
+    ] {
+        let plan = Planner::new(&g)
+            .algorithm(algorithm)
+            .rounding(rounding)
+            .plan()
+            .unwrap();
+        println!("--- {algorithm} ({rounding:?}) ---");
+        println!("{}", plan.render(&g));
+        let verification = verify_plan(&g, &plan).unwrap();
+        println!("verified against exhaustive baseline: {}\n", verification.summary());
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration tests regenerating the paper's worked figures end to end
+//! (experiments E1, E3, E4, E5 in DESIGN.md).
+
+use fila::avoidance::{classify, verify_plan, GraphClass, Rounding};
+use fila::prelude::*;
+use fila::workloads::figures;
+
+#[test]
+fn fig3_propagation_intervals_match_the_paper() {
+    let g = figures::fig3_cycle();
+    let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+    let e = |s: &str, t: &str| g.edge_by_names(s, t).unwrap();
+    assert_eq!(plan.interval(e("a", "b")), DummyInterval::Finite(6));
+    assert_eq!(plan.interval(e("a", "c")), DummyInterval::Finite(8));
+    for (s, t) in [("b", "e"), ("e", "f"), ("c", "d"), ("d", "f")] {
+        assert_eq!(plan.interval(e(s, t)), DummyInterval::Infinite, "[{s}{t}]");
+    }
+    assert!(verify_plan(&g, &plan).unwrap().exact);
+}
+
+#[test]
+fn fig3_nonpropagation_intervals_match_the_paper() {
+    let g = figures::fig3_cycle();
+    let plan = Planner::new(&g)
+        .algorithm(Algorithm::NonPropagation)
+        .rounding(Rounding::Ceil)
+        .plan()
+        .unwrap();
+    let e = |s: &str, t: &str| g.edge_by_names(s, t).unwrap();
+    for (s, t) in [("a", "b"), ("b", "e"), ("e", "f")] {
+        assert_eq!(plan.interval(e(s, t)), DummyInterval::Finite(2), "[{s}{t}]");
+    }
+    for (s, t) in [("a", "c"), ("c", "d"), ("d", "f")] {
+        assert_eq!(plan.interval(e(s, t)), DummyInterval::Finite(3), "[{s}{t}]");
+    }
+    assert!(verify_plan(&g, &plan).unwrap().exact);
+}
+
+#[test]
+fn fig1_split_join_runs_with_filtering() {
+    use fila::runtime::Bernoulli;
+    let g = figures::fig1_split_join(4);
+    let b = g.node_by_name("B").unwrap();
+    let c = g.node_by_name("C").unwrap();
+    let topo = Topology::from_graph(&g)
+        .with(b, || Bernoulli::new(1, 0.1, 3))
+        .with(c, || Bernoulli::new(1, 0.2, 4));
+    let plan = Planner::new(&g).algorithm(Algorithm::NonPropagation).plan().unwrap();
+    let report = Simulator::new(&topo).with_plan(&plan).run(20_000);
+    assert!(report.completed);
+    assert!(report.sink_firings > 0);
+}
+
+#[test]
+fn fig4_and_fig5_classifications() {
+    assert_eq!(
+        classify(&figures::fig4_crosslink(2)).unwrap(),
+        GraphClass::Cs4
+    );
+    assert_eq!(
+        classify(&figures::fig4_butterfly(2)).unwrap(),
+        GraphClass::General
+    );
+    assert_eq!(
+        classify(&figures::butterfly_rewritten(2)).unwrap(),
+        GraphClass::Cs4
+    );
+    assert_eq!(classify(&figures::fig5_ladder(3)).unwrap(), GraphClass::Cs4);
+}
+
+#[test]
+fn fig5_ladder_plans_are_safe_for_both_protocols() {
+    let g = figures::fig5_ladder(3);
+    for algorithm in [Algorithm::Propagation, Algorithm::NonPropagation] {
+        let plan = Planner::new(&g).algorithm(algorithm).plan().unwrap();
+        let v = verify_plan(&g, &plan).unwrap();
+        assert!(v.safe, "{algorithm}: {}", v.summary());
+    }
+}
+
+#[test]
+fn butterfly_still_gets_a_plan_via_the_exhaustive_fallback() {
+    let g = figures::fig4_butterfly(2);
+    let plan = Planner::new(&g).plan().unwrap();
+    assert!(plan.channels_needing_dummies() >= 6);
+    assert!(verify_plan(&g, &plan).unwrap().exact);
+}

@@ -1,0 +1,70 @@
+//! Property-based tests over randomly generated SP specifications:
+//! structural invariants of the decomposition and exactness of the interval
+//! algorithms against the exponential baseline.
+
+use fila::avoidance::exhaustive::exhaustive_intervals;
+use fila::avoidance::{Algorithm, Rounding};
+use fila::spdag::validate::validate_decomposition;
+use fila::spdag::{build_sp, recognize, SpSpec};
+use proptest::prelude::*;
+
+/// Strategy producing small random SP specifications.
+fn sp_spec(depth: u32) -> impl Strategy<Value = SpSpec> {
+    let leaf = (1u64..6).prop_map(SpSpec::Edge);
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(SpSpec::Series),
+            prop::collection::vec(inner, 2..4).prop_map(SpSpec::Parallel),
+            prop::collection::vec(1u64..6, 2..4).prop_map(SpSpec::MultiEdge),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_sp_dags_are_recognised(spec in sp_spec(3)) {
+        let (g, d) = build_sp(&spec);
+        validate_decomposition(&g, &d).unwrap();
+        prop_assert!(recognize(&g).unwrap().is_sp());
+    }
+
+    #[test]
+    fn every_cycle_of_an_sp_dag_has_one_source_and_sink(spec in sp_spec(3)) {
+        let (g, _) = build_sp(&spec);
+        prop_assert!(fila::graph::cycles::all_cycles_single_source_sink(&g));
+    }
+
+    #[test]
+    fn setivals_matches_the_exhaustive_definition(spec in sp_spec(3)) {
+        let (g, d) = build_sp(&spec);
+        prop_assume!(g.edge_count() <= 40);
+        let fast = fila::avoidance::prop_sp::setivals(&g, &d);
+        let exact = exhaustive_intervals(&g, Algorithm::Propagation, Rounding::Ceil).unwrap();
+        prop_assert_eq!(fast, exact);
+    }
+
+    #[test]
+    fn nonprop_matches_the_exhaustive_definition(spec in sp_spec(3)) {
+        let (g, d) = build_sp(&spec);
+        prop_assume!(g.edge_count() <= 40);
+        for rounding in [Rounding::Ceil, Rounding::Floor] {
+            let fast = fila::avoidance::nonprop_sp::nonprop_intervals(&g, &d, rounding);
+            let exact = exhaustive_intervals(&g, Algorithm::NonPropagation, rounding).unwrap();
+            prop_assert_eq!(fast, exact);
+        }
+    }
+
+    #[test]
+    fn intervals_never_exceed_the_opposite_branch_capacity(spec in sp_spec(3)) {
+        let (g, d) = build_sp(&spec);
+        let total: u64 = g.total_capacity();
+        let ivals = fila::avoidance::prop_sp::setivals(&g, &d);
+        for (_, iv) in ivals.iter() {
+            if let Some(v) = iv.finite() {
+                prop_assert!(v <= total);
+            }
+        }
+    }
+}
