@@ -65,8 +65,10 @@ mod tests {
         let mut b = GraphBuilder::new();
         let e = b.edge_with_capacity("split", "join", 4).unwrap();
         let g = b.build().unwrap();
-        let mut opts = DotOptions::default();
-        opts.title = Some("demo".into());
+        let mut opts = DotOptions {
+            title: Some("demo".into()),
+            ..DotOptions::default()
+        };
         opts.edge_annotations.insert(e, "[e]=3".into());
         let dot = to_dot(&g, &opts);
         assert!(dot.contains("digraph fila"));

@@ -241,10 +241,9 @@ mod tests {
     fn k4_subdivision_with_long_paths_is_detected() {
         let mut b = GraphBuilder::new();
         // Same as explicit K4 but every connection is a 2-hop path.
-        let mut i = 0;
-        for (s, t) in [("1", "2"), ("1", "3"), ("1", "4"), ("2", "3"), ("2", "4"), ("3", "4")] {
+        let pairs = [("1", "2"), ("1", "3"), ("1", "4"), ("2", "3"), ("2", "4"), ("3", "4")];
+        for (i, (s, t)) in pairs.into_iter().enumerate() {
             let mid = format!("m{i}");
-            i += 1;
             b.edge(s, &mid).unwrap();
             b.edge(&mid, t).unwrap();
         }

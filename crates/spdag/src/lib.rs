@@ -14,12 +14,12 @@
 //!
 //! * [`forest::SpForest`] / [`forest::SpDecomposition`] — the component
 //!   tree (arena-based, n-ary, with per-component source and sink);
-//! * [`reduce`] — a tracked series/parallel **reduction** that recognises
+//! * [`reduce()`] — a tracked series/parallel **reduction** that recognises
 //!   SP-DAGs in near-linear time (Valdes–Tarjan–Lawler style) and, for
 //!   non-SP inputs, returns the reduced *skeleton* with one fully built
 //!   component tree per surviving virtual edge (this skeleton is what the
 //!   CS4 / SP-ladder analysis of `fila-avoidance` consumes);
-//! * [`recognize`] — the user-facing recognition API;
+//! * [`recognize()`] — the user-facing recognition API;
 //! * [`metrics`] — the per-component quantities `L(H)` (shortest
 //!   source-to-sink buffer length), `h(H)` (longest source-to-sink hop
 //!   count) and `h(H, e)` (longest hop count through a given edge) used by

@@ -1,7 +1,7 @@
 //! Tracked series/parallel reduction of two-terminal DAGs.
 //!
 //! The classical recognition algorithm for two-terminal series-parallel
-//! multigraphs (Valdes, Tarjan and Lawler, cited as [16] by the paper)
+//! multigraphs (Valdes, Tarjan and Lawler, cited as \[16\] by the paper)
 //! repeatedly applies two local rewrites:
 //!
 //! * **parallel reduction** — two edges with the same tail and head are

@@ -1,5 +1,5 @@
 //! Runnable application topologies modelled on the paper's motivating
-//! examples (§I and the case studies of reference [14]).
+//! examples (§I and the case studies of reference \[14\]).
 
 use fila_graph::Graph;
 use fila_runtime::filters::Predicate;

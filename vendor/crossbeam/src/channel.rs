@@ -1,0 +1,370 @@
+//! Bounded channels with timeout-aware operations.
+//!
+//! Only the constructors and methods exercised by `fila-runtime` are
+//! provided: [`bounded`], [`Sender::try_send`], [`Sender::send_timeout`],
+//! [`Sender::send`], and [`Receiver::recv_timeout`] / [`Receiver::recv`].
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::try_send`].
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    /// The channel is full (or, for a rendezvous channel, no receiver is
+    /// currently waiting).  The message is handed back.
+    Full(T),
+    /// The receiver was dropped; the message is handed back.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+/// Error returned by [`Sender::send_timeout`].
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum SendTimeoutError<T> {
+    /// The timeout elapsed before space became available; the message is
+    /// handed back so the caller can retry.
+    Timeout(T),
+    /// The receiver was dropped; the message is handed back.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("Timeout(..)"),
+            SendTimeoutError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+/// Error returned by [`Sender::send`].
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(
+    /// The message that could not be delivered.
+    pub T,
+);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message available.
+    Timeout,
+    /// All senders were dropped and the queue is empty.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+    receiver_alive: bool,
+    /// Number of receivers currently blocked in a receive operation.  A
+    /// rendezvous (`cap == 0`) send may only complete while this exceeds the
+    /// number of undelivered messages, so the channel never buffers.
+    waiting_recv: usize,
+}
+
+impl<T> Inner<T> {
+    fn has_space(&self) -> bool {
+        if self.cap == 0 {
+            self.queue.len() < self.waiting_recv
+        } else {
+            self.queue.len() < self.cap
+        }
+    }
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half of a bounded channel.  Cloneable (multi-producer).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a bounded channel (single consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Creates a bounded channel of capacity `cap`.  `bounded(0)` creates a
+/// rendezvous channel: every send must pair with a concurrently blocked
+/// receive.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receiver_alive: true,
+            waiting_recv: 0,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Attempts to send without blocking.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        if !inner.receiver_alive {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if inner.has_space() {
+            inner.queue.push_back(msg);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        } else {
+            Err(TrySendError::Full(msg))
+        }
+    }
+
+    /// Sends, blocking at most `timeout`.
+    pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        loop {
+            if !inner.receiver_alive {
+                return Err(SendTimeoutError::Disconnected(msg));
+            }
+            if inner.has_space() {
+                inner.queue.push_back(msg);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout(msg));
+            }
+            let (guard, _) = self
+                .shared
+                .not_full
+                .wait_timeout(inner, deadline - now)
+                .expect("channel poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Sends, blocking indefinitely until space is available or the receiver
+    /// disconnects.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        match self.send_timeout(msg, Duration::from_secs(u64::MAX / 4)) {
+            Ok(()) => Ok(()),
+            Err(SendTimeoutError::Timeout(m)) | Err(SendTimeoutError::Disconnected(m)) => {
+                Err(SendError(m))
+            }
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            inner.senders += 1;
+        }
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Wake a receiver blocked waiting for data so it can observe
+            // the disconnection.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives, blocking at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                self.shared.not_full.notify_all();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            inner.waiting_recv += 1;
+            // A rendezvous sender may be parked in `send_timeout`; now that a
+            // receiver is committed, give it a chance to complete the pairing.
+            self.shared.not_full.notify_all();
+            let (guard, _) = self
+                .shared
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("channel poisoned");
+            inner = guard;
+            inner.waiting_recv -= 1;
+        }
+    }
+
+    /// Receives, blocking indefinitely until a message arrives or every
+    /// sender disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        match self.recv_timeout(Duration::from_secs(u64::MAX / 4)) {
+            Ok(msg) => Ok(msg),
+            Err(_) => Err(RecvError),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        inner.receiver_alive = false;
+        // Wake senders blocked waiting for space so they observe the
+        // disconnection instead of sleeping out their timeout.
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bounded_respects_capacity() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(2));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(3));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn drop_of_all_senders_disconnects() {
+        let (tx, rx) = bounded::<u32>(1);
+        let tx2 = tx.clone();
+        tx.try_send(7).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn drop_of_receiver_disconnects_sender() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+        assert!(matches!(
+            tx.send_timeout(2, Duration::from_millis(5)),
+            Err(SendTimeoutError::Disconnected(2))
+        ));
+    }
+
+    #[test]
+    fn rendezvous_pairs_send_with_waiting_receiver() {
+        let (tx, rx) = bounded::<u32>(0);
+        // No receiver waiting: a rendezvous try_send must refuse to buffer.
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Full(1))));
+        let handle = thread::spawn(move || rx.recv_timeout(Duration::from_secs(5)));
+        // The blocked receiver lets a timed send complete.
+        let mut msg = 42;
+        loop {
+            match tx.send_timeout(msg, Duration::from_millis(50)) {
+                Ok(()) => break,
+                Err(SendTimeoutError::Timeout(m)) => msg = m,
+                Err(SendTimeoutError::Disconnected(_)) => panic!("receiver vanished"),
+            }
+        }
+        assert_eq!(handle.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let (tx, rx) = bounded::<u64>(4);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..100u64 {
+                    let mut msg = t * 1000 + i;
+                    loop {
+                        match tx.send_timeout(msg, Duration::from_millis(50)) {
+                            Ok(()) => break,
+                            Err(SendTimeoutError::Timeout(m)) => msg = m,
+                            Err(SendTimeoutError::Disconnected(_)) => return,
+                        }
+                    }
+                }
+            }));
+        }
+        drop(tx);
+        let mut seen = 0;
+        while rx.recv_timeout(Duration::from_secs(5)).is_ok() {
+            seen += 1;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(seen, 400);
+    }
+}

@@ -1,0 +1,23 @@
+//! Vendored, dependency-free stand-in for the parts of `crossbeam` used by
+//! the `fila` workspace: bounded multi-producer single-consumer channels with
+//! timeout-aware send/receive.
+//!
+//! The build environment has no access to a crates.io registry, so this crate
+//! provides the exact API surface that `fila-runtime` relies on, implemented
+//! on `std::sync` primitives.  Semantics follow crossbeam where it matters for
+//! the deadlock-avoidance experiments:
+//!
+//! * `bounded(0)` is a **rendezvous** channel — a send can only succeed while
+//!   a receiver is blocked waiting, so the channel adds no buffering,
+//! * a send on a channel whose receiver was dropped reports
+//!   "disconnected", and a receive observes "disconnected" only once all
+//!   senders are gone **and** the queue has been drained.
+//!
+//! Performance characteristics differ from the real crossbeam (this is a
+//! mutex + condvar queue, not a lock-free ring); replacing this shim with the
+//! real crate is a one-line `Cargo.toml` change once a registry is available.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod channel;

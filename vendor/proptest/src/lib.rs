@@ -1,0 +1,304 @@
+//! Vendored, dependency-free stand-in for the parts of `proptest` used by
+//! the `fila` workspace's property-based tests: the [`strategy::Strategy`]
+//! trait with `prop_map` / `prop_recursive` / `boxed`, [`collection::vec`],
+//! the [`prop_oneof!`] combinator, and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] macros.
+//!
+//! The build environment has no access to a crates.io registry.  This shim
+//! keeps the generation model (strategies are composable random-value
+//! generators, tests run a configurable number of seeded cases, `prop_assume`
+//! rejects cases) but **does not shrink** failing inputs — a failure reports
+//! the seed and case number instead, which is reproducible because every
+//! test's RNG stream is derived deterministically from its name.  The API is
+//! call-compatible with the real `proptest` for everything `fila` uses, so a
+//! registry-backed build can swap the real crate in without source changes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for generating collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Bounds on the length of a generated collection.
+    ///
+    /// Implemented for `usize` (exact), `Range<usize>` (half-open) and
+    /// `RangeInclusive<usize>`, mirroring proptest's `SizeRange`
+    /// conversions.
+    pub trait SizeBounds {
+        /// Returns the inclusive `(min, max)` length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeBounds for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeBounds for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeBounds for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "empty size range");
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy generating a `Vec` whose elements come from `element` and
+    /// whose length is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeBounds) -> VecStrategy<S> {
+        let (min_len, max_len) = size.bounds();
+        VecStrategy {
+            element,
+            min_len,
+            max_len,
+        }
+    }
+
+    /// See [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.max_len - self.min_len + 1) as u64;
+            let len = self.min_len + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-based test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespace mirror of the crate root, so `prop::collection::vec`
+    /// works as it does with the real proptest prelude.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Picks uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Fails the current test case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current test case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Rejects (skips) the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property-based tests.
+///
+/// Supports the same surface the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($arg:pat in $strategy:expr) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_proptest(
+                    $config,
+                    stringify!($name),
+                    &$crate::strategy::Strategy::boxed($strategy),
+                    |__proptest_value| {
+                        let $arg = __proptest_value;
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u64),
+        Node(Vec<Tree>),
+    }
+
+    impl Tree {
+        fn depth(&self) -> usize {
+            match self {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => {
+                    1 + children.iter().map(Tree::depth).max().unwrap_or(0)
+                }
+            }
+        }
+    }
+
+    fn tree(depth: u32) -> impl Strategy<Value = Tree> {
+        let leaf = (1u64..6).prop_map(Tree::Leaf);
+        leaf.prop_recursive(depth, 16, 3, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner, 2..4).prop_map(Tree::Node),
+                (10u64..20).prop_map(Tree::Leaf),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u64..10) {
+            prop_assert!((5..10).contains(&x));
+        }
+
+        #[test]
+        fn recursive_strategies_bound_depth(t in tree(3)) {
+            // depth levels of recursion atop the leaf level.
+            prop_assert!(t.depth() <= 4, "depth {} for {:?}", t.depth(), t);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vectors_hit_requested_lengths(v in prop::collection::vec(0u64..5, 2..4)) {
+            prop_assert!(v.len() == 2 || v.len() == 3);
+            prop_assert_ne!(v.len(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_context() {
+        crate::test_runner::run_proptest(
+            ProptestConfig::with_cases(8),
+            "always_fails",
+            &crate::strategy::Strategy::boxed(0u64..10),
+            |x| {
+                prop_assert!(x > 100, "x was {}", x);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn just_yields_the_value() {
+        crate::test_runner::run_proptest(
+            ProptestConfig::with_cases(4),
+            "just",
+            &crate::strategy::Strategy::boxed(Just(9u64)),
+            |x| {
+                prop_assert_eq!(x, 9);
+                Ok(())
+            },
+        );
+    }
+}

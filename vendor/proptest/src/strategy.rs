@@ -1,0 +1,239 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+//!
+//! A strategy is a composable generator of random values.  Unlike the real
+//! proptest there is no shrinking tree: `generate` produces a value
+//! directly from the test RNG.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use crate::test_runner::TestRng;
+
+/// A composable generator of random test inputs.
+pub trait Strategy: 'static {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Returns a strategy producing `f(value)` for each generated `value`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Returns a strategy that recursively composes `self` (the leaf case)
+    /// through `recurse` up to `depth` levels deep.
+    ///
+    /// `_desired_size` and `_expected_branch_size` are accepted for
+    /// API-compatibility with the real proptest but unused: depth alone
+    /// bounds the shim's generated values.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized,
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            depth,
+            recurse: Arc::new(move |inner| recurse(inner).boxed()),
+        }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Arc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<V> fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+impl<V: 'static> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<V>(
+    /// The value to yield.
+    pub V,
+);
+
+impl<V: Clone + 'static> Strategy for Just<V> {
+    type Value = V;
+
+    fn generate(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + 'static,
+    O: 'static,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<V> {
+    base: BoxedStrategy<V>,
+    depth: u32,
+    recurse: Arc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+}
+
+impl<V> Clone for Recursive<V> {
+    fn clone(&self) -> Self {
+        Recursive {
+            base: self.base.clone(),
+            depth: self.depth,
+            recurse: Arc::clone(&self.recurse),
+        }
+    }
+}
+
+impl<V> fmt::Debug for Recursive<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recursive").field("depth", &self.depth).finish()
+    }
+}
+
+impl<V: 'static> Strategy for Recursive<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        // Draw a recursion level uniformly so small and deep values both
+        // appear, then build the strategy tower for that level.  The
+        // recursive strategy still embeds `inner` (and typically leaves) at
+        // every level, so depth is an upper bound, not an exact size.
+        let levels = rng.below(u64::from(self.depth) + 1) as u32;
+        let mut strategy = self.base.clone();
+        for _ in 0..levels {
+            strategy = (self.recurse)(strategy);
+        }
+        strategy.generate(rng)
+    }
+}
+
+/// Uniform choice between strategies of a common value type.  Built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Union").field("options", &self.options.len()).finish()
+    }
+}
+
+impl<V> Union<V> {
+    /// Creates a union over `options`; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<V: 'static> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+// Spans are computed in the type's unsigned counterpart so that wide signed
+// ranges (e.g. `i64::MIN..=i64::MAX`) cannot overflow: in two's complement,
+// `(hi as $u).wrapping_sub(lo as $u)` is the true span for any `lo <= hi`,
+// and adding the sample back with `wrapping_add` lands in range.
+macro_rules! impl_strategy_for_int_ranges {
+    ($(($t:ty, $u:ty)),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                (self.start as $u).wrapping_add(rng.below(span) as $u) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as $u).wrapping_add(rng.below(span + 1) as $u) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_ranges!(
+    (u64, u64),
+    (usize, usize),
+    (u32, u32),
+    (u16, u16),
+    (u8, u8),
+    (i64, u64),
+    (i32, u32)
+);

@@ -1,0 +1,132 @@
+//! Test-case execution: configuration, the deterministic RNG, and the
+//! runner invoked by the [`proptest!`](crate::proptest) macro.
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// Runner configuration.  Exposed as `ProptestConfig` from the prelude.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum number of rejected (`prop_assume!`) cases tolerated before
+    /// the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Outcome of a single test case, produced by the assertion macros.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property failed; the test panics with this message.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and is not counted.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure outcome.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Creates a rejection outcome.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Deterministic RNG driving generation; a thin wrapper over the vendored
+/// `rand` shim's [`StdRng`](rand::rngs::StdRng) so both shims share one
+/// generator implementation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Creates an RNG with the given seed.
+    pub fn new(seed: u64) -> Self {
+        use rand::SeedableRng;
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Returns the next 64-bit value in the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.inner.next_u64()
+    }
+
+    /// Returns a uniform value in `[0, bound)`; panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+}
+
+/// Derives a per-test seed from the test's name, so each property has a
+/// stable, independent stream (FNV-1a).
+fn seed_from_name(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Runs `test` against `config.cases` generated inputs.  Called by the
+/// [`proptest!`](crate::proptest) macro; public so generated code can reach
+/// it.
+pub fn run_proptest<V: 'static>(
+    config: Config,
+    name: &str,
+    strategy: &BoxedStrategy<V>,
+    test: impl Fn(V) -> Result<(), TestCaseError>,
+) {
+    let seed = seed_from_name(name);
+    let mut rng = TestRng::new(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u64;
+    while passed < config.cases {
+        case += 1;
+        let value = strategy.generate(&mut rng);
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected cases \
+                         ({rejected} rejects for {passed} passes; seed {seed:#018x})"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest case #{case} of '{name}' failed (seed {seed:#018x}): {message}"
+                );
+            }
+        }
+    }
+}
