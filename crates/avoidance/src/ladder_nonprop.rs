@@ -22,8 +22,6 @@
 //! bound is conservative whenever `H` does not lie on the hop-longest path,
 //! exactly as in the paper.
 
-use std::collections::HashMap;
-
 use fila_graph::{Graph, NodeId};
 use fila_spdag::{CompId, SpForest, SpMetrics};
 
@@ -31,12 +29,81 @@ use crate::interval::{DummyInterval, IntervalMap, Rounding};
 use crate::ladder::LadderDecomposition;
 use crate::ladder_prop::LadderIndex;
 
-/// One directed constituent of the ladder skeleton.
+/// One directed constituent of the ladder skeleton, with its endpoints
+/// pre-resolved to block-local vertex ids so the DP tables below are plain
+/// vector lookups.
 #[derive(Debug, Clone, Copy)]
 struct SkelEdge {
-    from: NodeId,
-    to: NodeId,
     comp: CompId,
+    from_l: usize,
+    to_l: usize,
+}
+
+/// The contracted ladder skeleton: dense adjacency over the block-local
+/// vertex numbering plus a topological order of the local ids.
+struct Skeleton {
+    edges: Vec<SkelEdge>,
+    /// Per local vertex: indices into `edges` of the constituents leaving it.
+    out_adj: Vec<Vec<usize>>,
+    /// Topological order of the local vertex ids (the block is small, so a
+    /// simple Kahn pass suffices).
+    order: Vec<usize>,
+}
+
+impl Skeleton {
+    fn new(ladder: &LadderDecomposition, index: &LadderIndex) -> Self {
+        let local = index.local();
+        let n = local.len();
+        let edges: Vec<SkelEdge> = ladder
+            .rails
+            .iter()
+            .map(|r| SkelEdge {
+                comp: r.comp,
+                from_l: local.of(r.from),
+                to_l: local.of(r.to),
+            })
+            .chain(ladder.rungs.iter().map(|r| SkelEdge {
+                comp: r.comp,
+                from_l: local.of(r.tail),
+                to_l: local.of(r.head),
+            }))
+            .collect();
+        let mut out_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            out_adj[e.from_l].push(i);
+        }
+        let mut indeg = vec![0usize; n];
+        for e in &edges {
+            indeg[e.to_l] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &ei in &out_adj[v] {
+                let t = edges[ei].to_l;
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        Skeleton { edges, out_adj, order }
+    }
+
+    /// Dense table of the local vertices that can reach `t_l` following
+    /// skeleton edges (computed in one reverse-topological sweep).
+    fn reaches_to(&self, t_l: usize) -> Vec<bool> {
+        let mut reach = vec![false; self.out_adj.len()];
+        reach[t_l] = true;
+        for &v in self.order.iter().rev() {
+            if reach[v] {
+                continue;
+            }
+            reach[v] = self.out_adj[v].iter().any(|&ei| reach[self.edges[ei].to_l]);
+        }
+        reach
+    }
 }
 
 /// Applies the external-cycle Non-Propagation constraints of one SP-ladder
@@ -50,33 +117,24 @@ pub fn apply_ladder_nonpropagation(
     intervals: &mut IntervalMap,
 ) {
     let index = LadderIndex::new(ladder);
+    let skeleton = Skeleton::new(ladder, &index);
+    let local = index.local();
 
-    // Skeleton adjacency and a topological order of the block's vertices.
-    let edges: Vec<SkelEdge> = ladder
-        .rails
-        .iter()
-        .map(|r| SkelEdge { from: r.from, to: r.to, comp: r.comp })
-        .chain(ladder.rungs.iter().map(|r| SkelEdge {
-            from: r.tail,
-            to: r.head,
-            comp: r.comp,
-        }))
-        .collect();
-    let mut vertices: Vec<NodeId> = ladder.left.clone();
-    for &v in &ladder.right {
-        if !vertices.contains(&v) {
-            vertices.push(v);
-        }
-    }
-    let order = topo_order_of_block(&vertices, &edges);
-
-    // Potential sinks: the ladder sink plus every cross-link head.
+    // Potential sinks: the ladder sink plus every cross-link head, each with
+    // its precomputed can-reach table.
     let mut sinks: Vec<NodeId> = vec![ladder.sink];
     for r in &ladder.rungs {
         if !sinks.contains(&r.head) {
             sinks.push(r.head);
         }
     }
+    let sink_reach: Vec<(NodeId, usize, Vec<bool>)> = sinks
+        .iter()
+        .map(|&t| {
+            let t_l = local.of(t);
+            (t, t_l, skeleton.reaches_to(t_l))
+        })
+        .collect();
 
     for &w in index.forks() {
         let outgoing = index.outgoing_constituents(ladder, w);
@@ -86,40 +144,31 @@ pub fn apply_ladder_nonpropagation(
         // For each outgoing constituent, the skeleton-level DP tables of
         // shortest buffer length and longest hop count to every vertex,
         // where the path is forced to start through that constituent.
-        let tables: Vec<(CompId, NodeId, Dp)> = outgoing
+        let tables: Vec<(CompId, Dp)> = outgoing
             .iter()
-            .map(|&(comp, next)| {
-                (
-                    comp,
-                    next,
-                    Dp::from_start(metrics, &edges, &order, comp, next),
-                )
-            })
+            .map(|&(comp, next)| (comp, Dp::from_start(metrics, &skeleton, comp, local.of(next))))
             .collect();
 
-        for (i, (comp_e, _, dp_e)) in tables.iter().enumerate() {
-            for (j, (_, _, dp_o)) in tables.iter().enumerate() {
+        for (i, (comp_e, dp_e)) in tables.iter().enumerate() {
+            for (j, (_, dp_o)) in tables.iter().enumerate() {
                 if i == j {
                     continue;
                 }
-                for &t in &sinks {
-                    if t == w {
+                for (t, t_l, reach_t) in &sink_reach {
+                    if *t == w {
                         continue;
                     }
                     let (Some(h_e), Some(l_o)) =
-                        (dp_e.longest_hops(t), dp_o.shortest_buffer(t))
+                        (dp_e.longest_hops(*t_l), dp_o.shortest_buffer(*t_l))
                     else {
                         continue;
                     };
                     // Every constituent H on some w -> t path that starts
                     // through c_e: H itself, plus any constituent reachable
                     // from c_e's head that can still reach t.
-                    for edge in &edges {
-                        let on_path = if edge.comp == *comp_e {
-                            true
-                        } else {
-                            dp_e.reaches(edge.from) && can_reach(&edges, &order, edge.to, t)
-                        };
+                    for edge in &skeleton.edges {
+                        let on_path = edge.comp == *comp_e
+                            || (dp_e.reaches(edge.from_l) && reach_t[edge.to_l]);
                         if !on_path {
                             continue;
                         }
@@ -136,101 +185,71 @@ pub fn apply_ladder_nonpropagation(
     }
 }
 
-/// Per-start DP tables over the ladder skeleton.
+/// Per-start DP tables over the ladder skeleton, dense over the block-local
+/// vertex ids.  Reachability is tracked separately from the values so that
+/// a path whose buffer length saturates at `u64::MAX` (edges with
+/// effectively unbounded capacity) is still treated as reachable, exactly
+/// like the `HashMap`-based tables this replaced.
 struct Dp {
-    shortest: HashMap<NodeId, u64>,
-    longest: HashMap<NodeId, u64>,
+    reached: Vec<bool>,
+    shortest: Vec<u64>,
+    longest: Vec<u64>,
 }
 
 impl Dp {
     /// Builds the tables for paths that start at the fork, traverse
-    /// `first_comp` to `first_next`, and then continue freely.
+    /// `first_comp` to the vertex with local id `first_next_l`, and then
+    /// continue freely.
     fn from_start(
         metrics: &SpMetrics,
-        edges: &[SkelEdge],
-        order: &[NodeId],
+        skeleton: &Skeleton,
         first_comp: CompId,
-        first_next: NodeId,
+        first_next_l: usize,
     ) -> Dp {
-        let mut shortest = HashMap::new();
-        let mut longest = HashMap::new();
-        shortest.insert(first_next, metrics.l(first_comp));
-        longest.insert(first_next, metrics.h(first_comp));
-        for &v in order {
-            let (Some(&sv), Some(&lv)) = (shortest.get(&v), longest.get(&v)) else {
+        let n = skeleton.out_adj.len();
+        let mut reached = vec![false; n];
+        let mut shortest = vec![u64::MAX; n];
+        let mut longest = vec![0u64; n];
+        reached[first_next_l] = true;
+        shortest[first_next_l] = metrics.l(first_comp);
+        longest[first_next_l] = metrics.h(first_comp);
+        for &v in &skeleton.order {
+            if !reached[v] {
                 continue;
-            };
-            for edge in edges.iter().filter(|e| e.from == v) {
+            }
+            let (sv, lv) = (shortest[v], longest[v]);
+            for &ei in &skeleton.out_adj[v] {
+                let edge = skeleton.edges[ei];
                 let cand_s = sv.saturating_add(metrics.l(edge.comp));
                 let cand_l = lv.saturating_add(metrics.h(edge.comp));
-                shortest
-                    .entry(edge.to)
-                    .and_modify(|cur| *cur = (*cur).min(cand_s))
-                    .or_insert(cand_s);
-                longest
-                    .entry(edge.to)
-                    .and_modify(|cur| *cur = (*cur).max(cand_l))
-                    .or_insert(cand_l);
+                if reached[edge.to_l] {
+                    shortest[edge.to_l] = shortest[edge.to_l].min(cand_s);
+                    longest[edge.to_l] = longest[edge.to_l].max(cand_l);
+                } else {
+                    reached[edge.to_l] = true;
+                    shortest[edge.to_l] = cand_s;
+                    longest[edge.to_l] = cand_l;
+                }
             }
         }
-        Dp { shortest, longest }
-    }
-
-    fn shortest_buffer(&self, t: NodeId) -> Option<u64> {
-        self.shortest.get(&t).copied()
-    }
-
-    fn longest_hops(&self, t: NodeId) -> Option<u64> {
-        self.longest.get(&t).copied()
-    }
-
-    fn reaches(&self, v: NodeId) -> bool {
-        self.shortest.contains_key(&v)
-    }
-}
-
-/// Topological order of the block's vertices with respect to its skeleton
-/// edges (the block is small, so a simple Kahn pass suffices).
-fn topo_order_of_block(vertices: &[NodeId], edges: &[SkelEdge]) -> Vec<NodeId> {
-    let mut indeg: HashMap<NodeId, usize> = vertices.iter().map(|&v| (v, 0)).collect();
-    for e in edges {
-        *indeg.get_mut(&e.to).expect("edge endpoint in block") += 1;
-    }
-    let mut queue: Vec<NodeId> = vertices
-        .iter()
-        .copied()
-        .filter(|v| indeg[v] == 0)
-        .collect();
-    let mut out = Vec::with_capacity(vertices.len());
-    while let Some(v) = queue.pop() {
-        out.push(v);
-        for e in edges.iter().filter(|e| e.from == v) {
-            let d = indeg.get_mut(&e.to).expect("endpoint");
-            *d -= 1;
-            if *d == 0 {
-                queue.push(e.to);
-            }
+        Dp {
+            reached,
+            shortest,
+            longest,
         }
     }
-    out
-}
 
-/// Whether `from` can reach `to` following skeleton edges.
-fn can_reach(edges: &[SkelEdge], order: &[NodeId], from: NodeId, to: NodeId) -> bool {
-    if from == to {
-        return true;
+    fn shortest_buffer(&self, t_l: usize) -> Option<u64> {
+        self.reached[t_l].then_some(self.shortest[t_l])
     }
-    let mut reach: HashMap<NodeId, bool> = HashMap::new();
-    reach.insert(from, true);
-    for &v in order {
-        if !reach.get(&v).copied().unwrap_or(false) {
-            continue;
-        }
-        for e in edges.iter().filter(|e| e.from == v) {
-            reach.insert(e.to, true);
-        }
+
+    fn longest_hops(&self, t_l: usize) -> Option<u64> {
+        self.reached[t_l].then_some(self.longest[t_l])
     }
-    reach.get(&to).copied().unwrap_or(false)
+
+    fn reaches(&self, v_l: usize) -> bool {
+        self.reached[v_l]
+    }
 }
 
 #[cfg(test)]

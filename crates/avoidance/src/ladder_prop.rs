@@ -19,8 +19,6 @@
 //! branch that has just crossed to the other side may stop at its landing
 //! vertex only if a *second* cross-link also arrives there.
 
-use std::collections::HashMap;
-
 use fila_graph::{Graph, NodeId};
 use fila_spdag::{CompId, SpForest, SpMetrics};
 
@@ -40,8 +38,8 @@ pub fn apply_ladder_propagation(
     let index = LadderIndex::new(ladder);
     let starts = compute_start_values(metrics, ladder, &index);
 
-    for &w in index.forks() {
-        let Some(outgoing) = starts.get(&w) else { continue };
+    for (fork_idx, &w) in index.forks().iter().enumerate() {
+        let outgoing = &starts[fork_idx];
         if outgoing.len() < 2 {
             // A single outgoing constituent cannot be the source of an
             // external cycle.
@@ -66,27 +64,83 @@ pub fn apply_ladder_propagation(
     }
 }
 
+/// Ladder-local dense vertex numbering.  A block's algorithms only ever key
+/// tables by the block's own vertices, so every per-vertex table can be a
+/// dense `Vec` indexed by this local id instead of a `HashMap<NodeId, _>`
+/// (the planner benches exercise these tables on every CS4 topology).
+pub(crate) struct LadderLocal {
+    /// Number of distinct vertices in the block (local ids are `0..len`).
+    len: usize,
+    /// Global raw node index → local id (`u32::MAX` = not in the block),
+    /// sized by the largest member's raw index.
+    local: Vec<u32>,
+}
+
+impl LadderLocal {
+    fn new(ladder: &LadderDecomposition) -> Self {
+        let mut len = 0usize;
+        let mut local: Vec<u32> = Vec::new();
+        for &v in ladder.left.iter().chain(ladder.right.iter()) {
+            if local.len() <= v.index() {
+                local.resize(v.index() + 1, u32::MAX);
+            }
+            if local[v.index()] == u32::MAX {
+                local[v.index()] = len as u32;
+                len += 1;
+            }
+        }
+        LadderLocal { len, local }
+    }
+
+    /// Number of vertices in the block.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The local id of `n`, if it belongs to the block.
+    pub(crate) fn get(&self, n: NodeId) -> Option<usize> {
+        match self.local.get(n.index()) {
+            Some(&l) if l != u32::MAX => Some(l as usize),
+            _ => None,
+        }
+    }
+
+    /// The local id of a vertex known to belong to the block.
+    pub(crate) fn of(&self, n: NodeId) -> usize {
+        self.get(n).expect("vertex belongs to the ladder block")
+    }
+}
+
 /// Static shape information about a ladder block shared by the Propagation
-/// and Non-Propagation ladder algorithms.
+/// and Non-Propagation ladder algorithms.  All per-vertex tables are dense
+/// vectors over the [`LadderLocal`] numbering.
 pub(crate) struct LadderIndex {
+    local: LadderLocal,
     forks: Vec<NodeId>,
     side_vertices: [Vec<NodeId>; 2],
-    rail_out: HashMap<NodeId, (NodeId, CompId)>,
-    rungs_by_tail: HashMap<NodeId, Vec<(NodeId, CompId)>>,
-    rung_head_count: HashMap<NodeId, usize>,
+    /// Per local vertex: the rail leaving it downwards (for the source,
+    /// which has one rail per side, the last rail in declaration order wins
+    /// — callers treat the source specially).
+    rail_out: Vec<Option<(NodeId, CompId)>>,
+    /// Per local vertex: the cross-links leaving it.
+    rungs_by_tail: Vec<Vec<(NodeId, CompId)>>,
+    /// Per local vertex: the number of cross-links arriving.
+    rung_head_count: Vec<usize>,
 }
 
 impl LadderIndex {
     pub(crate) fn new(ladder: &LadderDecomposition) -> Self {
-        let mut rail_out = HashMap::new();
+        let local = LadderLocal::new(ladder);
+        let n = local.len();
+        let mut rail_out = vec![None; n];
         for r in &ladder.rails {
-            rail_out.insert(r.from, (r.to, r.comp));
+            rail_out[local.of(r.from)] = Some((r.to, r.comp));
         }
-        let mut rungs_by_tail: HashMap<NodeId, Vec<(NodeId, CompId)>> = HashMap::new();
-        let mut rung_head_count: HashMap<NodeId, usize> = HashMap::new();
+        let mut rungs_by_tail: Vec<Vec<(NodeId, CompId)>> = vec![Vec::new(); n];
+        let mut rung_head_count = vec![0usize; n];
         for r in &ladder.rungs {
-            rungs_by_tail.entry(r.tail).or_default().push((r.head, r.comp));
-            *rung_head_count.entry(r.head).or_default() += 1;
+            rungs_by_tail[local.of(r.tail)].push((r.head, r.comp));
+            rung_head_count[local.of(r.head)] += 1;
         }
         let mut forks: Vec<NodeId> = vec![ladder.source];
         for r in &ladder.rungs {
@@ -95,12 +149,18 @@ impl LadderIndex {
             }
         }
         LadderIndex {
+            local,
             forks,
             side_vertices: [ladder.left.clone(), ladder.right.clone()],
             rail_out,
             rungs_by_tail,
             rung_head_count,
         }
+    }
+
+    /// The block-local vertex numbering.
+    pub(crate) fn local(&self) -> &LadderLocal {
+        &self.local
     }
 
     /// The ladder source plus every cross-link tail.
@@ -118,17 +178,20 @@ impl LadderIndex {
 
     /// The rail leaving `v` downwards, as `(next vertex, component)`.
     pub(crate) fn rail_out(&self, v: NodeId) -> Option<(NodeId, CompId)> {
-        self.rail_out.get(&v).copied()
+        self.local.get(v).and_then(|l| self.rail_out[l])
     }
 
     /// Cross-links leaving `v`, as `(head, component)` pairs.
     pub(crate) fn rungs_out(&self, v: NodeId) -> &[(NodeId, CompId)] {
-        self.rungs_by_tail.get(&v).map(Vec::as_slice).unwrap_or(&[])
+        self.local
+            .get(v)
+            .map(|l| self.rungs_by_tail[l].as_slice())
+            .unwrap_or(&[])
     }
 
     /// Number of cross-links whose head is `v`.
     pub(crate) fn rung_heads_at(&self, v: NodeId) -> usize {
-        self.rung_head_count.get(&v).copied().unwrap_or(0)
+        self.local.get(v).map_or(0, |l| self.rung_head_count[l])
     }
 
     /// All constituents leaving `w`: its rail(s) plus its cross-links.  The
@@ -160,19 +223,21 @@ impl LadderIndex {
     }
 }
 
-/// Computes, for every fork `w`, the list of `(outgoing constituent,
-/// shortest escape length through that constituent)` pairs — the `Ls` / `Lk`
-/// values of §VI.A.
+/// Computes, for every fork `w` (in [`LadderIndex::forks`] order), the list
+/// of `(outgoing constituent, shortest escape length through that
+/// constituent)` pairs — the `Ls` / `Lk` values of §VI.A.
 fn compute_start_values(
     metrics: &SpMetrics,
     ladder: &LadderDecomposition,
     index: &LadderIndex,
-) -> HashMap<NodeId, Vec<(CompId, u64)>> {
-    // `down[(side, v)]` = cheapest completion of a branch that is at `v`,
-    // having arrived along its own side's rail, and may now stop (if a
-    // cross-link arrives at `v` or `v` is the sink), cross a cross-link at
-    // `v` and stop at its head, or keep descending.
-    let mut down: HashMap<(u8, NodeId), u64> = HashMap::new();
+) -> Vec<Vec<(CompId, u64)>> {
+    // `down[side][v]` (dense over local vertex ids, `u64::MAX` = no
+    // completion) = cheapest completion of a branch that is at `v`, having
+    // arrived along its own side's rail, and may now stop (if a cross-link
+    // arrives at `v` or `v` is the sink), cross a cross-link at `v` and stop
+    // at its head, or keep descending.
+    let local = index.local();
+    let mut down = [vec![u64::MAX; local.len()], vec![u64::MAX; local.len()]];
     for side in [Side::Left, Side::Right] {
         let verts = index.vertices(side);
         for &v in verts.iter().rev() {
@@ -187,29 +252,22 @@ fn compute_start_values(
                 best = best.min(metrics.l(comp));
             }
             if let Some((next, rail)) = index.rail_out(v) {
-                let below = down.get(&(side_key(side), next)).copied().unwrap_or(u64::MAX);
+                let below = down[side_key(side) as usize][local.of(next)];
                 best = best.min(metrics.l(rail).saturating_add(below));
             }
-            down.insert((side_key(side), v), best);
+            down[side_key(side) as usize][local.of(v)] = best;
         }
     }
 
     let down_at = |v: NodeId| -> u64 {
-        let side = ladder.side_of(v).map(side_key).unwrap_or_else(|| {
-            if v == ladder.sink {
-                // Either key works for the sink; it is stored for both sides.
-                0
-            } else {
-                0
-            }
-        });
         if v == ladder.sink {
             return 0;
         }
-        down.get(&(side, v)).copied().unwrap_or(u64::MAX)
+        let side = ladder.side_of(v).map(side_key).unwrap_or(0);
+        local.get(v).map_or(u64::MAX, |l| down[side as usize][l])
     };
 
-    let mut starts: HashMap<NodeId, Vec<(CompId, u64)>> = HashMap::new();
+    let mut starts: Vec<Vec<(CompId, u64)>> = Vec::with_capacity(index.forks().len());
     for &w in index.forks() {
         let mut list = Vec::new();
         // Rails leaving w (two for the source, at most one otherwise): the
@@ -240,7 +298,7 @@ fn compute_start_values(
             }
             list.push((comp, metrics.l(comp).saturating_add(cont)));
         }
-        starts.insert(w, list);
+        starts.push(list);
     }
     starts
 }

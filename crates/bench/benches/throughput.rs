@@ -1,0 +1,264 @@
+//! Runtime-engine throughput on wide and deep generated DAGs across filter
+//! rates — the scaling benchmark behind the worklist-scheduler optimisation.
+//!
+//! Every simulator workload is measured under both schedulers so the
+//! speedup of the event-driven worklist over the `O(V)`-per-step reference
+//! scan is read directly off one run; the threaded engine is measured on a
+//! moderate ladder (one OS thread per node bounds how wide it can go).
+//!
+//! Set `FILA_BENCH_FAST=1` to run a tiny smoke configuration (used by CI to
+//! catch bench rot), and `FILA_BENCH_JSON=<path>` to emit the
+//! machine-readable record file (see the vendored criterion shim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fila_avoidance::{Algorithm, Planner};
+use fila_graph::{Graph, GraphBuilder};
+use fila_runtime::{Scheduler, Simulator, ThreadedExecutor, Topology};
+use fila_workloads::generators::{
+    periodic_filtered_topology, random_ladder, random_sp_dag, GeneratorConfig, LadderConfig,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn fast() -> bool {
+    std::env::var_os("FILA_BENCH_FAST").is_some()
+}
+
+const SCHEDULERS: [(Scheduler, &str); 2] = [
+    (Scheduler::Worklist, "worklist"),
+    (Scheduler::Scan, "scan"),
+];
+
+/// A linear pipeline of `n` nodes (capacity 4).  `reversed` declares the
+/// nodes against the flow direction, so node ids are anti-topological: the
+/// scan scheduler then advances each message only one hop per full `O(n)`
+/// sweep (its generic behaviour on graphs whose declaration order does not
+/// happen to match the dataflow), while with forward ids a single sweep
+/// luckily rides a message all the way down.  The worklist scheduler is
+/// insensitive to declaration order.
+fn pipeline(n: usize, reversed: bool) -> Graph {
+    let names: Vec<String> = (0..n).map(|i| format!("n{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut b = GraphBuilder::new().default_capacity(4);
+    if reversed {
+        for name in refs.iter().rev() {
+            b.node(name);
+        }
+    }
+    b.chain(&refs).unwrap();
+    b.build().unwrap()
+}
+
+/// The canonical period filter on every node (see
+/// [`fila_workloads::generators::periodic_filtered_topology`]; period 1 =
+/// broadcast, no filtering).
+fn filtered_topology(g: &Graph, period: u64) -> Topology {
+    periodic_filtered_topology(g, |_| period)
+}
+
+/// Filters only at the single source (the fork-filtering scenario of the
+/// paper's Figs. 1–3, which every planner algorithm protects on every graph
+/// class); interior nodes broadcast (period 1).
+fn fork_filtered_topology(g: &Graph, period: u64) -> Topology {
+    let source = g.single_source().unwrap();
+    periodic_filtered_topology(g, |n| if n == source { period } else { 1 })
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput_pipeline");
+    group.sample_size(if fast() { 3 } else { 10 });
+    let sizes: &[usize] = if fast() { &[32] } else { &[64, 256, 1024, 4096] };
+    let inputs = 32;
+    for &n in sizes {
+        for (reversed, order) in [(false, "fwd"), (true, "rev")] {
+            let g = pipeline(n, reversed);
+            let topo = Topology::from_graph(&g);
+            for (scheduler, name) in SCHEDULERS {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}/{order}/nodes"), n),
+                    &n,
+                    |b, _| {
+                        b.iter(|| {
+                            let report = Simulator::new(&topo).scheduler(scheduler).run(inputs);
+                            assert!(report.completed);
+                            black_box(report.data_messages)
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_wide_sp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput_sp");
+    group.sample_size(if fast() { 3 } else { 10 });
+    let sizes: &[usize] = if fast() { &[48] } else { &[256, 1024] };
+    let rates: &[u64] = if fast() { &[4] } else { &[1, 4, 16] };
+    let inputs = if fast() { 32 } else { 128 };
+    for &edges in sizes {
+        let (g, _) = random_sp_dag(&GeneratorConfig {
+            target_edges: edges,
+            max_fanout: 4,
+            capacity_range: (2, 8),
+            seed: 0xF11A + edges as u64,
+        });
+        // Non-Propagation handles filtering at interior nodes, which the
+        // random per-node filters below produce.  The plan is shared via
+        // Arc so the timed region never copies the interval table.
+        let plan = Arc::new(
+            Planner::new(&g)
+                .algorithm(Algorithm::NonPropagation)
+                .plan()
+                .unwrap(),
+        );
+        for &rate in rates {
+            let topo = filtered_topology(&g, rate);
+            for (scheduler, name) in SCHEDULERS {
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{name}/edges{edges}"),
+                        format!("rate{rate}"),
+                    ),
+                    &rate,
+                    |b, _| {
+                        b.iter(|| {
+                            let report = Simulator::new(&topo)
+                                .with_shared_plan(Arc::clone(&plan))
+                                .scheduler(scheduler)
+                                .run(inputs);
+                            assert!(report.completed, "{report:?}");
+                            black_box(report.data_messages + report.dummy_messages)
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput_ladder");
+    group.sample_size(if fast() { 3 } else { 10 });
+    let sizes: &[usize] = if fast() { &[8] } else { &[85, 341] };
+    let rates: &[u64] = if fast() { &[16] } else { &[1, 16] };
+    let inputs = if fast() { 32 } else { 128 };
+    for &rungs in sizes {
+        let g = random_ladder(&LadderConfig {
+            rungs,
+            capacity_range: (2, 8),
+            reverse_probability: 0.3,
+            seed: 0x1ADD + rungs as u64,
+        });
+        let plan = Arc::new(
+            Planner::new(&g)
+                .algorithm(Algorithm::NonPropagation)
+                .plan()
+                .unwrap(),
+        );
+        for &rate in rates {
+            let topo = fork_filtered_topology(&g, rate);
+            for (scheduler, name) in SCHEDULERS {
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{name}/rungs{rungs}"),
+                        format!("rate{rate}"),
+                    ),
+                    &rate,
+                    |b, _| {
+                        b.iter(|| {
+                            let report = Simulator::new(&topo)
+                                .with_shared_plan(Arc::clone(&plan))
+                                .scheduler(scheduler)
+                                .run(inputs);
+                            assert!(report.completed, "{report:?}");
+                            black_box(report.data_messages + report.dummy_messages)
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput_threaded");
+    group.sample_size(if fast() { 2 } else { 10 });
+    let rungs = 16;
+    let inputs = if fast() { 200 } else { 2000 };
+    let g = random_ladder(&LadderConfig {
+        rungs,
+        capacity_range: (2, 8),
+        reverse_probability: 0.3,
+        seed: 0x1ADD,
+    });
+    let plan = Arc::new(
+        Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap(),
+    );
+    for &rate in &[1u64, 16] {
+        let topo = fork_filtered_topology(&g, rate);
+        group.bench_with_input(
+            BenchmarkId::new(format!("rungs{rungs}"), format!("rate{rate}")),
+            &rate,
+            |b, _| {
+                b.iter(|| {
+                    let report = ThreadedExecutor::new(&topo)
+                        .with_shared_plan(Arc::clone(&plan))
+                        .run(inputs);
+                    assert!(report.completed, "{report:?}");
+                    black_box(report.data_messages + report.dummy_messages)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Time to *detect* a deadlock on an unprotected, heavily filtering ladder:
+/// the scan scheduler needs a full unproductive sweep over all nodes, the
+/// worklist simply runs its ready queue dry.
+fn bench_deadlock_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput_deadlock");
+    group.sample_size(if fast() { 3 } else { 10 });
+    let sizes: &[usize] = if fast() { &[8] } else { &[85, 341] };
+    let inputs = if fast() { 32 } else { 128 };
+    for &rungs in sizes {
+        let g = random_ladder(&LadderConfig {
+            rungs,
+            capacity_range: (2, 8),
+            reverse_probability: 0.3,
+            seed: 0x1ADD + rungs as u64,
+        });
+        let topo = filtered_topology(&g, 4);
+        for (scheduler, name) in SCHEDULERS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/rungs"), rungs),
+                &rungs,
+                |b, _| {
+                    b.iter(|| {
+                        let report = Simulator::new(&topo).scheduler(scheduler).run(inputs);
+                        assert!(report.deadlocked, "{report:?}");
+                        black_box(report.blocked.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_wide_sp,
+    bench_ladder,
+    bench_threaded,
+    bench_deadlock_detection
+);
+criterion_main!(benches);

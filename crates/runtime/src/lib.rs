@@ -39,7 +39,7 @@ pub use filters::{Bernoulli, Broadcast, Collector, ModuloFilter, RouteRoundRobin
 pub use message::{Message, Payload};
 pub use node::{FireDecision, FireInput, NodeBehavior};
 pub use report::{BlockedInfo, BlockedReason, ExecutionReport};
-pub use simulator::Simulator;
+pub use simulator::{Scheduler, Simulator};
 pub use threaded::ThreadedExecutor;
 pub use topology::{BehaviorFactory, Topology};
 pub use wrapper::{AvoidanceMode, DummyWrapper};

@@ -1,26 +1,53 @@
 //! A deterministic, single-threaded executor with exact deadlock detection.
 //!
-//! The simulator advances one node at a time, repeatedly scanning for a node
-//! that can make progress (deliver a buffered output, or accept the next
-//! sequence number).  When no node can progress and not every node has
-//! reached end-of-stream, the run is *deadlocked* — exactly the condition
-//! the paper's avoidance machinery is designed to prevent — and the report
-//! records which node is blocked on which channel.
+//! The simulator advances one node at a time.  Two schedulers are available:
+//!
+//! * [`Scheduler::Worklist`] (the default) — an event-driven ready queue
+//!   seeded with the source nodes.  Firing a node re-enqueues only the nodes
+//!   its action could have unblocked: the consumers of channels it made
+//!   non-empty and the producers of channels it made non-full.  Per-step
+//!   cost is therefore proportional to the fired node's degree, and deadlock
+//!   is detected exactly as "ready queue empty but not every node finished"
+//!   — no sweep over the whole graph is ever needed.
+//! * [`Scheduler::Scan`] — the original reference scheduler, which
+//!   repeatedly round-robins over *every* node looking for one that can make
+//!   progress and declares deadlock after a full unproductive pass.  It is
+//!   `O(V)` per step and kept as the executable specification the worklist
+//!   scheduler is property-tested against.
+//!
+//! Both schedulers run the same per-node `step` function, so they execute
+//! the same Kahn-style deterministic semantics and produce identical message
+//! counts, completion, and deadlock verdicts (the equivalence is enforced by
+//! a property test over generated topologies).  When no node can progress
+//! and not every node has reached end-of-stream, the run is *deadlocked* —
+//! exactly the condition the paper's avoidance machinery is designed to
+//! prevent — and the report records which node is blocked on which channel.
 //!
 //! Determinism makes the simulator the reference engine for the tests and
 //! benchmarks; the multi-threaded engine ([`crate::ThreadedExecutor`])
 //! exercises the same wrapper logic under real concurrency.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use fila_avoidance::AvoidancePlan;
-use fila_graph::{EdgeId, NodeId};
+use fila_graph::{EdgeId, Graph, NodeId};
 
-use crate::message::Message;
+use crate::message::{Message, Payload};
 use crate::node::{FireDecision, FireInput};
 use crate::report::{BlockedInfo, BlockedReason, ExecutionReport};
 use crate::topology::Topology;
 use crate::wrapper::{AvoidanceMode, DummyWrapper, PropagationTrigger};
+
+/// Which scheduling strategy [`Simulator`] uses to pick the next node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Event-driven worklist: `O(degree)` per step (the default).
+    #[default]
+    Worklist,
+    /// Full round-robin scan: `O(V)` per step; the reference semantics.
+    Scan,
+}
 
 /// Deterministic single-threaded execution engine.
 #[derive(Debug, Clone)]
@@ -28,6 +55,7 @@ pub struct Simulator<'t> {
     topology: &'t Topology,
     mode: AvoidanceMode,
     trigger: PropagationTrigger,
+    scheduler: Scheduler,
     max_steps: u64,
 }
 
@@ -38,13 +66,21 @@ impl<'t> Simulator<'t> {
             topology,
             mode: AvoidanceMode::Disabled,
             trigger: PropagationTrigger::default(),
+            scheduler: Scheduler::default(),
             max_steps: u64::MAX,
         }
     }
 
     /// Enables deadlock avoidance following `plan`.
     pub fn with_plan(mut self, plan: &AvoidancePlan) -> Self {
-        self.mode = AvoidanceMode::Plan(plan.clone());
+        self.mode = AvoidanceMode::plan(plan.clone());
+        self
+    }
+
+    /// Enables deadlock avoidance following an already-shared plan without
+    /// copying the interval table.
+    pub fn with_shared_plan(mut self, plan: Arc<AvoidancePlan>) -> Self {
+        self.mode = AvoidanceMode::Plan(plan);
         self
     }
 
@@ -61,6 +97,13 @@ impl<'t> Simulator<'t> {
         self
     }
 
+    /// Selects the scheduling strategy (the default is the event-driven
+    /// worklist; [`Scheduler::Scan`] is the reference implementation).
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// Bounds the number of scheduler steps (a safety valve for exploratory
     /// runs; the default is effectively unbounded).
     pub fn max_steps(mut self, max_steps: u64) -> Self {
@@ -71,7 +114,11 @@ impl<'t> Simulator<'t> {
     /// Runs the application, offering `inputs` sequence numbers at every
     /// source node, and returns the execution report.
     pub fn run(&self, inputs: u64) -> ExecutionReport {
-        Run::new(self.topology, &self.mode, self.trigger, inputs).execute(self.max_steps)
+        let run = Run::new(self.topology, &self.mode, self.trigger, inputs);
+        match self.scheduler {
+            Scheduler::Worklist => run.execute_worklist(self.max_steps),
+            Scheduler::Scan => run.execute_scan(self.max_steps),
+        }
     }
 }
 
@@ -92,6 +139,16 @@ struct Run<'t> {
     capacities: Vec<usize>,
     nodes: Vec<NodeState>,
     report: ExecutionReport,
+    /// Reusable per-firing scratch: consumed payloads per input channel.
+    data_in: Vec<Option<Payload>>,
+    /// Reusable scratch for [`Run::flush_pending`]'s full-channel set.
+    blocked_scratch: Vec<EdgeId>,
+    /// Channels that became non-empty during the current step (their
+    /// consumers may have been unblocked).
+    filled: Vec<EdgeId>,
+    /// Channels that went from full to non-full during the current step
+    /// (their producers may have been unblocked).
+    drained: Vec<EdgeId>,
 }
 
 impl<'t> Run<'t> {
@@ -132,11 +189,84 @@ impl<'t> Run<'t> {
             capacities,
             nodes,
             report,
+            data_in: Vec::new(),
+            blocked_scratch: Vec::new(),
+            filled: Vec::new(),
+            drained: Vec::new(),
         }
     }
 
-    fn execute(mut self, max_steps: u64) -> ExecutionReport {
-        let node_ids: Vec<NodeId> = self.topology.graph().node_ids().collect();
+    /// The application graph, free of the borrow on `self` (the topology
+    /// reference outlives the run, so graph-shape queries can be interleaved
+    /// with mutable access to channels and node states without copying edge
+    /// lists).
+    fn graph(&self) -> &'t Graph {
+        self.topology.graph()
+    }
+
+    /// Event-driven scheduler: a ready queue (plus an in-queue bitset)
+    /// seeded with the sources.  Invariant: any node that may be able to
+    /// make progress is in the queue, so an empty queue with unfinished
+    /// nodes is exactly a deadlock.
+    fn execute_worklist(mut self, max_steps: u64) -> ExecutionReport {
+        let g = self.graph();
+        let node_count = g.node_count();
+        let mut queue: VecDeque<NodeId> = VecDeque::with_capacity(node_count);
+        let mut in_queue = vec![false; node_count];
+        // All channels start empty, so only the sources can make the first
+        // move; everything else is woken by channel events.
+        for (idx, state) in self.nodes.iter().enumerate() {
+            if state.is_source {
+                queue.push_back(NodeId::from_raw(idx as u32));
+                in_queue[idx] = true;
+            }
+        }
+        while let Some(node) = queue.pop_front() {
+            in_queue[node.index()] = false;
+            if self.report.steps >= max_steps {
+                return self.finish(false, false);
+            }
+            if !self.step(node) {
+                // A node that could not progress recorded no channel events
+                // and is woken again only by one.
+                debug_assert!(self.filled.is_empty() && self.drained.is_empty());
+                continue;
+            }
+            self.report.steps += 1;
+            // The fired node may be able to progress again immediately …
+            if !self.nodes[node.index()].done && !in_queue[node.index()] {
+                in_queue[node.index()] = true;
+                queue.push_back(node);
+            }
+            // … and so may the consumers of channels it filled and the
+            // producers of channels it drained.
+            while let Some(e) = self.filled.pop() {
+                let consumer = g.head(e);
+                if !in_queue[consumer.index()] && !self.nodes[consumer.index()].done {
+                    in_queue[consumer.index()] = true;
+                    queue.push_back(consumer);
+                }
+            }
+            while let Some(e) = self.drained.pop() {
+                let producer = g.tail(e);
+                if !in_queue[producer.index()] && !self.nodes[producer.index()].done {
+                    in_queue[producer.index()] = true;
+                    queue.push_back(producer);
+                }
+            }
+        }
+        if self.nodes.iter().all(|s| s.done) {
+            self.finish(true, false)
+        } else {
+            self.finish(false, true)
+        }
+    }
+
+    /// Reference scheduler: round-robin over every node, declaring deadlock
+    /// after a full pass without progress.  `O(V)` per step; kept as the
+    /// executable specification for [`Run::execute_worklist`].
+    fn execute_scan(mut self, max_steps: u64) -> ExecutionReport {
+        let node_ids: Vec<NodeId> = self.graph().node_ids().collect();
         loop {
             let mut progressed = false;
             for &n in &node_ids {
@@ -147,6 +277,9 @@ impl<'t> Run<'t> {
                     progressed = true;
                     self.report.steps += 1;
                 }
+                // The scan scheduler polls rather than reacting to events.
+                self.filled.clear();
+                self.drained.clear();
             }
             if self.nodes.iter().all(|s| s.done) {
                 return self.finish(true, false);
@@ -160,7 +293,7 @@ impl<'t> Run<'t> {
     fn finish(mut self, completed: bool, stalled: bool) -> ExecutionReport {
         self.report.completed = completed;
         if !completed && stalled {
-            let g = self.topology.graph();
+            let g = self.graph();
             let mut blocked = Vec::new();
             for (idx, state) in self.nodes.iter().enumerate() {
                 if state.done {
@@ -192,6 +325,9 @@ impl<'t> Run<'t> {
     }
 
     /// Attempts to make progress on one node; returns whether it did.
+    ///
+    /// Channels made non-empty or non-full along the way are recorded in
+    /// `self.filled` / `self.drained` for the worklist scheduler.
     fn step(&mut self, node: NodeId) -> bool {
         // Phase 1: flush pending outputs (a node blocked on a full channel
         // cannot do anything else, mirroring a blocking send).
@@ -204,7 +340,7 @@ impl<'t> Run<'t> {
         if self.nodes[node.index()].done {
             return false;
         }
-        let g = self.topology.graph();
+        let g = self.graph();
         if self.nodes[node.index()].is_source {
             return self.step_source(node);
         }
@@ -225,55 +361,59 @@ impl<'t> Run<'t> {
 
         if accept_seq == u64::MAX {
             // End of stream on every input.
-            let out: Vec<EdgeId> = g.out_edges(node).to_vec();
-            for e in out {
+            for &e in g.out_edges(node) {
                 self.nodes[node.index()].pending.push_back((e, Message::Eos));
             }
-            let state = &mut self.nodes[node.index()];
-            state.eos_queued = true;
+            self.nodes[node.index()].eos_queued = true;
             self.flush_pending(node);
             self.mark_done_if_drained(node);
             return true;
         }
 
-        // Consume every head carrying this sequence number.
-        let mut data_in: Vec<Option<u64>> = vec![None; in_edges.len()];
+        // Consume every head carrying this sequence number into the
+        // reusable `data_in` scratch buffer.
+        self.data_in.clear();
+        self.data_in.resize(in_edges.len(), None);
         let mut consumed_dummy = false;
         for (idx, &e) in in_edges.iter().enumerate() {
             let channel = &mut self.channels[e.index()];
-            let head_seq = channel.front().expect("non-empty").seq();
-            if head_seq == accept_seq {
-                match channel.pop_front().expect("non-empty") {
-                    Message::Data { payload, .. } => data_in[idx] = Some(payload),
-                    Message::Dummy { .. } => consumed_dummy = true,
-                    Message::Eos => unreachable!("EOS has maximal sequence number"),
-                }
+            if channel.front().expect("non-empty").seq() != accept_seq {
+                continue;
+            }
+            let was_full = channel.len() >= self.capacities[e.index()];
+            match channel.pop_front().expect("non-empty") {
+                Message::Data { payload, .. } => self.data_in[idx] = Some(payload),
+                Message::Dummy { .. } => consumed_dummy = true,
+                Message::Eos => unreachable!("EOS has maximal sequence number"),
+            }
+            if was_full {
+                self.drained.push(e);
             }
         }
 
-        let out_count = g.out_degree(node);
-        let decision = if data_in.iter().any(Option::is_some) {
-            let input = FireInput {
-                seq: accept_seq,
-                data_in: &data_in,
-            };
-            if out_count == 0 {
+        if self.data_in.iter().any(Option::is_some) {
+            if g.out_degree(node) == 0 {
                 self.report.sink_firings += 1;
             }
-            self.nodes[node.index()].behavior.fire(&input)
+            let decision = self.nodes[node.index()].behavior.fire(&FireInput {
+                seq: accept_seq,
+                data_in: &self.data_in,
+            });
+            self.queue_outputs(node, accept_seq, &decision, consumed_dummy);
         } else {
-            FireDecision::silence(out_count)
-        };
-        self.queue_outputs(node, accept_seq, &decision, consumed_dummy);
+            // Only dummies were consumed: the behaviour is not invoked and
+            // no data is emitted, so skip building a FireDecision entirely.
+            self.queue_dummies_only(node, accept_seq, consumed_dummy);
+        }
         self.flush_pending(node);
         self.mark_done_if_drained(node);
         true
     }
 
     fn step_source(&mut self, node: NodeId) -> bool {
-        let g = self.topology.graph();
-        let state = &mut self.nodes[node.index()];
-        if state.next_source_seq < self.inputs {
+        let g = self.graph();
+        if self.nodes[node.index()].next_source_seq < self.inputs {
+            let state = &mut self.nodes[node.index()];
             let seq = state.next_source_seq;
             state.next_source_seq += 1;
             let decision = state.behavior.fire(&FireInput { seq, data_in: &[] });
@@ -281,10 +421,9 @@ impl<'t> Run<'t> {
             self.flush_pending(node);
             return true;
         }
-        if !state.eos_queued {
-            state.eos_queued = true;
-            let out: Vec<EdgeId> = g.out_edges(node).to_vec();
-            for e in out {
+        if !self.nodes[node.index()].eos_queued {
+            self.nodes[node.index()].eos_queued = true;
+            for &e in g.out_edges(node) {
                 self.nodes[node.index()].pending.push_back((e, Message::Eos));
             }
             self.flush_pending(node);
@@ -303,14 +442,12 @@ impl<'t> Run<'t> {
         decision: &FireDecision,
         consumed_dummy: bool,
     ) {
-        let g = self.topology.graph();
-        let out_edges: Vec<EdgeId> = g.out_edges(node).to_vec();
+        let out_edges = self.graph().out_edges(node);
         debug_assert_eq!(decision.emit.len(), out_edges.len());
-        let sent_data: Vec<bool> = decision.emit.iter().map(Option::is_some).collect();
-        let dummies = self.nodes[node.index()]
-            .wrapper
-            .on_accept(&sent_data, consumed_dummy);
         let state = &mut self.nodes[node.index()];
+        let dummies = state
+            .wrapper
+            .on_accept(consumed_dummy, |i| decision.emit[i].is_some());
         for (idx, &e) in out_edges.iter().enumerate() {
             if let Some(payload) = decision.emit[idx] {
                 state.pending.push_back((e, Message::Data { seq, payload }));
@@ -319,6 +456,20 @@ impl<'t> Run<'t> {
                 // Under the heartbeat trigger a dummy may accompany a data
                 // message with the same sequence number; consumers tolerate
                 // this (the dummy simply carries no new information).
+                state.pending.push_back((e, Message::Dummy { seq }));
+            }
+        }
+    }
+
+    /// Queues the dummies for a sequence number consumed without any data
+    /// (the all-`None` analogue of [`Run::queue_outputs`] that does not
+    /// build a [`FireDecision`]).
+    fn queue_dummies_only(&mut self, node: NodeId, seq: u64, consumed_dummy: bool) {
+        let out_edges = self.graph().out_edges(node);
+        let state = &mut self.nodes[node.index()];
+        let dummies = state.wrapper.on_accept(consumed_dummy, |_| false);
+        for (idx, &e) in out_edges.iter().enumerate() {
+            if dummies[idx] {
                 state.pending.push_back((e, Message::Dummy { seq }));
             }
         }
@@ -333,7 +484,8 @@ impl<'t> Run<'t> {
     /// independent blocking port.
     fn flush_pending(&mut self, node: NodeId) -> bool {
         let mut delivered = false;
-        let mut blocked_edges: Vec<EdgeId> = Vec::new();
+        let mut blocked_edges = std::mem::take(&mut self.blocked_scratch);
+        blocked_edges.clear();
         let mut i = 0;
         while i < self.nodes[node.index()].pending.len() {
             let (edge, message) = self.nodes[node.index()].pending[i];
@@ -346,6 +498,9 @@ impl<'t> Run<'t> {
                 blocked_edges.push(edge);
                 i += 1;
                 continue;
+            }
+            if channel.is_empty() {
+                self.filled.push(edge);
             }
             channel.push_back(message);
             self.nodes[node.index()].pending.remove(i);
@@ -362,6 +517,7 @@ impl<'t> Run<'t> {
                 Message::Eos => {}
             }
         }
+        self.blocked_scratch = blocked_edges;
         if delivered {
             self.mark_done_if_drained(node);
         }
@@ -412,16 +568,18 @@ mod tests {
     #[test]
     fn fig2_deadlocks_without_avoidance() {
         // A filters everything it sends to C; with finite buffers the
-        // application deadlocks exactly as in Fig. 2.
+        // application deadlocks exactly as in Fig. 2 — under both schedulers.
         let g = fig2(2);
         let a = g.node_by_name("A").unwrap();
         let topo = Topology::from_graph(&g)
             // A sends data to B always, to C never (out_edges(A) = [A->B, A->C]).
             .with(a, || Predicate::new(2, |_seq, out| out == 0));
-        let report = Simulator::new(&topo).run(1000);
-        assert!(report.deadlocked, "expected deadlock: {report:?}");
-        assert!(!report.completed);
-        assert!(!report.blocked.is_empty());
+        for scheduler in [Scheduler::Worklist, Scheduler::Scan] {
+            let report = Simulator::new(&topo).scheduler(scheduler).run(1000);
+            assert!(report.deadlocked, "{scheduler:?}: {report:?}");
+            assert!(!report.completed);
+            assert!(!report.blocked.is_empty());
+        }
     }
 
     #[test]
@@ -550,8 +708,13 @@ mod tests {
     fn max_steps_yields_inconclusive_report() {
         let g = pipeline();
         let topo = Topology::from_graph(&g);
-        let report = Simulator::new(&topo).max_steps(5).run(1_000_000);
-        assert!(report.inconclusive());
+        for scheduler in [Scheduler::Worklist, Scheduler::Scan] {
+            let report = Simulator::new(&topo)
+                .scheduler(scheduler)
+                .max_steps(5)
+                .run(1_000_000);
+            assert!(report.inconclusive(), "{scheduler:?}");
+        }
     }
 
     #[test]
@@ -580,5 +743,60 @@ mod tests {
             report.per_edge_dummies.iter().sum::<u64>(),
             report.dummy_messages
         );
+    }
+
+    #[test]
+    fn worklist_and_scan_agree_on_fig2_with_plans() {
+        let g = fig2(2);
+        let a = g.node_by_name("A").unwrap();
+        for algorithm in [Algorithm::Propagation, Algorithm::NonPropagation] {
+            let plan = Planner::new(&g).algorithm(algorithm).plan().unwrap();
+            let topo = Topology::from_graph(&g)
+                .with(a, || Predicate::new(2, |seq, out| out == 0 || seq % 5 == 0));
+            let wl = Simulator::new(&topo).with_plan(&plan).run(500);
+            let scan = Simulator::new(&topo)
+                .with_plan(&plan)
+                .scheduler(Scheduler::Scan)
+                .run(500);
+            assert_eq!(wl.completed, scan.completed, "{algorithm}");
+            assert_eq!(wl.deadlocked, scan.deadlocked, "{algorithm}");
+            assert_eq!(wl.per_edge_data, scan.per_edge_data, "{algorithm}");
+            assert_eq!(wl.per_edge_dummies, scan.per_edge_dummies, "{algorithm}");
+            assert_eq!(wl.sink_firings, scan.sink_firings, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn worklist_matches_scan_on_a_deep_pipeline() {
+        // On an N-node pipeline the worklist only ever visits nodes that a
+        // channel event marked as possibly runnable, while the scan pays an
+        // O(N) sweep to find each runnable node; both must deliver exactly
+        // the same messages.
+        let names: Vec<String> = (0..64).map(|i| format!("n{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut b = GraphBuilder::new();
+        b.chain(&refs).unwrap();
+        let g = b.build().unwrap();
+        let topo = Topology::from_graph(&g);
+        let wl = Simulator::new(&topo).run(10);
+        let scan = Simulator::new(&topo).scheduler(Scheduler::Scan).run(10);
+        assert!(wl.completed && scan.completed);
+        assert_eq!(wl.per_edge_data, scan.per_edge_data);
+        assert_eq!(wl.sink_firings, scan.sink_firings);
+    }
+
+    #[test]
+    fn shared_plan_runs_like_owned_plan() {
+        let g = fig2(2);
+        let a = g.node_by_name("A").unwrap();
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        let shared = std::sync::Arc::new(plan.clone());
+        let topo = Topology::from_graph(&g)
+            .with(a, || Predicate::new(2, |_seq, out| out == 0));
+        let owned = Simulator::new(&topo).with_plan(&plan).run(400);
+        let arced = Simulator::new(&topo).with_shared_plan(shared).run(400);
+        assert_eq!(owned.completed, arced.completed);
+        assert_eq!(owned.per_edge_data, arced.per_edge_data);
+        assert_eq!(owned.per_edge_dummies, arced.per_edge_dummies);
     }
 }

@@ -47,7 +47,14 @@ impl<'t> ThreadedExecutor<'t> {
 
     /// Enables deadlock avoidance following `plan`.
     pub fn with_plan(mut self, plan: &AvoidancePlan) -> Self {
-        self.mode = AvoidanceMode::Plan(plan.clone());
+        self.mode = AvoidanceMode::plan(plan.clone());
+        self
+    }
+
+    /// Enables deadlock avoidance following an already-shared plan without
+    /// copying the interval table (all workers share the one `Arc`).
+    pub fn with_shared_plan(mut self, plan: Arc<AvoidancePlan>) -> Self {
+        self.mode = AvoidanceMode::Plan(plan);
         self
     }
 
@@ -102,14 +109,19 @@ impl<'t> ThreadedExecutor<'t> {
         let node_count = g.node_count() as u64;
         std::thread::scope(|scope| {
             for n in g.node_ids() {
+                // Each edge has exactly one producer and one consumer, so
+                // both endpoints *move* their channel handle out of the
+                // shared tables — no sender is ever cloned, and channels
+                // close as soon as their producing worker finishes.
                 let worker = Worker {
                     topology: self.topology,
                     node: n,
                     inputs,
+                    port_queue: vec![PortQueue::default(); g.out_degree(n)],
                     senders: g
                         .out_edges(n)
                         .iter()
-                        .map(|&e| (e, senders[e.index()].clone().expect("sender present")))
+                        .map(|&e| (e, senders[e.index()].take().expect("one producer per edge")))
                         .collect(),
                     receivers: g
                         .in_edges(n)
@@ -121,8 +133,6 @@ impl<'t> ThreadedExecutor<'t> {
                 };
                 scope.spawn(move || worker.run());
             }
-            // Drop the original sender handles so channels close when the
-            // producing workers finish.
             drop(senders);
 
             // Watchdog: declare deadlock after a quiet period with no
@@ -181,6 +191,38 @@ struct Shared {
     per_edge_dummies: Vec<AtomicU64>,
 }
 
+/// Per-output-port queue of at most two messages (a data message and a
+/// dummy can share one accepted sequence number).  Two inline slots keep the
+/// send path free of heap allocations.
+#[derive(Debug, Clone, Copy, Default)]
+struct PortQueue {
+    first: Option<Message>,
+    second: Option<Message>,
+}
+
+impl PortQueue {
+    fn front(&self) -> Option<Message> {
+        self.first.or(self.second)
+    }
+
+    fn pop_front(&mut self) {
+        if self.first.is_some() {
+            self.first = self.second.take();
+        } else {
+            self.second = None;
+        }
+    }
+
+    fn len(&self) -> usize {
+        usize::from(self.first.is_some()) + usize::from(self.second.is_some())
+    }
+
+    fn clear(&mut self) {
+        self.first = None;
+        self.second = None;
+    }
+}
+
 struct Worker<'t> {
     topology: &'t Topology,
     node: NodeId,
@@ -189,6 +231,8 @@ struct Worker<'t> {
     receivers: Vec<(EdgeId, Receiver<Message>)>,
     wrapper: DummyWrapper,
     shared: Arc<Shared>,
+    /// Reusable per-firing output staging, aligned with `senders`.
+    port_queue: Vec<PortQueue>,
 }
 
 impl Worker<'_> {
@@ -209,7 +253,7 @@ impl Worker<'_> {
             }
             let decision = behavior.fire(&FireInput { seq, data_in: &[] });
             self.shared.firings.fetch_add(1, Ordering::Relaxed);
-            if !self.emit(seq, &decision, false) {
+            if !self.emit(seq, Some(&decision), false) {
                 return;
             }
         }
@@ -219,6 +263,8 @@ impl Worker<'_> {
     fn run_interior(&mut self, behavior: &mut dyn crate::node::NodeBehavior) {
         let n_in = self.receivers.len();
         let mut heads: Vec<Option<Message>> = vec![None; n_in];
+        // Reused across firings; reset in place each round.
+        let mut data_in: Vec<Option<u64>> = vec![None; n_in];
         loop {
             // Fill every empty peek slot (this is where a node blocks when
             // an upstream producer has filtered everything on that channel).
@@ -240,7 +286,7 @@ impl Worker<'_> {
                 self.broadcast_eos();
                 return;
             }
-            let mut data_in: Vec<Option<u64>> = vec![None; n_in];
+            data_in.fill(None);
             let mut consumed_dummy = false;
             for (idx, head) in heads.iter_mut().enumerate() {
                 let m = head.expect("filled");
@@ -254,71 +300,80 @@ impl Worker<'_> {
                     self.shared.progress.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            let out_count = self.senders.len();
             let decision = if data_in.iter().any(Option::is_some) {
-                if out_count == 0 {
+                if self.senders.is_empty() {
                     self.shared.sink_firings.fetch_add(1, Ordering::Relaxed);
                 }
                 self.shared.firings.fetch_add(1, Ordering::Relaxed);
-                behavior.fire(&FireInput {
+                Some(behavior.fire(&FireInput {
                     seq: accept_seq,
                     data_in: &data_in,
-                })
+                }))
             } else {
-                FireDecision::silence(out_count)
+                // Only dummies were consumed: no behaviour call, no data out.
+                None
             };
-            if !self.emit(accept_seq, &decision, consumed_dummy) {
+            if !self.emit(accept_seq, decision.as_ref(), consumed_dummy) {
                 return;
             }
         }
     }
 
-    /// Sends the data and dummy messages for one accepted sequence number.
-    /// Returns false if the run was aborted mid-send.
-    fn emit(&mut self, seq: u64, decision: &FireDecision, consumed_dummy: bool) -> bool {
-        let sent_data: Vec<bool> = decision.emit.iter().map(Option::is_some).collect();
-        let dummies = self.wrapper.on_accept(&sent_data, consumed_dummy);
-        let mut outgoing: Vec<(EdgeId, Sender<Message>, Vec<Message>)> = Vec::new();
-        for (idx, (edge, tx)) in self.senders.iter().enumerate() {
-            let mut messages: Vec<Message> = Vec::with_capacity(2);
-            if let Some(payload) = decision.emit[idx] {
-                messages.push(Message::Data { seq, payload });
-            }
-            if dummies[idx] {
-                // Under the heartbeat trigger a dummy may accompany a data
-                // message carrying the same sequence number.
-                messages.push(Message::Dummy { seq });
-            }
-            if !messages.is_empty() {
-                outgoing.push((*edge, tx.clone(), messages));
-            }
+    /// Sends the data and dummy messages for one accepted sequence number
+    /// (`decision` is `None` when the node consumed only dummies and emits
+    /// no data).  Returns false if the run was aborted mid-send.
+    ///
+    /// The whole path reuses the worker's `port_queue` staging and never
+    /// clones a sender or allocates.
+    fn emit(&mut self, seq: u64, decision: Option<&FireDecision>, consumed_dummy: bool) -> bool {
+        let Worker {
+            senders,
+            wrapper,
+            shared,
+            port_queue,
+            ..
+        } = self;
+        let dummies = wrapper.on_accept(consumed_dummy, |i| {
+            decision.is_some_and(|d| d.emit[i].is_some())
+        });
+        let mut remaining = 0usize;
+        for (idx, slot) in port_queue.iter_mut().enumerate() {
+            slot.first = decision
+                .and_then(|d| d.emit[idx])
+                .map(|payload| Message::Data { seq, payload });
+            // Under the heartbeat trigger a dummy may accompany a data
+            // message carrying the same sequence number.
+            slot.second = dummies[idx].then_some(Message::Dummy { seq });
+            remaining += slot.len();
         }
         // Drain all output ports concurrently: a full channel must not delay
         // the messages destined for a different channel (per-channel order
         // is still preserved), otherwise a dummy aimed at an empty channel
         // could be stuck behind a blocked data send and defeat the
         // deadlock-avoidance protocol.
-        while outgoing.iter().any(|(_, _, msgs)| !msgs.is_empty()) {
-            if self.aborted() {
+        while remaining > 0 {
+            if shared.abort.load(Ordering::SeqCst) {
                 return false;
             }
             let mut made_progress = false;
-            for (edge, tx, msgs) in outgoing.iter_mut() {
-                let Some(&message) = msgs.first() else { continue };
+            for (idx, (edge, tx)) in senders.iter().enumerate() {
+                let slot = &mut port_queue[idx];
+                let Some(message) = slot.front() else { continue };
                 match tx.try_send(message) {
                     Ok(()) => {
-                        msgs.remove(0);
+                        slot.pop_front();
+                        remaining -= 1;
                         made_progress = true;
-                        self.shared.progress.fetch_add(1, Ordering::Relaxed);
+                        shared.progress.fetch_add(1, Ordering::Relaxed);
                         match message {
                             Message::Data { .. } => {
-                                self.shared.data_messages.fetch_add(1, Ordering::Relaxed);
-                                self.shared.per_edge_data[edge.index()]
+                                shared.data_messages.fetch_add(1, Ordering::Relaxed);
+                                shared.per_edge_data[edge.index()]
                                     .fetch_add(1, Ordering::Relaxed);
                             }
                             Message::Dummy { .. } => {
-                                self.shared.dummy_messages.fetch_add(1, Ordering::Relaxed);
-                                self.shared.per_edge_dummies[edge.index()]
+                                shared.dummy_messages.fetch_add(1, Ordering::Relaxed);
+                                shared.per_edge_dummies[edge.index()]
                                     .fetch_add(1, Ordering::Relaxed);
                             }
                             Message::Eos => {}
@@ -326,7 +381,8 @@ impl Worker<'_> {
                     }
                     Err(crossbeam::channel::TrySendError::Full(_)) => {}
                     Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
-                        msgs.clear();
+                        remaining -= slot.len();
+                        slot.clear();
                     }
                 }
             }

@@ -41,20 +41,32 @@
 //! `fila-avoidance`; [`AvoidanceMode::Disabled`] turns the wrapper off,
 //! which is how the deadlock of Fig. 2 is reproduced experimentally.
 
+use std::sync::Arc;
+
 use fila_avoidance::{Algorithm, AvoidancePlan, DummyInterval};
 use fila_graph::{Graph, NodeId};
 
 /// How the runtime should avoid deadlock.
+///
+/// The plan is held behind an [`Arc`] so that every node wrapper (and every
+/// worker thread of the threaded engine) shares one copy instead of cloning
+/// the whole interval table per node per run.
 #[derive(Debug, Clone, Default)]
 pub enum AvoidanceMode {
     /// No dummy messages are ever sent; filtering applications may deadlock.
     #[default]
     Disabled,
     /// Follow the given plan (protocol + per-channel intervals).
-    Plan(AvoidancePlan),
+    Plan(Arc<AvoidancePlan>),
 }
 
 impl AvoidanceMode {
+    /// Wraps a plan into the sharing mode (one allocation, shared by every
+    /// node from then on).
+    pub fn plan(plan: AvoidancePlan) -> Self {
+        AvoidanceMode::Plan(Arc::new(plan))
+    }
+
     /// The protocol in effect, if any.
     pub fn algorithm(&self) -> Option<Algorithm> {
         match self {
@@ -79,14 +91,23 @@ pub enum PropagationTrigger {
 }
 
 /// Per-node dummy-message state: one gap counter per output channel.
+///
+/// All tables are resolved to dense, `out_edges`-aligned vectors at
+/// construction time, and the answer buffer is owned by the wrapper, so the
+/// per-firing path ([`DummyWrapper::on_accept`]) performs **no heap
+/// allocations and no map lookups**.
 #[derive(Debug, Clone)]
 pub struct DummyWrapper {
     algorithm: Option<Algorithm>,
     trigger: PropagationTrigger,
-    /// Interval per output channel (aligned with `graph.out_edges(node)`).
-    intervals: Vec<DummyInterval>,
+    /// Dummy-interval threshold per output channel (aligned with
+    /// `graph.out_edges(node)`); `u64::MAX` encodes an infinite interval,
+    /// which a gap counter can never reach.
+    threshold: Vec<u64>,
     /// Sequence numbers since the counter was last reset, per output channel.
     gap: Vec<u64>,
+    /// Reusable answer buffer for [`DummyWrapper::on_accept`].
+    dummies: Vec<bool>,
 }
 
 impl DummyWrapper {
@@ -104,18 +125,20 @@ impl DummyWrapper {
         trigger: PropagationTrigger,
     ) -> Self {
         let out = graph.out_edges(node);
-        let (algorithm, intervals) = match mode {
-            AvoidanceMode::Disabled => (None, vec![DummyInterval::Infinite; out.len()]),
+        let to_threshold = |iv: DummyInterval| iv.finite().unwrap_or(u64::MAX);
+        let (algorithm, threshold) = match mode {
+            AvoidanceMode::Disabled => (None, vec![u64::MAX; out.len()]),
             AvoidanceMode::Plan(plan) => (
                 Some(plan.algorithm()),
-                out.iter().map(|&e| plan.interval(e)).collect(),
+                out.iter().map(|&e| to_threshold(plan.interval(e))).collect(),
             ),
         };
         DummyWrapper {
             algorithm,
             trigger,
-            intervals,
+            threshold,
             gap: vec![0; out.len()],
+            dummies: vec![false; out.len()],
         }
     }
 
@@ -126,57 +149,60 @@ impl DummyWrapper {
 
     /// Processes one accepted sequence number.
     ///
-    /// * `sent_data[i]` — whether the node emits a data message on output
-    ///   `i` for this sequence number;
     /// * `consumed_dummy` — whether any of the messages consumed at this
-    ///   sequence number was a dummy.
+    ///   sequence number was a dummy;
+    /// * `sent_data(i)` — whether the node emits a data message on output
+    ///   `i` for this sequence number (queried once per output).
     ///
     /// Returns, per output channel, whether a dummy message (with this
-    /// sequence number) must also be sent.
-    pub fn on_accept(&mut self, sent_data: &[bool], consumed_dummy: bool) -> Vec<bool> {
-        debug_assert_eq!(sent_data.len(), self.gap.len());
-        let mut dummies = vec![false; self.gap.len()];
+    /// sequence number) must also be sent.  The slice borrows the wrapper's
+    /// internal buffer, so the call allocates nothing; `sent_data` is a
+    /// closure so callers need not materialise a `Vec<bool>` either.
+    pub fn on_accept(
+        &mut self,
+        consumed_dummy: bool,
+        sent_data: impl Fn(usize) -> bool,
+    ) -> &[bool] {
         let Some(algorithm) = self.algorithm else {
-            return dummies;
+            self.dummies.fill(false);
+            return &self.dummies;
         };
         for i in 0..self.gap.len() {
+            let sent = sent_data(i);
+            self.dummies[i] = false;
             match algorithm {
                 Algorithm::Propagation => {
                     // Forward received dummies on every channel not carrying
                     // data for this sequence number.
-                    if consumed_dummy && !sent_data[i] {
-                        dummies[i] = true;
+                    if consumed_dummy && !sent {
+                        self.dummies[i] = true;
                         self.gap[i] = 0;
                         continue;
                     }
-                    if sent_data[i] && self.trigger == PropagationTrigger::OnFilterOnly {
+                    if sent && self.trigger == PropagationTrigger::OnFilterOnly {
                         self.gap[i] = 0;
                         continue;
                     }
                     self.gap[i] += 1;
-                    if let DummyInterval::Finite(k) = self.intervals[i] {
-                        if self.gap[i] >= k {
-                            dummies[i] = true;
-                            self.gap[i] = 0;
-                        }
+                    if self.gap[i] >= self.threshold[i] {
+                        self.dummies[i] = true;
+                        self.gap[i] = 0;
                     }
                 }
                 Algorithm::NonPropagation => {
-                    if sent_data[i] {
+                    if sent {
                         self.gap[i] = 0;
                         continue;
                     }
                     self.gap[i] += 1;
-                    if let DummyInterval::Finite(k) = self.intervals[i] {
-                        if self.gap[i] >= k {
-                            dummies[i] = true;
-                            self.gap[i] = 0;
-                        }
+                    if self.gap[i] >= self.threshold[i] {
+                        self.dummies[i] = true;
+                        self.gap[i] = 0;
                     }
                 }
             }
         }
-        dummies
+        &self.dummies
     }
 }
 
@@ -202,7 +228,7 @@ mod tests {
         let a = g.node_by_name("A").unwrap();
         let mut w = DummyWrapper::new(&g, a, &AvoidanceMode::Disabled);
         for _ in 0..100 {
-            assert!(w.on_accept(&[false, false], false).iter().all(|&d| !d));
+            assert!(w.on_accept(false, |_| false).iter().all(|&d| !d));
         }
     }
 
@@ -214,7 +240,7 @@ mod tests {
         let mut w = DummyWrapper::with_trigger(
             &g,
             a,
-            &AvoidanceMode::Plan(plan.clone()),
+            &AvoidanceMode::plan(plan.clone()),
             PropagationTrigger::OnFilterOnly,
         );
         let ac_interval = plan
@@ -226,7 +252,7 @@ mod tests {
         // literal trigger nothing ever fires on A->B.
         let mut fired_at = None;
         for step in 1..=ac_interval + 1 {
-            let dummies = w.on_accept(&[true, false], false);
+            let dummies = w.on_accept(false, |i| i == 0);
             assert!(!dummies[0], "data-carrying channel stays silent");
             if dummies[1] {
                 fired_at = Some(step);
@@ -235,7 +261,7 @@ mod tests {
         }
         assert_eq!(fired_at, Some(ac_interval));
         // The counter resets after the dummy.
-        let dummies = w.on_accept(&[true, false], false);
+        let dummies = w.on_accept(false, |i| i == 0);
         assert!(!dummies[1]);
     }
 
@@ -251,12 +277,12 @@ mod tests {
         let mut w = DummyWrapper::with_trigger(
             &g,
             a,
-            &AvoidanceMode::Plan(plan),
+            &AvoidanceMode::plan(plan),
             PropagationTrigger::Heartbeat,
         );
         let mut fired_at = None;
         for step in 1..=ab_interval + 1 {
-            let dummies = w.on_accept(&[true, true], false);
+            let dummies = w.on_accept(false, |_| true);
             if dummies[0] {
                 fired_at = Some(step);
                 break;
@@ -270,14 +296,14 @@ mod tests {
         let g = fig2();
         let b = g.node_by_name("B").unwrap();
         let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
-        let mut w = DummyWrapper::new(&g, b, &AvoidanceMode::Plan(plan));
+        let mut w = DummyWrapper::new(&g, b, &AvoidanceMode::plan(plan));
         // B consumed a dummy and produces no data: it must forward a dummy
         // even though its own interval is infinite.
-        let dummies = w.on_accept(&[false], true);
-        assert_eq!(dummies, vec![true]);
+        let dummies = w.on_accept(true, |_| false);
+        assert_eq!(dummies, &[true]);
         // Without a consumed dummy, B's infinite interval sends nothing.
-        let dummies = w.on_accept(&[false], false);
-        assert_eq!(dummies, vec![false]);
+        let dummies = w.on_accept(false, |_| false);
+        assert_eq!(dummies, &[false]);
     }
 
     #[test]
@@ -289,15 +315,13 @@ mod tests {
             .rounding(Rounding::Ceil)
             .plan()
             .unwrap();
-        let mut w = DummyWrapper::new(&g, b, &AvoidanceMode::Plan(plan.clone()));
+        let mut w = DummyWrapper::new(&g, b, &AvoidanceMode::plan(plan.clone()));
         // Consuming a dummy does not force forwarding under Non-Propagation;
         // only B's own finite interval (if any) matters.
-        let dummies = w.on_accept(&[false], true);
         let bc = g.edge_by_names("B", "C").unwrap();
-        match plan.interval(bc) {
-            DummyInterval::Finite(1) => assert_eq!(dummies, vec![true]),
-            _ => assert_eq!(dummies, vec![false]),
-        }
+        let expect_dummy = plan.interval(bc) == DummyInterval::Finite(1);
+        let dummies = w.on_accept(true, |_| false);
+        assert_eq!(dummies, &[expect_dummy]);
     }
 
     #[test]
@@ -310,15 +334,15 @@ mod tests {
             m.set(*e, DummyInterval::Finite(3));
         }
         let plan = AvoidancePlan::new(&g, Algorithm::NonPropagation, Rounding::Ceil, m);
-        let mut w = DummyWrapper::new(&g, a, &AvoidanceMode::Plan(plan));
+        let mut w = DummyWrapper::new(&g, a, &AvoidanceMode::plan(plan));
         // Filter twice, send data, filter twice more: no dummy yet (counter
         // reset by the data message), then one more filtered input fires it.
-        assert!(!w.on_accept(&[false, true], false)[0]);
-        assert!(!w.on_accept(&[false, true], false)[0]);
-        assert!(!w.on_accept(&[true, true], false)[0]);
-        assert!(!w.on_accept(&[false, true], false)[0]);
-        assert!(!w.on_accept(&[false, true], false)[0]);
-        assert!(w.on_accept(&[false, true], false)[0]);
+        assert!(!w.on_accept(false, |i| i == 1)[0]);
+        assert!(!w.on_accept(false, |i| i == 1)[0]);
+        assert!(!w.on_accept(false, |_| true)[0]);
+        assert!(!w.on_accept(false, |i| i == 1)[0]);
+        assert!(!w.on_accept(false, |i| i == 1)[0]);
+        assert!(w.on_accept(false, |i| i == 1)[0]);
     }
 
     #[test]
@@ -328,9 +352,9 @@ mod tests {
         let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
         // B -> C never lies first on a cycle branch out of a fork, so its
         // interval is infinite and no heartbeat is emitted.
-        let mut w = DummyWrapper::new(&g, b, &AvoidanceMode::Plan(plan));
+        let mut w = DummyWrapper::new(&g, b, &AvoidanceMode::plan(plan));
         for _ in 0..1000 {
-            assert_eq!(w.on_accept(&[true], false), vec![false]);
+            assert_eq!(w.on_accept(false, |_| true), &[false]);
         }
     }
 }

@@ -1,0 +1,131 @@
+//! Property-based equivalence of the simulator's two schedulers.
+//!
+//! The event-driven worklist scheduler (the default) must be observationally
+//! identical to the original full-scan scheduler, which stays available
+//! behind [`Scheduler::Scan`] as the executable reference: for any topology
+//! and any (deterministic) filtering behaviour, both must agree on
+//! completion, the deadlock verdict, and the exact per-channel data and
+//! dummy message counts.  The topologies are drawn from all three workload
+//! generators — random series-parallel DAGs, random CS4 ladders, and layered
+//! random DAGs that are in general neither.
+
+use fila::prelude::*;
+use fila::workloads::generators::{
+    layered_dag, periodic_filtered_topology, random_ladder, random_sp_dag, GeneratorConfig,
+    LadderConfig,
+};
+use proptest::prelude::*;
+
+/// One generated equivalence case.
+#[derive(Debug, Clone, Copy)]
+enum Scenario {
+    /// Random series-parallel DAG, protected by a planner-produced plan.
+    Sp { seed: u64 },
+    /// Random CS4 ladder, protected by a planner-produced plan.
+    Ladder { seed: u64 },
+    /// Layered random DAG (generally not CS4), run without avoidance so the
+    /// deadlock path of both schedulers is exercised too.
+    Layered { seed: u64 },
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    prop_oneof![
+        (0u64..1 << 48).prop_map(|seed| Scenario::Sp { seed }),
+        (0u64..1 << 48).prop_map(|seed| Scenario::Ladder { seed }),
+        (0u64..1 << 48).prop_map(|seed| Scenario::Layered { seed }),
+    ]
+}
+
+/// Deterministic per-(seed, node) parameter derivation.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Installs the canonical periodic filter (shared with the `throughput`
+/// bench via `fila::workloads::generators::periodic_filtered_topology`)
+/// with a seed-derived period per node: period 1 = broadcast, larger
+/// periods filter most of the stream.
+fn with_filters(g: &Graph, seed: u64) -> Topology {
+    periodic_filtered_topology(g, |n| 1 + mix(seed ^ (0x9e37 + n.index() as u64)) % 5)
+}
+
+/// Runs one scenario under both schedulers and asserts the reports match on
+/// every schedule-independent field.
+fn assert_equivalent(scenario: Scenario) -> Result<(), TestCaseError> {
+    let (g, plan, inputs) = match scenario {
+        Scenario::Sp { seed } => {
+            let (g, _) = random_sp_dag(&GeneratorConfig {
+                target_edges: 12 + (mix(seed) % 24) as usize,
+                max_fanout: 3,
+                capacity_range: (1, 6),
+                seed,
+            });
+            let algorithm = if mix(seed ^ 1) % 2 == 0 {
+                Algorithm::Propagation
+            } else {
+                Algorithm::NonPropagation
+            };
+            let plan = Planner::new(&g).algorithm(algorithm).plan().unwrap();
+            (g, Some(plan), 40 + mix(seed ^ 2) % 60)
+        }
+        Scenario::Ladder { seed } => {
+            let g = random_ladder(&LadderConfig {
+                rungs: 1 + (mix(seed) % 6) as usize,
+                capacity_range: (1, 6),
+                reverse_probability: 0.3,
+                seed,
+            });
+            let algorithm = if mix(seed ^ 1) % 2 == 0 {
+                Algorithm::Propagation
+            } else {
+                Algorithm::NonPropagation
+            };
+            let plan = Planner::new(&g).algorithm(algorithm).plan().unwrap();
+            (g, Some(plan), 40 + mix(seed ^ 2) % 60)
+        }
+        Scenario::Layered { seed } => {
+            let g = layered_dag(
+                2 + (mix(seed) % 3) as usize,
+                1 + (mix(seed ^ 1) % 3) as usize,
+                1 + mix(seed ^ 2) % 3,
+                seed,
+            );
+            (g, None, 40 + mix(seed ^ 3) % 60)
+        }
+    };
+    let (Scenario::Sp { seed } | Scenario::Ladder { seed } | Scenario::Layered { seed }) =
+        scenario;
+    let topo = with_filters(&g, seed);
+    let build = |scheduler: Scheduler| {
+        let sim = Simulator::new(&topo).scheduler(scheduler);
+        let sim = match &plan {
+            Some(p) => sim.with_plan(p),
+            None => sim,
+        };
+        sim.run(inputs)
+    };
+    let worklist = build(Scheduler::Worklist);
+    let scan = build(Scheduler::Scan);
+    prop_assert_eq!(worklist.completed, scan.completed);
+    prop_assert_eq!(worklist.deadlocked, scan.deadlocked);
+    prop_assert_eq!(worklist.data_messages, scan.data_messages);
+    prop_assert_eq!(worklist.dummy_messages, scan.dummy_messages);
+    prop_assert_eq!(worklist.sink_firings, scan.sink_firings);
+    prop_assert_eq!(&worklist.per_edge_data, &scan.per_edge_data);
+    prop_assert_eq!(&worklist.per_edge_dummies, &scan.per_edge_dummies);
+    // Either verdict must be conclusive: an unbounded run ends in
+    // completion or deadlock, never by the step bound.
+    prop_assert!(!worklist.inconclusive());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn worklist_scheduler_is_equivalent_to_scan(s in scenario()) {
+        assert_equivalent(s)?;
+    }
+}

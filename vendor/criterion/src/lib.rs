@@ -5,18 +5,32 @@
 //! [`criterion_main!`] macros.
 //!
 //! The build environment has no access to a crates.io registry, so this shim
-//! keeps the seven bench targets compiling and producing useful numbers:
-//! each benchmark is warmed up, then timed over `sample_size` samples whose
+//! keeps the bench targets compiling and producing useful numbers: each
+//! benchmark is warmed up, then timed over `sample_size` samples whose
 //! iteration counts are auto-tuned so a sample lasts at least ~1 ms, and the
 //! minimum / median / maximum per-iteration times are printed.  There is no
 //! statistical regression testing, HTML report, or plotting — swap in the
 //! real `criterion` (the API is call-compatible) once a registry is
 //! available.
+//!
+//! ### Machine-readable output
+//!
+//! When the environment variable `FILA_BENCH_JSON` names a file, the runner
+//! emitted by [`criterion_main!`] additionally writes every benchmark's
+//! timings there as a JSON array (one object per benchmark with the label
+//! and min / median / max nanoseconds per iteration).  CI uses this to smoke
+//! the bench targets and tooling consumes it for before/after comparisons.
+//! Two caveats: pass an **absolute** path (cargo runs bench binaries with
+//! the *package* root as cwd, not the workspace root), and run a **single**
+//! bench target per file — every bench executable rewrites the file at
+//! exit, so a multi-target `cargo bench` keeps only the last target's
+//! records.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -190,6 +204,20 @@ fn calibrate<F: FnMut(&mut Bencher)>(f: &mut F) -> u64 {
     }
 }
 
+/// One benchmark's collected timings, kept for the optional JSON report.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    label: String,
+    min_ns: f64,
+    median_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// Results of every benchmark run so far in this process.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
     // Warm-up / calibration pass.
     let iters_per_sample = calibrate(f);
@@ -218,6 +246,59 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mu
         per_iter.len(),
         iters_per_sample,
     );
+    RESULTS
+        .lock()
+        .expect("bench results lock")
+        .push(BenchRecord {
+            label: label.to_owned(),
+            min_ns: per_iter[0] * 1e9,
+            median_ns: median * 1e9,
+            max_ns: per_iter[per_iter.len() - 1] * 1e9,
+            samples: per_iter.len(),
+            iters_per_sample,
+        });
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes every benchmark result collected so far to the file named by the
+/// `FILA_BENCH_JSON` environment variable, if set.  Called automatically at
+/// the end of the `main` emitted by [`criterion_main!`]; a no-op otherwise.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("FILA_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("bench results lock");
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"label\": \"{}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            json_escape(&r.label),
+            r.min_ns,
+            r.median_ns,
+            r.max_ns,
+            r.samples,
+            r.iters_per_sample,
+            sep,
+        ));
+    }
+    out.push_str("]\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("\nwrote {} benchmark records to {path}", results.len()),
+        Err(err) => eprintln!("FILA_BENCH_JSON: could not write {path}: {err}"),
+    }
 }
 
 fn fmt_time(seconds: f64) -> String {
@@ -251,6 +332,7 @@ macro_rules! criterion_main {
             // `cargo bench` passes harness flags such as `--bench`; a real
             // argument parser is not needed for this shim.
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
