@@ -1,10 +1,13 @@
 //! Runtime-engine throughput on wide and deep generated DAGs across filter
-//! rates — the scaling benchmark behind the worklist-scheduler optimisation.
+//! rates — the scaling benchmark behind the worklist-scheduler and
+//! pooled-engine optimisations.
 //!
 //! Every simulator workload is measured under both schedulers so the
 //! speedup of the event-driven worklist over the `O(V)`-per-step reference
-//! scan is read directly off one run; the threaded engine is measured on a
-//! moderate ladder (one OS thread per node bounds how wide it can go).
+//! scan is read directly off one run.  The pooled work-stealing engine is
+//! swept over worker counts × node counts × filter rates (E15), with the
+//! thread-per-node engine measured on the same workload where it can still
+//! run at all (one OS thread per node bounds how far it scales).
 //!
 //! Set `FILA_BENCH_FAST=1` to run a tiny smoke configuration (used by CI to
 //! catch bench rot), and `FILA_BENCH_JSON=<path>` to emit the
@@ -12,10 +15,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fila_avoidance::{Algorithm, Planner};
-use fila_graph::{Graph, GraphBuilder};
-use fila_runtime::{Scheduler, Simulator, ThreadedExecutor, Topology};
+use fila_graph::Graph;
+use fila_runtime::{PooledExecutor, Scheduler, Simulator, ThreadedExecutor, Topology};
 use fila_workloads::generators::{
-    periodic_filtered_topology, random_ladder, random_sp_dag, GeneratorConfig, LadderConfig,
+    periodic_filtered_topology, pipeline_graph, random_ladder, random_sp_dag, GeneratorConfig,
+    LadderConfig,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -34,19 +38,10 @@ const SCHEDULERS: [(Scheduler, &str); 2] = [
 /// scan scheduler then advances each message only one hop per full `O(n)`
 /// sweep (its generic behaviour on graphs whose declaration order does not
 /// happen to match the dataflow), while with forward ids a single sweep
-/// luckily rides a message all the way down.  The worklist scheduler is
-/// insensitive to declaration order.
+/// luckily rides a message all the way down.  The worklist scheduler and
+/// the concurrent engines are insensitive to declaration order.
 fn pipeline(n: usize, reversed: bool) -> Graph {
-    let names: Vec<String> = (0..n).map(|i| format!("n{i}")).collect();
-    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-    let mut b = GraphBuilder::new().default_capacity(4);
-    if reversed {
-        for name in refs.iter().rev() {
-            b.node(name);
-        }
-    }
-    b.chain(&refs).unwrap();
-    b.build().unwrap()
+    pipeline_graph(n, 4, reversed)
 }
 
 /// The canonical period filter on every node (see
@@ -220,9 +215,76 @@ fn bench_threaded(c: &mut Criterion) {
     group.finish();
 }
 
+/// The E15 scaling sweep: the pooled work-stealing engine over worker
+/// counts × pipeline sizes × filter rates, with the exact-verdict simulator
+/// as the single-threaded baseline and the thread-per-node engine measured
+/// on the sizes it can still reach (spawning thousands of OS threads per
+/// run stops being meaningful long before 16 k nodes).
+///
+/// The pipeline is declared anti-topologically (ids against the flow), the
+/// adversarial order for id-driven scheduling; the concurrent engines are
+/// insensitive to it.
+fn bench_pooled_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput_pooled");
+    group.sample_size(if fast() { 2 } else { 10 });
+    let sizes: &[usize] = if fast() { &[64] } else { &[1024, 4096, 16384] };
+    let worker_counts: &[usize] = if fast() { &[2] } else { &[1, 2, 4, 8] };
+    let rates: &[u64] = if fast() { &[4] } else { &[1, 4] };
+    // Node counts where the thread-per-node engine is still worth spawning.
+    let threaded_sizes: &[usize] = if fast() { &[64] } else { &[1024] };
+    let inputs = 32;
+    for &n in sizes {
+        let g = pipeline(n, true);
+        for &rate in rates {
+            let topo = filtered_topology(&g, rate);
+            group.bench_with_input(
+                BenchmarkId::new(format!("sim/rate{rate}/nodes"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let report = Simulator::new(&topo).run(inputs);
+                        assert!(report.completed, "{report:?}");
+                        black_box(report.total_messages())
+                    })
+                },
+            );
+            for &workers in worker_counts {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("pooled/w{workers}/rate{rate}/nodes"), n),
+                    &n,
+                    |b, _| {
+                        b.iter(|| {
+                            let report =
+                                PooledExecutor::new(&topo).workers(workers).run(inputs);
+                            assert!(report.completed, "{report:?}");
+                            black_box(report.total_messages())
+                        })
+                    },
+                );
+            }
+            if threaded_sizes.contains(&n) {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("threaded/rate{rate}/nodes"), n),
+                    &n,
+                    |b, _| {
+                        b.iter(|| {
+                            let report = ThreadedExecutor::new(&topo).run(inputs);
+                            assert!(report.completed, "{report:?}");
+                            black_box(report.total_messages())
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
 /// Time to *detect* a deadlock on an unprotected, heavily filtering ladder:
 /// the scan scheduler needs a full unproductive sweep over all nodes, the
-/// worklist simply runs its ready queue dry.
+/// worklist simply runs its ready queue dry, and the pooled engine parks
+/// its pool — all three verdicts are exact (no quiet-period timeout is
+/// involved, in contrast to the threaded engine's watchdog).
 fn bench_deadlock_detection(c: &mut Criterion) {
     let mut group = c.benchmark_group("throughput_deadlock");
     group.sample_size(if fast() { 3 } else { 10 });
@@ -249,6 +311,17 @@ fn bench_deadlock_detection(c: &mut Criterion) {
                 },
             );
         }
+        group.bench_with_input(
+            BenchmarkId::new("pooled/rungs", rungs),
+            &rungs,
+            |b, _| {
+                b.iter(|| {
+                    let report = PooledExecutor::new(&topo).workers(2).run(inputs);
+                    assert!(report.deadlocked, "{report:?}");
+                    black_box(report.blocked.len())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -259,6 +332,7 @@ criterion_group!(
     bench_wide_sp,
     bench_ladder,
     bench_threaded,
+    bench_pooled_scaling,
     bench_deadlock_detection
 );
 criterion_main!(benches);

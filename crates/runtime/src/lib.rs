@@ -16,12 +16,19 @@
 //! * [`Simulator`] — a deterministic, single-threaded discrete-event
 //!   executor with *exact* deadlock detection (it knows precisely when no
 //!   node can make progress), used by the tests and benchmarks;
-//! * [`ThreadedExecutor`] — one OS thread per node over crossbeam bounded
-//!   channels, with a progress watchdog for deadlock detection; this is the
-//!   "real" concurrent runtime exercising the same wrapper logic.
+//! * [`PooledExecutor`] — the scalable concurrent engine: a fixed
+//!   work-stealing worker pool drives every node as a cooperatively
+//!   scheduled task over lock-free SPSC rings ([`spsc`]), with the same
+//!   exact parked-pool deadlock verdict as the simulator;
+//! * [`ThreadedExecutor`] — one OS thread per node over the same rings,
+//!   parked/unparked per channel, with a progress watchdog for deadlock
+//!   detection; kept as the simplest possible concurrent engine.
 //!
 //! The deliberate pairing lets every experiment be run both exactly and
-//! under real concurrency.
+//! under real concurrency: the simulator is the reference both concurrent
+//! engines are checked against (a property test pins the pool to the
+//! simulator's verdicts and per-edge counts; unit tests cross-check the
+//! two concurrent engines' data counts against each other).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -29,8 +36,10 @@
 pub mod filters;
 pub mod message;
 pub mod node;
+pub mod pooled;
 pub mod report;
 pub mod simulator;
+pub mod spsc;
 pub mod threaded;
 pub mod topology;
 pub mod wrapper;
@@ -38,6 +47,7 @@ pub mod wrapper;
 pub use filters::{Bernoulli, Broadcast, Collector, ModuloFilter, RouteRoundRobin};
 pub use message::{Message, Payload};
 pub use node::{FireDecision, FireInput, NodeBehavior};
+pub use pooled::PooledExecutor;
 pub use report::{BlockedInfo, BlockedReason, ExecutionReport};
 pub use simulator::{Scheduler, Simulator};
 pub use threaded::ThreadedExecutor;

@@ -1,0 +1,944 @@
+//! A pooled work-stealing execution engine: a fixed pool of workers drives
+//! every compute node as a cooperatively-scheduled task.
+//!
+//! [`crate::ThreadedExecutor`] devotes one OS thread to every node, which
+//! caps it at a few thousand nodes (and leaves most of those threads blocked
+//! in the kernel at any instant).  `PooledExecutor` decouples *workers* from
+//! *operators* the way shared-memory streaming engines do: `N` workers
+//! (default [`std::thread::available_parallelism`]) each own a run queue of
+//! node tasks, steal from each other when their own queue runs dry, and park
+//! on a condvar when the whole pool is idle.
+//!
+//! ## Scheduling rule
+//!
+//! Tasks are woken by exactly the channel-event rule of the simulator's
+//! worklist scheduler: a channel becoming **non-empty** wakes its consumer
+//! task, a channel becoming **non-full** wakes its producer task.  Channels
+//! are the lock-free SPSC rings of [`crate::spsc`], whose waiting-flag
+//! protocol (register, then re-check) makes the wakeups race-free without a
+//! single lock on the message path.  A woken task drains up to a
+//! configurable batch of firings before yielding its worker.
+//!
+//! ## Exact deadlock detection
+//!
+//! Because every task that *can* progress is queued, running, or has a
+//! waiting-flag registered on the channel that will next enable it, the pool
+//! going fully idle is meaningful: when the last worker is about to park
+//! while no task is queued and unfinished nodes remain, the run **is**
+//! deadlocked — the same "ready set empty" argument as the simulator, so the
+//! verdict is exact and immediate.  No quiet-period watchdog is involved
+//! (contrast with the threaded engine, where deadlock can only be inferred
+//! from prolonged silence).
+//!
+//! The per-node semantics (acceptance rule, dummy wrappers, per-channel
+//! independent delivery) are identical to [`crate::Simulator`]'s, and a
+//! property test (`tests/engine_equivalence.rs`) pins the two engines to the
+//! same completion/deadlock verdicts and per-edge message counts.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use fila_avoidance::AvoidancePlan;
+use fila_graph::NodeId;
+
+use crate::message::{Message, Payload};
+use crate::node::{FireDecision, FireInput, NodeBehavior};
+use crate::report::{BlockedInfo, BlockedReason, ExecutionReport};
+use crate::spsc;
+use crate::threaded::PortQueue;
+use crate::topology::Topology;
+use crate::wrapper::{AvoidanceMode, DummyWrapper, PropagationTrigger};
+
+/// Pooled work-stealing execution engine.
+#[derive(Debug, Clone)]
+pub struct PooledExecutor<'t> {
+    topology: &'t Topology,
+    mode: AvoidanceMode,
+    trigger: PropagationTrigger,
+    workers: Option<NonZeroUsize>,
+    batch: u32,
+}
+
+impl<'t> PooledExecutor<'t> {
+    /// Creates an executor with deadlock avoidance disabled, one worker per
+    /// available hardware thread, and a firing batch of 64 per task wake.
+    pub fn new(topology: &'t Topology) -> Self {
+        PooledExecutor {
+            topology,
+            mode: AvoidanceMode::Disabled,
+            trigger: PropagationTrigger::default(),
+            workers: None,
+            batch: 64,
+        }
+    }
+
+    /// Enables deadlock avoidance following `plan`.
+    pub fn with_plan(mut self, plan: &AvoidancePlan) -> Self {
+        self.mode = AvoidanceMode::plan(plan.clone());
+        self
+    }
+
+    /// Enables deadlock avoidance following an already-shared plan without
+    /// copying the interval table.
+    pub fn with_shared_plan(mut self, plan: Arc<AvoidancePlan>) -> Self {
+        self.mode = AvoidanceMode::Plan(plan);
+        self
+    }
+
+    /// Sets the avoidance mode explicitly.
+    pub fn avoidance(mut self, mode: AvoidanceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Selects the Propagation-protocol trigger (see
+    /// [`PropagationTrigger`]); the default is the paper's literal trigger.
+    pub fn propagation_trigger(mut self, trigger: PropagationTrigger) -> Self {
+        self.trigger = trigger;
+        self
+    }
+
+    /// Sets the worker-pool size explicitly; passing `0` restores the
+    /// default ([`std::thread::available_parallelism`]).  The pool never
+    /// spawns more workers than the graph has nodes.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = NonZeroUsize::new(workers);
+        self
+    }
+
+    /// Sets how many firings a woken task may drain before it yields its
+    /// worker (clamped to ≥ 1).  Larger batches amortise scheduling costs;
+    /// smaller ones interleave nodes more finely.
+    pub fn batch(mut self, batch: u32) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Runs the application, offering `inputs` sequence numbers at every
+    /// source node, and returns the execution report.  The deadlock verdict
+    /// is exact (all workers parked with unfinished nodes), never inferred
+    /// from a timeout.
+    pub fn run(&self, inputs: u64) -> ExecutionReport {
+        let g = self.topology.graph();
+        let node_count = g.node_count();
+        let edge_count = g.edge_count();
+        if node_count == 0 {
+            return ExecutionReport {
+                completed: true,
+                inputs_offered: inputs,
+                ..Default::default()
+            };
+        }
+        let workers = self
+            .workers
+            .map(NonZeroUsize::get)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .clamp(1, node_count);
+
+        // One SPSC ring per edge; endpoints are moved into the unique
+        // producing / consuming task.
+        let mut producers: Vec<Option<spsc::Producer<Message>>> =
+            Vec::with_capacity(edge_count);
+        let mut consumers: Vec<Option<spsc::Consumer<Message>>> =
+            Vec::with_capacity(edge_count);
+        for e in g.edge_ids() {
+            let (tx, rx) = spsc::ring(g.capacity(e) as usize);
+            producers.push(Some(tx));
+            consumers.push(Some(rx));
+        }
+
+        let tasks: Vec<Mutex<Task>> = g
+            .node_ids()
+            .zip(self.topology.build_behaviors())
+            .map(|(n, behavior)| {
+                let ins = g
+                    .in_edges(n)
+                    .iter()
+                    .map(|&e| InPort {
+                        rx: consumers[e.index()].take().expect("one consumer per edge"),
+                        edge: e.index() as u32,
+                        producer: g.tail(e).index() as u32,
+                    })
+                    .collect::<Vec<_>>();
+                let outs = g
+                    .out_edges(n)
+                    .iter()
+                    .map(|&e| OutPort {
+                        tx: producers[e.index()].take().expect("one producer per edge"),
+                        edge: e.index() as u32,
+                        consumer: g.head(e).index() as u32,
+                        queue: PortQueue::default(),
+                        data: 0,
+                        dummies: 0,
+                    })
+                    .collect::<Vec<_>>();
+                let data_in = vec![None; ins.len()];
+                Mutex::new(Task {
+                    is_source: ins.is_empty(),
+                    done: false,
+                    eos_queued: false,
+                    next_source_seq: 0,
+                    staged: 0,
+                    behavior,
+                    wrapper: DummyWrapper::with_trigger(g, n, &self.mode, self.trigger),
+                    ins,
+                    outs,
+                    data_in,
+                    firings: 0,
+                    sink_firings: 0,
+                })
+            })
+            .collect();
+
+        let pool = Pool {
+            states: (0..node_count).map(|_| AtomicU8::new(QUEUED)).collect(),
+            tasks,
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(node_count),
+            unfinished: AtomicUsize::new(node_count),
+            parked_count: AtomicUsize::new(0),
+            coordinator: Mutex::new(()),
+            cv: Condvar::new(),
+            verdict: AtomicU8::new(RUNNING_VERDICT),
+            workers,
+            batch: self.batch,
+            inputs,
+        };
+        // Seed every task once, round-robin over the workers: each either
+        // progresses or registers its waiting flags, after which scheduling
+        // is purely event-driven.
+        for (idx, q) in (0..node_count).zip((0..workers).cycle()) {
+            pool.queues[q]
+                .lock()
+                .expect("queue lock")
+                .push_back(idx as u32);
+        }
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let pool = &pool;
+                scope.spawn(move || pool.worker_loop(w));
+            }
+        });
+
+        let deadlocked = pool.verdict.load(Ordering::SeqCst) == DEADLOCKED;
+        let mut report = ExecutionReport {
+            completed: !deadlocked,
+            deadlocked,
+            inputs_offered: inputs,
+            per_edge_data: vec![0; edge_count],
+            per_edge_dummies: vec![0; edge_count],
+            ..Default::default()
+        };
+        for (idx, task) in pool.tasks.iter().enumerate() {
+            let task = task.lock().expect("task lock");
+            report.steps += task.firings;
+            report.sink_firings += task.sink_firings;
+            for port in &task.outs {
+                report.per_edge_data[port.edge as usize] = port.data;
+                report.per_edge_dummies[port.edge as usize] = port.dummies;
+            }
+            if deadlocked && !task.done {
+                let node = NodeId::from_raw(idx as u32);
+                if let Some(port) =
+                    task.outs.iter().find(|p| p.queue.front().is_some())
+                {
+                    report.blocked.push(BlockedInfo {
+                        node,
+                        reason: BlockedReason::WaitingForSpace(edge_id(port.edge)),
+                    });
+                } else if let Some(port) = task.ins.iter().find(|p| p.rx.is_empty()) {
+                    report.blocked.push(BlockedInfo {
+                        node,
+                        reason: BlockedReason::WaitingForInput(edge_id(port.edge)),
+                    });
+                }
+            }
+        }
+        report.data_messages = report.per_edge_data.iter().sum();
+        report.dummy_messages = report.per_edge_dummies.iter().sum();
+        report
+    }
+}
+
+fn edge_id(raw: u32) -> fila_graph::EdgeId {
+    fila_graph::EdgeId::from_raw(raw)
+}
+
+/// One input channel of a task.
+struct InPort {
+    rx: spsc::Consumer<Message>,
+    edge: u32,
+    /// Node index of the channel's producer (the task to wake when a pop
+    /// makes the channel non-full).
+    producer: u32,
+}
+
+/// One output channel of a task, with its two-slot staging queue and the
+/// producer-side delivery counters (each edge has exactly one producer, so
+/// the counters need no atomics).
+struct OutPort {
+    tx: spsc::Producer<Message>,
+    edge: u32,
+    /// Node index of the channel's consumer (the task to wake when a push
+    /// makes the channel non-empty).
+    consumer: u32,
+    queue: PortQueue,
+    data: u64,
+    dummies: u64,
+}
+
+/// The per-node task state: everything [`crate::Simulator`] keeps per node,
+/// plus the owned channel endpoints.
+struct Task {
+    is_source: bool,
+    done: bool,
+    eos_queued: bool,
+    next_source_seq: u64,
+    /// Messages currently staged across all output port queues.
+    staged: usize,
+    behavior: Box<dyn NodeBehavior>,
+    wrapper: DummyWrapper,
+    ins: Vec<InPort>,
+    outs: Vec<OutPort>,
+    /// Reusable per-firing scratch, aligned with `ins`.
+    data_in: Vec<Option<Payload>>,
+    firings: u64,
+    sink_firings: u64,
+}
+
+/// Task scheduling states (one `AtomicU8` per node).
+const IDLE: u8 = 0;
+/// In some worker's run queue.
+const QUEUED: u8 = 1;
+/// Currently executing on a worker.
+const RUNNING: u8 = 2;
+/// Executing, and a wake arrived meanwhile: re-queue after the run.
+const NOTIFIED: u8 = 3;
+
+/// Pool verdicts.
+const RUNNING_VERDICT: u8 = 0;
+const COMPLETED: u8 = 1;
+const DEADLOCKED: u8 = 2;
+/// A worker panicked (a node behaviour threw); peers must not wait for it.
+const PANICKED: u8 = 3;
+
+/// What a task run ended with.
+enum Outcome {
+    /// The node reached end-of-stream and drained its outputs.
+    Done,
+    /// The batch limit was hit while the task could still progress.
+    Yielded,
+    /// The task cannot progress until a channel event wakes it (its waiting
+    /// flags are registered).
+    Blocked,
+}
+
+struct Pool {
+    states: Vec<AtomicU8>,
+    tasks: Vec<Mutex<Task>>,
+    queues: Vec<Mutex<VecDeque<u32>>>,
+    /// Tasks currently sitting in some run queue (transiently an
+    /// over-estimate: it is incremented before the push).
+    queued: AtomicUsize,
+    unfinished: AtomicUsize,
+    /// Workers currently parked; mutated only under `coordinator`.
+    parked_count: AtomicUsize,
+    coordinator: Mutex<()>,
+    cv: Condvar,
+    verdict: AtomicU8,
+    workers: usize,
+    batch: u32,
+    inputs: u64,
+}
+
+/// Aborts the pool if its worker unwinds (a node behaviour panicked):
+/// without this, the panicked worker would never park, the remaining
+/// workers would wait on the condvar forever, and `std::thread::scope`
+/// would hang joining them.  With it, peers exit, the scope joins
+/// everyone, and the scope itself re-raises the panic — so
+/// [`PooledExecutor::run`] propagates behaviour panics exactly like
+/// [`crate::Simulator::run`] does.
+struct PanicAbort<'p>(&'p Pool);
+
+impl Drop for PanicAbort<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _guard = self.0.lock_coordinator();
+            self.0.verdict.store(PANICKED, Ordering::SeqCst);
+            self.0.cv.notify_all();
+        }
+    }
+}
+
+impl Pool {
+    fn worker_loop(&self, worker: usize) {
+        let _abort_on_panic = PanicAbort(self);
+        while self.verdict.load(Ordering::Acquire) == RUNNING_VERDICT {
+            match self.pop_any(worker) {
+                Some(node) => self.execute(worker, node),
+                None => {
+                    if !self.park() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pops from the worker's own queue, then round-robins the other
+    /// workers' queues (work stealing).
+    fn pop_any(&self, worker: usize) -> Option<u32> {
+        for i in 0..self.queues.len() {
+            let q = (worker + i) % self.queues.len();
+            let popped = self.queues[q].lock().expect("queue lock").pop_front();
+            if let Some(node) = popped {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(node);
+            }
+        }
+        None
+    }
+
+    /// Pushes a task onto `worker`'s queue and unparks a sleeper if any.
+    fn push(&self, worker: usize, node: u32) {
+        // Increment before the push so `queued` only ever over-estimates;
+        // parking decisions must never see it low.
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        self.queues[worker]
+            .lock()
+            .expect("queue lock")
+            .push_back(node);
+        if self.parked_count.load(Ordering::SeqCst) > 0 {
+            let _guard = self.lock_coordinator();
+            self.cv.notify_one();
+        }
+    }
+
+    /// The coordinator mutex guards no data (all counters are atomics), so
+    /// poisoning — possible only when a peer worker panicked — carries no
+    /// information; every acquisition tolerates it so surviving workers can
+    /// still park, be woken, and observe the `PANICKED` verdict.
+    fn lock_coordinator(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.coordinator
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Schedules `node` (the channel-event wakeup): idle tasks are queued on
+    /// the waking worker, running tasks are flagged for re-queueing.
+    fn wake(&self, worker: usize, node: u32) {
+        let state = &self.states[node as usize];
+        let mut current = state.load(Ordering::Acquire);
+        loop {
+            let (target, enqueue) = match current {
+                IDLE => (QUEUED, true),
+                RUNNING => (NOTIFIED, false),
+                // Already queued or already flagged: nothing to do.
+                _ => return,
+            };
+            match state.compare_exchange(
+                current,
+                target,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    if enqueue {
+                        self.push(worker, node);
+                    }
+                    return;
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    fn execute(&self, worker: usize, node: u32) {
+        self.states[node as usize].store(RUNNING, Ordering::Release);
+        let (outcome, newly_done) = {
+            let mut task = self.tasks[node as usize].lock().expect("task lock");
+            let was_done = task.done;
+            let outcome = self.run_task(worker, &mut task);
+            (outcome, task.done && !was_done)
+        };
+        if newly_done {
+            self.unfinished.fetch_sub(1, Ordering::SeqCst);
+        }
+        match outcome {
+            Outcome::Done => {
+                // Stale flag wakeups may still re-queue this task; it will
+                // no-op (see `run_task`'s `done` check).
+                self.states[node as usize].store(IDLE, Ordering::Release);
+            }
+            Outcome::Yielded => {
+                self.states[node as usize].store(QUEUED, Ordering::Release);
+                self.push(worker, node);
+            }
+            Outcome::Blocked => {
+                if self.states[node as usize]
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    // A wake arrived while we ran (state is NOTIFIED): the
+                    // event may have landed before our final re-check, so the
+                    // task must run again.
+                    self.states[node as usize].store(QUEUED, Ordering::Release);
+                    self.push(worker, node);
+                }
+            }
+        }
+    }
+
+    /// Parks the worker until new work or a verdict.  Returns false when the
+    /// run is over.  The **last** worker to park with an empty pool decides
+    /// the verdict: every runnable task would be queued (the waiting-flag
+    /// protocol loses no wakeups), so a fully parked pool with unfinished
+    /// nodes is exactly a deadlock.
+    fn park(&self) -> bool {
+        let mut guard = self.lock_coordinator();
+        if self.queued.load(Ordering::SeqCst) > 0 {
+            return true;
+        }
+        if self.verdict.load(Ordering::SeqCst) != RUNNING_VERDICT {
+            return false;
+        }
+        let parked = self.parked_count.fetch_add(1, Ordering::SeqCst) + 1;
+        // Dekker re-check against a concurrent `push`: the pusher increments
+        // `queued` *before* reading `parked_count` (both SeqCst), so either
+        // it sees this worker as parked and notifies under the lock, or the
+        // re-read here sees its task — a notify can never fall between the
+        // entry check and the first wait.
+        if self.queued.load(Ordering::SeqCst) > 0 {
+            self.parked_count.fetch_sub(1, Ordering::SeqCst);
+            return true;
+        }
+        if parked == self.workers {
+            let verdict = if self.unfinished.load(Ordering::SeqCst) == 0 {
+                COMPLETED
+            } else {
+                DEADLOCKED
+            };
+            self.verdict.store(verdict, Ordering::SeqCst);
+            self.parked_count.fetch_sub(1, Ordering::SeqCst);
+            self.cv.notify_all();
+            return false;
+        }
+        loop {
+            guard = self
+                .cv
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if self.verdict.load(Ordering::SeqCst) != RUNNING_VERDICT
+                || self.queued.load(Ordering::SeqCst) > 0
+            {
+                break;
+            }
+        }
+        self.parked_count.fetch_sub(1, Ordering::SeqCst);
+        self.verdict.load(Ordering::SeqCst) == RUNNING_VERDICT
+    }
+
+    /// Runs one task for up to `batch` firings.
+    fn run_task(&self, worker: usize, task: &mut Task) -> Outcome {
+        let mut fired = 0;
+        while fired < self.batch {
+            if task.done {
+                return Outcome::Done;
+            }
+            if !self.step(worker, task) {
+                return Outcome::Blocked;
+            }
+            fired += 1;
+        }
+        if task.done {
+            Outcome::Done
+        } else {
+            Outcome::Yielded
+        }
+    }
+
+    /// Attempts one unit of progress on a task; mirrors
+    /// `Simulator`'s per-node step exactly (same acceptance rule, same
+    /// per-channel independent delivery), so the two engines are confluent
+    /// to the same terminal state.
+    fn step(&self, worker: usize, task: &mut Task) -> bool {
+        // Phase 1: flush staged outputs; a node with undelivered messages
+        // does nothing else (mirrors a blocking send).
+        if self.flush(worker, task) {
+            return true;
+        }
+        if task.staged > 0 {
+            // Still blocked on some full channel; `flush` registered the
+            // producer waiting flags.
+            return false;
+        }
+        if task.done {
+            return false;
+        }
+        if task.is_source {
+            return self.step_source(worker, task);
+        }
+
+        // Interior / sink: find the acceptance sequence number, registering
+        // a waiting flag on the first empty input (if that channel never
+        // fills, the node cannot progress no matter what the others do).
+        let mut accept_seq = u64::MAX;
+        for port in &task.ins {
+            match port.rx.front_or_register() {
+                Some(head) => accept_seq = accept_seq.min(head.seq()),
+                None => return false,
+            }
+        }
+        if accept_seq == u64::MAX {
+            // End of stream on every input.
+            for port in &mut task.outs {
+                debug_assert_eq!(port.queue.len(), 0);
+                port.queue.first = Some(Message::Eos);
+                task.staged += 1;
+            }
+            task.eos_queued = true;
+            self.flush(worker, task);
+            mark_done_if_drained(task);
+            return true;
+        }
+
+        // Consume every head carrying the accepted sequence number.
+        task.data_in.fill(None);
+        let mut consumed_dummy = false;
+        for (idx, port) in task.ins.iter_mut().enumerate() {
+            let head = port.rx.front().expect("all heads checked non-empty");
+            if head.seq() != accept_seq {
+                continue;
+            }
+            port.rx.pop();
+            if port.rx.take_producer_waiting() {
+                self.wake(worker, port.producer);
+            }
+            match head {
+                Message::Data { payload, .. } => task.data_in[idx] = Some(payload),
+                Message::Dummy { .. } => consumed_dummy = true,
+                Message::Eos => unreachable!("EOS has maximal sequence number"),
+            }
+        }
+
+        if task.data_in.iter().any(Option::is_some) {
+            if task.outs.is_empty() {
+                task.sink_firings += 1;
+            }
+            task.firings += 1;
+            let Task {
+                behavior, data_in, ..
+            } = task;
+            let decision = behavior.fire(&FireInput {
+                seq: accept_seq,
+                data_in,
+            });
+            queue_outputs(task, accept_seq, Some(&decision), consumed_dummy);
+        } else {
+            // Only dummies were consumed: no behaviour call, no data out.
+            queue_outputs(task, accept_seq, None, consumed_dummy);
+        }
+        self.flush(worker, task);
+        mark_done_if_drained(task);
+        true
+    }
+
+    fn step_source(&self, worker: usize, task: &mut Task) -> bool {
+        if task.next_source_seq < self.inputs {
+            let seq = task.next_source_seq;
+            task.next_source_seq += 1;
+            task.firings += 1;
+            let decision = task.behavior.fire(&FireInput { seq, data_in: &[] });
+            queue_outputs(task, seq, Some(&decision), false);
+            self.flush(worker, task);
+            return true;
+        }
+        if !task.eos_queued {
+            task.eos_queued = true;
+            for port in &mut task.outs {
+                debug_assert_eq!(port.queue.len(), 0);
+                port.queue.first = Some(Message::Eos);
+                task.staged += 1;
+            }
+            self.flush(worker, task);
+            mark_done_if_drained(task);
+            return true;
+        }
+        mark_done_if_drained(task);
+        false
+    }
+
+    /// Delivers as many staged outputs as ring capacities allow; FIFO per
+    /// channel, channels independent.  Registers the producer waiting flag
+    /// (with the mandatory retry) on every channel that stays full, and
+    /// wakes the consumer of every channel this delivery made non-empty.
+    fn flush(&self, worker: usize, task: &mut Task) -> bool {
+        if task.staged == 0 {
+            return false;
+        }
+        let mut delivered = false;
+        for port in &mut task.outs {
+            while let Some(message) = port.queue.front() {
+                if port.tx.push_or_register(message).is_err() {
+                    // Port still full; the registration stays active and
+                    // the consumer's next pop wakes this task.
+                    break;
+                }
+                port.queue.pop_front();
+                task.staged -= 1;
+                delivered = true;
+                match message {
+                    Message::Data { .. } => port.data += 1,
+                    Message::Dummy { .. } => port.dummies += 1,
+                    Message::Eos => {}
+                }
+                if port.tx.take_consumer_waiting() {
+                    self.wake(worker, port.consumer);
+                }
+            }
+        }
+        if delivered {
+            mark_done_if_drained(task);
+        }
+        delivered
+    }
+}
+
+fn mark_done_if_drained(task: &mut Task) {
+    if task.eos_queued && task.staged == 0 {
+        task.done = true;
+    }
+}
+
+/// Stages the data and dummy messages produced for one accepted sequence
+/// number (`decision` is `None` when the node consumed only dummies and
+/// emits no data).
+fn queue_outputs(
+    task: &mut Task,
+    seq: u64,
+    decision: Option<&FireDecision>,
+    consumed_dummy: bool,
+) {
+    let Task {
+        wrapper,
+        outs,
+        staged,
+        ..
+    } = task;
+    let dummies = wrapper.on_accept(consumed_dummy, |i| {
+        decision.is_some_and(|d| d.emit[i].is_some())
+    });
+    for (idx, port) in outs.iter_mut().enumerate() {
+        debug_assert_eq!(port.queue.len(), 0);
+        port.queue.first = decision
+            .and_then(|d| d.emit[idx])
+            .map(|payload| Message::Data { seq, payload });
+        // Under the heartbeat trigger a dummy may accompany a data message
+        // carrying the same sequence number.
+        port.queue.second = dummies[idx].then_some(Message::Dummy { seq });
+        *staged += port.queue.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::{Broadcast, ModuloFilter, Predicate};
+    use crate::Simulator;
+    use fila_avoidance::{Algorithm, Planner};
+    use fila_graph::{Graph, GraphBuilder};
+
+    fn fig2(buffer: u64) -> Graph {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("A", "B", buffer).unwrap();
+        b.edge_with_capacity("B", "C", buffer).unwrap();
+        b.edge_with_capacity("A", "C", buffer).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pipeline_completes_pooled() {
+        let mut b = GraphBuilder::new();
+        b.chain(&["src", "mid", "dst"]).unwrap();
+        let g = b.build().unwrap();
+        let topo = Topology::from_graph(&g);
+        for workers in [1, 2, 4] {
+            let report = PooledExecutor::new(&topo).workers(workers).run(200);
+            assert!(report.completed, "workers={workers}: {report:?}");
+            assert_eq!(report.data_messages, 400);
+            assert_eq!(report.sink_firings, 200);
+        }
+    }
+
+    #[test]
+    fn fig2_deadlock_verdict_is_exact() {
+        // No quiet period, no timeout: the pool parks and reports deadlock
+        // with the blocked nodes, exactly like the simulator.
+        let g = fig2(2);
+        let a = g.node_by_name("A").unwrap();
+        let topo = Topology::from_graph(&g)
+            .with(a, || Predicate::new(2, |_seq, out| out == 0));
+        for workers in [1, 3] {
+            let report = PooledExecutor::new(&topo).workers(workers).run(500);
+            assert!(report.deadlocked, "workers={workers}: {report:?}");
+            assert!(!report.completed);
+            assert!(!report.blocked.is_empty());
+        }
+    }
+
+    #[test]
+    fn fig2_completes_pooled_with_plan() {
+        let g = fig2(2);
+        let a = g.node_by_name("A").unwrap();
+        for algorithm in [Algorithm::Propagation, Algorithm::NonPropagation] {
+            let plan = Planner::new(&g).algorithm(algorithm).plan().unwrap();
+            let topo = Topology::from_graph(&g)
+                .with(a, || Predicate::new(2, |_seq, out| out == 0));
+            let report = PooledExecutor::new(&topo)
+                .with_plan(&plan)
+                .workers(2)
+                .run(500);
+            assert!(report.completed, "{algorithm}: {report:?}");
+            assert!(report.dummy_messages > 0);
+        }
+    }
+
+    #[test]
+    fn pooled_matches_simulator_exactly() {
+        let g = fig2(4);
+        let a = g.node_by_name("A").unwrap();
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        let topo = Topology::from_graph(&g)
+            .with(a, || Predicate::new(2, |seq, out| out == 0 || seq % 4 == 0));
+        let sim = Simulator::new(&topo).with_plan(&plan).run(400);
+        let pooled = PooledExecutor::new(&topo).with_plan(&plan).workers(2).run(400);
+        assert!(sim.completed && pooled.completed);
+        assert_eq!(sim.per_edge_data, pooled.per_edge_data);
+        assert_eq!(sim.per_edge_dummies, pooled.per_edge_dummies);
+        assert_eq!(sim.sink_firings, pooled.sink_firings);
+    }
+
+    #[test]
+    fn capacity_one_channels_work() {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("s", "m", 1).unwrap();
+        b.edge_with_capacity("m", "t", 1).unwrap();
+        let g = b.build().unwrap();
+        let m = g.node_by_name("m").unwrap();
+        let topo = Topology::from_graph(&g).with(m, || ModuloFilter::new(1, 2, 0));
+        let report = PooledExecutor::new(&topo).workers(2).run(100);
+        assert!(report.completed, "{report:?}");
+        assert_eq!(report.sink_firings, 50);
+    }
+
+    #[test]
+    fn split_join_deadlocks_and_plan_rescues_it() {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("split", "left", 4).unwrap();
+        b.edge_with_capacity("split", "right", 4).unwrap();
+        b.edge_with_capacity("left", "join", 4).unwrap();
+        b.edge_with_capacity("right", "join", 4).unwrap();
+        let g = b.build().unwrap();
+        let split = g.node_by_name("split").unwrap();
+        let left = g.node_by_name("left").unwrap();
+        let right = g.node_by_name("right").unwrap();
+        let topo = Topology::from_graph(&g)
+            .with(split, || Broadcast::new(2))
+            .with(left, || ModuloFilter::new(1, 5, 0))
+            .with(right, || ModuloFilter::new(1, 50, 3));
+        let without = PooledExecutor::new(&topo).workers(2).run(2000);
+        assert!(without.deadlocked, "{without:?}");
+        let plan = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap();
+        let with_plan = PooledExecutor::new(&topo).with_plan(&plan).workers(2).run(2000);
+        assert!(with_plan.completed, "{with_plan:?}");
+    }
+
+    #[test]
+    fn deep_pipeline_scales_past_thread_per_node_sizes() {
+        // 4096 nodes on a handful of workers: far beyond what one OS thread
+        // per node is meant for, trivially handled by the pool.
+        let names: Vec<String> = (0..4096).map(|i| format!("n{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut b = GraphBuilder::new().default_capacity(4);
+        b.chain(&refs).unwrap();
+        let g = b.build().unwrap();
+        let topo = Topology::from_graph(&g);
+        let report = PooledExecutor::new(&topo).workers(4).run(8);
+        assert!(report.completed, "{report:?}");
+        assert_eq!(report.sink_firings, 8);
+        assert_eq!(report.data_messages, 8 * 4095);
+    }
+
+    #[test]
+    fn tiny_batch_still_completes() {
+        let g = fig2(2);
+        let a = g.node_by_name("A").unwrap();
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        let topo = Topology::from_graph(&g)
+            .with(a, || Predicate::new(2, |_seq, out| out == 0));
+        let report = PooledExecutor::new(&topo)
+            .with_plan(&plan)
+            .workers(3)
+            .batch(1)
+            .run(300);
+        assert!(report.completed, "{report:?}");
+    }
+
+    #[test]
+    fn zero_inputs_complete_immediately() {
+        let g = fig2(2);
+        let topo = Topology::from_graph(&g);
+        let report = PooledExecutor::new(&topo).run(0);
+        assert!(report.completed);
+        assert_eq!(report.data_messages, 0);
+    }
+
+    #[test]
+    fn pooled_and_threaded_agree_on_data_counts() {
+        // The pool and the thread-per-node engine share the ring layer but
+        // schedule completely differently; deterministic filtering must
+        // still deliver identical data counts (see also
+        // `tests/engine_equivalence.rs` for the full Simulator pinning).
+        let g = fig2(4);
+        let a = g.node_by_name("A").unwrap();
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        let topo = Topology::from_graph(&g)
+            .with(a, || Predicate::new(2, |seq, out| out == 0 || seq % 4 == 0));
+        let pooled = PooledExecutor::new(&topo).with_plan(&plan).workers(2).run(400);
+        let threaded = crate::ThreadedExecutor::new(&topo).with_plan(&plan).run(400);
+        assert!(pooled.completed && threaded.completed);
+        assert_eq!(pooled.data_messages, threaded.data_messages);
+        assert_eq!(pooled.sink_firings, threaded.sink_firings);
+        assert_eq!(pooled.per_edge_data, threaded.per_edge_data);
+    }
+
+    #[test]
+    fn behaviour_panic_propagates_instead_of_hanging() {
+        // A panicking behaviour must fail the run like the simulator does —
+        // not leave the surviving workers parked forever.
+        let mut b = GraphBuilder::new();
+        b.chain(&["s", "m", "t"]).unwrap();
+        let g = b.build().unwrap();
+        let m = g.node_by_name("m").unwrap();
+        let topo = Topology::from_graph(&g).with(m, || {
+            Predicate::new(1, |seq, _out| {
+                assert!(seq < 5, "behaviour blew up at seq {seq}");
+                true
+            })
+        });
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            PooledExecutor::new(&topo).workers(2).run(100)
+        }));
+        assert!(result.is_err(), "the panic must propagate out of run()");
+    }
+}

@@ -46,6 +46,12 @@ pub struct ExecutionReport {
 }
 
 impl ExecutionReport {
+    /// Total messages delivered over all channels (data + dummies; the
+    /// unit the throughput benchmarks report per second).
+    pub fn total_messages(&self) -> u64 {
+        self.data_messages + self.dummy_messages
+    }
+
     /// Fraction of delivered messages that were dummies (0.0 when nothing
     /// was delivered).
     pub fn dummy_overhead(&self) -> f64 {
@@ -84,6 +90,7 @@ mod tests {
             ..Default::default()
         };
         assert!((r.dummy_overhead() - 0.25).abs() < 1e-9);
+        assert_eq!(r.total_messages(), 100);
         assert!(!r.inconclusive());
     }
 }

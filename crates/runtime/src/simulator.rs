@@ -166,8 +166,9 @@ impl<'t> Run<'t> {
             .collect::<Vec<_>>();
         let nodes = g
             .node_ids()
-            .map(|n| NodeState {
-                behavior: topology.build_behavior(n),
+            .zip(topology.build_behaviors())
+            .map(|(n, behavior)| NodeState {
+                behavior,
                 wrapper: DummyWrapper::with_trigger(g, n, mode, trigger),
                 pending: VecDeque::new(),
                 is_source: g.in_degree(n) == 0,

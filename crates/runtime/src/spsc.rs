@@ -1,0 +1,463 @@
+//! A lock-free single-producer/single-consumer ring buffer with blocked-peer
+//! notification flags — the channel substrate of [`crate::PooledExecutor`].
+//!
+//! Every edge of the application graph has exactly one producing node and one
+//! consuming node, so its channel never needs multi-producer or multi-consumer
+//! machinery: a classic Lamport ring (one atomic head owned by the consumer,
+//! one atomic tail owned by the producer, both caching the opposite index)
+//! gives wait-free `push`/`pop`/`front` with no locks and no allocation after
+//! construction.
+//!
+//! ## The waiting-flag protocol
+//!
+//! The pooled executor schedules node *tasks*, not threads, so a task that
+//! finds a channel full (or empty) cannot block — it must arrange to be
+//! *woken* when the peer makes the channel non-full (non-empty) and yield its
+//! worker.  Each ring therefore carries two flags:
+//!
+//! * the producer, after a failed `push`, calls [`Producer::begin_wait`] and
+//!   **retries the push**; only if the retry also fails may it park.  The
+//!   consumer checks [`Consumer::take_producer_waiting`] after every
+//!   successful `pop` and wakes the producer task if it was set.
+//! * symmetrically, the consumer calls [`Consumer::begin_wait`] after seeing
+//!   an empty channel and re-peeks; the producer checks
+//!   [`Producer::take_consumer_waiting`] after every successful `push`.
+//!
+//! The store-fence-load ordering on both sides (Dekker's protocol) makes a
+//! lost wakeup impossible: either the parking side's re-check observes the
+//! peer's operation, or the peer's flag check observes the parking side's
+//! registration.  Spurious wakeups remain possible (a woken task simply finds
+//! it cannot progress and re-parks), which is harmless.
+//!
+//! ## Index-width assumption
+//!
+//! Head and tail are *monotonically increasing* `usize` counters (slot =
+//! `index % cap`), which is only sound while they cannot wrap: on a 64-bit
+//! target a single channel would need ~5.8 centuries at 10^9 msg/s to
+//! overflow, but on a 32-bit target 2^32 messages wrap the counters and
+//! corrupt any ring whose capacity does not divide 2^32.  The engines only
+//! target 64-bit hosts; port the indices to `u64` (or one-lap stamps à la
+//! crossbeam's `ArrayQueue`) before using this module on 32-bit.
+
+use std::cell::{Cell, UnsafeCell};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pads and aligns to a cache line so the producer- and consumer-owned
+/// indices do not false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Ring<T> {
+    /// One slot per unit of channel capacity.
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    cap: usize,
+    /// Next slot to pop; written only by the consumer.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot to push; written only by the producer.
+    tail: CachePadded<AtomicUsize>,
+    /// Set by the producer when it observed the ring full and intends to
+    /// park; consumed by the consumer after a pop.
+    producer_waiting: AtomicBool,
+    /// Set by the consumer when it observed the ring empty and intends to
+    /// park; consumed by the producer after a push.
+    consumer_waiting: AtomicBool,
+}
+
+// The raw slots are only ever touched by the unique producer (writes at
+// `tail`) and the unique consumer (reads at `head`), with the atomic indices
+// ordering the hand-off; the endpoints below enforce that uniqueness by
+// construction (they are not Clone).
+unsafe impl<T: Send> Sync for Ring<T> {}
+unsafe impl<T: Send> Send for Ring<T> {}
+
+impl<T> Ring<T> {
+    #[inline]
+    fn slot(&self, index: usize) -> *mut MaybeUninit<T> {
+        self.buf[index % self.cap].get()
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Endpoints are gone; drain whatever was left in the ring.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        for i in head..tail {
+            unsafe { (*self.slot(i)).assume_init_drop() };
+        }
+    }
+}
+
+/// The producing endpoint of a [`ring`].  Not cloneable: exactly one task
+/// may push.
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+    /// Consumer index as of our last refresh; only ever behind the truth,
+    /// so a push based on it is conservative (may refresh, never corrupts).
+    cached_head: Cell<usize>,
+}
+
+/// The consuming endpoint of a [`ring`].  Not cloneable: exactly one task
+/// may pop.
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+    /// Producer index as of our last refresh; only ever behind the truth.
+    cached_tail: Cell<usize>,
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("spsc::Producer { .. }")
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("spsc::Consumer { .. }")
+    }
+}
+
+/// Creates a bounded SPSC ring of capacity `cap` (≥ 1).
+pub fn ring<T>(cap: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(cap >= 1, "spsc ring capacity must be at least 1");
+    let buf = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let ring = Arc::new(Ring {
+        buf,
+        cap,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        producer_waiting: AtomicBool::new(false),
+        consumer_waiting: AtomicBool::new(false),
+    });
+    (
+        Producer {
+            ring: Arc::clone(&ring),
+            cached_head: Cell::new(0),
+        },
+        Consumer {
+            ring,
+            cached_tail: Cell::new(0),
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Attempts to push; hands the value back if the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.0.load(Ordering::Relaxed);
+        // `cached_head` is only ever ≤ the true head (a reset sets it to 0),
+        // so `tail - cached_head` over-approximates the occupancy: `< cap`
+        // proves there is space, `>= cap` forces a refresh.
+        if tail - self.cached_head.get() >= ring.cap {
+            self.cached_head
+                .set(ring.head.0.load(Ordering::Acquire));
+            if tail - self.cached_head.get() >= ring.cap {
+                return Err(value);
+            }
+        }
+        unsafe { (*ring.slot(tail)).write(value) };
+        ring.tail.0.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Pushes, or — when the ring is full — registers this endpoint as
+    /// blocked-on-full and retries once (the Dekker re-check that makes
+    /// lost wakeups impossible), withdrawing the registration if the retry
+    /// lands.  On `Err` the value is handed back **and the registration
+    /// stays active**: the caller may park, and the consumer's next pop
+    /// will report it via [`Consumer::take_producer_waiting`].
+    ///
+    /// This is the only correct way to give up on a full ring; a plain
+    /// failed [`Producer::push`] must never be followed by parking.
+    pub fn push_or_register(&mut self, value: T) -> Result<(), T> {
+        match self.push(value) {
+            Ok(()) => Ok(()),
+            Err(back) => {
+                self.begin_wait();
+                match self.push(back) {
+                    Ok(()) => {
+                        self.cancel_wait();
+                        Ok(())
+                    }
+                    Err(back) => Err(back),
+                }
+            }
+        }
+    }
+
+    /// Registers this endpoint as blocked-on-full.  The caller **must retry
+    /// the push** after this call and may only park if the retry fails too
+    /// (the Dekker re-check that makes lost wakeups impossible).  Prefer
+    /// [`Producer::push_or_register`], which performs the whole ritual.
+    pub fn begin_wait(&self) {
+        self.ring.producer_waiting.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        // Force the retry to re-read the consumer's true index.
+        self.cached_head.set(0);
+    }
+
+    /// Withdraws a [`Producer::begin_wait`] registration after the retry
+    /// succeeded, so the consumer does not issue a stale wakeup.
+    pub fn cancel_wait(&self) {
+        self.ring.producer_waiting.store(false, Ordering::SeqCst);
+    }
+
+    /// After a successful push: returns whether the consumer had registered
+    /// as blocked-on-empty (and clears the registration).  A `true` return
+    /// obliges the caller to wake the consuming task.
+    pub fn take_consumer_waiting(&self) -> bool {
+        fence(Ordering::SeqCst);
+        if self.ring.consumer_waiting.load(Ordering::SeqCst) {
+            self.ring.consumer_waiting.swap(false, Ordering::SeqCst)
+        } else {
+            false
+        }
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Number of messages currently buffered (may be stale by concurrent
+    /// pushes, never by pops — the consumer owns `head`).
+    pub fn len(&self) -> usize {
+        let head = self.ring.head.0.load(Ordering::Relaxed);
+        let tail = self.ring.tail.0.load(Ordering::Acquire);
+        tail - head
+    }
+
+    /// True when no message is buffered (same staleness as [`Consumer::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to pop the front message.
+    pub fn pop(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.0.load(Ordering::Relaxed);
+        if !self.refresh_nonempty(head) {
+            return None;
+        }
+        let value = unsafe { (*ring.slot(head)).assume_init_read() };
+        ring.head.0.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Registers this endpoint as blocked-on-empty.  The caller **must
+    /// re-peek** after this call and may only park if the ring is still
+    /// empty.  Prefer [`Consumer::front_or_register`], which performs the
+    /// whole ritual.
+    pub fn begin_wait(&self) {
+        self.ring.consumer_waiting.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        // Force the re-peek to re-read the producer's true index.
+        self.cached_tail.set(0);
+    }
+
+    /// Withdraws a [`Consumer::begin_wait`] registration after the re-peek
+    /// found a message, so the producer does not issue a stale wakeup.
+    pub fn cancel_wait(&self) {
+        self.ring.consumer_waiting.store(false, Ordering::SeqCst);
+    }
+
+    /// After a successful pop: returns whether the producer had registered
+    /// as blocked-on-full (and clears the registration).  A `true` return
+    /// obliges the caller to wake the producing task.
+    pub fn take_producer_waiting(&self) -> bool {
+        fence(Ordering::SeqCst);
+        if self.ring.producer_waiting.load(Ordering::SeqCst) {
+            self.ring.producer_waiting.swap(false, Ordering::SeqCst)
+        } else {
+            false
+        }
+    }
+
+    /// Refreshes the cached tail if needed; true when a message is buffered
+    /// at `head`.
+    #[inline]
+    fn refresh_nonempty(&self, head: usize) -> bool {
+        if self.cached_tail.get() <= head {
+            self.cached_tail
+                .set(self.ring.tail.0.load(Ordering::Acquire));
+        }
+        self.cached_tail.get() > head
+    }
+}
+
+impl<T: Copy> Consumer<T> {
+    /// Copies the front message without consuming it (the acceptance rule of
+    /// §II.A needs to compare the heads of several channels before deciding
+    /// which to pop).
+    pub fn front(&self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.0.load(Ordering::Relaxed);
+        if !self.refresh_nonempty(head) {
+            return None;
+        }
+        Some(unsafe { (*ring.slot(head)).assume_init_read() })
+    }
+
+    /// Peeks the front message, or — when the ring is empty — registers
+    /// this endpoint as blocked-on-empty and re-peeks once (the Dekker
+    /// re-check that makes lost wakeups impossible), withdrawing the
+    /// registration if the re-peek finds a message.  On `None` **the
+    /// registration stays active**: the caller may park, and the
+    /// producer's next push will report it via
+    /// [`Producer::take_consumer_waiting`].
+    ///
+    /// This is the only correct way to give up on an empty ring; a plain
+    /// `None` from [`Consumer::front`] must never be followed by parking.
+    pub fn front_or_register(&self) -> Option<T> {
+        if let Some(head) = self.front() {
+            return Some(head);
+        }
+        self.begin_wait();
+        match self.front() {
+            Some(head) => {
+                self.cancel_wait();
+                Some(head)
+            }
+            None => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let (mut tx, mut rx) = ring::<u64>(3);
+        assert!(rx.is_empty());
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        tx.push(3).unwrap();
+        assert_eq!(tx.push(4), Err(4));
+        assert_eq!(rx.len(), 3);
+        assert_eq!(rx.front(), Some(1));
+        assert_eq!(rx.pop(), Some(1));
+        tx.push(4).unwrap();
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+        assert_eq!(rx.pop(), Some(4));
+        assert_eq!(rx.pop(), None);
+        assert_eq!(rx.front(), None);
+    }
+
+    #[test]
+    fn front_does_not_consume() {
+        let (mut tx, mut rx) = ring::<u64>(2);
+        tx.push(7).unwrap();
+        assert_eq!(rx.front(), Some(7));
+        assert_eq!(rx.front(), Some(7));
+        assert_eq!(rx.pop(), Some(7));
+    }
+
+    #[test]
+    fn waiting_flags_round_trip() {
+        let (mut tx, mut rx) = ring::<u64>(1);
+        // Consumer registers, producer pushes and observes the registration.
+        rx.begin_wait();
+        assert_eq!(rx.pop(), None);
+        tx.push(1).unwrap();
+        assert!(tx.take_consumer_waiting());
+        assert!(!tx.take_consumer_waiting(), "flag is cleared by the take");
+        // Producer registers on a full ring, consumer pops and observes it.
+        assert_eq!(tx.push(2), Err(2));
+        tx.begin_wait();
+        assert_eq!(tx.push(2), Err(2));
+        assert_eq!(rx.pop(), Some(1));
+        assert!(rx.take_producer_waiting());
+        assert!(!rx.take_producer_waiting());
+        // cancel_wait withdraws a registration.
+        rx.begin_wait();
+        rx.cancel_wait();
+        tx.push(3).unwrap();
+        assert!(!tx.take_consumer_waiting());
+    }
+
+    #[test]
+    fn ritual_helpers_register_only_on_failure() {
+        let (mut tx, mut rx) = ring::<u64>(1);
+        // Successful push leaves no registration behind.
+        tx.push_or_register(1).unwrap();
+        assert_eq!(rx.pop(), Some(1));
+        assert!(!rx.take_producer_waiting());
+        // Failed push leaves the producer registered.
+        tx.push_or_register(2).unwrap();
+        assert_eq!(tx.push_or_register(3), Err(3));
+        assert_eq!(rx.pop(), Some(2));
+        assert!(rx.take_producer_waiting());
+        // Successful peek leaves no registration behind.
+        tx.push(4).unwrap();
+        assert_eq!(rx.front_or_register(), Some(4));
+        assert!(!tx.take_consumer_waiting());
+        // Failed peek leaves the consumer registered.
+        assert_eq!(rx.pop(), Some(4));
+        assert_eq!(rx.front_or_register(), None);
+        tx.push(5).unwrap();
+        assert!(tx.take_consumer_waiting());
+    }
+
+    #[test]
+    fn leftover_messages_are_dropped_with_the_ring() {
+        // A drop-counting payload: the ring must drain undelivered values.
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        #[derive(Debug)]
+        struct Token;
+        impl Drop for Token {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, mut rx) = ring::<Token>(4);
+        tx.push(Token).unwrap();
+        tx.push(Token).unwrap();
+        tx.push(Token).unwrap();
+        drop(rx.pop());
+        let before = DROPS.load(Ordering::SeqCst);
+        assert_eq!(before, 1);
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn cross_thread_stream_is_loss_free() {
+        const N: u64 = 100_000;
+        let (mut tx, mut rx) = ring::<u64>(8);
+        let producer = thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            match rx.pop() {
+                Some(v) => {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                }
+                None => thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert!(rx.is_empty());
+    }
+}

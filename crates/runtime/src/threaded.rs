@@ -1,26 +1,39 @@
 //! A multi-threaded execution engine: one OS thread per compute node,
-//! communicating over crossbeam bounded channels.
+//! communicating over the same lock-free SPSC rings as
+//! [`crate::PooledExecutor`].
 //!
-//! The channel capacities are exactly the buffer sizes of the application
-//! graph (each receiver holds one message in a local "peek" slot so that the
-//! sequence-number acceptance rule of §II.A can be applied across several
-//! input channels; the crossbeam channel is therefore created one slot
-//! smaller).  Deadlock cannot be detected exactly in a running concurrent
-//! system, so the engine uses the conventional approach: a watchdog that
-//! declares deadlock when no message has been produced or consumed for a
-//! configurable quiet period, after which all workers abort cleanly.
+//! Each channel's ring has exactly the buffer size of the application graph
+//! (the consumer applies the sequence-number acceptance rule of §II.A by
+//! *peeking* the ring heads in place, so no extra receiver-side slot exists
+//! and the in-flight bound matches the simulator's model exactly).
+//!
+//! Workers never spin or sleep-poll: a worker whose channel cannot progress
+//! registers the ring's waiting flag, re-checks (the Dekker protocol of
+//! [`crate::spsc`]), and parks its thread; the peer endpoint consumes the
+//! flag after the enabling push/pop and unparks exactly that thread.
+//! Deadlock still cannot be observed exactly in a running concurrent system
+//! of parked threads (a pending unpark token is invisible), so the engine
+//! keeps the conventional approach: a watchdog that declares deadlock when
+//! no message has been produced or consumed for a configurable quiet
+//! period, after which all workers abort cleanly.  The watchdog itself
+//! sleeps on a condvar until its deadline — progress merely moves the
+//! deadline, so a deadlock is declared between one and two quiet periods
+//! after the last observed progress.  (Contrast with
+//! [`crate::PooledExecutor`], whose parked-pool verdict is exact; this
+//! engine is kept as the simplest possible concurrent reference.)
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::Thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
 use fila_avoidance::AvoidancePlan;
 use fila_graph::{EdgeId, NodeId};
 
 use crate::message::Message;
 use crate::node::{FireDecision, FireInput};
 use crate::report::ExecutionReport;
+use crate::spsc;
 use crate::topology::Topology;
 use crate::wrapper::{AvoidanceMode, DummyWrapper, PropagationTrigger};
 
@@ -84,20 +97,25 @@ impl<'t> ThreadedExecutor<'t> {
         let g = self.topology.graph();
         let edge_count = g.edge_count();
 
-        // Channel per edge; capacity reduced by the receiver-side peek slot.
-        let mut senders: Vec<Option<Sender<Message>>> = Vec::with_capacity(edge_count);
-        let mut receivers: Vec<Option<Receiver<Message>>> = Vec::with_capacity(edge_count);
+        // One SPSC ring per edge, with exactly the modelled capacity; both
+        // endpoints *move* into their unique worker.
+        let mut producers: Vec<Option<spsc::Producer<Message>>> =
+            Vec::with_capacity(edge_count);
+        let mut consumers: Vec<Option<spsc::Consumer<Message>>> =
+            Vec::with_capacity(edge_count);
         for e in g.edge_ids() {
-            let cap = (g.capacity(e) as usize).saturating_sub(1);
-            let (tx, rx) = bounded(cap);
-            senders.push(Some(tx));
-            receivers.push(Some(rx));
+            let (tx, rx) = spsc::ring(g.capacity(e) as usize);
+            producers.push(Some(tx));
+            consumers.push(Some(rx));
         }
 
         let shared = Arc::new(Shared {
             abort: AtomicBool::new(false),
             progress: AtomicU64::new(0),
             finished_nodes: AtomicU64::new(0),
+            threads: (0..g.node_count()).map(|_| OnceLock::new()).collect(),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
             data_messages: AtomicU64::new(0),
             dummy_messages: AtomicU64::new(0),
             sink_firings: AtomicU64::new(0),
@@ -109,50 +127,64 @@ impl<'t> ThreadedExecutor<'t> {
         let node_count = g.node_count() as u64;
         std::thread::scope(|scope| {
             for n in g.node_ids() {
-                // Each edge has exactly one producer and one consumer, so
-                // both endpoints *move* their channel handle out of the
-                // shared tables — no sender is ever cloned, and channels
-                // close as soon as their producing worker finishes.
                 let worker = Worker {
                     topology: self.topology,
                     node: n,
                     inputs,
-                    port_queue: vec![PortQueue::default(); g.out_degree(n)],
-                    senders: g
+                    outs: g
                         .out_edges(n)
                         .iter()
-                        .map(|&e| (e, senders[e.index()].take().expect("one producer per edge")))
+                        .map(|&e| OutChan {
+                            edge: e,
+                            consumer: g.head(e),
+                            tx: producers[e.index()].take().expect("one producer per edge"),
+                            queue: PortQueue::default(),
+                        })
                         .collect(),
-                    receivers: g
+                    ins: g
                         .in_edges(n)
                         .iter()
-                        .map(|&e| (e, receivers[e.index()].take().expect("one consumer per edge")))
+                        .map(|&e| InChan {
+                            producer: g.tail(e),
+                            rx: consumers[e.index()].take().expect("one consumer per edge"),
+                        })
                         .collect(),
                     wrapper: DummyWrapper::with_trigger(g, n, &self.mode, self.trigger),
                     shared: Arc::clone(&shared),
                 };
                 scope.spawn(move || worker.run());
             }
-            drop(senders);
+            drop(producers);
 
             // Watchdog: declare deadlock after a quiet period with no
-            // progress while workers remain.
-            let mut last_progress = shared.progress.load(Ordering::Relaxed);
-            let mut last_change = Instant::now();
+            // progress while workers remain.  It sleeps on the shared
+            // condvar until its deadline (no fixed-interval polling) and is
+            // woken early only by workers finishing; if progress happened
+            // meanwhile, the deadline simply moves forward.
+            let mut guard = shared.lock.lock().expect("shared lock");
+            let mut last_progress = shared.progress.load(Ordering::SeqCst);
+            let mut deadline = Instant::now() + self.quiet_period;
             loop {
-                std::thread::sleep(Duration::from_millis(5));
-                if shared.finished_nodes.load(Ordering::Relaxed) >= node_count {
+                if shared.finished_nodes.load(Ordering::SeqCst) >= node_count {
                     break;
                 }
-                let now_progress = shared.progress.load(Ordering::Relaxed);
+                let now_progress = shared.progress.load(Ordering::SeqCst);
+                let now = Instant::now();
                 if now_progress != last_progress {
                     last_progress = now_progress;
-                    last_change = Instant::now();
-                } else if last_change.elapsed() >= self.quiet_period {
-                    shared.abort.store(true, Ordering::SeqCst);
+                    deadline = now + self.quiet_period;
+                }
+                if now >= deadline {
+                    shared.abort();
                     break;
                 }
+                let (reacquired, _timeout) = shared
+                    .cv
+                    .wait_timeout(guard, deadline - now)
+                    .expect("shared lock");
+                guard = reacquired;
             }
+            drop(guard);
         });
 
         let deadlocked = shared.abort.load(Ordering::SeqCst);
@@ -183,6 +215,13 @@ struct Shared {
     abort: AtomicBool,
     progress: AtomicU64,
     finished_nodes: AtomicU64,
+    /// Each worker's thread handle, registered before its first park, so a
+    /// peer that consumed a ring waiting flag can unpark exactly the right
+    /// thread.
+    threads: Vec<OnceLock<Thread>>,
+    /// Watchdog coordination (deadline sleep + completion wakeup).
+    lock: Mutex<()>,
+    cv: Condvar,
     data_messages: AtomicU64,
     dummy_messages: AtomicU64,
     sink_firings: AtomicU64,
@@ -191,21 +230,58 @@ struct Shared {
     per_edge_dummies: Vec<AtomicU64>,
 }
 
+impl Shared {
+    /// Records one unit of progress (a send or receive) for the watchdog.
+    #[inline]
+    fn bump(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Unparks the worker thread of `node` (no-op before the worker has
+    /// registered, which can only happen before it first parks).
+    fn unpark(&self, node: NodeId) {
+        if let Some(thread) = self.threads[node.index()].get() {
+            thread.unpark();
+        }
+    }
+
+    /// Records that one worker ran to completion and wakes the watchdog so
+    /// the run's end is observed promptly.
+    fn node_finished(&self) {
+        self.finished_nodes.fetch_add(1, Ordering::SeqCst);
+        let _guard = self.lock.lock().expect("shared lock");
+        self.cv.notify_all();
+    }
+
+    /// Aborts the run: every worker re-checks the flag before parking and
+    /// holds an unpark token afterwards, so none can sleep through it.
+    fn abort(&self) {
+        self.abort.store(true, Ordering::SeqCst);
+        for thread in &self.threads {
+            if let Some(thread) = thread.get() {
+                thread.unpark();
+            }
+        }
+        self.cv.notify_all();
+    }
+}
+
 /// Per-output-port queue of at most two messages (a data message and a
-/// dummy can share one accepted sequence number).  Two inline slots keep the
-/// send path free of heap allocations.
+/// dummy can share one accepted sequence number; an EOS always travels
+/// alone).  Two inline slots keep the send path of both concurrent engines
+/// free of heap allocations.
 #[derive(Debug, Clone, Copy, Default)]
-struct PortQueue {
-    first: Option<Message>,
-    second: Option<Message>,
+pub(crate) struct PortQueue {
+    pub(crate) first: Option<Message>,
+    pub(crate) second: Option<Message>,
 }
 
 impl PortQueue {
-    fn front(&self) -> Option<Message> {
+    pub(crate) fn front(&self) -> Option<Message> {
         self.first.or(self.second)
     }
 
-    fn pop_front(&mut self) {
+    pub(crate) fn pop_front(&mut self) {
         if self.first.is_some() {
             self.first = self.second.take();
         } else {
@@ -213,37 +289,48 @@ impl PortQueue {
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         usize::from(self.first.is_some()) + usize::from(self.second.is_some())
     }
+}
 
-    fn clear(&mut self) {
-        self.first = None;
-        self.second = None;
-    }
+struct InChan {
+    producer: NodeId,
+    rx: spsc::Consumer<Message>,
+}
+
+struct OutChan {
+    edge: EdgeId,
+    consumer: NodeId,
+    tx: spsc::Producer<Message>,
+    /// Reusable per-firing output staging.
+    queue: PortQueue,
 }
 
 struct Worker<'t> {
     topology: &'t Topology,
     node: NodeId,
     inputs: u64,
-    senders: Vec<(EdgeId, Sender<Message>)>,
-    receivers: Vec<(EdgeId, Receiver<Message>)>,
+    outs: Vec<OutChan>,
+    ins: Vec<InChan>,
     wrapper: DummyWrapper,
     shared: Arc<Shared>,
-    /// Reusable per-firing output staging, aligned with `senders`.
-    port_queue: Vec<PortQueue>,
 }
 
 impl Worker<'_> {
     fn run(mut self) {
+        // Register before anything that could park, so peers (and the
+        // watchdog) can always unpark this thread.
+        self.shared.threads[self.node.index()]
+            .set(std::thread::current())
+            .expect("one worker per node");
         let mut behavior = self.topology.build_behavior(self.node);
-        if self.receivers.is_empty() {
+        if self.ins.is_empty() {
             self.run_source(behavior.as_mut());
         } else {
             self.run_interior(behavior.as_mut());
         }
-        self.shared.finished_nodes.fetch_add(1, Ordering::Relaxed);
+        self.shared.node_finished();
     }
 
     fn run_source(&mut self, behavior: &mut dyn crate::node::NodeBehavior) {
@@ -261,47 +348,44 @@ impl Worker<'_> {
     }
 
     fn run_interior(&mut self, behavior: &mut dyn crate::node::NodeBehavior) {
-        let n_in = self.receivers.len();
-        let mut heads: Vec<Option<Message>> = vec![None; n_in];
+        let n_in = self.ins.len();
         // Reused across firings; reset in place each round.
         let mut data_in: Vec<Option<u64>> = vec![None; n_in];
         loop {
-            // Fill every empty peek slot (this is where a node blocks when
-            // an upstream producer has filtered everything on that channel).
-            for (idx, (_, rx)) in self.receivers.iter().enumerate() {
-                if heads[idx].is_some() {
-                    continue;
-                }
-                match self.recv(rx) {
-                    Some(m) => heads[idx] = Some(m),
+            // Wait until every input ring has a head to peek (this is where
+            // a node blocks when an upstream producer has filtered
+            // everything on that channel).
+            let mut accept_seq = u64::MAX;
+            for chan in &self.ins {
+                match blocking_front(&chan.rx, &self.shared) {
+                    Some(head) => accept_seq = accept_seq.min(head.seq()),
                     None => return,
                 }
             }
-            let accept_seq = heads
-                .iter()
-                .map(|m| m.expect("all heads filled").seq())
-                .min()
-                .expect("interior nodes have inputs");
             if accept_seq == u64::MAX {
                 self.broadcast_eos();
                 return;
             }
             data_in.fill(None);
             let mut consumed_dummy = false;
-            for (idx, head) in heads.iter_mut().enumerate() {
-                let m = head.expect("filled");
-                if m.seq() == accept_seq {
-                    match m {
-                        Message::Data { payload, .. } => data_in[idx] = Some(payload),
-                        Message::Dummy { .. } => consumed_dummy = true,
-                        Message::Eos => unreachable!("EOS has maximal sequence"),
-                    }
-                    *head = None;
-                    self.shared.progress.fetch_add(1, Ordering::Relaxed);
+            for (idx, chan) in self.ins.iter_mut().enumerate() {
+                let head = chan.rx.front().expect("all heads checked non-empty");
+                if head.seq() != accept_seq {
+                    continue;
+                }
+                chan.rx.pop();
+                if chan.rx.take_producer_waiting() {
+                    self.shared.unpark(chan.producer);
+                }
+                self.shared.bump();
+                match head {
+                    Message::Data { payload, .. } => data_in[idx] = Some(payload),
+                    Message::Dummy { .. } => consumed_dummy = true,
+                    Message::Eos => unreachable!("EOS has maximal sequence"),
                 }
             }
             let decision = if data_in.iter().any(Option::is_some) {
-                if self.senders.is_empty() {
+                if self.outs.is_empty() {
                     self.shared.sink_firings.fetch_add(1, Ordering::Relaxed);
                 }
                 self.shared.firings.fetch_add(1, Ordering::Relaxed);
@@ -323,96 +407,88 @@ impl Worker<'_> {
     /// (`decision` is `None` when the node consumed only dummies and emits
     /// no data).  Returns false if the run was aborted mid-send.
     ///
-    /// The whole path reuses the worker's `port_queue` staging and never
-    /// clones a sender or allocates.
+    /// The whole path reuses the per-port staging queues and never
+    /// allocates.  Output ports drain concurrently: a full channel must not
+    /// delay the messages destined for a different channel (per-channel
+    /// order is still preserved), otherwise a dummy aimed at an empty
+    /// channel could be stuck behind a blocked data send and defeat the
+    /// deadlock-avoidance protocol.  A fruitless sweep registers the
+    /// waiting flag on every still-full ring (with the mandatory re-try)
+    /// and parks; the consumers' pops unpark this thread.
     fn emit(&mut self, seq: u64, decision: Option<&FireDecision>, consumed_dummy: bool) -> bool {
         let Worker {
-            senders,
+            outs,
             wrapper,
             shared,
-            port_queue,
             ..
         } = self;
         let dummies = wrapper.on_accept(consumed_dummy, |i| {
             decision.is_some_and(|d| d.emit[i].is_some())
         });
         let mut remaining = 0usize;
-        for (idx, slot) in port_queue.iter_mut().enumerate() {
-            slot.first = decision
+        for (idx, chan) in outs.iter_mut().enumerate() {
+            chan.queue.first = decision
                 .and_then(|d| d.emit[idx])
                 .map(|payload| Message::Data { seq, payload });
             // Under the heartbeat trigger a dummy may accompany a data
             // message carrying the same sequence number.
-            slot.second = dummies[idx].then_some(Message::Dummy { seq });
-            remaining += slot.len();
+            chan.queue.second = dummies[idx].then_some(Message::Dummy { seq });
+            remaining += chan.queue.len();
         }
-        // Drain all output ports concurrently: a full channel must not delay
-        // the messages destined for a different channel (per-channel order
-        // is still preserved), otherwise a dummy aimed at an empty channel
-        // could be stuck behind a blocked data send and defeat the
-        // deadlock-avoidance protocol.
         while remaining > 0 {
             if shared.abort.load(Ordering::SeqCst) {
                 return false;
             }
             let mut made_progress = false;
-            for (idx, (edge, tx)) in senders.iter().enumerate() {
-                let slot = &mut port_queue[idx];
-                let Some(message) = slot.front() else { continue };
-                match tx.try_send(message) {
-                    Ok(()) => {
-                        slot.pop_front();
-                        remaining -= 1;
-                        made_progress = true;
-                        shared.progress.fetch_add(1, Ordering::Relaxed);
-                        match message {
-                            Message::Data { .. } => {
-                                shared.data_messages.fetch_add(1, Ordering::Relaxed);
-                                shared.per_edge_data[edge.index()]
-                                    .fetch_add(1, Ordering::Relaxed);
-                            }
-                            Message::Dummy { .. } => {
-                                shared.dummy_messages.fetch_add(1, Ordering::Relaxed);
-                                shared.per_edge_dummies[edge.index()]
-                                    .fetch_add(1, Ordering::Relaxed);
-                            }
-                            Message::Eos => {}
-                        }
+            for chan in outs.iter_mut() {
+                while let Some(message) = chan.queue.front() {
+                    if chan.tx.push_or_register(message).is_err() {
+                        break;
                     }
-                    Err(crossbeam::channel::TrySendError::Full(_)) => {}
-                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
-                        remaining -= slot.len();
-                        slot.clear();
+                    chan.queue.pop_front();
+                    remaining -= 1;
+                    made_progress = true;
+                    shared.bump();
+                    match message {
+                        Message::Data { .. } => {
+                            shared.data_messages.fetch_add(1, Ordering::Relaxed);
+                            shared.per_edge_data[chan.edge.index()]
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        Message::Dummy { .. } => {
+                            shared.dummy_messages.fetch_add(1, Ordering::Relaxed);
+                            shared.per_edge_dummies[chan.edge.index()]
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        Message::Eos => {}
+                    }
+                    if chan.tx.take_consumer_waiting() {
+                        shared.unpark(chan.consumer);
                     }
                 }
             }
             if !made_progress {
-                std::thread::sleep(Duration::from_millis(1));
+                std::thread::park();
             }
         }
         true
     }
 
-    fn broadcast_eos(&self) {
-        for (_, tx) in &self.senders {
-            let _ = send_blocking(tx, Message::Eos, &self.shared);
-        }
-    }
-
-    fn recv(&self, rx: &Receiver<Message>) -> Option<Message> {
-        loop {
-            if self.aborted() {
-                return None;
-            }
-            match rx.recv_timeout(Duration::from_millis(10)) {
-                Ok(m) => {
-                    self.shared.progress.fetch_add(1, Ordering::Relaxed);
-                    return Some(m);
+    fn broadcast_eos(&mut self) {
+        let Worker { outs, shared, .. } = self;
+        for chan in outs.iter_mut() {
+            loop {
+                if shared.abort.load(Ordering::SeqCst) {
+                    return;
                 }
-                Err(RecvTimeoutError::Timeout) => continue,
-                // A disconnected channel means the producer aborted early;
-                // treat it as end of stream.
-                Err(RecvTimeoutError::Disconnected) => return Some(Message::Eos),
+                if chan.tx.push_or_register(Message::Eos).is_ok() {
+                    shared.bump();
+                    if chan.tx.take_consumer_waiting() {
+                        shared.unpark(chan.consumer);
+                    }
+                    break;
+                }
+                std::thread::park();
             }
         }
     }
@@ -422,21 +498,17 @@ impl Worker<'_> {
     }
 }
 
-/// Sends with periodic abort checks; returns false if the run aborted.
-fn send_blocking(tx: &Sender<Message>, message: Message, shared: &Shared) -> bool {
-    let mut msg = message;
+/// Peeks the ring head, parking the thread while the ring is empty.
+/// Returns `None` if the run aborted.
+fn blocking_front(rx: &spsc::Consumer<Message>, shared: &Shared) -> Option<Message> {
     loop {
         if shared.abort.load(Ordering::SeqCst) {
-            return false;
+            return None;
         }
-        match tx.send_timeout(msg, Duration::from_millis(10)) {
-            Ok(()) => {
-                shared.progress.fetch_add(1, Ordering::Relaxed);
-                return true;
-            }
-            Err(SendTimeoutError::Timeout(m)) => msg = m,
-            Err(SendTimeoutError::Disconnected(_)) => return false,
+        if let Some(head) = rx.front_or_register() {
+            return Some(head);
         }
+        std::thread::park();
     }
 }
 
@@ -514,7 +586,7 @@ mod tests {
     }
 
     #[test]
-    fn rendezvous_capacity_one_channels_work() {
+    fn capacity_one_channels_work() {
         let mut b = GraphBuilder::new();
         b.edge_with_capacity("s", "m", 1).unwrap();
         b.edge_with_capacity("m", "t", 1).unwrap();

@@ -69,6 +69,13 @@ impl Topology {
     pub fn build_behavior(&self, node: NodeId) -> Box<dyn NodeBehavior> {
         (self.behaviors[node.index()])()
     }
+
+    /// Builds one fresh behaviour instance per node, in node-id order — the
+    /// single construction point the execution engines share when they set
+    /// up a run.
+    pub fn build_behaviors(&self) -> Vec<Box<dyn NodeBehavior>> {
+        self.behaviors.iter().map(|factory| factory()).collect()
+    }
 }
 
 impl std::fmt::Debug for Topology {

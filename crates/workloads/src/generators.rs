@@ -143,6 +143,31 @@ pub fn random_ladder(config: &LadderConfig) -> Graph {
     b.build().expect("generated ladder is a valid two-terminal DAG")
 }
 
+/// Generates a linear pipeline of `n` nodes with uniform channel
+/// `capacity`.  With `reversed = true` the nodes are *declared* against the
+/// flow direction, so node ids are anti-topological — the adversarial case
+/// for any scheduler that visits nodes in id order (the worklist scheduler
+/// and the pooled engine are insensitive to declaration order; the scan
+/// scheduler degrades to one hop per `O(n)` sweep).
+///
+/// This is the scaling workload of the engine benchmarks: it is trivially
+/// deadlock-free at any filter rate (no undirected cycles), so it isolates
+/// pure scheduling and message-passing cost at node counts far beyond what
+/// thread-per-node execution can reach.
+pub fn pipeline_graph(n: usize, capacity: u64, reversed: bool) -> Graph {
+    let n = n.max(2);
+    let names: Vec<String> = (0..n).map(|i| format!("n{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut b = GraphBuilder::new().default_capacity(capacity);
+    if reversed {
+        for name in refs.iter().rev() {
+            b.node(name);
+        }
+    }
+    b.chain(&refs).unwrap();
+    b.build().expect("pipeline is a valid two-terminal DAG")
+}
+
 /// Generates the exponential-baseline stress topology: `k` parallel two-hop
 /// chains between a common source and sink, which has `k (k - 1) / 2`
 /// undirected simple cycles.
@@ -266,6 +291,20 @@ mod tests {
             let g = parallel_chains(k, 1);
             assert_eq!(cycles::count_cycles(&g), k * (k - 1) / 2);
         }
+    }
+
+    #[test]
+    fn pipeline_graph_shape_and_reversal() {
+        let fwd = pipeline_graph(16, 4, false);
+        assert_eq!(fwd.node_count(), 16);
+        assert_eq!(fwd.edge_count(), 15);
+        let rev = pipeline_graph(16, 4, true);
+        assert_eq!(rev.edge_count(), 15);
+        // Reversed declaration: the source has the highest node id.
+        let src = rev.single_source().unwrap();
+        assert_eq!(src.index(), 15);
+        let src_fwd = fwd.single_source().unwrap();
+        assert_eq!(src_fwd.index(), 0);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Scale demo: a 16 384-node filtered pipeline on the pooled work-stealing
+//! engine — a topology size where one-OS-thread-per-node execution stops
+//! being practical (16 k threads for a machine with a handful of cores).
+//!
+//! Run with `cargo run --release --example pooled_scale`.  Environment
+//! knobs:
+//!
+//! * `NODES` (default 16384) — pipeline length,
+//! * `INPUTS` (default 64) — sequence numbers offered at the source,
+//! * `WORKERS` (default: available parallelism) — pool size,
+//! * `THREADED=1` — additionally run the thread-per-node engine on the same
+//!   workload for comparison (spawns `NODES` OS threads; expect it to be
+//!   painfully slower or to abort if the system cannot host that many).
+
+use std::time::Instant;
+
+use fila::prelude::*;
+use fila::workloads::generators::{periodic_filtered_topology, pipeline_graph};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let nodes = env_u64("NODES", 16_384) as usize;
+    let inputs = env_u64("INPUTS", 64);
+    let workers = env_u64("WORKERS", 0) as usize;
+
+    // Anti-topological declaration order and a 4-deep filter: every node
+    // passes only every 4th sequence number, so ~1/4 of the traffic
+    // survives past the first hop.
+    let g = pipeline_graph(nodes, 4, true);
+    let topo = periodic_filtered_topology(&g, |_| 4);
+
+    let mut pooled = PooledExecutor::new(&topo);
+    if workers > 0 {
+        pooled = pooled.workers(workers);
+    }
+    let start = Instant::now();
+    let report = pooled.run(inputs);
+    let elapsed = start.elapsed();
+    assert!(report.completed, "{report:?}");
+    println!(
+        "pooled   : {nodes} nodes, {inputs} inputs -> {} messages in {elapsed:.2?} \
+         ({:.2} M msg/s)",
+        report.total_messages(),
+        report.total_messages() as f64 / elapsed.as_secs_f64() / 1e6,
+    );
+
+    if env_u64("THREADED", 0) != 0 {
+        let start = Instant::now();
+        let report = ThreadedExecutor::new(&topo).run(inputs);
+        let elapsed = start.elapsed();
+        assert!(report.completed, "{report:?}");
+        println!(
+            "threaded : {nodes} nodes, {inputs} inputs -> {} messages in {elapsed:.2?} \
+             ({:.2} M msg/s)",
+            report.total_messages(),
+            report.total_messages() as f64 / elapsed.as_secs_f64() / 1e6,
+        );
+    }
+}

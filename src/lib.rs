@@ -44,7 +44,7 @@ pub mod prelude {
     };
     pub use fila_graph::{EdgeId, Graph, GraphBuilder, NodeId};
     pub use fila_runtime::{
-        ExecutionReport, Scheduler, Simulator, ThreadedExecutor, Topology,
+        ExecutionReport, PooledExecutor, Scheduler, Simulator, ThreadedExecutor, Topology,
     };
     pub use fila_spdag::{recognize, SpDecomposition, SpSpec};
 }

@@ -1,0 +1,149 @@
+//! Property-based equivalence of the deterministic simulator and the pooled
+//! work-stealing engine (the concurrent mirror of
+//! `tests/scheduler_equivalence.rs`).
+//!
+//! Both engines implement the same Kahn-style per-node semantics
+//! (acceptance rule, dummy wrappers, per-channel independent delivery) over
+//! bounded channels.  Deterministic node behaviours make such a network
+//! *confluent*: every fair schedule — including every interleaving of the
+//! pool's workers — reaches the same terminal configuration.  So for any
+//! topology and any deterministic filtering, the pooled engine must agree
+//! with the simulator on completion, the **exact** deadlock verdict (the
+//! pool's parked-worker detection has no timeout to hide behind), and the
+//! exact per-channel data and dummy message counts, at every worker count.
+
+use fila::prelude::*;
+use fila::workloads::generators::{
+    layered_dag, periodic_filtered_topology, random_ladder, random_sp_dag, GeneratorConfig,
+    LadderConfig,
+};
+use proptest::prelude::*;
+
+/// One generated equivalence case.
+#[derive(Debug, Clone, Copy)]
+enum Scenario {
+    /// Random series-parallel DAG, protected by a planner-produced plan.
+    Sp { seed: u64 },
+    /// Random CS4 ladder, protected by a planner-produced plan.
+    Ladder { seed: u64 },
+    /// Layered random DAG (generally not CS4), run without avoidance so the
+    /// exact deadlock path of both engines is exercised too.
+    Layered { seed: u64 },
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    prop_oneof![
+        (0u64..1 << 48).prop_map(|seed| Scenario::Sp { seed }),
+        (0u64..1 << 48).prop_map(|seed| Scenario::Ladder { seed }),
+        (0u64..1 << 48).prop_map(|seed| Scenario::Layered { seed }),
+    ]
+}
+
+/// Deterministic per-(seed, node) parameter derivation.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The canonical periodic filter with a seed-derived period per node
+/// (period 1 = broadcast, larger periods filter most of the stream); shared
+/// with the scheduler-equivalence test and the `throughput` bench.
+fn with_filters(g: &Graph, seed: u64) -> Topology {
+    periodic_filtered_topology(g, |n| 1 + mix(seed ^ (0x9e37 + n.index() as u64)) % 5)
+}
+
+/// Runs one scenario through the simulator and through the pooled engine at
+/// a seed-derived worker count and batch size, asserting the reports match
+/// on every schedule-independent field.
+fn assert_equivalent(scenario: Scenario) -> Result<(), TestCaseError> {
+    let (g, plan, inputs) = match scenario {
+        Scenario::Sp { seed } => {
+            let (g, _) = random_sp_dag(&GeneratorConfig {
+                target_edges: 12 + (mix(seed) % 24) as usize,
+                max_fanout: 3,
+                capacity_range: (1, 6),
+                seed,
+            });
+            let algorithm = if mix(seed ^ 1) % 2 == 0 {
+                Algorithm::Propagation
+            } else {
+                Algorithm::NonPropagation
+            };
+            let plan = Planner::new(&g).algorithm(algorithm).plan().unwrap();
+            (g, Some(plan), 40 + mix(seed ^ 2) % 60)
+        }
+        Scenario::Ladder { seed } => {
+            let g = random_ladder(&LadderConfig {
+                rungs: 1 + (mix(seed) % 6) as usize,
+                capacity_range: (1, 6),
+                reverse_probability: 0.3,
+                seed,
+            });
+            let algorithm = if mix(seed ^ 1) % 2 == 0 {
+                Algorithm::Propagation
+            } else {
+                Algorithm::NonPropagation
+            };
+            let plan = Planner::new(&g).algorithm(algorithm).plan().unwrap();
+            (g, Some(plan), 40 + mix(seed ^ 2) % 60)
+        }
+        Scenario::Layered { seed } => {
+            let g = layered_dag(
+                2 + (mix(seed) % 3) as usize,
+                1 + (mix(seed ^ 1) % 3) as usize,
+                1 + mix(seed ^ 2) % 3,
+                seed,
+            );
+            (g, None, 40 + mix(seed ^ 3) % 60)
+        }
+    };
+    let (Scenario::Sp { seed } | Scenario::Ladder { seed } | Scenario::Layered { seed }) =
+        scenario;
+    let topo = with_filters(&g, seed);
+
+    let sim = {
+        let s = Simulator::new(&topo);
+        let s = match &plan {
+            Some(p) => s.with_plan(p),
+            None => s,
+        };
+        s.run(inputs)
+    };
+    // Exercise single-worker, multi-worker, and a tiny batch (maximal
+    // interleaving) — the verdict and counts must be identical in all.
+    let workers = 1 + (mix(seed ^ 4) % 4) as usize;
+    let batch = 1 + (mix(seed ^ 5) % 64) as u32;
+    let pooled = {
+        let p = PooledExecutor::new(&topo).workers(workers).batch(batch);
+        let p = match &plan {
+            Some(pl) => p.with_plan(pl),
+            None => p,
+        };
+        p.run(inputs)
+    };
+
+    prop_assert_eq!(sim.completed, pooled.completed);
+    prop_assert_eq!(sim.deadlocked, pooled.deadlocked);
+    prop_assert_eq!(sim.data_messages, pooled.data_messages);
+    prop_assert_eq!(sim.dummy_messages, pooled.dummy_messages);
+    prop_assert_eq!(sim.sink_firings, pooled.sink_firings);
+    prop_assert_eq!(&sim.per_edge_data, &pooled.per_edge_data);
+    prop_assert_eq!(&sim.per_edge_dummies, &pooled.per_edge_dummies);
+    // The pooled verdict is exact: a run either completes or deadlocks,
+    // and a deadlock names at least one blocked node.
+    prop_assert!(!pooled.inconclusive());
+    if pooled.deadlocked {
+        prop_assert!(!pooled.blocked.is_empty());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn pooled_engine_is_equivalent_to_simulator(s in scenario()) {
+        assert_equivalent(s)?;
+    }
+}

@@ -1,0 +1,126 @@
+//! Regression harness for a **known planner limitation** (first observed in
+//! the worklist-scheduler PR, E14): the CS4 ladder Non-Propagation intervals
+//! do *not* prevent deadlock under aggressive per-node interior filtering on
+//! larger random ladders, while fork-only filtering (the paper's Figs. 1–3
+//! scenario) is protected at every size, and the Propagation protocol
+//! handles the same interior-filtering workloads fine.  Both conclusions are
+//! engine-independent (the exact-verdict Simulator and PooledExecutor
+//! agree), so this is a property of the computed intervals, not of any
+//! runtime.
+//!
+//! These tests **pin the current (deficient) behaviour**: whoever fixes the
+//! ladder Non-Propagation recurrences gets a ready-made failing-case
+//! harness — flip the `deadlocked` assertions in
+//! `nonprop_interior_filtering_deadlocks_on_large_ladders` to `completed`
+//! and the fix is demonstrated.  See DESIGN.md ("Known planner limitation").
+
+use fila::prelude::*;
+use fila::workloads::generators::{periodic_filtered_topology, random_ladder, LadderConfig};
+
+const INTERIOR_RATE: u64 = 16;
+const INPUTS: u64 = 500;
+
+fn ladder(rungs: usize, seed: u64) -> Graph {
+    random_ladder(&LadderConfig {
+        rungs,
+        capacity_range: (2, 8),
+        reverse_probability: 0.3,
+        seed,
+    })
+}
+
+/// Every node filters 15/16 of its traffic — the aggressive interior
+/// filtering that defeats the ladder Non-Propagation intervals.
+fn interior_filtered(g: &Graph) -> Topology {
+    periodic_filtered_topology(g, |_| INTERIOR_RATE)
+}
+
+/// Only the fork (single source) filters; interior nodes broadcast.  This
+/// is the scenario of the paper's Figs. 1–3, which every planner algorithm
+/// protects on every graph class.
+fn fork_filtered(g: &Graph) -> Topology {
+    let source = g.single_source().unwrap();
+    periodic_filtered_topology(g, |n| if n == source { INTERIOR_RATE } else { 1 })
+}
+
+#[test]
+fn nonprop_interior_filtering_deadlocks_on_large_ladders() {
+    // PINS CURRENT BEHAVIOUR: these cases deadlock today.  A future fix to
+    // `fila_avoidance::ladder_nonprop` should make them complete — flip the
+    // assertions when that lands.
+    for (rungs, seed) in [(16usize, 0u64), (16, 1), (24, 0), (32, 2)] {
+        let g = ladder(rungs, seed);
+        let plan = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap();
+        let topo = interior_filtered(&g);
+        let report = Simulator::new(&topo).with_plan(&plan).run(INPUTS);
+        assert!(
+            report.deadlocked,
+            "rungs={rungs} seed={seed}: the known ladder Non-Propagation \
+             interior-filtering deadlock no longer reproduces — if this is \
+             because the planner was fixed, flip these assertions to \
+             `completed` and update DESIGN.md: {report:?}"
+        );
+        assert!(!report.blocked.is_empty(), "deadlock report names blocked nodes");
+
+        // Engine-independence: the pooled engine reaches the same exact
+        // verdict, so the deadlock is a plan property, not a scheduling one.
+        let pooled = PooledExecutor::new(&topo)
+            .with_plan(&plan)
+            .workers(2)
+            .run(INPUTS);
+        assert!(pooled.deadlocked, "rungs={rungs} seed={seed}: {pooled:?}");
+    }
+}
+
+#[test]
+fn nonprop_fork_only_filtering_stays_safe_at_every_size() {
+    // The paper's own scenario keeps working at sizes where interior
+    // filtering fails: the limitation is specific to interior filters.
+    for (rungs, seed) in [(16usize, 0u64), (24, 0), (32, 2)] {
+        let g = ladder(rungs, seed);
+        let plan = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap();
+        let topo = fork_filtered(&g);
+        let report = Simulator::new(&topo).with_plan(&plan).run(INPUTS);
+        assert!(report.completed, "rungs={rungs} seed={seed}: {report:?}");
+    }
+}
+
+#[test]
+fn propagation_handles_the_same_interior_filtering() {
+    // The Propagation intervals protect the exact workloads that defeat
+    // Non-Propagation, which narrows the future fix to the
+    // `ladder_nonprop` recurrences.
+    for (rungs, seed) in [(16usize, 0u64), (24, 0), (32, 2)] {
+        let g = ladder(rungs, seed);
+        let plan = Planner::new(&g)
+            .algorithm(Algorithm::Propagation)
+            .plan()
+            .unwrap();
+        let topo = interior_filtered(&g);
+        let report = Simulator::new(&topo).with_plan(&plan).run(INPUTS);
+        assert!(report.completed, "rungs={rungs} seed={seed}: {report:?}");
+    }
+}
+
+#[test]
+fn small_ladders_are_not_affected() {
+    // The deficiency needs scale: 8-rung ladders complete under the same
+    // aggressive interior filtering (part of the pinned envelope so a fix
+    // can be checked against both sides).
+    for seed in [0u64, 1, 2] {
+        let g = ladder(8, seed);
+        let plan = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap();
+        let topo = interior_filtered(&g);
+        let report = Simulator::new(&topo).with_plan(&plan).run(INPUTS);
+        assert!(report.completed, "seed={seed}: {report:?}");
+    }
+}

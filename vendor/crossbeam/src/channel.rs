@@ -1,8 +1,12 @@
 //! Bounded channels with timeout-aware operations.
 //!
-//! Only the constructors and methods exercised by `fila-runtime` are
-//! provided: [`bounded`], [`Sender::try_send`], [`Sender::send_timeout`],
-//! [`Sender::send`], and [`Receiver::recv_timeout`] / [`Receiver::recv`].
+//! Bounded channels with the blocking, timeout and non-blocking operations
+//! a drop-in consumer expects: [`bounded`], [`Sender::try_send`],
+//! [`Sender::send_timeout`], [`Sender::send`], and [`Receiver::try_recv`] /
+//! [`Receiver::recv_timeout`] / [`Receiver::recv`].  (`try_recv` completes
+//! the receiver surface for API parity with the registry crate — the
+//! execution engines themselves now run over `fila-runtime`'s SPSC rings,
+//! so nothing in the workspace calls these channels on a hot path.)
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -65,6 +69,15 @@ impl<T> fmt::Debug for SendError<T> {
 pub enum RecvTimeoutError {
     /// The timeout elapsed with no message available.
     Timeout,
+    /// All senders were dropped and the queue is empty.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// No message is currently available.
+    Empty,
     /// All senders were dropped and the queue is empty.
     Disconnected,
 }
@@ -224,6 +237,20 @@ impl<T> Drop for Sender<T> {
 }
 
 impl<T> Receiver<T> {
+    /// Attempts to receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        if let Some(msg) = inner.queue.pop_front() {
+            self.shared.not_full.notify_all();
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
     /// Receives, blocking at most `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
         let deadline = Instant::now() + timeout;
@@ -293,6 +320,16 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(1)),
             Err(RecvTimeoutError::Timeout)
         );
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_disconnected() {
+        let (tx, rx) = bounded::<u32>(1);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.try_send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //! Performance characteristics differ from the real crossbeam (this is a
 //! mutex + condvar queue, not a lock-free ring); replacing this shim with the
 //! real crate is a one-line `Cargo.toml` change once a registry is available.
+//!
+//! As of the pooled-executor PR both execution engines run over the
+//! dedicated SPSC rings in `fila-runtime::spsc` (which carry the
+//! blocked-peer notification flags the engines' wakeup protocol needs), so
+//! this shim is no longer on the message path; it remains in the workspace
+//! as the documented drop-in for code that wants real multi-producer
+//! channels once a registry is reachable.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
