@@ -1,0 +1,403 @@
+//! A structural plan cache: amortises compile-time planning across jobs
+//! that share a topology shape.
+//!
+//! The service layer's unit of work is the *job*: a submitted graph plus a
+//! filter spec and an input count.  In a multi-tenant deployment the same
+//! handful of topology shapes is submitted over and over (a million users
+//! running the same pipeline template differ only in their payloads), so
+//! recomputing SETIVALS / Non-Propagation intervals per submission is pure
+//! waste.  `PlanCache` keys computed [`AvoidancePlan`]s by the canonical
+//! structural [`Fingerprint`] of the graph
+//! (capacities included) together with the requested protocol and rounding,
+//! and hands out `Arc`-shared plans so a cache hit costs one hash of the
+//! graph and one reference-count bump — no interval table is ever copied.
+//!
+//! ## Why the cache double-checks with an exact hash
+//!
+//! An [`AvoidancePlan`] is indexed by [`EdgeId`](fila_graph::EdgeId), so it
+//! is only transplantable between graphs whose edge arenas line up exactly.
+//! The canonical fingerprint is deliberately insensitive to node/edge
+//! insertion order (that is what makes isomorphic rebuilds collide), and —
+//! like every polynomial-time graph hash — it can in principle collide for
+//! different shapes.  Each cache entry therefore also records the
+//! order-*sensitive* [`labeled_fingerprint`] **and the exact
+//! `(src, dst, capacity)` edge arena** of the graph it was computed from;
+//! a lookup only hits when the hashes match *and* the arenas compare
+//! equal, which in particular means clients that build the same shape
+//! with a different insertion order plan once per ordering (correct,
+//! merely a smaller saving) and a hash collision between genuinely
+//! different shapes degrades to a miss — never to a wrong plan, by
+//! comparison, not by 64-bit probability.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use fila_graph::fingerprint::{fingerprint, labeled_fingerprint};
+use fila_graph::{Fingerprint, Graph, Result};
+
+use crate::interval::Rounding;
+use crate::plan::{Algorithm, AvoidancePlan};
+use crate::planner::Planner;
+
+/// Default maximum number of cached plans.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    fingerprint: Fingerprint,
+    algorithm: Algorithm,
+    rounding: Rounding,
+}
+
+struct Entry {
+    labeled: u64,
+    /// The exact edge arena `(src, dst, capacity)` the plan was computed
+    /// from: the final word on transplantability.  `labeled` is only the
+    /// cheap first-pass filter; this comparison is what makes "never a
+    /// wrong plan" a guarantee rather than a 64-bit-hash probability.
+    arena: Vec<(u32, u32, u64)>,
+    plan: Arc<AvoidancePlan>,
+}
+
+/// The dense `(src, dst, capacity)` arena used for exact entry matching.
+fn arena_of(g: &Graph) -> Vec<(u32, u32, u64)> {
+    g.edges()
+        .map(|(_, e)| (e.src.index() as u32, e.dst.index() as u32, e.capacity))
+        .collect()
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Key, Vec<Entry>>,
+    /// Insertion order for FIFO eviction; `(key, labeled)` identifies one
+    /// entry.
+    order: VecDeque<(Key, u64)>,
+}
+
+/// The outcome of one cache lookup-or-plan.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The shared plan (never copied out of the cache).
+    pub plan: Arc<AvoidancePlan>,
+    /// Canonical structural fingerprint of the planned graph.
+    pub fingerprint: Fingerprint,
+    /// True if the plan was served from the cache.
+    pub hit: bool,
+    /// Time spent inside the planner (zero on a hit).
+    pub plan_time: Duration,
+}
+
+/// A bounded, thread-safe structural plan cache (see the module docs).
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (clamped to ≥ 1);
+    /// the oldest entry is evicted first.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached plan for `g` under `(algorithm, rounding)` or
+    /// computes, caches and returns it.  `cycle_bound` caps the exhaustive
+    /// fallback for general (non-SP, non-CS4) graphs; planning failures are
+    /// returned verbatim and cached as nothing.
+    pub fn plan(
+        &self,
+        g: &Graph,
+        algorithm: Algorithm,
+        rounding: Rounding,
+        cycle_bound: usize,
+    ) -> Result<CachedPlan> {
+        let key = Key {
+            fingerprint: fingerprint(g),
+            algorithm,
+            rounding,
+        };
+        let labeled = labeled_fingerprint(g);
+        let arena = arena_of(g);
+        if let Some(plan) = self.lookup(&key, labeled, &arena) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(CachedPlan {
+                plan,
+                fingerprint: key.fingerprint,
+                hit: true,
+                plan_time: Duration::ZERO,
+            });
+        }
+        let planning = Instant::now();
+        let plan = Planner::new(g)
+            .algorithm(algorithm)
+            .rounding(rounding)
+            .cycle_bound(cycle_bound)
+            .plan()?;
+        let plan_time = planning.elapsed();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(plan);
+        self.insert(key, labeled, arena, Arc::clone(&plan));
+        Ok(CachedPlan {
+            plan,
+            fingerprint: key.fingerprint,
+            hit: false,
+            plan_time,
+        })
+    }
+
+    fn lookup(
+        &self,
+        key: &Key,
+        labeled: u64,
+        arena: &[(u32, u32, u64)],
+    ) -> Option<Arc<AvoidancePlan>> {
+        let inner = self.lock();
+        inner
+            .map
+            .get(key)?
+            .iter()
+            .find(|e| e.labeled == labeled && e.arena == arena)
+            .map(|e| Arc::clone(&e.plan))
+    }
+
+    fn insert(
+        &self,
+        key: Key,
+        labeled: u64,
+        arena: Vec<(u32, u32, u64)>,
+        plan: Arc<AvoidancePlan>,
+    ) {
+        let mut inner = self.lock();
+        // A racing submitter may have inserted the same entry meanwhile;
+        // keep the first copy.
+        let bucket = inner.map.entry(key).or_default();
+        if bucket.iter().any(|e| e.labeled == labeled && e.arena == arena) {
+            return;
+        }
+        bucket.push(Entry { labeled, arena, plan });
+        inner.order.push_back((key, labeled));
+        while inner.order.len() > self.capacity {
+            let Some((old_key, old_labeled)) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some(bucket) = inner.map.get_mut(&old_key) {
+                bucket.retain(|e| e.labeled != old_labeled);
+                if bucket.is_empty() {
+                    inner.map.remove(&old_key);
+                }
+            }
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.lock().order.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run the planner.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from the cache (0.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fila_graph::GraphBuilder;
+
+    fn fig3() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("a", "b", 2).unwrap();
+        b.edge_with_capacity("b", "e", 5).unwrap();
+        b.edge_with_capacity("e", "f", 1).unwrap();
+        b.edge_with_capacity("a", "c", 3).unwrap();
+        b.edge_with_capacity("c", "d", 1).unwrap();
+        b.edge_with_capacity("d", "f", 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_plan() {
+        let cache = PlanCache::new(8);
+        let g = fig3();
+        let first = cache
+            .plan(&g, Algorithm::Propagation, Rounding::Ceil, 1000)
+            .unwrap();
+        assert!(!first.hit);
+        let second = cache
+            .plan(&g, Algorithm::Propagation, Rounding::Ceil, 1000)
+            .unwrap();
+        assert!(second.hit);
+        assert!(Arc::ptr_eq(&first.plan, &second.plan));
+        assert_eq!(second.plan_time, Duration::ZERO);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renamed_rebuild_hits_the_same_entry() {
+        // Same shape, same insertion order, different node names: the
+        // canonical fingerprint AND the labeled hash agree, so this is the
+        // million-users-one-template scenario.
+        let cache = PlanCache::new(8);
+        let g1 = fig3();
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("n0", "n1", 2).unwrap();
+        b.edge_with_capacity("n1", "n4", 5).unwrap();
+        b.edge_with_capacity("n4", "n5", 1).unwrap();
+        b.edge_with_capacity("n0", "n2", 3).unwrap();
+        b.edge_with_capacity("n2", "n3", 1).unwrap();
+        b.edge_with_capacity("n3", "n5", 2).unwrap();
+        let g2 = b.build().unwrap();
+        assert!(!cache.plan(&g1, Algorithm::Propagation, Rounding::Ceil, 1000).unwrap().hit);
+        let hit = cache.plan(&g2, Algorithm::Propagation, Rounding::Ceil, 1000).unwrap();
+        assert!(hit.hit);
+    }
+
+    #[test]
+    fn different_algorithms_cache_separately() {
+        let cache = PlanCache::new(8);
+        let g = fig3();
+        let p = cache.plan(&g, Algorithm::Propagation, Rounding::Ceil, 1000).unwrap();
+        let np = cache.plan(&g, Algorithm::NonPropagation, Rounding::Ceil, 1000).unwrap();
+        assert!(!np.hit);
+        assert_ne!(p.plan.intervals(), np.plan.intervals());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_perturbation_misses() {
+        let cache = PlanCache::new(8);
+        let g1 = fig3();
+        let mut g2 = g1.clone();
+        let e = g2.edge_by_names("b", "e").unwrap();
+        g2.set_capacity(e, 7).unwrap();
+        assert!(!cache.plan(&g1, Algorithm::Propagation, Rounding::Ceil, 1000).unwrap().hit);
+        assert!(!cache.plan(&g2, Algorithm::Propagation, Rounding::Ceil, 1000).unwrap().hit);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn reordered_rebuild_is_a_safe_miss() {
+        // Same shape declared in a different edge order: the canonical
+        // fingerprints collide (by design) but the EdgeId arenas differ, so
+        // the cache must NOT serve the first plan for the second graph.
+        let cache = PlanCache::new(8);
+        let g1 = fig3();
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("a", "c", 3).unwrap();
+        b.edge_with_capacity("c", "d", 1).unwrap();
+        b.edge_with_capacity("d", "f", 2).unwrap();
+        b.edge_with_capacity("a", "b", 2).unwrap();
+        b.edge_with_capacity("b", "e", 5).unwrap();
+        b.edge_with_capacity("e", "f", 1).unwrap();
+        let g2 = b.build().unwrap();
+        assert_eq!(
+            fila_graph::fingerprint::fingerprint(&g1),
+            fila_graph::fingerprint::fingerprint(&g2)
+        );
+        assert!(!cache.plan(&g1, Algorithm::Propagation, Rounding::Ceil, 1000).unwrap().hit);
+        let second = cache.plan(&g2, Algorithm::Propagation, Rounding::Ceil, 1000).unwrap();
+        assert!(!second.hit, "reordered arena must not reuse EdgeId-indexed plan");
+        // Both orderings are now cached under the same fingerprint bucket.
+        assert_eq!(cache.len(), 2);
+        assert!(cache.plan(&g2, Algorithm::Propagation, Rounding::Ceil, 1000).unwrap().hit);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let cache = PlanCache::new(2);
+        let graphs: Vec<Graph> = (2u64..6)
+            .map(|cap| {
+                let mut b = GraphBuilder::new().default_capacity(cap);
+                b.chain(&["a", "b", "c"]).unwrap();
+                b.build().unwrap()
+            })
+            .collect();
+        for g in &graphs {
+            cache.plan(g, Algorithm::Propagation, Rounding::Ceil, 1000).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        // Oldest two were evicted: looking them up again misses.
+        assert!(!cache.plan(&graphs[0], Algorithm::Propagation, Rounding::Ceil, 1000).unwrap().hit);
+        // Newest survived … but the re-plan of graphs[0] just evicted
+        // graphs[2], so only graphs[3] is still warm.
+        assert!(cache.plan(&graphs[3], Algorithm::Propagation, Rounding::Ceil, 1000).unwrap().hit);
+    }
+
+    #[test]
+    fn unplannable_graphs_error_and_cache_nothing() {
+        // A general (neither SP nor CS4) graph with more undirected cycles
+        // than the given bound allows.
+        let mut b = GraphBuilder::new().default_capacity(2);
+        for (s, t) in [
+            ("x", "a"), ("x", "b"),
+            ("a", "c"), ("a", "d"), ("b", "c"), ("b", "d"),
+            ("c", "y"), ("d", "y"),
+        ] {
+            b.edge(s, t).unwrap();
+        }
+        let g = b.build().unwrap();
+        let cache = PlanCache::new(8);
+        assert!(cache.plan(&g, Algorithm::Propagation, Rounding::Ceil, 3).is_err());
+        assert!(cache.is_empty());
+        // The failure still counts as neither hit nor miss bookkeeping-wise
+        // beyond the planner attempt itself.
+        assert_eq!(cache.hits(), 0);
+    }
+}

@@ -94,7 +94,7 @@ impl fmt::Display for DummyInterval {
 /// the figure and is the default.  [`Rounding::Floor`] is the strictly
 /// conservative choice (never a larger interval than the exact ratio) and is
 /// exposed for the ablation study described in `DESIGN.md`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Rounding {
     /// Round the ratio up (paper's Fig. 3 behaviour).
     #[default]

@@ -22,12 +22,16 @@
 //!   validated against;
 //! * [`planner`] — a front door that classifies the topology and dispatches
 //!   to the cheapest applicable algorithm;
+//! * [`cache`] — a structural plan cache keyed by canonical topology
+//!   fingerprints, sharing `Arc`-wrapped plans across repeat submissions
+//!   of the same shape (the service layer's planning amortisation);
 //! * [`verify`] — safety/optimality cross-checks of a computed plan against
 //!   the cycle-level definition.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod cs4;
 pub mod exhaustive;
 pub mod interval;
@@ -40,6 +44,7 @@ pub mod planner;
 pub mod prop_sp;
 pub mod verify;
 
+pub use cache::{CachedPlan, PlanCache};
 pub use cs4::{classify, Cs4Decomposition, Cs4Segment, GraphClass};
 pub use interval::{DummyInterval, IntervalMap, Rounding};
 pub use ladder::LadderDecomposition;

@@ -16,11 +16,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fila_avoidance::{Algorithm, Planner};
 use fila_graph::Graph;
-use fila_runtime::{PooledExecutor, Scheduler, Simulator, ThreadedExecutor, Topology};
+use fila_runtime::{JobVerdict, PooledExecutor, Scheduler, Simulator, ThreadedExecutor, Topology};
+use fila_service::{JobService, JobSpec, ServiceConfig};
 use fila_workloads::generators::{
     periodic_filtered_topology, pipeline_graph, random_ladder, random_sp_dag, GeneratorConfig,
     LadderConfig,
 };
+use fila_workloads::jobs::{job_mix, JobKind, JobShape};
+use std::cell::Cell;
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -326,6 +329,101 @@ fn bench_deadlock_detection(c: &mut Criterion) {
     group.finish();
 }
 
+/// The E16 service sweep: one `JobService` executing batches of planned
+/// jobs (SP DAGs + CS4 ladders from the template mix) concurrently on its
+/// shared pool, **cold** vs **warm** plan cache.
+///
+/// Both variants submit the identical shape stream through the identical
+/// steady-state service; the only difference is fingerprint novelty:
+///
+/// * `warm` — the template shapes as generated; after a pre-warming pass
+///   every submission's plan is a cache hit;
+/// * `cold` — each submission perturbs one buffer capacity with a
+///   globally unique value, so every job carries a never-seen structural
+///   fingerprint and must be planned from scratch.
+///
+/// The gap between the two is exactly the planning work the structural
+/// plan cache amortises for repeat-template traffic.
+fn bench_service_jobs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_jobs");
+    group.sample_size(if fast() { 2 } else { 10 });
+    let job_counts: &[usize] = if fast() { &[8] } else { &[64, 256, 1024] };
+    for &jobs in job_counts {
+        // Planned kinds only (SP DAGs + ladders): the cold/warm delta is
+        // about planning, so unplanned pipelines would only dilute it.
+        let shapes: Vec<JobShape> = job_mix(0xF11A ^ jobs as u64, jobs * 3)
+            .into_iter()
+            .filter(|s| matches!(s.kind, JobKind::SpDag | JobKind::Ladder))
+            .take(jobs)
+            .collect();
+        assert_eq!(shapes.len(), jobs, "mix must yield enough planned shapes");
+        let spec_of = |shape: &JobShape| {
+            JobSpec::from_periods(
+                shape.graph.clone(),
+                shape.periods.clone(),
+                shape.inputs,
+                shape.avoidance,
+            )
+        };
+        let service = JobService::new(ServiceConfig {
+            max_in_flight: jobs,
+            plan_cache_capacity: 8 * jobs,
+            ..ServiceConfig::default()
+        });
+        let run_batch = |make_spec: &dyn Fn(&JobShape) -> JobSpec| {
+            let tickets: Vec<_> = shapes
+                .iter()
+                .map(|s| service.submit(make_spec(s)).expect("admitted"))
+                .collect();
+            let mut messages = 0u64;
+            for t in &tickets {
+                let outcome = t.wait();
+                assert_eq!(outcome.verdict, JobVerdict::Completed, "{outcome:?}");
+                messages += outcome.report.total_messages();
+            }
+            messages
+        };
+        // Pre-warm: one pass caches every template's plan.
+        run_batch(&spec_of);
+        group.bench_with_input(BenchmarkId::new("warm/jobs", jobs), &jobs, |b, _| {
+            b.iter(|| black_box(run_batch(&spec_of)))
+        });
+        let unique = Cell::new(0u64);
+        let perturbed = |shape: &JobShape| {
+            let mut spec = spec_of(shape);
+            // Encode counter+1 so even the first cold submission differs
+            // from the (pre-warmed) unperturbed template.
+            let mut bump = unique.get() + 1;
+            unique.set(bump);
+            // A globally unique capacity *combination* ⇒ a never-seen
+            // fingerprint ⇒ a fresh plan, in every sample of every
+            // iteration — encoded base-8 across the edges so each
+            // capacity moves by at most +7 (runtime behaviour stays
+            // comparable to the warm variant instead of drifting as the
+            // counter grows).  Growing a buffer never introduces a
+            // deadlock, so completion verdicts are preserved.
+            for e in spec.graph.edge_ids().collect::<Vec<_>>() {
+                let digit = bump % 8;
+                bump /= 8;
+                if digit > 0 {
+                    let cap = spec.graph.capacity(e);
+                    spec.graph
+                        .set_capacity(e, cap + digit)
+                        .expect("non-zero capacity");
+                }
+                if bump == 0 {
+                    break;
+                }
+            }
+            spec
+        };
+        group.bench_with_input(BenchmarkId::new("cold/jobs", jobs), &jobs, |b, _| {
+            b.iter(|| black_box(run_batch(&perturbed)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pipeline,
@@ -333,6 +431,7 @@ criterion_group!(
     bench_ladder,
     bench_threaded,
     bench_pooled_scaling,
-    bench_deadlock_detection
+    bench_deadlock_detection,
+    bench_service_jobs
 );
 criterion_main!(benches);

@@ -20,6 +20,8 @@
 //! * undirected simple-cycle enumeration with source/sink classification
 //!   ([`cycles`]) — the exponential baseline of §II.B,
 //! * K4-subdivision detection ([`k4`]) — Lemma V.1,
+//! * canonical structural fingerprints for shape-level caching
+//!   ([`fingerprint`]) — the key of the service layer's plan cache,
 //! * Graphviz DOT export ([`dot`]).
 //!
 //! The crate is deliberately free of any deadlock-avoidance logic; it is the
@@ -33,6 +35,7 @@ pub mod cycles;
 pub mod dominators;
 pub mod dot;
 pub mod error;
+pub mod fingerprint;
 pub mod ids;
 pub mod k4;
 pub mod multigraph;
@@ -42,6 +45,7 @@ pub mod undirected;
 
 pub use builder::GraphBuilder;
 pub use error::{GraphError, Result};
+pub use fingerprint::Fingerprint;
 pub use ids::{EdgeId, NodeId};
 pub use multigraph::{Edge, Graph, Node};
 

@@ -20,6 +20,10 @@
 //!   work-stealing worker pool drives every node as a cooperatively
 //!   scheduled task over lock-free SPSC rings ([`spsc`]), with the same
 //!   exact parked-pool deadlock verdict as the simulator;
+//! * [`SharedPool`] — the multi-tenant engine behind the service layer: a
+//!   *long-lived* work-stealing pool on which the node-tasks of many
+//!   independent jobs coexist, with exact per-job completion/deadlock
+//!   verdicts decided by per-job quiescence (no global idleness needed);
 //! * [`ThreadedExecutor`] — one OS thread per node over the same rings,
 //!   parked/unparked per channel, with a progress watchdog for deadlock
 //!   detection; kept as the simplest possible concurrent engine.
@@ -38,8 +42,10 @@ pub mod message;
 pub mod node;
 pub mod pooled;
 pub mod report;
+pub mod shared_pool;
 pub mod simulator;
 pub mod spsc;
+mod task;
 pub mod threaded;
 pub mod topology;
 pub mod wrapper;
@@ -49,7 +55,8 @@ pub use message::{Message, Payload};
 pub use node::{FireDecision, FireInput, NodeBehavior};
 pub use pooled::PooledExecutor;
 pub use report::{BlockedInfo, BlockedReason, ExecutionReport};
+pub use shared_pool::{JobHandle, JobVerdict, SettleHook, SharedPool};
 pub use simulator::{Scheduler, Simulator};
 pub use threaded::ThreadedExecutor;
 pub use topology::{BehaviorFactory, Topology};
-pub use wrapper::{AvoidanceMode, DummyWrapper};
+pub use wrapper::{AvoidanceMode, DummyWrapper, PropagationTrigger};

@@ -17,7 +17,9 @@
 //! are the lock-free SPSC rings of [`crate::spsc`], whose waiting-flag
 //! protocol (register, then re-check) makes the wakeups race-free without a
 //! single lock on the message path.  A woken task drains up to a
-//! configurable batch of firings before yielding its worker.
+//! configurable batch of firings before yielding its worker.  The per-task
+//! stepping logic itself lives in the private `task` module, shared with
+//! the multi-job [`crate::SharedPool`] engine.
 //!
 //! ## Exact deadlock detection
 //!
@@ -39,17 +41,14 @@ use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use fila_avoidance::AvoidancePlan;
-use fila_graph::NodeId;
 
-use crate::message::{Message, Payload};
-use crate::node::{FireDecision, FireInput, NodeBehavior};
-use crate::report::{BlockedInfo, BlockedReason, ExecutionReport};
-use crate::spsc;
-use crate::threaded::PortQueue;
+use crate::report::ExecutionReport;
+use crate::task::{self, Outcome, Task};
 use crate::topology::Topology;
-use crate::wrapper::{AvoidanceMode, DummyWrapper, PropagationTrigger};
+use crate::wrapper::{AvoidanceMode, PropagationTrigger};
 
 /// Pooled work-stealing execution engine.
 #[derive(Debug, Clone)]
@@ -121,6 +120,7 @@ impl<'t> PooledExecutor<'t> {
     /// is exact (all workers parked with unfinished nodes), never inferred
     /// from a timeout.
     pub fn run(&self, inputs: u64) -> ExecutionReport {
+        let started = Instant::now();
         let g = self.topology.graph();
         let node_count = g.node_count();
         let edge_count = g.edge_count();
@@ -128,6 +128,7 @@ impl<'t> PooledExecutor<'t> {
             return ExecutionReport {
                 completed: true,
                 inputs_offered: inputs,
+                wall: started.elapsed(),
                 ..Default::default()
             };
         }
@@ -141,59 +142,9 @@ impl<'t> PooledExecutor<'t> {
             })
             .clamp(1, node_count);
 
-        // One SPSC ring per edge; endpoints are moved into the unique
-        // producing / consuming task.
-        let mut producers: Vec<Option<spsc::Producer<Message>>> =
-            Vec::with_capacity(edge_count);
-        let mut consumers: Vec<Option<spsc::Consumer<Message>>> =
-            Vec::with_capacity(edge_count);
-        for e in g.edge_ids() {
-            let (tx, rx) = spsc::ring(g.capacity(e) as usize);
-            producers.push(Some(tx));
-            consumers.push(Some(rx));
-        }
-
-        let tasks: Vec<Mutex<Task>> = g
-            .node_ids()
-            .zip(self.topology.build_behaviors())
-            .map(|(n, behavior)| {
-                let ins = g
-                    .in_edges(n)
-                    .iter()
-                    .map(|&e| InPort {
-                        rx: consumers[e.index()].take().expect("one consumer per edge"),
-                        edge: e.index() as u32,
-                        producer: g.tail(e).index() as u32,
-                    })
-                    .collect::<Vec<_>>();
-                let outs = g
-                    .out_edges(n)
-                    .iter()
-                    .map(|&e| OutPort {
-                        tx: producers[e.index()].take().expect("one producer per edge"),
-                        edge: e.index() as u32,
-                        consumer: g.head(e).index() as u32,
-                        queue: PortQueue::default(),
-                        data: 0,
-                        dummies: 0,
-                    })
-                    .collect::<Vec<_>>();
-                let data_in = vec![None; ins.len()];
-                Mutex::new(Task {
-                    is_source: ins.is_empty(),
-                    done: false,
-                    eos_queued: false,
-                    next_source_seq: 0,
-                    staged: 0,
-                    behavior,
-                    wrapper: DummyWrapper::with_trigger(g, n, &self.mode, self.trigger),
-                    ins,
-                    outs,
-                    data_in,
-                    firings: 0,
-                    sink_firings: 0,
-                })
-            })
+        let tasks: Vec<Mutex<Task>> = task::build_tasks(self.topology, &self.mode, self.trigger)
+            .into_iter()
+            .map(Mutex::new)
             .collect();
 
         let pool = Pool {
@@ -228,89 +179,10 @@ impl<'t> PooledExecutor<'t> {
         });
 
         let deadlocked = pool.verdict.load(Ordering::SeqCst) == DEADLOCKED;
-        let mut report = ExecutionReport {
-            completed: !deadlocked,
-            deadlocked,
-            inputs_offered: inputs,
-            per_edge_data: vec![0; edge_count],
-            per_edge_dummies: vec![0; edge_count],
-            ..Default::default()
-        };
-        for (idx, task) in pool.tasks.iter().enumerate() {
-            let task = task.lock().expect("task lock");
-            report.steps += task.firings;
-            report.sink_firings += task.sink_firings;
-            for port in &task.outs {
-                report.per_edge_data[port.edge as usize] = port.data;
-                report.per_edge_dummies[port.edge as usize] = port.dummies;
-            }
-            if deadlocked && !task.done {
-                let node = NodeId::from_raw(idx as u32);
-                if let Some(port) =
-                    task.outs.iter().find(|p| p.queue.front().is_some())
-                {
-                    report.blocked.push(BlockedInfo {
-                        node,
-                        reason: BlockedReason::WaitingForSpace(edge_id(port.edge)),
-                    });
-                } else if let Some(port) = task.ins.iter().find(|p| p.rx.is_empty()) {
-                    report.blocked.push(BlockedInfo {
-                        node,
-                        reason: BlockedReason::WaitingForInput(edge_id(port.edge)),
-                    });
-                }
-            }
-        }
-        report.data_messages = report.per_edge_data.iter().sum();
-        report.dummy_messages = report.per_edge_dummies.iter().sum();
+        let mut report = task::assemble_report(&pool.tasks, edge_count, inputs, deadlocked);
+        report.wall = started.elapsed();
         report
     }
-}
-
-fn edge_id(raw: u32) -> fila_graph::EdgeId {
-    fila_graph::EdgeId::from_raw(raw)
-}
-
-/// One input channel of a task.
-struct InPort {
-    rx: spsc::Consumer<Message>,
-    edge: u32,
-    /// Node index of the channel's producer (the task to wake when a pop
-    /// makes the channel non-full).
-    producer: u32,
-}
-
-/// One output channel of a task, with its two-slot staging queue and the
-/// producer-side delivery counters (each edge has exactly one producer, so
-/// the counters need no atomics).
-struct OutPort {
-    tx: spsc::Producer<Message>,
-    edge: u32,
-    /// Node index of the channel's consumer (the task to wake when a push
-    /// makes the channel non-empty).
-    consumer: u32,
-    queue: PortQueue,
-    data: u64,
-    dummies: u64,
-}
-
-/// The per-node task state: everything [`crate::Simulator`] keeps per node,
-/// plus the owned channel endpoints.
-struct Task {
-    is_source: bool,
-    done: bool,
-    eos_queued: bool,
-    next_source_seq: u64,
-    /// Messages currently staged across all output port queues.
-    staged: usize,
-    behavior: Box<dyn NodeBehavior>,
-    wrapper: DummyWrapper,
-    ins: Vec<InPort>,
-    outs: Vec<OutPort>,
-    /// Reusable per-firing scratch, aligned with `ins`.
-    data_in: Vec<Option<Payload>>,
-    firings: u64,
-    sink_firings: u64,
 }
 
 /// Task scheduling states (one `AtomicU8` per node).
@@ -328,17 +200,6 @@ const COMPLETED: u8 = 1;
 const DEADLOCKED: u8 = 2;
 /// A worker panicked (a node behaviour threw); peers must not wait for it.
 const PANICKED: u8 = 3;
-
-/// What a task run ended with.
-enum Outcome {
-    /// The node reached end-of-stream and drained its outputs.
-    Done,
-    /// The batch limit was hit while the task could still progress.
-    Yielded,
-    /// The task cannot progress until a channel event wakes it (its waiting
-    /// flags are registered).
-    Blocked,
-}
 
 struct Pool {
     states: Vec<AtomicU8>,
@@ -465,7 +326,9 @@ impl Pool {
         let (outcome, newly_done) = {
             let mut task = self.tasks[node as usize].lock().expect("task lock");
             let was_done = task.done;
-            let outcome = self.run_task(worker, &mut task);
+            let outcome = task::run_task(&mut task, self.inputs, self.batch, &mut |n| {
+                self.wake(worker, n)
+            });
             (outcome, task.done && !was_done)
         };
         if newly_done {
@@ -543,207 +406,6 @@ impl Pool {
         }
         self.parked_count.fetch_sub(1, Ordering::SeqCst);
         self.verdict.load(Ordering::SeqCst) == RUNNING_VERDICT
-    }
-
-    /// Runs one task for up to `batch` firings.
-    fn run_task(&self, worker: usize, task: &mut Task) -> Outcome {
-        let mut fired = 0;
-        while fired < self.batch {
-            if task.done {
-                return Outcome::Done;
-            }
-            if !self.step(worker, task) {
-                return Outcome::Blocked;
-            }
-            fired += 1;
-        }
-        if task.done {
-            Outcome::Done
-        } else {
-            Outcome::Yielded
-        }
-    }
-
-    /// Attempts one unit of progress on a task; mirrors
-    /// `Simulator`'s per-node step exactly (same acceptance rule, same
-    /// per-channel independent delivery), so the two engines are confluent
-    /// to the same terminal state.
-    fn step(&self, worker: usize, task: &mut Task) -> bool {
-        // Phase 1: flush staged outputs; a node with undelivered messages
-        // does nothing else (mirrors a blocking send).
-        if self.flush(worker, task) {
-            return true;
-        }
-        if task.staged > 0 {
-            // Still blocked on some full channel; `flush` registered the
-            // producer waiting flags.
-            return false;
-        }
-        if task.done {
-            return false;
-        }
-        if task.is_source {
-            return self.step_source(worker, task);
-        }
-
-        // Interior / sink: find the acceptance sequence number, registering
-        // a waiting flag on the first empty input (if that channel never
-        // fills, the node cannot progress no matter what the others do).
-        let mut accept_seq = u64::MAX;
-        for port in &task.ins {
-            match port.rx.front_or_register() {
-                Some(head) => accept_seq = accept_seq.min(head.seq()),
-                None => return false,
-            }
-        }
-        if accept_seq == u64::MAX {
-            // End of stream on every input.
-            for port in &mut task.outs {
-                debug_assert_eq!(port.queue.len(), 0);
-                port.queue.first = Some(Message::Eos);
-                task.staged += 1;
-            }
-            task.eos_queued = true;
-            self.flush(worker, task);
-            mark_done_if_drained(task);
-            return true;
-        }
-
-        // Consume every head carrying the accepted sequence number.
-        task.data_in.fill(None);
-        let mut consumed_dummy = false;
-        for (idx, port) in task.ins.iter_mut().enumerate() {
-            let head = port.rx.front().expect("all heads checked non-empty");
-            if head.seq() != accept_seq {
-                continue;
-            }
-            port.rx.pop();
-            if port.rx.take_producer_waiting() {
-                self.wake(worker, port.producer);
-            }
-            match head {
-                Message::Data { payload, .. } => task.data_in[idx] = Some(payload),
-                Message::Dummy { .. } => consumed_dummy = true,
-                Message::Eos => unreachable!("EOS has maximal sequence number"),
-            }
-        }
-
-        if task.data_in.iter().any(Option::is_some) {
-            if task.outs.is_empty() {
-                task.sink_firings += 1;
-            }
-            task.firings += 1;
-            let Task {
-                behavior, data_in, ..
-            } = task;
-            let decision = behavior.fire(&FireInput {
-                seq: accept_seq,
-                data_in,
-            });
-            queue_outputs(task, accept_seq, Some(&decision), consumed_dummy);
-        } else {
-            // Only dummies were consumed: no behaviour call, no data out.
-            queue_outputs(task, accept_seq, None, consumed_dummy);
-        }
-        self.flush(worker, task);
-        mark_done_if_drained(task);
-        true
-    }
-
-    fn step_source(&self, worker: usize, task: &mut Task) -> bool {
-        if task.next_source_seq < self.inputs {
-            let seq = task.next_source_seq;
-            task.next_source_seq += 1;
-            task.firings += 1;
-            let decision = task.behavior.fire(&FireInput { seq, data_in: &[] });
-            queue_outputs(task, seq, Some(&decision), false);
-            self.flush(worker, task);
-            return true;
-        }
-        if !task.eos_queued {
-            task.eos_queued = true;
-            for port in &mut task.outs {
-                debug_assert_eq!(port.queue.len(), 0);
-                port.queue.first = Some(Message::Eos);
-                task.staged += 1;
-            }
-            self.flush(worker, task);
-            mark_done_if_drained(task);
-            return true;
-        }
-        mark_done_if_drained(task);
-        false
-    }
-
-    /// Delivers as many staged outputs as ring capacities allow; FIFO per
-    /// channel, channels independent.  Registers the producer waiting flag
-    /// (with the mandatory retry) on every channel that stays full, and
-    /// wakes the consumer of every channel this delivery made non-empty.
-    fn flush(&self, worker: usize, task: &mut Task) -> bool {
-        if task.staged == 0 {
-            return false;
-        }
-        let mut delivered = false;
-        for port in &mut task.outs {
-            while let Some(message) = port.queue.front() {
-                if port.tx.push_or_register(message).is_err() {
-                    // Port still full; the registration stays active and
-                    // the consumer's next pop wakes this task.
-                    break;
-                }
-                port.queue.pop_front();
-                task.staged -= 1;
-                delivered = true;
-                match message {
-                    Message::Data { .. } => port.data += 1,
-                    Message::Dummy { .. } => port.dummies += 1,
-                    Message::Eos => {}
-                }
-                if port.tx.take_consumer_waiting() {
-                    self.wake(worker, port.consumer);
-                }
-            }
-        }
-        if delivered {
-            mark_done_if_drained(task);
-        }
-        delivered
-    }
-}
-
-fn mark_done_if_drained(task: &mut Task) {
-    if task.eos_queued && task.staged == 0 {
-        task.done = true;
-    }
-}
-
-/// Stages the data and dummy messages produced for one accepted sequence
-/// number (`decision` is `None` when the node consumed only dummies and
-/// emits no data).
-fn queue_outputs(
-    task: &mut Task,
-    seq: u64,
-    decision: Option<&FireDecision>,
-    consumed_dummy: bool,
-) {
-    let Task {
-        wrapper,
-        outs,
-        staged,
-        ..
-    } = task;
-    let dummies = wrapper.on_accept(consumed_dummy, |i| {
-        decision.is_some_and(|d| d.emit[i].is_some())
-    });
-    for (idx, port) in outs.iter_mut().enumerate() {
-        debug_assert_eq!(port.queue.len(), 0);
-        port.queue.first = decision
-            .and_then(|d| d.emit[idx])
-            .map(|payload| Message::Data { seq, payload });
-        // Under the heartbeat trigger a dummy may accompany a data message
-        // carrying the same sequence number.
-        port.queue.second = dummies[idx].then_some(Message::Dummy { seq });
-        *staged += port.queue.len();
     }
 }
 
@@ -940,5 +602,17 @@ mod tests {
             PooledExecutor::new(&topo).workers(2).run(100)
         }));
         assert!(result.is_err(), "the panic must propagate out of run()");
+    }
+
+    #[test]
+    fn wall_time_is_recorded() {
+        let mut b = GraphBuilder::new();
+        b.chain(&["s", "t"]).unwrap();
+        let g = b.build().unwrap();
+        let topo = Topology::from_graph(&g);
+        let report = PooledExecutor::new(&topo).workers(1).run(64);
+        assert!(report.completed);
+        assert!(report.wall_time() > std::time::Duration::ZERO);
+        assert!(report.messages_per_sec() > 0.0);
     }
 }

@@ -1,5 +1,7 @@
 //! Execution reports: what happened during a run.
 
+use std::time::Duration;
+
 use fila_graph::{EdgeId, NodeId};
 
 /// Why a node was unable to make progress when the run stopped.
@@ -43,6 +45,9 @@ pub struct ExecutionReport {
     pub steps: u64,
     /// Nodes that were blocked when the run stopped (empty on completion).
     pub blocked: Vec<BlockedInfo>,
+    /// Wall-clock time of the run, measured by the engine (submit-to-verdict
+    /// for jobs on a shared pool).
+    pub wall: Duration,
 }
 
 impl ExecutionReport {
@@ -68,6 +73,23 @@ impl ExecutionReport {
     pub fn inconclusive(&self) -> bool {
         !self.completed && !self.deadlocked
     }
+
+    /// Wall-clock time of the run as measured by the engine.
+    pub fn wall_time(&self) -> Duration {
+        self.wall
+    }
+
+    /// Delivered messages (data + dummies) per wall-clock second — the unit
+    /// the throughput benchmarks and the service stats report.  Zero when
+    /// the engine recorded no elapsed time.
+    pub fn messages_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total_messages() as f64 / secs
+        }
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +114,20 @@ mod tests {
         assert!((r.dummy_overhead() - 0.25).abs() < 1e-9);
         assert_eq!(r.total_messages(), 100);
         assert!(!r.inconclusive());
+    }
+
+    #[test]
+    fn messages_per_sec_uses_wall_time() {
+        let r = ExecutionReport {
+            data_messages: 150,
+            dummy_messages: 50,
+            wall: Duration::from_millis(100),
+            ..Default::default()
+        };
+        assert_eq!(r.wall_time(), Duration::from_millis(100));
+        assert!((r.messages_per_sec() - 2000.0).abs() < 1e-6);
+        // No recorded time -> no rate, never a division by zero.
+        let zero = ExecutionReport::default();
+        assert_eq!(zero.messages_per_sec(), 0.0);
     }
 }

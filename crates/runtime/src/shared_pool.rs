@@ -1,0 +1,846 @@
+//! A long-lived, multi-tenant work-stealing pool: many independent
+//! dataflow jobs execute concurrently on one fixed set of workers.
+//!
+//! [`crate::PooledExecutor`] spins up a scoped pool, runs **one** topology
+//! to its verdict and tears the pool down.  A service multiplexing
+//! thousands of small dataflows cannot afford that: `SharedPool` keeps the
+//! workers alive across jobs and lets the node-tasks of any number of
+//! *independent* topologies coexist in the same per-worker run queues.
+//! Each queue entry carries its job, so a worker interleaves firings of
+//! different jobs at task granularity — exactly the shared-memory
+//! multicore streaming model, scaled from "operators share workers" to
+//! "jobs share workers".
+//!
+//! ## Per-job verdicts without global quiescence
+//!
+//! The single-run pool declares deadlock when the whole pool parks with
+//! unfinished nodes.  That test is useless here: one healthy job can keep
+//! the pool busy forever while another is wedged.  `SharedPool` instead
+//! tracks, per job, the number of **active** tasks — tasks that are
+//! queued, running, or flagged for re-run.  Jobs are independent (no
+//! channel crosses a job boundary), so every wakeup a task of job `J` can
+//! ever receive is issued by a running task of `J` *before* that task
+//! deactivates.  Hence when `J`'s active count drops to zero the job is
+//! quiescent forever, and the verdict is exact and immediate:
+//!
+//! * unfinished nodes remain → **deadlocked** (with blocked-node report),
+//! * otherwise → **completed** —
+//!
+//! regardless of what every other job on the pool is doing.  This is the
+//! same "ready set empty" argument as the simulator's worklist scheduler,
+//! applied per job.
+//!
+//! ## Isolation
+//!
+//! A panicking node behaviour fails only its own job (verdict
+//! [`JobVerdict::Failed`]); the workers and every other job keep running.
+//! Dropping the pool stops the workers and settles still-undelivered jobs
+//! with [`JobVerdict::Cancelled`] so no waiter hangs.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::report::ExecutionReport;
+use crate::task::{self, Outcome, Task};
+use crate::topology::Topology;
+use crate::wrapper::{AvoidanceMode, PropagationTrigger};
+
+/// Task scheduling states (one `AtomicU8` per node per job); identical
+/// protocol to [`crate::PooledExecutor`]'s.
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+
+/// Job verdict encoding (`JobState::verdict`).
+const JOB_RUNNING: u8 = 0;
+const JOB_COMPLETED: u8 = 1;
+const JOB_DEADLOCKED: u8 = 2;
+const JOB_FAILED: u8 = 3;
+const JOB_CANCELLED: u8 = 4;
+
+/// How a job on a [`SharedPool`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobVerdict {
+    /// Every node of the job reached end-of-stream.
+    Completed,
+    /// The job's tasks went quiescent with unfinished nodes: a true
+    /// deadlock of that job (exact, not timeout-inferred).
+    Deadlocked,
+    /// A node behaviour panicked; the job was abandoned.
+    Failed,
+    /// The pool was shut down before the job settled.
+    Cancelled,
+}
+
+/// A callback invoked exactly once when a job settles (reaches its verdict
+/// and its report is assembled), before waiters are released — so a
+/// returning [`JobHandle::wait`] implies the hook's effects are visible.
+/// Runs on a worker thread: it must not block; panics are caught and
+/// discarded.
+pub type SettleHook = Box<dyn FnOnce(&ExecutionReport, JobVerdict) + Send>;
+
+/// One entry of a worker run queue: a node-task of some job.
+struct TaskRef {
+    job: Arc<JobState>,
+    node: u32,
+}
+
+/// Everything the pool tracks for one submitted job.
+struct JobState {
+    tasks: Vec<Mutex<Task>>,
+    states: Vec<AtomicU8>,
+    /// Tasks currently queued, running or flagged (see the module docs);
+    /// reaching zero decides the verdict.
+    active: AtomicUsize,
+    unfinished: AtomicUsize,
+    verdict: AtomicU8,
+    /// Guards one-shot report assembly.
+    delivered: AtomicBool,
+    inputs: u64,
+    edge_count: usize,
+    started: Instant,
+    slot: Mutex<DoneSlot>,
+    done_cv: Condvar,
+}
+
+struct DoneSlot {
+    report: Option<ExecutionReport>,
+    on_settle: Option<SettleHook>,
+}
+
+/// A handle to one submitted job; all accessors are callable any number of
+/// times and from any thread.
+pub struct JobHandle {
+    job: Arc<JobState>,
+}
+
+impl JobHandle {
+    /// Blocks until the job settles and returns its execution report.
+    pub fn wait(&self) -> ExecutionReport {
+        let mut slot = lock(&self.job.slot);
+        loop {
+            if let Some(report) = &slot.report {
+                return report.clone();
+            }
+            slot = self
+                .job
+                .done_cv
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// The job's verdict, or `None` while it is still in flight.
+    pub fn verdict(&self) -> Option<JobVerdict> {
+        match self.job.verdict.load(Ordering::SeqCst) {
+            JOB_COMPLETED => Some(JobVerdict::Completed),
+            JOB_DEADLOCKED => Some(JobVerdict::Deadlocked),
+            JOB_FAILED => Some(JobVerdict::Failed),
+            JOB_CANCELLED => Some(JobVerdict::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// True once the report is available ([`JobHandle::wait`] won't block).
+    pub fn is_settled(&self) -> bool {
+        lock(&self.job.slot).report.is_some()
+    }
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("nodes", &self.job.tasks.len())
+            .field("verdict", &self.verdict())
+            .finish()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct PoolCore {
+    queues: Vec<Mutex<VecDeque<TaskRef>>>,
+    /// Entries across all run queues (incremented before the push so it
+    /// only ever over-estimates; parking decisions must never see it low).
+    queued: AtomicUsize,
+    parked: AtomicUsize,
+    coordinator: Mutex<()>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Jobs submitted and not yet delivered; drained on shutdown so every
+    /// waiter is released with a `Cancelled` report.
+    live: Mutex<Vec<Arc<JobState>>>,
+    batch: u32,
+    /// Rotates the seeding origin so small jobs spread over all workers.
+    next_seed: AtomicUsize,
+}
+
+/// The long-lived multi-job work-stealing pool (see the module docs).
+pub struct SharedPool {
+    core: Arc<PoolCore>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SharedPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPool")
+            .field("workers", &self.workers.len())
+            .field("batch", &self.core.batch)
+            .finish()
+    }
+}
+
+impl SharedPool {
+    /// Spawns a pool with `workers` worker threads (`0` = one per available
+    /// hardware thread) and the default firing batch of 64.
+    pub fn new(workers: usize) -> Self {
+        Self::with_config(workers, 64)
+    }
+
+    /// Spawns a pool with an explicit worker count (`0` = default) and
+    /// per-wake firing batch (clamped to ≥ 1).
+    pub fn with_config(workers: usize, batch: u32) -> Self {
+        let workers = NonZeroUsize::new(workers)
+            .map(NonZeroUsize::get)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        let core = Arc::new(PoolCore {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            parked: AtomicUsize::new(0),
+            coordinator: Mutex::new(()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            live: Mutex::new(Vec::new()),
+            batch: batch.max(1),
+            next_seed: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("fila-pool-{w}"))
+                    .spawn(move || core.worker_loop(w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        SharedPool {
+            core,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job with deadlock avoidance disabled.
+    pub fn submit(&self, topology: &Topology, inputs: u64) -> JobHandle {
+        self.submit_with(topology, AvoidanceMode::Disabled, inputs)
+    }
+
+    /// Submits a job under the given avoidance mode.
+    pub fn submit_with(
+        &self,
+        topology: &Topology,
+        mode: AvoidanceMode,
+        inputs: u64,
+    ) -> JobHandle {
+        self.submit_full(topology, mode, PropagationTrigger::default(), inputs, None)
+    }
+
+    /// The full submission form: avoidance mode, Propagation trigger, and
+    /// an optional settle hook invoked exactly once (on a worker thread)
+    /// when the job reaches its verdict.
+    pub fn submit_full(
+        &self,
+        topology: &Topology,
+        mode: AvoidanceMode,
+        trigger: PropagationTrigger,
+        inputs: u64,
+        on_settle: Option<SettleHook>,
+    ) -> JobHandle {
+        let started = Instant::now();
+        let g = topology.graph();
+        let node_count = g.node_count();
+        if node_count == 0 {
+            // Degenerate job: settle synchronously.
+            let report = ExecutionReport {
+                completed: true,
+                inputs_offered: inputs,
+                wall: started.elapsed(),
+                ..Default::default()
+            };
+            if let Some(hook) = on_settle {
+                hook(&report, JobVerdict::Completed);
+            }
+            let job = Arc::new(JobState {
+                tasks: Vec::new(),
+                states: Vec::new(),
+                active: AtomicUsize::new(0),
+                unfinished: AtomicUsize::new(0),
+                verdict: AtomicU8::new(JOB_COMPLETED),
+                delivered: AtomicBool::new(true),
+                inputs,
+                edge_count: 0,
+                started,
+                slot: Mutex::new(DoneSlot {
+                    report: Some(report),
+                    on_settle: None,
+                }),
+                done_cv: Condvar::new(),
+            });
+            return JobHandle { job };
+        }
+
+        let tasks: Vec<Mutex<Task>> = task::build_tasks(topology, &mode, trigger)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let job = Arc::new(JobState {
+            states: (0..node_count).map(|_| AtomicU8::new(QUEUED)).collect(),
+            tasks,
+            active: AtomicUsize::new(node_count),
+            unfinished: AtomicUsize::new(node_count),
+            verdict: AtomicU8::new(JOB_RUNNING),
+            delivered: AtomicBool::new(false),
+            inputs,
+            edge_count: g.edge_count(),
+            started,
+            slot: Mutex::new(DoneSlot {
+                report: None,
+                on_settle,
+            }),
+            done_cv: Condvar::new(),
+        });
+        lock(&self.core.live).push(Arc::clone(&job));
+        // Seed every task once, round-robin from a rotating origin; from
+        // then on the job is scheduled purely by channel events.
+        let base = self.core.next_seed.fetch_add(1, Ordering::Relaxed);
+        for node in 0..node_count {
+            self.core.push(
+                (base + node) % self.core.queues.len(),
+                TaskRef {
+                    job: Arc::clone(&job),
+                    node: node as u32,
+                },
+            );
+        }
+        JobHandle { job }
+    }
+}
+
+impl Drop for SharedPool {
+    /// Stops the workers and settles every still-undelivered job with
+    /// [`JobVerdict::Cancelled`], so no [`JobHandle::wait`] hangs.  Workers
+    /// finish at most their current task batch.
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.core.lock_coordinator();
+            self.core.cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        let live: Vec<Arc<JobState>> = lock(&self.core.live).drain(..).collect();
+        for job in live {
+            let _ = job.verdict.compare_exchange(
+                JOB_RUNNING,
+                JOB_CANCELLED,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+            self.core.deliver(&job);
+        }
+    }
+}
+
+impl PoolCore {
+    fn worker_loop(&self, worker: usize) {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match self.pop_any(worker) {
+                Some(tref) => self.execute(worker, tref),
+                None => {
+                    if !self.park() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn pop_any(&self, worker: usize) -> Option<TaskRef> {
+        for i in 0..self.queues.len() {
+            let q = (worker + i) % self.queues.len();
+            let popped = lock(&self.queues[q]).pop_front();
+            if let Some(tref) = popped {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(tref);
+            }
+        }
+        None
+    }
+
+    fn push(&self, worker: usize, tref: TaskRef) {
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        lock(&self.queues[worker]).push_back(tref);
+        if self.parked.load(Ordering::SeqCst) > 0 {
+            let _guard = self.lock_coordinator();
+            self.cv.notify_one();
+        }
+    }
+
+    fn lock_coordinator(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.coordinator
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Parks until new work or shutdown; returns false on shutdown.  Same
+    /// Dekker re-check against concurrent `push` as the single-run pool —
+    /// but no verdict logic: verdicts are per-job, decided by active
+    /// counts, never by pool idleness.
+    fn park(&self) -> bool {
+        let mut guard = self.lock_coordinator();
+        if self.queued.load(Ordering::SeqCst) > 0 {
+            return true;
+        }
+        if self.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        self.parked.fetch_add(1, Ordering::SeqCst);
+        if self.queued.load(Ordering::SeqCst) > 0 {
+            self.parked.fetch_sub(1, Ordering::SeqCst);
+            return true;
+        }
+        loop {
+            guard = self
+                .cv
+                .wait(guard)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if self.shutdown.load(Ordering::SeqCst)
+                || self.queued.load(Ordering::SeqCst) > 0
+            {
+                break;
+            }
+        }
+        self.parked.fetch_sub(1, Ordering::SeqCst);
+        !self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The channel-event wakeup for `job`'s node: identical CAS protocol to
+    /// the single-run pool, except that an `IDLE → QUEUED` transition also
+    /// raises the job's active count (the wake always happens *before* the
+    /// waking task itself deactivates, so a job's active count can never
+    /// touch zero while a wakeup is still in flight).
+    fn wake(&self, worker: usize, job: &Arc<JobState>, node: u32) {
+        let state = &job.states[node as usize];
+        let mut current = state.load(Ordering::Acquire);
+        loop {
+            let (target, enqueue) = match current {
+                IDLE => (QUEUED, true),
+                RUNNING => (NOTIFIED, false),
+                _ => return,
+            };
+            match state.compare_exchange(current, target, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    if enqueue {
+                        job.active.fetch_add(1, Ordering::SeqCst);
+                        self.push(
+                            worker,
+                            TaskRef {
+                                job: Arc::clone(job),
+                                node,
+                            },
+                        );
+                    }
+                    return;
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    fn execute(&self, worker: usize, tref: TaskRef) {
+        let job = &tref.job;
+        let node = tref.node as usize;
+        if job.verdict.load(Ordering::SeqCst) != JOB_RUNNING {
+            // The job settled (failed or was cancelled) while this task sat
+            // in a queue: drop it and retire its activity.
+            job.states[node].store(IDLE, Ordering::Release);
+            self.deactivate(job);
+            return;
+        }
+        job.states[node].store(RUNNING, Ordering::Release);
+        enum Exec {
+            Normal(Outcome, bool),
+            Panicked,
+        }
+        let exec = {
+            let mut task = lock(&job.tasks[node]);
+            let was_done = task.done;
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                task::run_task(&mut task, job.inputs, self.batch, &mut |n| {
+                    self.wake(worker, job, n)
+                })
+            }));
+            match result {
+                Ok(outcome) => Exec::Normal(outcome, task.done && !was_done),
+                Err(_) => Exec::Panicked,
+            }
+        };
+        match exec {
+            Exec::Panicked => {
+                // The behaviour blew up: fail this job only.  Peer tasks of
+                // the job wind down as they block (or get dropped from the
+                // queues by the verdict check above); every other job on the
+                // pool is untouched.
+                let _ = job.verdict.compare_exchange(
+                    JOB_RUNNING,
+                    JOB_FAILED,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                job.states[node].store(IDLE, Ordering::Release);
+                self.deactivate(job);
+            }
+            Exec::Normal(outcome, newly_done) => {
+                if newly_done {
+                    job.unfinished.fetch_sub(1, Ordering::SeqCst);
+                }
+                match outcome {
+                    Outcome::Done => {
+                        // Stale flag wakeups may still re-queue this task;
+                        // it will no-op.
+                        job.states[node].store(IDLE, Ordering::Release);
+                        self.deactivate(job);
+                    }
+                    Outcome::Yielded => {
+                        job.states[node].store(QUEUED, Ordering::Release);
+                        self.push(worker, tref);
+                    }
+                    Outcome::Blocked => {
+                        if job.states[node]
+                            .compare_exchange(
+                                RUNNING,
+                                IDLE,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_err()
+                        {
+                            // A wake arrived while we ran: re-queue (the
+                            // task stays active).
+                            job.states[node].store(QUEUED, Ordering::Release);
+                            self.push(worker, tref);
+                        } else {
+                            self.deactivate(job);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retires one unit of job activity; the task that drops the count to
+    /// zero decides the verdict (the job is quiescent forever — see the
+    /// module docs) and delivers the report.
+    fn deactivate(&self, job: &Arc<JobState>) {
+        if job.active.fetch_sub(1, Ordering::SeqCst) != 1 {
+            return;
+        }
+        let verdict = if job.unfinished.load(Ordering::SeqCst) == 0 {
+            JOB_COMPLETED
+        } else {
+            JOB_DEADLOCKED
+        };
+        // A Failed/Cancelled verdict set earlier wins; Completed/Deadlocked
+        // only fills in a still-running slot.
+        let _ = job.verdict.compare_exchange(
+            JOB_RUNNING,
+            verdict,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        self.deliver(job);
+    }
+
+    /// One-shot report assembly + waiter/hook notification.
+    fn deliver(&self, job: &Arc<JobState>) {
+        if job.delivered.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let verdict = match job.verdict.load(Ordering::SeqCst) {
+            JOB_COMPLETED => JobVerdict::Completed,
+            JOB_DEADLOCKED => JobVerdict::Deadlocked,
+            JOB_FAILED => JobVerdict::Failed,
+            _ => JobVerdict::Cancelled,
+        };
+        let mut report = task::assemble_report(
+            &job.tasks,
+            job.edge_count,
+            job.inputs,
+            verdict == JobVerdict::Deadlocked,
+        );
+        report.completed = verdict == JobVerdict::Completed;
+        report.wall = job.started.elapsed();
+        lock(&self.live).retain(|j| !Arc::ptr_eq(j, job));
+        // The hook runs BEFORE the report is published, so a returning
+        // `JobHandle::wait` implies the hook's effects (e.g. the service's
+        // in-flight slot release) are visible — but a panicking hook is
+        // caught and discarded: it must neither hang waiters nor unwind
+        // through (and kill) a worker.
+        let hook = lock(&job.slot).on_settle.take();
+        if let Some(hook) = hook {
+            let _ = catch_unwind(AssertUnwindSafe(|| hook(&report, verdict)));
+        }
+        let mut slot = lock(&job.slot);
+        slot.report = Some(report);
+        job.done_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::Predicate;
+    use crate::Simulator;
+    use fila_avoidance::{Algorithm, Planner};
+    use fila_graph::{Graph, GraphBuilder};
+    use std::sync::atomic::AtomicU32;
+
+    fn fig2(buffer: u64) -> Graph {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("A", "B", buffer).unwrap();
+        b.edge_with_capacity("B", "C", buffer).unwrap();
+        b.edge_with_capacity("A", "C", buffer).unwrap();
+        b.build().unwrap()
+    }
+
+    fn fig2_filtered(buffer: u64) -> crate::Topology {
+        let g = fig2(buffer);
+        let a = g.node_by_name("A").unwrap();
+        crate::Topology::from_graph(&g).with(a, || Predicate::new(2, |_seq, out| out == 0))
+    }
+
+    fn pipeline(n: usize) -> Graph {
+        let names: Vec<String> = (0..n).map(|i| format!("n{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut b = GraphBuilder::new().default_capacity(4);
+        b.chain(&refs).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn concurrent_jobs_complete_independently() {
+        let pool = SharedPool::with_config(2, 16);
+        let g1 = pipeline(8);
+        let g2 = pipeline(3);
+        let t1 = crate::Topology::from_graph(&g1);
+        let t2 = crate::Topology::from_graph(&g2);
+        let h1 = pool.submit(&t1, 100);
+        let h2 = pool.submit(&t2, 50);
+        let r1 = h1.wait();
+        let r2 = h2.wait();
+        assert!(r1.completed && r2.completed);
+        assert_eq!(r1.data_messages, 100 * 7);
+        assert_eq!(r2.data_messages, 50 * 2);
+        assert_eq!(h1.verdict(), Some(JobVerdict::Completed));
+        assert!(h1.is_settled());
+    }
+
+    #[test]
+    fn per_job_deadlock_verdict_is_exact_while_pool_stays_busy() {
+        let pool = SharedPool::new(2);
+        // Job 1 deadlocks (unprotected Fig. 2 with a filtering fork);
+        // job 2 is a healthy pipeline that keeps the pool busy.
+        let wedged = fig2_filtered(2);
+        let g2 = pipeline(64);
+        let healthy = crate::Topology::from_graph(&g2);
+        let h_wedged = pool.submit(&wedged, 500);
+        let h_healthy = pool.submit(&healthy, 2000);
+        let r = h_wedged.wait();
+        assert!(r.deadlocked, "{r:?}");
+        assert!(!r.blocked.is_empty());
+        assert_eq!(h_wedged.verdict(), Some(JobVerdict::Deadlocked));
+        let r2 = h_healthy.wait();
+        assert!(r2.completed, "{r2:?}");
+        // The pool is still healthy for new submissions.
+        let h3 = pool.submit(&healthy, 10);
+        assert!(h3.wait().completed);
+    }
+
+    #[test]
+    fn planned_job_completes_with_dummies() {
+        let pool = SharedPool::new(2);
+        let g = fig2(2);
+        let plan = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap();
+        let topo = fig2_filtered(2);
+        let h = pool.submit_with(&topo, AvoidanceMode::plan(plan), 500);
+        let r = h.wait();
+        assert!(r.completed, "{r:?}");
+        assert!(r.dummy_messages > 0);
+    }
+
+    #[test]
+    fn shared_pool_matches_simulator_counts() {
+        let pool = SharedPool::new(3);
+        let g = fig2(4);
+        let a = g.node_by_name("A").unwrap();
+        let plan = Arc::new(
+            Planner::new(&g)
+                .algorithm(Algorithm::Propagation)
+                .plan()
+                .unwrap(),
+        );
+        let topo = crate::Topology::from_graph(&g)
+            .with(a, || Predicate::new(2, |seq, out| out == 0 || seq % 4 == 0));
+        let sim = Simulator::new(&topo)
+            .with_shared_plan(Arc::clone(&plan))
+            .run(400);
+        let h = pool.submit_with(&topo, AvoidanceMode::Plan(plan), 400);
+        let pooled = h.wait();
+        assert!(sim.completed && pooled.completed);
+        assert_eq!(sim.per_edge_data, pooled.per_edge_data);
+        assert_eq!(sim.per_edge_dummies, pooled.per_edge_dummies);
+        assert_eq!(sim.sink_firings, pooled.sink_firings);
+    }
+
+    #[test]
+    fn panicking_behaviour_fails_only_its_job() {
+        let pool = SharedPool::new(2);
+        let mut b = GraphBuilder::new();
+        b.chain(&["s", "m", "t"]).unwrap();
+        let g = b.build().unwrap();
+        let m = g.node_by_name("m").unwrap();
+        let bad = crate::Topology::from_graph(&g).with(m, || {
+            Predicate::new(1, |seq, _out| {
+                assert!(seq < 5, "behaviour blew up at seq {seq}");
+                true
+            })
+        });
+        let g2 = pipeline(16);
+        let good = crate::Topology::from_graph(&g2);
+        let h_bad = pool.submit(&bad, 100);
+        let h_good = pool.submit(&good, 500);
+        let r_bad = h_bad.wait();
+        assert_eq!(h_bad.verdict(), Some(JobVerdict::Failed));
+        assert!(!r_bad.completed && !r_bad.deadlocked);
+        let r_good = h_good.wait();
+        assert!(r_good.completed, "{r_good:?}");
+        // Workers survived the panic: the pool accepts and finishes new work.
+        let h3 = pool.submit(&good, 10);
+        assert!(h3.wait().completed);
+    }
+
+    #[test]
+    fn many_small_jobs_share_one_pool() {
+        let pool = SharedPool::with_config(4, 8);
+        let graphs: Vec<Graph> = (2..34).map(pipeline).collect();
+        let topos: Vec<crate::Topology> = graphs.iter().map(crate::Topology::from_graph).collect();
+        let handles: Vec<JobHandle> = topos
+            .iter()
+            .map(|t| pool.submit(t, 40))
+            .collect();
+        for (i, h) in handles.iter().enumerate() {
+            let r = h.wait();
+            assert!(r.completed, "job {i}: {r:?}");
+            assert_eq!(r.data_messages, 40 * (graphs[i].node_count() as u64 - 1));
+            assert!(r.wall_time() > std::time::Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn settle_hook_fires_exactly_once() {
+        let pool = SharedPool::new(2);
+        let g = pipeline(4);
+        let topo = crate::Topology::from_graph(&g);
+        let count = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&count);
+        let h = pool.submit_full(
+            &topo,
+            AvoidanceMode::Disabled,
+            PropagationTrigger::default(),
+            25,
+            Some(Box::new(move |report, verdict| {
+                assert_eq!(verdict, JobVerdict::Completed);
+                assert_eq!(report.sink_firings, 25);
+                c.fetch_add(1, Ordering::SeqCst);
+            })),
+        );
+        let _ = h.wait();
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn panicking_settle_hook_neither_hangs_nor_kills_workers() {
+        let pool = SharedPool::new(1);
+        let g = pipeline(3);
+        let topo = crate::Topology::from_graph(&g);
+        let h = pool.submit_full(
+            &topo,
+            AvoidanceMode::Disabled,
+            PropagationTrigger::default(),
+            10,
+            Some(Box::new(|_report, _verdict| panic!("hook blew up"))),
+        );
+        let r = h.wait(); // must not hang despite the panicking hook
+        assert!(r.completed, "{r:?}");
+        // The worker survived: new work still executes.
+        let h2 = pool.submit(&topo, 5);
+        assert!(h2.wait().completed);
+    }
+
+    #[test]
+    fn empty_topology_settles_synchronously() {
+        let pool = SharedPool::new(1);
+        let topo = crate::Topology::from_graph(&Graph::new());
+        let h = pool.submit(&topo, 7);
+        assert!(h.is_settled());
+        let r = h.wait();
+        assert!(r.completed);
+        assert_eq!(r.inputs_offered, 7);
+    }
+
+    #[test]
+    fn dropping_the_pool_cancels_unfinished_jobs() {
+        let g = pipeline(2);
+        let src = g.single_source().unwrap();
+        // A slow source: each firing sleeps, so the job cannot finish
+        // before the pool is dropped.
+        let topo = crate::Topology::from_graph(&g).with(src, || {
+            Predicate::new(1, |_seq, _out| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                true
+            })
+        });
+        let handle = {
+            let pool = SharedPool::with_config(1, 1);
+            let h = pool.submit(&topo, 10_000);
+            // `pool` dropped here: shutdown, join, cancel.
+            h
+        };
+        let r = handle.wait();
+        assert_eq!(handle.verdict(), Some(JobVerdict::Cancelled));
+        assert!(!r.completed && !r.deadlocked);
+    }
+}

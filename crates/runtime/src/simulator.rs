@@ -114,11 +114,14 @@ impl<'t> Simulator<'t> {
     /// Runs the application, offering `inputs` sequence numbers at every
     /// source node, and returns the execution report.
     pub fn run(&self, inputs: u64) -> ExecutionReport {
+        let started = std::time::Instant::now();
         let run = Run::new(self.topology, &self.mode, self.trigger, inputs);
-        match self.scheduler {
+        let mut report = match self.scheduler {
             Scheduler::Worklist => run.execute_worklist(self.max_steps),
             Scheduler::Scan => run.execute_scan(self.max_steps),
-        }
+        };
+        report.wall = started.elapsed();
+        report
     }
 }
 

@@ -1,0 +1,406 @@
+//! The per-node task core shared by the pooled execution engines.
+//!
+//! A [`Task`] is everything one compute node needs to run cooperatively on a
+//! worker pool: its behaviour, its dummy wrapper, the owned endpoints of its
+//! input and output rings, the two-slot output staging queues, and the
+//! per-node progress counters.  The stepping functions in this module mirror
+//! [`crate::Simulator`]'s per-node semantics exactly (same acceptance rule,
+//! same per-channel independent delivery), so every engine built on them is
+//! confluent to the same terminal state as the simulator.
+//!
+//! Two engines share this core:
+//!
+//! * [`crate::PooledExecutor`] — one run, one topology, a scoped worker pool
+//!   that exits when the run reaches a verdict;
+//! * [`crate::SharedPool`] — a long-lived pool executing the tasks of many
+//!   independent jobs side by side in the same run queues.
+//!
+//! The engines differ only in *scheduling policy* (how tasks are queued,
+//! woken and how verdicts are detected); everything a task does while it
+//! holds a worker lives here.
+
+use std::sync::Mutex;
+
+use fila_graph::NodeId;
+
+use crate::message::{Message, Payload};
+use crate::node::{FireDecision, FireInput, NodeBehavior};
+use crate::report::{BlockedInfo, BlockedReason, ExecutionReport};
+use crate::spsc;
+use crate::threaded::PortQueue;
+use crate::topology::Topology;
+use crate::wrapper::{AvoidanceMode, DummyWrapper, PropagationTrigger};
+
+/// One input channel of a task.
+pub(crate) struct InPort {
+    pub(crate) rx: spsc::Consumer<Message>,
+    pub(crate) edge: u32,
+    /// Node index of the channel's producer (the task to wake when a pop
+    /// makes the channel non-full).
+    pub(crate) producer: u32,
+}
+
+/// One output channel of a task, with its two-slot staging queue and the
+/// producer-side delivery counters (each edge has exactly one producer, so
+/// the counters need no atomics).
+pub(crate) struct OutPort {
+    pub(crate) tx: spsc::Producer<Message>,
+    pub(crate) edge: u32,
+    /// Node index of the channel's consumer (the task to wake when a push
+    /// makes the channel non-empty).
+    pub(crate) consumer: u32,
+    pub(crate) queue: PortQueue,
+    pub(crate) data: u64,
+    pub(crate) dummies: u64,
+}
+
+/// The per-node task state: everything [`crate::Simulator`] keeps per node,
+/// plus the owned channel endpoints.
+pub(crate) struct Task {
+    pub(crate) is_source: bool,
+    pub(crate) done: bool,
+    pub(crate) eos_queued: bool,
+    pub(crate) next_source_seq: u64,
+    /// Messages currently staged across all output port queues.
+    pub(crate) staged: usize,
+    pub(crate) behavior: Box<dyn NodeBehavior>,
+    pub(crate) wrapper: DummyWrapper,
+    pub(crate) ins: Vec<InPort>,
+    pub(crate) outs: Vec<OutPort>,
+    /// Reusable per-firing scratch, aligned with `ins`.
+    pub(crate) data_in: Vec<Option<Payload>>,
+    pub(crate) firings: u64,
+    pub(crate) sink_firings: u64,
+}
+
+/// What a task run ended with.
+pub(crate) enum Outcome {
+    /// The node reached end-of-stream and drained its outputs.
+    Done,
+    /// The batch limit was hit while the task could still progress.
+    Yielded,
+    /// The task cannot progress until a channel event wakes it (its waiting
+    /// flags are registered).
+    Blocked,
+}
+
+/// Builds one [`Task`] per node of `topology`: an SPSC ring per edge with
+/// the endpoints moved into the unique producing / consuming task, a fresh
+/// behaviour instance per node, and the per-node dummy-wrapper state for
+/// `mode`/`trigger`.
+pub(crate) fn build_tasks(
+    topology: &Topology,
+    mode: &AvoidanceMode,
+    trigger: PropagationTrigger,
+) -> Vec<Task> {
+    let g = topology.graph();
+    let edge_count = g.edge_count();
+    let mut producers: Vec<Option<spsc::Producer<Message>>> = Vec::with_capacity(edge_count);
+    let mut consumers: Vec<Option<spsc::Consumer<Message>>> = Vec::with_capacity(edge_count);
+    for e in g.edge_ids() {
+        let (tx, rx) = spsc::ring(g.capacity(e) as usize);
+        producers.push(Some(tx));
+        consumers.push(Some(rx));
+    }
+    g.node_ids()
+        .zip(topology.build_behaviors())
+        .map(|(n, behavior)| {
+            let ins = g
+                .in_edges(n)
+                .iter()
+                .map(|&e| InPort {
+                    rx: consumers[e.index()].take().expect("one consumer per edge"),
+                    edge: e.index() as u32,
+                    producer: g.tail(e).index() as u32,
+                })
+                .collect::<Vec<_>>();
+            let outs = g
+                .out_edges(n)
+                .iter()
+                .map(|&e| OutPort {
+                    tx: producers[e.index()].take().expect("one producer per edge"),
+                    edge: e.index() as u32,
+                    consumer: g.head(e).index() as u32,
+                    queue: PortQueue::default(),
+                    data: 0,
+                    dummies: 0,
+                })
+                .collect::<Vec<_>>();
+            let data_in = vec![None; ins.len()];
+            Task {
+                is_source: ins.is_empty(),
+                done: false,
+                eos_queued: false,
+                next_source_seq: 0,
+                staged: 0,
+                behavior,
+                wrapper: DummyWrapper::with_trigger(g, n, mode, trigger),
+                ins,
+                outs,
+                data_in,
+                firings: 0,
+                sink_firings: 0,
+            }
+        })
+        .collect()
+}
+
+/// Runs one task for up to `batch` firings.  `wake` receives the node index
+/// of every peer task a channel event of this run made runnable.
+pub(crate) fn run_task(
+    task: &mut Task,
+    inputs: u64,
+    batch: u32,
+    wake: &mut dyn FnMut(u32),
+) -> Outcome {
+    let mut fired = 0;
+    while fired < batch {
+        if task.done {
+            return Outcome::Done;
+        }
+        if !step(task, inputs, wake) {
+            return Outcome::Blocked;
+        }
+        fired += 1;
+    }
+    if task.done {
+        Outcome::Done
+    } else {
+        Outcome::Yielded
+    }
+}
+
+/// Attempts one unit of progress on a task; mirrors `Simulator`'s per-node
+/// step exactly (same acceptance rule, same per-channel independent
+/// delivery), so all engines are confluent to the same terminal state.
+fn step(task: &mut Task, inputs: u64, wake: &mut dyn FnMut(u32)) -> bool {
+    // Phase 1: flush staged outputs; a node with undelivered messages does
+    // nothing else (mirrors a blocking send).
+    if flush(task, wake) {
+        return true;
+    }
+    if task.staged > 0 {
+        // Still blocked on some full channel; `flush` registered the
+        // producer waiting flags.
+        return false;
+    }
+    if task.done {
+        return false;
+    }
+    if task.is_source {
+        return step_source(task, inputs, wake);
+    }
+
+    // Interior / sink: find the acceptance sequence number, registering a
+    // waiting flag on the first empty input (if that channel never fills,
+    // the node cannot progress no matter what the others do).
+    let mut accept_seq = u64::MAX;
+    for port in &task.ins {
+        match port.rx.front_or_register() {
+            Some(head) => accept_seq = accept_seq.min(head.seq()),
+            None => return false,
+        }
+    }
+    if accept_seq == u64::MAX {
+        // End of stream on every input.
+        for port in &mut task.outs {
+            debug_assert_eq!(port.queue.len(), 0);
+            port.queue.first = Some(Message::Eos);
+            task.staged += 1;
+        }
+        task.eos_queued = true;
+        flush(task, wake);
+        mark_done_if_drained(task);
+        return true;
+    }
+
+    // Consume every head carrying the accepted sequence number.
+    task.data_in.fill(None);
+    let mut consumed_dummy = false;
+    for (idx, port) in task.ins.iter_mut().enumerate() {
+        let head = port.rx.front().expect("all heads checked non-empty");
+        if head.seq() != accept_seq {
+            continue;
+        }
+        port.rx.pop();
+        if port.rx.take_producer_waiting() {
+            wake(port.producer);
+        }
+        match head {
+            Message::Data { payload, .. } => task.data_in[idx] = Some(payload),
+            Message::Dummy { .. } => consumed_dummy = true,
+            Message::Eos => unreachable!("EOS has maximal sequence number"),
+        }
+    }
+
+    if task.data_in.iter().any(Option::is_some) {
+        if task.outs.is_empty() {
+            task.sink_firings += 1;
+        }
+        task.firings += 1;
+        let Task {
+            behavior, data_in, ..
+        } = task;
+        let decision = behavior.fire(&FireInput {
+            seq: accept_seq,
+            data_in,
+        });
+        queue_outputs(task, accept_seq, Some(&decision), consumed_dummy);
+    } else {
+        // Only dummies were consumed: no behaviour call, no data out.
+        queue_outputs(task, accept_seq, None, consumed_dummy);
+    }
+    flush(task, wake);
+    mark_done_if_drained(task);
+    true
+}
+
+fn step_source(task: &mut Task, inputs: u64, wake: &mut dyn FnMut(u32)) -> bool {
+    if task.next_source_seq < inputs {
+        let seq = task.next_source_seq;
+        task.next_source_seq += 1;
+        task.firings += 1;
+        let decision = task.behavior.fire(&FireInput { seq, data_in: &[] });
+        queue_outputs(task, seq, Some(&decision), false);
+        flush(task, wake);
+        return true;
+    }
+    if !task.eos_queued {
+        task.eos_queued = true;
+        for port in &mut task.outs {
+            debug_assert_eq!(port.queue.len(), 0);
+            port.queue.first = Some(Message::Eos);
+            task.staged += 1;
+        }
+        flush(task, wake);
+        mark_done_if_drained(task);
+        return true;
+    }
+    mark_done_if_drained(task);
+    false
+}
+
+/// Delivers as many staged outputs as ring capacities allow; FIFO per
+/// channel, channels independent.  Registers the producer waiting flag
+/// (with the mandatory retry) on every channel that stays full, and wakes
+/// the consumer of every channel this delivery made non-empty.
+fn flush(task: &mut Task, wake: &mut dyn FnMut(u32)) -> bool {
+    if task.staged == 0 {
+        return false;
+    }
+    let mut delivered = false;
+    for port in &mut task.outs {
+        while let Some(message) = port.queue.front() {
+            if port.tx.push_or_register(message).is_err() {
+                // Port still full; the registration stays active and the
+                // consumer's next pop wakes this task.
+                break;
+            }
+            port.queue.pop_front();
+            task.staged -= 1;
+            delivered = true;
+            match message {
+                Message::Data { .. } => port.data += 1,
+                Message::Dummy { .. } => port.dummies += 1,
+                Message::Eos => {}
+            }
+            if port.tx.take_consumer_waiting() {
+                wake(port.consumer);
+            }
+        }
+    }
+    if delivered {
+        mark_done_if_drained(task);
+    }
+    delivered
+}
+
+fn mark_done_if_drained(task: &mut Task) {
+    if task.eos_queued && task.staged == 0 {
+        task.done = true;
+    }
+}
+
+/// Stages the data and dummy messages produced for one accepted sequence
+/// number (`decision` is `None` when the node consumed only dummies and
+/// emits no data).
+fn queue_outputs(
+    task: &mut Task,
+    seq: u64,
+    decision: Option<&FireDecision>,
+    consumed_dummy: bool,
+) {
+    let Task {
+        wrapper,
+        outs,
+        staged,
+        ..
+    } = task;
+    let dummies = wrapper.on_accept(consumed_dummy, |i| {
+        decision.is_some_and(|d| d.emit[i].is_some())
+    });
+    for (idx, port) in outs.iter_mut().enumerate() {
+        debug_assert_eq!(port.queue.len(), 0);
+        port.queue.first = decision
+            .and_then(|d| d.emit[idx])
+            .map(|payload| Message::Data { seq, payload });
+        // Under the heartbeat trigger a dummy may accompany a data message
+        // carrying the same sequence number.
+        port.queue.second = dummies[idx].then_some(Message::Dummy { seq });
+        *staged += port.queue.len();
+    }
+}
+
+/// Assembles the [`ExecutionReport`] of a finished (or deadlocked) task set:
+/// per-edge delivery counters, firing totals and — for deadlocks — the
+/// blocked-node diagnoses, exactly as [`crate::PooledExecutor`] has always
+/// reported them.
+pub(crate) fn assemble_report(
+    tasks: &[Mutex<Task>],
+    edge_count: usize,
+    inputs: u64,
+    deadlocked: bool,
+) -> ExecutionReport {
+    let mut report = ExecutionReport {
+        completed: !deadlocked,
+        deadlocked,
+        inputs_offered: inputs,
+        per_edge_data: vec![0; edge_count],
+        per_edge_dummies: vec![0; edge_count],
+        ..Default::default()
+    };
+    for (idx, task) in tasks.iter().enumerate() {
+        // Tolerate poisoning: a panicked behaviour may have left its task
+        // mutex poisoned, but the counters are still meaningful.
+        let task = task
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        report.steps += task.firings;
+        report.sink_firings += task.sink_firings;
+        for port in &task.outs {
+            report.per_edge_data[port.edge as usize] = port.data;
+            report.per_edge_dummies[port.edge as usize] = port.dummies;
+        }
+        if deadlocked && !task.done {
+            let node = NodeId::from_raw(idx as u32);
+            if let Some(port) = task.outs.iter().find(|p| p.queue.front().is_some()) {
+                report.blocked.push(BlockedInfo {
+                    node,
+                    reason: BlockedReason::WaitingForSpace(edge_id(port.edge)),
+                });
+            } else if let Some(port) = task.ins.iter().find(|p| p.rx.is_empty()) {
+                report.blocked.push(BlockedInfo {
+                    node,
+                    reason: BlockedReason::WaitingForInput(edge_id(port.edge)),
+                });
+            }
+        }
+    }
+    report.data_messages = report.per_edge_data.iter().sum();
+    report.dummy_messages = report.per_edge_dummies.iter().sum();
+    report
+}
+
+fn edge_id(raw: u32) -> fila_graph::EdgeId {
+    fila_graph::EdgeId::from_raw(raw)
+}

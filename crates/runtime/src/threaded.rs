@@ -94,6 +94,7 @@ impl<'t> ThreadedExecutor<'t> {
     /// Runs the application, offering `inputs` sequence numbers at every
     /// source, and returns the execution report.
     pub fn run(&self, inputs: u64) -> ExecutionReport {
+        let started = std::time::Instant::now();
         let g = self.topology.graph();
         let edge_count = g.edge_count();
 
@@ -207,6 +208,7 @@ impl<'t> ThreadedExecutor<'t> {
             sink_firings: shared.sink_firings.load(Ordering::Relaxed),
             steps: shared.firings.load(Ordering::Relaxed),
             blocked: Vec::new(),
+            wall: started.elapsed(),
         }
     }
 }

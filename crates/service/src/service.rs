@@ -1,0 +1,515 @@
+//! The job service: validate → recognise/plan (cached) → admit → execute on
+//! the shared pool → per-job outcome + aggregate stats.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fila_avoidance::{PlanCache, Rounding};
+use fila_graph::Fingerprint;
+use fila_runtime::{
+    AvoidanceMode, ExecutionReport, JobHandle, JobVerdict, PropagationTrigger, SharedPool,
+};
+
+use crate::spec::{AvoidanceChoice, JobSpec};
+use crate::stats::{Counters, ServiceStats};
+
+/// Configuration of a [`JobService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads of the shared pool (`0` = one per hardware thread).
+    pub workers: usize,
+    /// Firings a woken task may drain before yielding its worker.
+    pub batch: u32,
+    /// Maximum jobs admitted but not yet settled; submissions beyond it are
+    /// rejected as saturated (clamped to ≥ 1).
+    pub max_in_flight: usize,
+    /// Maximum graph size (`nodes + edges`) accepted.
+    pub max_graph_size: usize,
+    /// Plans kept in the structural plan cache.
+    pub plan_cache_capacity: usize,
+    /// Undirected-cycle budget for the exhaustive planner on general
+    /// graphs; submissions whose planning exceeds it are rejected as
+    /// unplannable.
+    pub cycle_bound: usize,
+    /// Rounding mode for Non-Propagation interval ratios.
+    pub rounding: Rounding,
+    /// Propagation-protocol dummy trigger.
+    pub trigger: PropagationTrigger,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            batch: 64,
+            max_in_flight: 256,
+            max_graph_size: 1 << 16,
+            plan_cache_capacity: 1024,
+            cycle_bound: 512,
+            rounding: Rounding::Ceil,
+            trigger: PropagationTrigger::default(),
+        }
+    }
+}
+
+/// Why a submission was rejected (admission control / planning).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The graph or filter spec failed validation.
+    Invalid(String),
+    /// The graph exceeds the configured size limit.
+    TooLarge {
+        /// `nodes + edges` of the submitted graph.
+        size: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The in-flight bound is reached; retry after jobs settle.
+    Saturated {
+        /// The configured in-flight limit.
+        limit: usize,
+    },
+    /// No deadlock-avoidance plan could be computed within the service's
+    /// planning budget (general graph, too many cycles, …).
+    Unplannable(String),
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::Invalid(why) => write!(f, "invalid submission: {why}"),
+            RejectReason::TooLarge { size, limit } => {
+                write!(f, "graph too large: size {size} exceeds limit {limit}")
+            }
+            RejectReason::Saturated { limit } => {
+                write!(f, "service saturated: {limit} jobs already in flight")
+            }
+            RejectReason::Unplannable(why) => write!(f, "unplannable: {why}"),
+        }
+    }
+}
+
+/// A settled job: the runtime report plus the service-level context.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The execution report (per-edge counts, wall time, …).
+    pub report: ExecutionReport,
+    /// How the job ended.
+    pub verdict: JobVerdict,
+    /// `Some(true)` if the plan came from the cache, `Some(false)` if it
+    /// was freshly computed, `None` for unplanned jobs.
+    pub cache_hit: Option<bool>,
+}
+
+/// A handle to one admitted job.
+#[derive(Debug)]
+pub struct JobTicket {
+    handle: JobHandle,
+    /// The canonical *structural* fingerprint of the submitted graph (the
+    /// plan-cache key; the filter spec is not folded in — use
+    /// [`JobSpec::fingerprint`] for the filter-salted job identity).
+    pub fingerprint: Fingerprint,
+    /// Plan provenance: `Some(true)` cache hit, `Some(false)` fresh plan,
+    /// `None` unplanned.
+    pub cache_hit: Option<bool>,
+    /// Time spent planning this submission (zero on hits and unplanned).
+    pub plan_time: Duration,
+}
+
+impl JobTicket {
+    /// Blocks until the job settles.
+    pub fn wait(&self) -> JobOutcome {
+        let report = self.handle.wait();
+        JobOutcome {
+            report,
+            verdict: self.handle.verdict().expect("settled job has a verdict"),
+            cache_hit: self.cache_hit,
+        }
+    }
+
+    /// The verdict, or `None` while the job is in flight.
+    pub fn verdict(&self) -> Option<JobVerdict> {
+        self.handle.verdict()
+    }
+
+    /// True once [`JobTicket::wait`] will not block.
+    pub fn is_settled(&self) -> bool {
+        self.handle.is_settled()
+    }
+}
+
+/// The multi-tenant job service (see the crate docs for the life of a
+/// submission).
+pub struct JobService {
+    pool: SharedPool,
+    cache: PlanCache,
+    counters: Arc<Counters>,
+    in_flight: Arc<AtomicU64>,
+    config: ServiceConfig,
+    started: Instant,
+}
+
+impl fmt::Debug for JobService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobService")
+            .field("workers", &self.pool.workers())
+            .field("in_flight", &self.in_flight.load(Ordering::Relaxed))
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl Default for JobService {
+    fn default() -> Self {
+        JobService::new(ServiceConfig::default())
+    }
+}
+
+impl JobService {
+    /// Starts the service: spawns the shared worker pool and an empty plan
+    /// cache.
+    pub fn new(config: ServiceConfig) -> Self {
+        JobService {
+            pool: SharedPool::with_config(config.workers, config.batch),
+            cache: PlanCache::new(config.plan_cache_capacity),
+            counters: Arc::new(Counters::default()),
+            in_flight: Arc::new(AtomicU64::new(0)),
+            config,
+            started: Instant::now(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The structural plan cache (hit/miss counters, current size).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Submits a job.  On success the job is already executing on the
+    /// shared pool; the returned ticket observes it.  On rejection nothing
+    /// was scheduled and the reason says why.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, RejectReason> {
+        Counters::bump(&self.counters.submitted);
+
+        // 1. Validation: global graph invariants + filter-spec fit.
+        if let Err(e) = spec.graph.validate() {
+            Counters::bump(&self.counters.rejected_invalid);
+            return Err(RejectReason::Invalid(e.to_string()));
+        }
+        if let Err(why) = spec.filters.check(&spec.graph) {
+            Counters::bump(&self.counters.rejected_invalid);
+            return Err(RejectReason::Invalid(why));
+        }
+
+        // 2. Size cap.
+        let size = spec.graph.size();
+        if size > self.config.max_graph_size {
+            Counters::bump(&self.counters.rejected_too_large);
+            return Err(RejectReason::TooLarge {
+                size,
+                limit: self.config.max_graph_size,
+            });
+        }
+
+        // 3. Admission: reserve an in-flight slot BEFORE planning, so a
+        // saturated service sheds load without paying planner CPU for
+        // submissions it would bounce anyway.  The slot is released by the
+        // pool's settle hook (or below, on a planning failure) — never by
+        // the client, so abandoned tickets cannot leak slots.
+        let limit = self.config.max_in_flight.max(1) as u64;
+        if self
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < limit).then_some(n + 1)
+            })
+            .is_err()
+        {
+            Counters::bump(&self.counters.rejected_saturated);
+            return Err(RejectReason::Saturated {
+                limit: self.config.max_in_flight.max(1),
+            });
+        }
+
+        // 4. Planning, amortised through the structural plan cache.
+        let planned = match spec.avoidance {
+            AvoidanceChoice::Disabled => None,
+            AvoidanceChoice::Planned(algorithm) => {
+                match self.cache.plan(
+                    &spec.graph,
+                    algorithm,
+                    self.config.rounding,
+                    self.config.cycle_bound,
+                ) {
+                    Ok(cached) => Some(cached),
+                    Err(e) => {
+                        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        Counters::bump(&self.counters.rejected_unplannable);
+                        return Err(RejectReason::Unplannable(e.to_string()));
+                    }
+                }
+            }
+        };
+        Counters::bump(&self.counters.admitted);
+
+        // 5. Execute on the shared pool.
+        let mode = planned
+            .as_ref()
+            .map(|c| AvoidanceMode::Plan(Arc::clone(&c.plan)))
+            .unwrap_or(AvoidanceMode::Disabled);
+        let counters = Arc::clone(&self.counters);
+        let in_flight = Arc::clone(&self.in_flight);
+        let topology = spec.topology();
+        let handle = self.pool.submit_full(
+            &topology,
+            mode,
+            self.config.trigger,
+            spec.inputs,
+            Some(Box::new(move |report: &ExecutionReport, verdict| {
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                let counter = match verdict {
+                    JobVerdict::Completed => &counters.completed,
+                    JobVerdict::Deadlocked => &counters.deadlocked,
+                    JobVerdict::Failed => &counters.failed,
+                    JobVerdict::Cancelled => &counters.cancelled,
+                };
+                Counters::bump(counter);
+                counters
+                    .messages
+                    .fetch_add(report.total_messages(), Ordering::Relaxed);
+            })),
+        );
+        // Planned submissions reuse the structural fingerprint the cache
+        // already computed; only unplanned jobs hash here.
+        let fingerprint = planned
+            .as_ref()
+            .map(|c| c.fingerprint)
+            .unwrap_or_else(|| fila_graph::fingerprint::fingerprint(&spec.graph));
+        Ok(JobTicket {
+            handle,
+            fingerprint,
+            cache_hit: planned.as_ref().map(|c| c.hit),
+            plan_time: planned.map(|c| c.plan_time).unwrap_or(Duration::ZERO),
+        })
+    }
+
+    /// A point-in-time snapshot of the aggregate statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.counters;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServiceStats {
+            submitted: load(&c.submitted),
+            admitted: load(&c.admitted),
+            rejected_invalid: load(&c.rejected_invalid),
+            rejected_too_large: load(&c.rejected_too_large),
+            rejected_saturated: load(&c.rejected_saturated),
+            rejected_unplannable: load(&c.rejected_unplannable),
+            completed: load(&c.completed),
+            deadlocked: load(&c.deadlocked),
+            failed: load(&c.failed),
+            cancelled: load(&c.cancelled),
+            in_flight: self.in_flight.load(Ordering::SeqCst),
+            plan_cache_hits: self.cache.hits(),
+            plan_cache_misses: self.cache.misses(),
+            plan_cache_len: self.cache.len() as u64,
+            messages: load(&c.messages),
+            uptime: self.started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FilterSpec;
+    use fila_avoidance::Algorithm;
+    use fila_graph::{Graph, GraphBuilder};
+
+    fn pipeline(n: usize, cap: u64) -> Graph {
+        let names: Vec<String> = (0..n).map(|i| format!("n{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut b = GraphBuilder::new().default_capacity(cap);
+        b.chain(&refs).unwrap();
+        b.build().unwrap()
+    }
+
+    fn small_service(max_in_flight: usize) -> JobService {
+        JobService::new(ServiceConfig {
+            workers: 2,
+            max_in_flight,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn submit_wait_complete() {
+        let svc = small_service(16);
+        let spec = JobSpec::new(pipeline(5, 4), FilterSpec::Broadcast, 100).unplanned();
+        let ticket = svc.submit(spec).unwrap();
+        let outcome = ticket.wait();
+        assert_eq!(outcome.verdict, JobVerdict::Completed);
+        assert!(outcome.report.completed);
+        assert_eq!(outcome.report.data_messages, 400);
+        assert_eq!(outcome.cache_hit, None);
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.in_flight, 0);
+        assert!(stats.messages >= 400);
+    }
+
+    #[test]
+    fn planned_jobs_share_cached_plans() {
+        let svc = small_service(16);
+        let g = {
+            let mut b = GraphBuilder::new();
+            b.edge_with_capacity("a", "b", 2).unwrap();
+            b.edge_with_capacity("b", "c", 2).unwrap();
+            b.edge_with_capacity("a", "c", 2).unwrap();
+            b.build().unwrap()
+        };
+        let spec = |g: &Graph| {
+            JobSpec::new(g.clone(), FilterSpec::Fork(2), 200)
+                .avoidance(AvoidanceChoice::Planned(Algorithm::NonPropagation))
+        };
+        let t1 = svc.submit(spec(&g)).unwrap();
+        assert_eq!(t1.cache_hit, Some(false));
+        let t2 = svc.submit(spec(&g)).unwrap();
+        assert_eq!(t2.cache_hit, Some(true));
+        assert_eq!(t2.plan_time, Duration::ZERO);
+        assert_eq!(t1.fingerprint, t2.fingerprint);
+        for t in [t1, t2] {
+            let o = t.wait();
+            assert_eq!(o.verdict, JobVerdict::Completed, "{o:?}");
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.plan_cache_hits, 1);
+        assert_eq!(stats.plan_cache_misses, 1);
+        assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_graphs_are_rejected() {
+        let svc = small_service(16);
+        // Disconnected graph.
+        let mut g = pipeline(3, 2);
+        let _ = g.add_node("lonely");
+        let r = svc.submit(JobSpec::new(g, FilterSpec::Broadcast, 10));
+        assert!(matches!(r, Err(RejectReason::Invalid(_))), "{r:?}");
+        // Mis-sized per-node filter spec.
+        let r = svc.submit(JobSpec::new(
+            pipeline(3, 2),
+            FilterSpec::PerNode(vec![1]),
+            10,
+        ));
+        assert!(matches!(r, Err(RejectReason::Invalid(_))), "{r:?}");
+        let stats = svc.stats();
+        assert_eq!(stats.rejected_invalid, 2);
+        assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn oversized_graphs_are_rejected() {
+        let svc = JobService::new(ServiceConfig {
+            workers: 1,
+            max_graph_size: 8,
+            ..ServiceConfig::default()
+        });
+        let r = svc.submit(JobSpec::new(pipeline(10, 2), FilterSpec::Broadcast, 1).unplanned());
+        assert!(
+            matches!(r, Err(RejectReason::TooLarge { size: 19, limit: 8 })),
+            "{r:?}"
+        );
+        assert_eq!(svc.stats().rejected_too_large, 1);
+    }
+
+    #[test]
+    fn unplannable_graphs_are_rejected_with_reason() {
+        let svc = JobService::new(ServiceConfig {
+            workers: 1,
+            cycle_bound: 16,
+            ..ServiceConfig::default()
+        });
+        // Dense general bipartite core: far beyond 16 undirected cycles.
+        let mut b = GraphBuilder::new().default_capacity(2);
+        for l in 0..3 {
+            b.edge("x", &format!("l{l}")).unwrap();
+            for r in 0..6 {
+                b.edge(&format!("l{l}"), &format!("r{r}")).unwrap();
+            }
+        }
+        for r in 0..6 {
+            b.edge(&format!("r{r}"), "y").unwrap();
+        }
+        let g = b.build().unwrap();
+        let r = svc.submit(JobSpec::new(g, FilterSpec::Fork(2), 10));
+        match r {
+            Err(RejectReason::Unplannable(why)) => assert!(!why.is_empty()),
+            other => panic!("expected Unplannable, got {other:?}"),
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.rejected_unplannable, 1);
+        // The in-flight slot reserved before planning was released.
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn saturation_bounds_in_flight_jobs() {
+        // One worker, jobs that take a while: the second submission must
+        // bounce while the first is still running.
+        let svc = JobService::new(ServiceConfig {
+            workers: 1,
+            max_in_flight: 1,
+            ..ServiceConfig::default()
+        });
+        let big = JobSpec::new(pipeline(64, 2), FilterSpec::Broadcast, 20_000).unplanned();
+        let small = JobSpec::new(pipeline(3, 2), FilterSpec::Broadcast, 1).unplanned();
+        let t1 = svc.submit(big).unwrap();
+        let rejected = svc.submit(small.clone());
+        assert!(
+            matches!(rejected, Err(RejectReason::Saturated { limit: 1 })),
+            "{rejected:?}"
+        );
+        let o1 = t1.wait();
+        assert_eq!(o1.verdict, JobVerdict::Completed);
+        // Slot released: the same submission is now admitted.
+        let t2 = svc.submit(small).unwrap();
+        assert_eq!(t2.wait().verdict, JobVerdict::Completed);
+        let stats = svc.stats();
+        assert_eq!(stats.rejected_saturated, 1);
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
+    fn deadlock_verdicts_show_up_in_stats() {
+        let svc = small_service(16);
+        let (g, periods) = fila_workloads::jobs::underprovisioned_sp(1, 2);
+        let ticket = svc
+            .submit(JobSpec::new(g, FilterSpec::PerNode(periods), 256).unplanned())
+            .unwrap();
+        let outcome = ticket.wait();
+        assert_eq!(outcome.verdict, JobVerdict::Deadlocked);
+        assert!(outcome.report.deadlocked);
+        assert!(!outcome.report.blocked.is_empty());
+        assert_eq!(svc.stats().deadlocked, 1);
+    }
+
+    #[test]
+    fn stats_json_roundtrip_shape() {
+        let svc = small_service(4);
+        let t = svc
+            .submit(JobSpec::new(pipeline(4, 2), FilterSpec::Broadcast, 10).unplanned())
+            .unwrap();
+        let _ = t.wait();
+        let json = svc.stats().to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"completed\": 1"));
+    }
+}

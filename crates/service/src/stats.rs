@@ -1,0 +1,201 @@
+//! Aggregate service statistics, with hand-rolled JSON serialisation
+//! (following the `BENCH_*` record precedent: no serde in this workspace).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Lock-free counters the service mutates on its hot paths; snapshotted
+/// into a [`ServiceStats`] on demand.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub submitted: AtomicU64,
+    pub admitted: AtomicU64,
+    pub rejected_invalid: AtomicU64,
+    pub rejected_too_large: AtomicU64,
+    pub rejected_saturated: AtomicU64,
+    pub rejected_unplannable: AtomicU64,
+    pub completed: AtomicU64,
+    pub deadlocked: AtomicU64,
+    pub failed: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub messages: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of everything the service has done.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Jobs submitted (admitted + rejected).
+    pub submitted: u64,
+    /// Jobs that passed admission control and reached the pool.
+    pub admitted: u64,
+    /// Rejections: graph or filter-spec validation failed.
+    pub rejected_invalid: u64,
+    /// Rejections: graph size above the configured limit.
+    pub rejected_too_large: u64,
+    /// Rejections: in-flight bound reached.
+    pub rejected_saturated: u64,
+    /// Rejections: no deadlock-avoidance plan within the planning budget.
+    pub rejected_unplannable: u64,
+    /// Settled jobs whose every node reached end-of-stream.
+    pub completed: u64,
+    /// Settled jobs with an exact runtime deadlock verdict.
+    pub deadlocked: u64,
+    /// Settled jobs whose behaviour panicked.
+    pub failed: u64,
+    /// Jobs cancelled by service shutdown.
+    pub cancelled: u64,
+    /// Jobs admitted but not yet settled.
+    pub in_flight: u64,
+    /// Plan-cache lookups served without planning.
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that ran the planner.
+    pub plan_cache_misses: u64,
+    /// Plans currently cached.
+    pub plan_cache_len: u64,
+    /// Messages (data + dummies) delivered by settled jobs.
+    pub messages: u64,
+    /// Time since the service started.
+    pub uptime: Duration,
+}
+
+impl ServiceStats {
+    /// Total rejections, over all reasons.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_invalid
+            + self.rejected_too_large
+            + self.rejected_saturated
+            + self.rejected_unplannable
+    }
+
+    /// Fraction of plan lookups served from the cache (0.0 before any).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Messages delivered per second of service uptime.
+    pub fn msgs_per_sec(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.messages as f64 / secs
+        }
+    }
+
+    /// Settled jobs per second of service uptime.
+    pub fn jobs_per_sec(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        let settled = self.completed + self.deadlocked + self.failed + self.cancelled;
+        if secs <= 0.0 {
+            0.0
+        } else {
+            settled as f64 / secs
+        }
+    }
+
+    /// Hand-rolled JSON rendering (stable key order, schema-versioned; no
+    /// serde anywhere in this workspace).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema_version\": 1, ",
+                "\"submitted\": {}, \"admitted\": {}, ",
+                "\"rejected_invalid\": {}, \"rejected_too_large\": {}, ",
+                "\"rejected_saturated\": {}, \"rejected_unplannable\": {}, ",
+                "\"completed\": {}, \"deadlocked\": {}, \"failed\": {}, ",
+                "\"cancelled\": {}, \"in_flight\": {}, ",
+                "\"plan_cache_hits\": {}, \"plan_cache_misses\": {}, ",
+                "\"plan_cache_len\": {}, \"cache_hit_rate\": {:.4}, ",
+                "\"messages\": {}, \"uptime_ms\": {:.3}, ",
+                "\"msgs_per_sec\": {:.1}, \"jobs_per_sec\": {:.2}}}"
+            ),
+            self.submitted,
+            self.admitted,
+            self.rejected_invalid,
+            self.rejected_too_large,
+            self.rejected_saturated,
+            self.rejected_unplannable,
+            self.completed,
+            self.deadlocked,
+            self.failed,
+            self.cancelled,
+            self.in_flight,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.plan_cache_len,
+            self.cache_hit_rate(),
+            self.messages,
+            self.uptime.as_secs_f64() * 1e3,
+            self.msgs_per_sec(),
+            self.jobs_per_sec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServiceStats {
+        ServiceStats {
+            submitted: 10,
+            admitted: 7,
+            rejected_invalid: 1,
+            rejected_too_large: 0,
+            rejected_saturated: 1,
+            rejected_unplannable: 1,
+            completed: 5,
+            deadlocked: 1,
+            failed: 0,
+            cancelled: 0,
+            in_flight: 1,
+            plan_cache_hits: 4,
+            plan_cache_misses: 2,
+            plan_cache_len: 2,
+            messages: 1000,
+            uptime: Duration::from_millis(500),
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = sample();
+        assert_eq!(s.rejected(), 3);
+        assert!((s.cache_hit_rate() - 4.0 / 6.0).abs() < 1e-9);
+        assert!((s.msgs_per_sec() - 2000.0).abs() < 1e-6);
+        assert!((s.jobs_per_sec() - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_is_parsable_shape() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\"schema_version\": 1, "));
+        assert!(json.ends_with('}'));
+        assert!(json.contains("\"admitted\": 7"));
+        assert!(json.contains("\"cache_hit_rate\": 0.6667"));
+        assert!(json.contains("\"msgs_per_sec\": 2000.0"));
+        // Braces balance and no trailing comma sloppiness.
+        assert_eq!(json.matches('{').count(), 1);
+        assert_eq!(json.matches('}').count(), 1);
+        assert!(!json.contains(",}"));
+    }
+
+    #[test]
+    fn zero_uptime_yields_zero_rates() {
+        let mut s = sample();
+        s.uptime = Duration::ZERO;
+        assert_eq!(s.msgs_per_sec(), 0.0);
+        assert_eq!(s.jobs_per_sec(), 0.0);
+    }
+}

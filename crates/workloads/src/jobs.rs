@@ -1,0 +1,380 @@
+//! Mixed job workloads for the multi-tenant service layer.
+//!
+//! A realistic job service does not see one topology: it sees a stream of
+//! heterogeneous submissions — mostly well-behaved pipeline and SP/CS4
+//! templates, sprinkled with graphs it must *reject* (no efficient plan
+//! exists and the exhaustive fallback would blow its cycle budget) and
+//! graphs that *deadlock* because the client disabled avoidance on an
+//! under-provisioned topology.  [`job_mix`] generates exactly that traffic,
+//! deterministically per seed, as engine-agnostic [`JobShape`]s: a graph,
+//! per-node periodic-filter periods (the canonical filter convention of
+//! [`crate::generators::periodic_filtered_topology`]), an input count and
+//! an avoidance flag.  The service crate converts shapes into its `JobSpec`
+//! submissions; tests replay the same shapes through the reference
+//! [`fila_runtime::Simulator`] to pin per-job verdicts.
+
+use fila_graph::{Graph, GraphBuilder};
+use fila_runtime::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generators::{
+    periodic_filtered_topology, pipeline_graph, random_ladder, random_sp_dag, GeneratorConfig,
+    LadderConfig,
+};
+
+/// What a generated job is expected to exercise in the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// A linear pipeline with interior filtering: cannot deadlock, runs
+    /// without a plan.
+    Pipeline,
+    /// A random series-parallel DAG with fork filtering, protected by a
+    /// plan.
+    SpDag,
+    /// A random CS4 ladder with fork filtering, protected by a plan.
+    Ladder,
+    /// A dense general graph whose exhaustive planning exceeds any sane
+    /// cycle budget: the service must reject it as unplannable.
+    Unplannable,
+    /// An under-provisioned filtering topology submitted with avoidance
+    /// disabled: admitted, then deadlocks at runtime.
+    Deadlocker,
+}
+
+/// One generated job: a topology shape plus its runtime configuration.
+#[derive(Debug, Clone)]
+pub struct JobShape {
+    /// Human-readable label (kind + index), used in reports and the CLI.
+    pub label: String,
+    /// What the shape exercises.
+    pub kind: JobKind,
+    /// The application graph.
+    pub graph: Graph,
+    /// Per-node filter periods aligned with node ids (1 = broadcast).
+    pub periods: Vec<u64>,
+    /// Input sequence numbers offered at every source.
+    pub inputs: u64,
+    /// Whether the job should be executed under a deadlock-avoidance plan.
+    pub avoidance: bool,
+}
+
+impl JobShape {
+    /// Builds the runnable topology: the canonical periodic filter of
+    /// [`periodic_filtered_topology`] with this shape's per-node periods.
+    pub fn topology(&self) -> Topology {
+        let periods = self.periods.clone();
+        periodic_filtered_topology(&self.graph, move |n| periods[n.index()])
+    }
+}
+
+/// A dense two-terminal general graph (complete bipartite core `K(3, m)`):
+/// neither SP nor CS4, with an undirected-cycle count that grows
+/// combinatorially in `m` — the canonical "reject me" submission for any
+/// bounded exhaustive planner.
+pub fn dense_unplannable(m: usize) -> Graph {
+    let m = m.max(2);
+    let mut b = GraphBuilder::new().default_capacity(2);
+    for l in 0..3 {
+        b.edge("x", &format!("l{l}")).unwrap();
+    }
+    for r in 0..m {
+        let right = format!("r{r}");
+        for l in 0..3 {
+            b.edge(&format!("l{l}"), &right).unwrap();
+        }
+        b.edge(&right, "y").unwrap();
+    }
+    b.build().expect("dense bipartite graph is a valid two-terminal DAG")
+}
+
+/// An under-provisioned shape that *provably* deadlocks without a plan: a
+/// random SP DAG with tight buffers whose every node filters with the
+/// given `period` (interior filtering starves join nodes on cycles faster
+/// than the narrow buffers can absorb; a Non-Propagation plan rescues it).
+///
+/// Not every random SP spec contains a cycle (an all-series draw is just a
+/// pipeline), so candidate seeds are screened with the reference
+/// [`fila_runtime::Simulator`] until one both *wedges bare* and *completes
+/// under a Non-Propagation plan* — generation stays deterministic per seed
+/// and the returned shape carries a guaranteed deadlock verdict for
+/// `inputs` ≥ 256 that a plan would have prevented.  (The second screen
+/// matters: on a few capacity-1-heavy draws with odd periods even the
+/// Non-Propagation intervals do not survive aggressive interior filtering
+/// — the SP sibling of the ladder limitation pinned by
+/// `tests/ladder_interior_filtering.rs` — and those draws are not
+/// "under-provisioned", they are planner-hostile.)
+pub fn underprovisioned_sp(seed: u64, period: u64) -> (Graph, Vec<u64>) {
+    let period = period.max(2);
+    for attempt in 0..64u64 {
+        let (g, _) = random_sp_dag(&GeneratorConfig {
+            target_edges: 12,
+            max_fanout: 3,
+            capacity_range: (1, 2),
+            seed: seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)),
+        });
+        // A tree-shaped draw cannot deadlock; skip it without simulating.
+        if g.edge_count() < g.node_count() {
+            continue;
+        }
+        let topo = periodic_filtered_topology(&g, |_| period);
+        if !fila_runtime::Simulator::new(&topo).run(256).deadlocked {
+            continue;
+        }
+        let Ok(plan) = fila_avoidance::Planner::new(&g)
+            .algorithm(fila_avoidance::Algorithm::NonPropagation)
+            .plan()
+        else {
+            continue;
+        };
+        if fila_runtime::Simulator::new(&topo)
+            .with_plan(&plan)
+            .run(256)
+            .completed
+        {
+            let periods = g.node_ids().map(|_| period).collect();
+            return (g, periods);
+        }
+    }
+    unreachable!("no rescuable deadlocking SP draw in 64 attempts (seed {seed}, period {period})")
+}
+
+/// Periods vector filtering only at the (unique) source with `period`;
+/// every other node broadcasts.
+fn fork_periods(g: &Graph, period: u64) -> Vec<u64> {
+    let source = g.single_source().expect("generated shapes are two-terminal");
+    g.node_ids()
+        .map(|n| if n == source { period } else { 1 })
+        .collect()
+}
+
+/// Shape templates per kind: a storm of hundreds of jobs draws from this
+/// many distinct graphs of each kind, mirroring production traffic where a
+/// handful of client pipeline *templates* account for nearly all
+/// submissions (and letting the service's structural plan cache actually
+/// amortise — every repeat of a template is a cache hit).
+pub const TEMPLATES_PER_KIND: usize = 3;
+
+/// Generates `count` mixed jobs, deterministically for a given `seed`.
+///
+/// Roughly 1 in 12 jobs is [`JobKind::Unplannable`] and 1 in 12 is a
+/// [`JobKind::Deadlocker`]; the rest rotate over pipelines, SP DAGs and
+/// ladders.  Each kind cycles through [`TEMPLATES_PER_KIND`] fixed shape
+/// templates (graph + capacities + filter periods derived from a
+/// template-local RNG) while the per-job input count still varies, so
+/// repeated submissions of one template are the plan cache's hit case and
+/// distinct templates its misses.
+pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Build each template once up front and clone per job — the
+    // deadlocker templates in particular run a simulator screening loop
+    // that must not repeat for every one of hundreds of submissions.
+    let template = |salt: u64, tmpl: usize| {
+        StdRng::seed_from_u64(seed ^ (salt << 32) ^ tmpl as u64)
+    };
+    let unplannables: Vec<Graph> = (0..TEMPLATES_PER_KIND)
+        .map(|t| dense_unplannable(8 + t))
+        .collect();
+    let deadlockers: Vec<(Graph, Vec<u64>)> = (0..TEMPLATES_PER_KIND)
+        .map(|t| {
+            let mut trng = template(0xDE, t);
+            underprovisioned_sp(trng.gen_range(0..=u64::MAX), trng.gen_range(2..=4))
+        })
+        .collect();
+    let pipelines: Vec<(Graph, Vec<u64>)> = (0..TEMPLATES_PER_KIND)
+        .map(|t| {
+            let mut trng = template(0x71, t);
+            let n = trng.gen_range(3..=12);
+            let cap = trng.gen_range(2..=6);
+            let g = pipeline_graph(n, cap, false);
+            let period = trng.gen_range(1..=4);
+            // Interior filtering is safe on a pipeline (no undirected
+            // cycles), so no plan is needed.
+            let periods = g.node_ids().map(|_| period).collect();
+            (g, periods)
+        })
+        .collect();
+    let spdags: Vec<(Graph, Vec<u64>)> = (0..TEMPLATES_PER_KIND)
+        .map(|t| {
+            let mut trng = template(0x5D, t);
+            let (g, _) = random_sp_dag(&GeneratorConfig {
+                target_edges: trng.gen_range(8..=20),
+                max_fanout: 3,
+                capacity_range: (2, 6),
+                seed: trng.gen_range(0..=u64::MAX),
+            });
+            let periods = fork_periods(&g, trng.gen_range(2..=6));
+            (g, periods)
+        })
+        .collect();
+    let ladders: Vec<(Graph, Vec<u64>)> = (0..TEMPLATES_PER_KIND)
+        .map(|t| {
+            let mut trng = template(0x1A, t);
+            let g = random_ladder(&LadderConfig {
+                rungs: trng.gen_range(2..=6),
+                capacity_range: (2, 6),
+                reverse_probability: 0.3,
+                seed: trng.gen_range(0..=u64::MAX),
+            });
+            let periods = fork_periods(&g, trng.gen_range(2..=6));
+            (g, periods)
+        })
+        .collect();
+    (0..count)
+        .map(|i| {
+            // Per-job variation (advances for every job so the stream is
+            // not template-periodic in its inputs).
+            let inputs = rng.gen_range(64..=256);
+            let tmpl = (i / 12) % TEMPLATES_PER_KIND;
+            let roll = i % 12;
+            match roll {
+                5 => {
+                    let g = unplannables[tmpl].clone();
+                    let periods = fork_periods(&g, 2);
+                    JobShape {
+                        label: format!("unplannable-{i}"),
+                        kind: JobKind::Unplannable,
+                        periods,
+                        inputs: 64,
+                        avoidance: true,
+                        graph: g,
+                    }
+                }
+                11 => {
+                    let (g, periods) = deadlockers[tmpl].clone();
+                    JobShape {
+                        label: format!("deadlocker-{i}"),
+                        kind: JobKind::Deadlocker,
+                        periods,
+                        inputs: 256,
+                        avoidance: false,
+                        graph: g,
+                    }
+                }
+                r if r % 3 == 0 => {
+                    let (g, periods) = pipelines[tmpl].clone();
+                    JobShape {
+                        label: format!("pipeline-{i}"),
+                        kind: JobKind::Pipeline,
+                        periods,
+                        inputs,
+                        avoidance: false,
+                        graph: g,
+                    }
+                }
+                r if r % 3 == 1 => {
+                    let (g, periods) = spdags[tmpl].clone();
+                    JobShape {
+                        label: format!("spdag-{i}"),
+                        kind: JobKind::SpDag,
+                        periods,
+                        inputs,
+                        avoidance: true,
+                        graph: g,
+                    }
+                }
+                _ => {
+                    let (g, periods) = ladders[tmpl].clone();
+                    JobShape {
+                        label: format!("ladder-{i}"),
+                        kind: JobKind::Ladder,
+                        periods,
+                        inputs,
+                        avoidance: true,
+                        graph: g,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fila_avoidance::{classify, Algorithm, GraphClass, Planner};
+    use fila_runtime::Simulator;
+
+    #[test]
+    fn mix_is_deterministic_and_covers_all_kinds() {
+        let a = job_mix(42, 48);
+        let b = job_mix(42, 48);
+        assert_eq!(a.len(), 48);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.graph, y.graph, "{}", x.label);
+            assert_eq!(x.periods, y.periods);
+            assert_eq!(x.inputs, y.inputs);
+        }
+        for kind in [
+            JobKind::Pipeline,
+            JobKind::SpDag,
+            JobKind::Ladder,
+            JobKind::Unplannable,
+            JobKind::Deadlocker,
+        ] {
+            assert!(a.iter().any(|s| s.kind == kind), "{kind:?} missing");
+        }
+    }
+
+    #[test]
+    fn dense_unplannable_exceeds_a_modest_cycle_budget() {
+        let g = dense_unplannable(8);
+        assert_eq!(classify(&g).unwrap(), GraphClass::General);
+        assert!(Planner::new(&g).cycle_bound(512).plan().is_err());
+    }
+
+    #[test]
+    fn deadlocker_actually_deadlocks_and_plan_rescues_it() {
+        // Every Deadlocker shape in a mix must truly deadlock unprotected,
+        // and a Non-Propagation plan must rescue the same topology.
+        let mut seen = 0;
+        for shape in job_mix(3, 48) {
+            if shape.kind != JobKind::Deadlocker {
+                continue;
+            }
+            seen += 1;
+            let report = Simulator::new(&shape.topology()).run(shape.inputs);
+            assert!(report.deadlocked, "{}: {report:?}", shape.label);
+            let plan = Planner::new(&shape.graph)
+                .algorithm(Algorithm::NonPropagation)
+                .plan()
+                .unwrap();
+            let rescued = Simulator::new(&shape.topology())
+                .with_plan(&plan)
+                .run(shape.inputs);
+            assert!(rescued.completed, "{}: {rescued:?}", shape.label);
+        }
+        assert!(seen >= 4, "mix of 48 should contain ≥ 4 deadlockers, got {seen}");
+    }
+
+    #[test]
+    fn planned_shapes_complete_under_nonpropagation() {
+        // Every SP-DAG / ladder shape in a small mix must complete when
+        // given its Non-Propagation plan (fork-only filtering is protected
+        // on every graph class).
+        for shape in job_mix(7, 24) {
+            if !matches!(shape.kind, JobKind::SpDag | JobKind::Ladder) {
+                continue;
+            }
+            let plan = Planner::new(&shape.graph)
+                .algorithm(Algorithm::NonPropagation)
+                .plan()
+                .unwrap_or_else(|e| panic!("{}: {e}", shape.label));
+            let report = Simulator::new(&shape.topology())
+                .with_plan(&plan)
+                .run(shape.inputs);
+            assert!(report.completed, "{}: {report:?}", shape.label);
+        }
+    }
+
+    #[test]
+    fn pipelines_complete_without_plans() {
+        for shape in job_mix(9, 12) {
+            if shape.kind != JobKind::Pipeline {
+                continue;
+            }
+            let report = Simulator::new(&shape.topology()).run(shape.inputs);
+            assert!(report.completed, "{}: {report:?}", shape.label);
+        }
+    }
+}

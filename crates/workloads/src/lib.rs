@@ -11,7 +11,11 @@
 //! * [`apps`] — runnable application topologies modelled on the paper's
 //!   motivating examples (an object-recognition split/join with data
 //!   dependent recognisers and a biosequence filtering pipeline), expressed
-//!   as [`fila_runtime::Topology`] values ready to execute.
+//!   as [`fila_runtime::Topology`] values ready to execute;
+//! * [`jobs`] — mixed job-service workloads: streams of heterogeneous
+//!   submissions (pipelines, SP DAGs, ladders, unplannable and
+//!   deliberately deadlocking shapes) for exercising the multi-tenant
+//!   service layer.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -19,5 +23,7 @@
 pub mod apps;
 pub mod figures;
 pub mod generators;
+pub mod jobs;
 
 pub use generators::{GeneratorConfig, LadderConfig};
+pub use jobs::{job_mix, JobKind, JobShape};

@@ -1,0 +1,392 @@
+//! `fila` — drive the multi-tenant job service from the command line.
+//!
+//! ```text
+//! fila run <jobfile> [--workers N]      execute the jobs in a textual job file
+//! fila storm [--jobs N] [--seed S] [--workers N] [--json PATH]
+//!                                       submit a generated mixed workload
+//! fila help                             this text + the job-file grammar
+//! ```
+//!
+//! ## Job-file grammar (line-oriented, `#` comments)
+//!
+//! ```text
+//! job <name>
+//!   inputs <count>               # sequence numbers offered at every source
+//!   algorithm <propagation|nonpropagation|none>
+//!   capacity <default>           # default buffer capacity (optional, 4)
+//!   edge <src> <dst> [capacity]  # nodes are created on first mention
+//!   filter <node> <period>       # periodic filter (1 = broadcast)
+//! end
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fila::prelude::*;
+use fila::workloads::jobs::{job_mix, JobKind};
+use fila_service::JobTicket;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("run") => cmd_run(&args[1..]),
+        Some("storm") => cmd_storm(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", HELP);
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("fila: unknown command `{other}` (try `fila help`)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+fila — filtering-aware deadlock avoidance as a multi-tenant job service
+
+USAGE:
+  fila run <jobfile> [--workers N]
+  fila storm [--jobs N] [--seed S] [--workers N] [--json PATH]
+  fila help
+
+`run` executes every job of a textual job file on one shared worker pool,
+prints a per-job verdict table and the aggregate service stats as JSON.
+
+`storm` generates a mixed workload (pipelines, SP DAGs, CS4 ladders, plus
+deliberately unplannable and deadlocking shapes), submits all of it
+concurrently, and reports the same stats; `--json PATH` also writes them to
+a file (used by CI as a service smoke test).
+
+JOB FILE GRAMMAR (line oriented, `#` starts a comment):
+  job <name>
+    inputs <count>
+    algorithm <propagation|nonpropagation|none>
+    capacity <default buffer capacity>
+    edge <src> <dst> [capacity]
+    filter <node> <period>
+  end
+";
+
+fn parse_flag(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            return match args.get(i + 1) {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("{flag} needs a value")),
+            };
+        }
+        i += 1;
+    }
+    Ok(None)
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match parse_flag(args, flag)? {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag}: invalid number `{v}`")),
+    }
+}
+
+fn service(workers: usize, max_in_flight: usize) -> JobService {
+    JobService::new(ServiceConfig {
+        workers,
+        max_in_flight,
+        ..ServiceConfig::default()
+    })
+}
+
+// ---------------------------------------------------------------- run ----
+
+/// One parsed job of a job file.
+struct FileJob {
+    name: String,
+    spec: JobSpec,
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let file = match args.first() {
+        Some(f) if !f.starts_with("--") => f.clone(),
+        _ => {
+            eprintln!("fila run: missing <jobfile> (try `fila help`)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workers = match parse_num(args, "--workers", 0usize) {
+        Ok(w) => w,
+        Err(e) => return fail(&e),
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {file}: {e}")),
+    };
+    let jobs = match parse_job_file(&text) {
+        Ok(jobs) => jobs,
+        Err(e) => return fail(&format!("{file}: {e}")),
+    };
+    if jobs.is_empty() {
+        return fail(&format!("{file}: no jobs defined"));
+    }
+
+    let svc = service(workers, jobs.len().max(16));
+    let mut tickets: Vec<(String, Result<JobTicket, RejectReason>)> = Vec::new();
+    for job in jobs {
+        let ticket = svc.submit(job.spec);
+        tickets.push((job.name, ticket));
+    }
+    let mut failures = 0;
+    println!("{:<20} {:<12} {:>10} {:>12} {:>10}  plan", "job", "verdict", "msgs", "msgs/sec", "wall");
+    for (name, ticket) in tickets {
+        match ticket {
+            Err(reason) => {
+                failures += 1;
+                println!("{name:<20} {:<12} {:>10} {:>12} {:>10}  {reason}", "rejected", "-", "-", "-");
+            }
+            Ok(ticket) => {
+                let outcome = ticket.wait();
+                let verdict = format!("{:?}", outcome.verdict).to_lowercase();
+                if outcome.verdict != JobVerdict::Completed {
+                    failures += 1;
+                }
+                let plan = match ticket.cache_hit {
+                    None => "none".to_string(),
+                    Some(true) => "cache-hit".to_string(),
+                    Some(false) => format!("fresh ({:.1?})", ticket.plan_time),
+                };
+                println!(
+                    "{name:<20} {verdict:<12} {:>10} {:>12.0} {:>10.1?}  {plan}",
+                    outcome.report.total_messages(),
+                    outcome.report.messages_per_sec(),
+                    outcome.report.wall_time(),
+                );
+            }
+        }
+    }
+    println!("\n{}", svc.stats().to_json());
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn parse_job_file(text: &str) -> Result<Vec<FileJob>, String> {
+    let mut jobs = Vec::new();
+    let mut current: Option<JobDraft> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let keyword = words.next().unwrap();
+        let rest: Vec<&str> = words.collect();
+        let at = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        match (keyword, current.as_mut()) {
+            ("job", None) => {
+                let name = rest.first().ok_or_else(|| at("job needs a name"))?;
+                current = Some(JobDraft::new(name));
+            }
+            ("job", Some(_)) => return Err(at("nested `job` (missing `end`?)")),
+            (_, None) => return Err(at("directive outside a job block")),
+            ("end", Some(_)) => {
+                let draft = current.take().expect("matched Some");
+                jobs.push(draft.finish().map_err(|e| at(&e))?);
+            }
+            (kw, Some(draft)) => draft.directive(kw, &rest).map_err(|e| at(&e))?,
+        }
+    }
+    if current.is_some() {
+        return Err("unterminated job block (missing `end`)".into());
+    }
+    Ok(jobs)
+}
+
+struct JobDraft {
+    name: String,
+    inputs: u64,
+    avoidance: AvoidanceChoice,
+    default_capacity: u64,
+    edges: Vec<(String, String, Option<u64>)>,
+    filters: HashMap<String, u64>,
+}
+
+impl JobDraft {
+    fn new(name: &str) -> Self {
+        JobDraft {
+            name: name.to_string(),
+            inputs: 128,
+            avoidance: AvoidanceChoice::Planned(Algorithm::NonPropagation),
+            default_capacity: 4,
+            edges: Vec::new(),
+            filters: HashMap::new(),
+        }
+    }
+
+    fn directive(&mut self, keyword: &str, rest: &[&str]) -> Result<(), String> {
+        let num = |s: &&str| -> Result<u64, String> {
+            s.parse().map_err(|_| format!("invalid number `{s}`"))
+        };
+        match keyword {
+            "inputs" => {
+                self.inputs = num(rest.first().ok_or("inputs needs a count")?)?;
+            }
+            "algorithm" => {
+                self.avoidance = match *rest.first().ok_or("algorithm needs a value")? {
+                    "propagation" => AvoidanceChoice::Planned(Algorithm::Propagation),
+                    "nonpropagation" => AvoidanceChoice::Planned(Algorithm::NonPropagation),
+                    "none" => AvoidanceChoice::Disabled,
+                    other => return Err(format!("unknown algorithm `{other}`")),
+                };
+            }
+            "capacity" => {
+                self.default_capacity = num(rest.first().ok_or("capacity needs a value")?)?;
+            }
+            "edge" => {
+                let [src, dst, cap @ ..] = rest else {
+                    return Err("edge needs <src> <dst> [capacity]".into());
+                };
+                let cap = cap.first().map(num).transpose()?;
+                self.edges.push((src.to_string(), dst.to_string(), cap));
+            }
+            "filter" => {
+                let [node, period] = rest else {
+                    return Err("filter needs <node> <period>".into());
+                };
+                self.filters.insert(node.to_string(), num(period)?);
+            }
+            other => return Err(format!("unknown directive `{other}`")),
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<FileJob, String> {
+        if self.edges.is_empty() {
+            return Err(format!("job {}: no edges", self.name));
+        }
+        let mut b = GraphBuilder::new().default_capacity(self.default_capacity);
+        for (src, dst, cap) in &self.edges {
+            match cap {
+                Some(c) => b.edge_with_capacity(src, dst, *c),
+                None => b.edge(src, dst),
+            }
+            .map_err(|e| format!("job {}: {e}", self.name))?;
+        }
+        let graph = b
+            .build()
+            .map_err(|e| format!("job {}: {e}", self.name))?;
+        let mut periods = vec![1u64; graph.node_count()];
+        for (name, period) in &self.filters {
+            let node = graph
+                .node_by_name(name)
+                .ok_or_else(|| format!("job {}: filter on unknown node `{name}`", self.name))?;
+            periods[node.index()] = (*period).max(1);
+        }
+        let spec = JobSpec::new(graph, FilterSpec::PerNode(periods), self.inputs)
+            .avoidance(self.avoidance);
+        Ok(FileJob {
+            name: self.name,
+            spec,
+        })
+    }
+}
+
+// -------------------------------------------------------------- storm ----
+
+fn cmd_storm(args: &[String]) -> ExitCode {
+    let jobs = match parse_num(args, "--jobs", 256usize) {
+        Ok(j) => j.max(1),
+        Err(e) => return fail(&e),
+    };
+    let seed = match parse_num(args, "--seed", 0xF11A_u64) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let workers = match parse_num(args, "--workers", 0usize) {
+        Ok(w) => w,
+        Err(e) => return fail(&e),
+    };
+    let json_path = match parse_flag(args, "--json") {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+
+    let shapes = job_mix(seed, jobs);
+    let svc = service(workers, jobs);
+    let started = Instant::now();
+    let mut tickets = Vec::new();
+    let mut rejected_unplannable = 0u64;
+    let mut rejected_other = 0u64;
+    for shape in &shapes {
+        let spec = JobSpec::from_periods(
+            shape.graph.clone(),
+            shape.periods.clone(),
+            shape.inputs,
+            shape.avoidance,
+        );
+        match svc.submit(spec) {
+            Ok(t) => tickets.push((shape, t)),
+            Err(RejectReason::Unplannable(_)) => {
+                rejected_unplannable += 1;
+                assert!(
+                    shape.kind == JobKind::Unplannable,
+                    "only Unplannable shapes may be rejected as unplannable, got {}",
+                    shape.label
+                );
+            }
+            Err(other) => {
+                rejected_other += 1;
+                eprintln!("storm: {} rejected: {other}", shape.label);
+            }
+        }
+    }
+    let mut completed = 0u64;
+    let mut deadlocked = 0u64;
+    let mut other = 0u64;
+    for (shape, ticket) in &tickets {
+        match ticket.wait().verdict {
+            JobVerdict::Completed => completed += 1,
+            JobVerdict::Deadlocked => {
+                deadlocked += 1;
+                assert!(
+                    shape.kind == JobKind::Deadlocker,
+                    "only Deadlocker shapes may deadlock, got {}",
+                    shape.label
+                );
+            }
+            _ => other += 1,
+        }
+    }
+    let wall = started.elapsed();
+    let stats = svc.stats();
+    println!(
+        "storm: {jobs} jobs in {wall:.2?} — {completed} completed, {deadlocked} deadlocked, \
+         {rejected_unplannable} rejected unplannable, {rejected_other} rejected other, {other} other; \
+         cache {:.0}% hits ({} plans for {} planned jobs)",
+        stats.cache_hit_rate() * 100.0,
+        stats.plan_cache_misses,
+        stats.plan_cache_hits + stats.plan_cache_misses,
+    );
+    let json = stats.to_json();
+    println!("{json}");
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+    }
+    if rejected_other == 0 && other == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("fila: {msg}");
+    ExitCode::FAILURE
+}

@@ -12,7 +12,9 @@
 //!   SP-DAGs, CS4 DAGs (SP-ladders) and, via an exponential baseline,
 //!   general DAGs ([`avoidance`]),
 //! * a streaming runtime with data-dependent filtering, bounded channels,
-//!   dummy-message wrappers and deadlock detection ([`runtime`]), and
+//!   dummy-message wrappers and deadlock detection ([`runtime`]),
+//! * a multi-tenant job service — plan cache, admission control and
+//!   shared-pool execution of many concurrent dataflows ([`service`]), and
 //! * workload generators and the exact graphs of the paper's figures
 //!   ([`workloads`]).
 //!
@@ -34,17 +36,23 @@
 pub use fila_avoidance as avoidance;
 pub use fila_graph as graph;
 pub use fila_runtime as runtime;
+pub use fila_service as service;
 pub use fila_spdag as spdag;
 pub use fila_workloads as workloads;
 
 /// The most commonly used types across the workspace.
 pub mod prelude {
     pub use fila_avoidance::{
-        classify, Algorithm, DummyInterval, GraphClass, Planner, Rounding,
+        classify, Algorithm, DummyInterval, GraphClass, PlanCache, Planner, Rounding,
     };
-    pub use fila_graph::{EdgeId, Graph, GraphBuilder, NodeId};
+    pub use fila_graph::{EdgeId, Fingerprint, Graph, GraphBuilder, NodeId};
     pub use fila_runtime::{
-        ExecutionReport, PooledExecutor, Scheduler, Simulator, ThreadedExecutor, Topology,
+        ExecutionReport, JobVerdict, PooledExecutor, Scheduler, SharedPool, Simulator,
+        ThreadedExecutor, Topology,
+    };
+    pub use fila_service::{
+        AvoidanceChoice, FilterSpec, JobService, JobSpec, RejectReason, ServiceConfig,
+        ServiceStats,
     };
     pub use fila_spdag::{recognize, SpDecomposition, SpSpec};
 }

@@ -272,6 +272,12 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Schema version of the `FILA_BENCH_JSON` report format.  Version 2
+/// wraps the former bare record array in an object
+/// (`{"schema_version": 2, "records": [...]}`) so consumers can detect
+/// format drift; CI validates the stamp.
+pub const BENCH_JSON_SCHEMA_VERSION: u32 = 2;
+
 /// Writes every benchmark result collected so far to the file named by the
 /// `FILA_BENCH_JSON` environment variable, if set.  Called automatically at
 /// the end of the `main` emitted by [`criterion_main!`]; a no-op otherwise.
@@ -280,7 +286,9 @@ pub fn write_json_report() {
         return;
     };
     let results = RESULTS.lock().expect("bench results lock");
-    let mut out = String::from("[\n");
+    let mut out = format!(
+        "{{\"schema_version\": {BENCH_JSON_SCHEMA_VERSION}, \"records\": [\n"
+    );
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
         out.push_str(&format!(
@@ -294,7 +302,7 @@ pub fn write_json_report() {
             sep,
         ));
     }
-    out.push_str("]\n");
+    out.push_str("]}\n");
     match std::fs::write(&path, out) {
         Ok(()) => println!("\nwrote {} benchmark records to {path}", results.len()),
         Err(err) => eprintln!("FILA_BENCH_JSON: could not write {path}: {err}"),
