@@ -38,9 +38,11 @@ use std::time::{Duration, Instant};
 use fila_graph::fingerprint::{fingerprint, labeled_fingerprint};
 use fila_graph::{Fingerprint, Graph, Result};
 
+use crate::cs4::{classify, GraphClass};
 use crate::interval::Rounding;
 use crate::plan::{Algorithm, AvoidancePlan};
-use crate::planner::Planner;
+use crate::planner::{walk_certification_chain, CertifyAttempt, CertifyError, Planner};
+use crate::verify::{filter_signature, Certification};
 
 /// Default maximum number of cached plans.
 pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
@@ -69,12 +71,54 @@ fn arena_of(g: &Graph) -> Vec<(u32, u32, u64)> {
         .collect()
 }
 
+/// Key of one cached certification verdict: the plan key plus the
+/// canonical signature of the declared filter profile and the cycle
+/// budget the chain was walked under.  The budget must be part of the
+/// key because negative verdicts are cached too: a chain that ran out of
+/// candidates at `cycle_bound = 16` (exhaustive enumeration over budget)
+/// may well certify at a larger budget, and serving the stale
+/// `Uncertifiable` there would be a wrong rejection.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct CertKey {
+    plan: Key,
+    filter: u64,
+    cycle_bound: usize,
+}
+
+/// A cached certification verdict — positive or negative.  Negative
+/// verdicts are cached too: re-walking the whole fallback chain for every
+/// repeat submission of an uncertifiable shape would hand a storm of them
+/// a planner-CPU amplification attack.
+#[derive(Clone)]
+enum CertVerdict {
+    Certified {
+        used: Algorithm,
+        exhaustive: bool,
+        fell_back: bool,
+        plan: Arc<AvoidancePlan>,
+    },
+    Uncertifiable {
+        attempts: Vec<CertifyAttempt>,
+        last: Certification,
+    },
+}
+
+struct CertEntry {
+    labeled: u64,
+    arena: Vec<(u32, u32, u64)>,
+    /// The exact (clamped) periods: the signature is only the fast filter.
+    periods: Vec<u64>,
+    verdict: CertVerdict,
+}
+
 #[derive(Default)]
 struct Inner {
     map: HashMap<Key, Vec<Entry>>,
     /// Insertion order for FIFO eviction; `(key, labeled)` identifies one
     /// entry.
     order: VecDeque<(Key, u64)>,
+    cert: HashMap<CertKey, Vec<CertEntry>>,
+    cert_order: VecDeque<(CertKey, u64)>,
 }
 
 /// The outcome of one cache lookup-or-plan.
@@ -90,12 +134,38 @@ pub struct CachedPlan {
     pub plan_time: Duration,
 }
 
+/// The outcome of one cache lookup-or-certify (see [`PlanCache::certify`]).
+#[derive(Debug, Clone)]
+pub struct CertifiedCached {
+    /// The certified plan (never copied out of the cache).
+    pub plan: Arc<AvoidancePlan>,
+    /// The protocol of the certified plan.
+    pub used: Algorithm,
+    /// Whether the certified plan came from the forced-exhaustive planner.
+    pub exhaustive: bool,
+    /// True if the certified plan was not the first candidate of the
+    /// fallback chain (protocol switch and/or exhaustive escalation).
+    pub fell_back: bool,
+    /// Canonical structural fingerprint of the planned graph.
+    pub fingerprint: Fingerprint,
+    /// Canonical signature of the declared filter profile.
+    pub filter_signature: u64,
+    /// True if the verdict was served from the cache.
+    pub hit: bool,
+    /// Time spent planning candidates on this call (zero on a hit).
+    pub plan_time: Duration,
+    /// Time spent model-checking candidates on this call (zero on a hit).
+    pub certify_time: Duration,
+}
+
 /// A bounded, thread-safe structural plan cache (see the module docs).
 pub struct PlanCache {
     inner: Mutex<Inner>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    cert_hits: AtomicU64,
+    cert_misses: AtomicU64,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -105,6 +175,9 @@ impl std::fmt::Debug for PlanCache {
             .field("capacity", &self.capacity)
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("cert_len", &self.cert_len())
+            .field("cert_hits", &self.cert_hits())
+            .field("cert_misses", &self.cert_misses())
             .finish()
     }
 }
@@ -124,6 +197,8 @@ impl PlanCache {
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            cert_hits: AtomicU64::new(0),
+            cert_misses: AtomicU64::new(0),
         }
     }
 
@@ -170,6 +245,193 @@ impl PlanCache {
             hit: false,
             plan_time,
         })
+    }
+
+    /// Returns the cached certification verdict for `g` under
+    /// `(algorithm, rounding)` and the declared per-node filter `periods`,
+    /// or walks the certification fallback chain
+    /// ([`Planner::certify`]'s candidates, with structural plans served
+    /// through this cache), caches the verdict, and returns it.
+    ///
+    /// Verdicts — positive *and* negative — are keyed by
+    /// `(fingerprint, algorithm, rounding, filter signature, cycle_bound)`
+    /// with the same labeled-hash + exact-arena (+ exact-periods) double
+    /// check as plans, so a fallback decision is made **once per topology
+    /// shape** and a hash collision degrades to a miss, never a wrong
+    /// verdict.  The cycle budget is part of the key so a negative verdict
+    /// reached by exhausting a small budget is never served to a caller
+    /// asking under a larger one.
+    pub fn certify(
+        &self,
+        g: &Graph,
+        algorithm: Algorithm,
+        rounding: Rounding,
+        cycle_bound: usize,
+        periods: &[u64],
+    ) -> std::result::Result<CertifiedCached, CertifyError> {
+        let key = CertKey {
+            plan: Key {
+                fingerprint: fingerprint(g),
+                algorithm,
+                rounding,
+            },
+            filter: filter_signature(periods),
+            cycle_bound,
+        };
+        let labeled = labeled_fingerprint(g);
+        let arena = arena_of(g);
+        let canonical: Vec<u64> = periods.iter().map(|&p| p.max(1)).collect();
+        if let Some(verdict) = self.cert_lookup(&key, labeled, &arena, &canonical) {
+            self.cert_hits.fetch_add(1, Ordering::Relaxed);
+            return match verdict {
+                CertVerdict::Certified {
+                    used,
+                    exhaustive,
+                    fell_back,
+                    plan,
+                } => Ok(CertifiedCached {
+                    plan,
+                    used,
+                    exhaustive,
+                    fell_back,
+                    fingerprint: key.plan.fingerprint,
+                    filter_signature: key.filter,
+                    hit: true,
+                    plan_time: Duration::ZERO,
+                    certify_time: Duration::ZERO,
+                }),
+                CertVerdict::Uncertifiable { attempts, last } => {
+                    Err(CertifyError::Uncertifiable { attempts, last })
+                }
+            };
+        }
+        self.cert_misses.fetch_add(1, Ordering::Relaxed);
+
+        let general = match classify(g) {
+            Ok(class) => class == GraphClass::General,
+            Err(e) => return Err(CertifyError::Unplannable(e)),
+        };
+        // The chain itself lives in `walk_certification_chain` (shared with
+        // `Planner::certify`, so the two can never select differently); the
+        // cache only decides where candidate plans come from.  Structural
+        // candidates flow through the plan cache (repeat shapes plan once);
+        // forced-exhaustive candidates are computed fresh and live only
+        // inside the certification verdict, so a later plain `plan()` of
+        // the same shape still gets the structural plan.
+        let walked = walk_certification_chain(
+            g,
+            algorithm,
+            general,
+            &canonical,
+            |candidate, exhaustive| {
+                if exhaustive {
+                    let planning = Instant::now();
+                    let plan = Planner::new(g)
+                        .algorithm(candidate)
+                        .rounding(rounding)
+                        .cycle_bound(cycle_bound)
+                        .force_exhaustive(true)
+                        .plan()?;
+                    Ok((Arc::new(plan), planning.elapsed()))
+                } else {
+                    let cached = self.plan(g, candidate, rounding, cycle_bound)?;
+                    Ok((cached.plan, cached.plan_time))
+                }
+            },
+        );
+        match walked {
+            Ok(accepted) => {
+                self.cert_insert(
+                    key,
+                    labeled,
+                    arena,
+                    canonical,
+                    CertVerdict::Certified {
+                        used: accepted.used,
+                        exhaustive: accepted.exhaustive,
+                        fell_back: accepted.fell_back,
+                        plan: Arc::clone(&accepted.plan),
+                    },
+                );
+                Ok(CertifiedCached {
+                    plan: accepted.plan,
+                    used: accepted.used,
+                    exhaustive: accepted.exhaustive,
+                    fell_back: accepted.fell_back,
+                    fingerprint: key.plan.fingerprint,
+                    filter_signature: key.filter,
+                    hit: false,
+                    plan_time: accepted.plan_time,
+                    certify_time: accepted.certify_time,
+                })
+            }
+            Err(CertifyError::Uncertifiable { attempts, last }) => {
+                self.cert_insert(
+                    key,
+                    labeled,
+                    arena,
+                    canonical,
+                    CertVerdict::Uncertifiable {
+                        attempts: attempts.clone(),
+                        last,
+                    },
+                );
+                Err(CertifyError::Uncertifiable { attempts, last })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn cert_lookup(
+        &self,
+        key: &CertKey,
+        labeled: u64,
+        arena: &[(u32, u32, u64)],
+        periods: &[u64],
+    ) -> Option<CertVerdict> {
+        let inner = self.lock();
+        inner
+            .cert
+            .get(key)?
+            .iter()
+            .find(|e| e.labeled == labeled && e.arena == arena && e.periods == periods)
+            .map(|e| e.verdict.clone())
+    }
+
+    fn cert_insert(
+        &self,
+        key: CertKey,
+        labeled: u64,
+        arena: Vec<(u32, u32, u64)>,
+        periods: Vec<u64>,
+        verdict: CertVerdict,
+    ) {
+        let mut inner = self.lock();
+        let bucket = inner.cert.entry(key).or_default();
+        if bucket
+            .iter()
+            .any(|e| e.labeled == labeled && e.arena == arena && e.periods == periods)
+        {
+            return;
+        }
+        bucket.push(CertEntry {
+            labeled,
+            arena,
+            periods,
+            verdict,
+        });
+        inner.cert_order.push_back((key, labeled));
+        while inner.cert_order.len() > self.capacity {
+            let Some((old_key, old_labeled)) = inner.cert_order.pop_front() else {
+                break;
+            };
+            if let Some(bucket) = inner.cert.get_mut(&old_key) {
+                bucket.retain(|e| e.labeled != old_labeled);
+                if bucket.is_empty() {
+                    inner.cert.remove(&old_key);
+                }
+            }
+        }
     }
 
     fn lookup(
@@ -240,6 +502,21 @@ impl PlanCache {
     /// Lookups that had to run the planner.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Certification lookups served from the verdict cache.
+    pub fn cert_hits(&self) -> u64 {
+        self.cert_hits.load(Ordering::Relaxed)
+    }
+
+    /// Certification lookups that walked the fallback chain.
+    pub fn cert_misses(&self) -> u64 {
+        self.cert_misses.load(Ordering::Relaxed)
+    }
+
+    /// Certification verdicts currently cached.
+    pub fn cert_len(&self) -> usize {
+        self.lock().cert_order.len()
     }
 
     /// Fraction of lookups served from the cache (0.0 before any lookup).
@@ -357,6 +634,119 @@ mod tests {
         // Both orderings are now cached under the same fingerprint bucket.
         assert_eq!(cache.len(), 2);
         assert!(cache.plan(&g2, Algorithm::Propagation, Rounding::Ceil, 1000).unwrap().hit);
+    }
+
+    #[test]
+    fn certification_verdicts_are_cached_per_shape_and_filter() {
+        let cache = PlanCache::new(8);
+        let g = fig3();
+        let periods = vec![4u64; g.node_count()];
+        let first = cache
+            .certify(&g, Algorithm::NonPropagation, Rounding::Ceil, 1000, &periods)
+            .unwrap();
+        assert!(!first.hit);
+        assert!(!first.fell_back);
+        assert_eq!(first.used, Algorithm::NonPropagation);
+        let second = cache
+            .certify(&g, Algorithm::NonPropagation, Rounding::Ceil, 1000, &periods)
+            .unwrap();
+        assert!(second.hit);
+        assert!(Arc::ptr_eq(&first.plan, &second.plan));
+        assert_eq!(second.certify_time, Duration::ZERO);
+        assert_eq!(cache.cert_hits(), 1);
+        assert_eq!(cache.cert_misses(), 1);
+        // A different filter profile is a different verdict key.
+        let other = vec![2u64; g.node_count()];
+        assert!(!cache
+            .certify(&g, Algorithm::NonPropagation, Rounding::Ceil, 1000, &other)
+            .unwrap()
+            .hit);
+        assert_eq!(cache.cert_len(), 2);
+        // The structural plan behind both verdicts was planned once.
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn certification_verdicts_are_keyed_by_cycle_bound() {
+        // Negative verdicts are cached, and a chain that exhausted a small
+        // cycle budget (exhaustive candidates skipped) may certify under a
+        // larger one — so the budget must be part of the verdict key, or a
+        // stale `Uncertifiable` would wrongly reject the larger-budget call.
+        let cache = PlanCache::new(8);
+        let g = fig3();
+        let periods = vec![4u64; g.node_count()];
+        let first = cache
+            .certify(&g, Algorithm::NonPropagation, Rounding::Ceil, 1000, &periods)
+            .unwrap();
+        assert!(!first.hit);
+        let other_budget = cache
+            .certify(&g, Algorithm::NonPropagation, Rounding::Ceil, 2000, &periods)
+            .unwrap();
+        assert!(!other_budget.hit, "a different cycle budget must not share a verdict");
+        assert_eq!(cache.cert_misses(), 2);
+        // Same budget again is still a hit.
+        assert!(cache
+            .certify(&g, Algorithm::NonPropagation, Rounding::Ceil, 2000, &periods)
+            .unwrap()
+            .hit);
+    }
+
+    #[test]
+    fn certification_fallback_is_decided_once_per_shape() {
+        // Interior filtering defeats the literal Propagation trigger, so a
+        // Propagation-requested certification falls back to
+        // Non-Propagation — and the second submission gets the fallback
+        // verdict from the cache without re-walking the chain.
+        let g = fig3();
+        let mut periods = vec![1u64; g.node_count()];
+        periods[g.node_by_name("b").unwrap().index()] = 3;
+        periods[g.node_by_name("c").unwrap().index()] = 3;
+        let cache = PlanCache::new(8);
+        let first = cache
+            .certify(&g, Algorithm::Propagation, Rounding::Ceil, 1000, &periods)
+            .unwrap();
+        assert!(first.fell_back);
+        assert_eq!(first.used, Algorithm::NonPropagation);
+        assert!(!first.hit);
+        let second = cache
+            .certify(&g, Algorithm::Propagation, Rounding::Ceil, 1000, &periods)
+            .unwrap();
+        assert!(second.hit);
+        assert!(second.fell_back);
+        assert_eq!(second.used, Algorithm::NonPropagation);
+        assert!(Arc::ptr_eq(&first.plan, &second.plan));
+    }
+
+    #[test]
+    fn unplannable_certification_is_not_a_cached_verdict() {
+        let g = {
+            // General-class dense bipartite core, beyond a 16-cycle budget.
+            let mut b = GraphBuilder::new().default_capacity(2);
+            for l in 0..3 {
+                b.edge("x", &format!("l{l}")).unwrap();
+                for r in 0..6 {
+                    b.edge(&format!("l{l}"), &format!("r{r}")).unwrap();
+                }
+            }
+            for r in 0..6 {
+                b.edge(&format!("r{r}"), "y").unwrap();
+            }
+            b.build().unwrap()
+        };
+        let periods = vec![2u64; g.node_count()];
+        let cache = PlanCache::new(8);
+        let err = cache
+            .certify(&g, Algorithm::NonPropagation, Rounding::Ceil, 16, &periods)
+            .unwrap_err();
+        assert!(matches!(err, crate::planner::CertifyError::Unplannable(_)), "{err}");
+        assert_eq!(cache.cert_len(), 0);
+        // Both lookups walk the (failing) chain — planning failures are not
+        // verdicts about the filter profile.
+        let _ = cache
+            .certify(&g, Algorithm::NonPropagation, Rounding::Ceil, 3, &periods)
+            .unwrap_err();
+        assert_eq!(cache.cert_misses(), 2);
     }
 
     #[test]

@@ -10,9 +10,14 @@
 //!   buffer length of the opposite directed branch leaving `u`.
 //! * **Non-Propagation**: for every cycle `C` containing `e`, let `P` be the
 //!   maximal directed run of `C` containing `e` and `s` its start; `[e]` is
-//!   the minimum over cycles of `L / h` where `L` is the buffer length of
-//!   the opposite run leaving `s` and `h = |P|` is the hop count of `e`'s
-//!   own run.
+//!   the minimum over cycles of `⌊L^(1/h)⌋` where `L` is the buffer length
+//!   of the opposite run leaving `s` and `h = |P|` is the hop count of `e`'s
+//!   own run.  The paper's §II.B definition divides `L` by `h` instead;
+//!   that bound assumes interior nodes re-emit data, which per-node
+//!   *interior* filtering violates — a Non-Propagation node relays at most
+//!   one message per `[e]` messages reaching it, so the worst-case gap at
+//!   the end of a run is the **product** of its intervals and the sound
+//!   uniform bound is the integer `h`-th root (E17 postmortem, DESIGN.md).
 //!
 //! On cycles with a single source and a single sink — the only cycles that
 //! occur in SP and CS4 graphs — these definitions coincide exactly with the
@@ -34,28 +39,32 @@ pub const DEFAULT_CYCLE_BOUND: usize = 5_000_000;
 
 /// Computes dummy intervals for either protocol by exhaustive cycle
 /// enumeration, with the default cycle bound.
+///
+/// `_rounding` is retained for API stability: since the filtering-robustness
+/// fix the Non-Propagation bound is the exact integer root, identical under
+/// both modes (see [`Rounding`]).
 pub fn exhaustive_intervals(
     g: &Graph,
     algorithm: Algorithm,
-    rounding: Rounding,
+    _rounding: Rounding,
 ) -> Result<IntervalMap> {
-    exhaustive_intervals_bounded(g, algorithm, rounding, DEFAULT_CYCLE_BOUND)
+    exhaustive_intervals_bounded(g, algorithm, _rounding, DEFAULT_CYCLE_BOUND)
 }
 
 /// Computes dummy intervals by exhaustive cycle enumeration, aborting with
 /// an error if the graph has more than `max_cycles` undirected simple
-/// cycles.
+/// cycles.  `_rounding` is inert (see [`exhaustive_intervals`]).
 pub fn exhaustive_intervals_bounded(
     g: &Graph,
     algorithm: Algorithm,
-    rounding: Rounding,
+    _rounding: Rounding,
     max_cycles: usize,
 ) -> Result<IntervalMap> {
     g.validate()?;
     let cycles = enumerate_cycles_bounded(g, max_cycles)?;
     let mut intervals = IntervalMap::for_graph(g);
     for cycle in &cycles {
-        apply_cycle(g, cycle, algorithm, rounding, &mut intervals)?;
+        apply_cycle(g, cycle, algorithm, &mut intervals)?;
     }
     Ok(intervals)
 }
@@ -65,7 +74,6 @@ fn apply_cycle(
     g: &Graph,
     cycle: &UndirectedCycle,
     algorithm: Algorithm,
-    rounding: Rounding,
     intervals: &mut IntervalMap,
 ) -> Result<()> {
     let runs = cycle.directed_runs(g);
@@ -94,10 +102,10 @@ fn apply_cycle(
                     let hops_a = run_a.edges.len() as u64;
                     let hops_b = run_b.edges.len() as u64;
                     for &e in &run_a.edges {
-                        intervals.tighten(e, DummyInterval::from_ratio(len_b, hops_a, rounding));
+                        intervals.tighten(e, DummyInterval::from_run_budget(len_b, hops_a));
                     }
                     for &e in &run_b.edges {
-                        intervals.tighten(e, DummyInterval::from_ratio(len_a, hops_b, rounding));
+                        intervals.tighten(e, DummyInterval::from_run_budget(len_a, hops_b));
                     }
                 }
             }
@@ -131,9 +139,11 @@ mod tests {
         assert_eq!(prop.get(e("a", "b")), DummyInterval::Finite(6));
         assert_eq!(prop.get(e("a", "c")), DummyInterval::Finite(8));
         assert_eq!(prop.get(e("b", "e")), DummyInterval::Infinite);
+        // Robust Non-Propagation: 3-hop runs take the cube root of the
+        // opposite slack (paper's division gave 6/3 = 2 and ⌈8/3⌉ = 3).
         let np = exhaustive_intervals(&g, Algorithm::NonPropagation, Rounding::Ceil).unwrap();
-        assert_eq!(np.get(e("a", "b")), DummyInterval::Finite(2));
-        assert_eq!(np.get(e("d", "f")), DummyInterval::Finite(3));
+        assert_eq!(np.get(e("a", "b")), DummyInterval::Finite(1));
+        assert_eq!(np.get(e("d", "f")), DummyInterval::Finite(2));
     }
 
     #[test]

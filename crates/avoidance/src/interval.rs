@@ -50,8 +50,20 @@ impl DummyInterval {
         DummyInterval::Finite(len.max(1))
     }
 
-    /// Builds the ratio interval `len / hops` used by the Non-Propagation
-    /// algorithm, applying the requested [`Rounding`] and clamping to ≥ 1.
+    /// Builds the ratio interval `len / hops` of the paper's §IV.B
+    /// Non-Propagation recurrence, applying the requested [`Rounding`] and
+    /// clamping to ≥ 1.
+    ///
+    /// **This is no longer what the planner uses.**  The ratio's soundness
+    /// argument assumes every interior node of a run *re-emits* the data it
+    /// receives, so a dummy's lag accumulates additively (`h · L/h ≤ L`).
+    /// Under interior filtering a node may receive data and forward nothing,
+    /// so its own gap counter — which ticks once per **accepted input**, not
+    /// per elapsed sequence number — is driven only by the messages reaching
+    /// it: the inter-message gap along a fully filtering run multiplies per
+    /// hop instead of adding, and `L/h` deadlocks (the E14/E17 bug).  The
+    /// formula is kept for the postmortem comparison and ablation tooling;
+    /// plans use [`DummyInterval::from_run_budget`].
     pub fn from_ratio(len: u64, hops: u64, rounding: Rounding) -> DummyInterval {
         debug_assert!(hops > 0, "hop count of a path is positive");
         let v = match rounding {
@@ -60,6 +72,63 @@ impl DummyInterval {
         };
         DummyInterval::Finite(v.max(1))
     }
+
+    /// Builds the **filtering-robust** Non-Propagation interval for an edge
+    /// on a run of `hops` hops whose opposite branch has buffer length
+    /// `len`: the largest `T ≥ 1` with `T^hops ≤ len`.
+    ///
+    /// Rationale (the E17 postmortem, DESIGN.md): a Non-Propagation node
+    /// emits at least one message (data or dummy) on a channel per `[e]`
+    /// *accepted inputs*, and its input clock is driven by the messages
+    /// arriving on the run — so the worst-case inter-message gap at the end
+    /// of a run is the **product** of the per-edge intervals along it, not
+    /// the sum.  Bounding every edge of the run by the integer `hops`-th
+    /// root of the opposite slack keeps that product within the slack for
+    /// every sub-run as well (shorter paths through the same edges only
+    /// shrink the product).  For `hops = 1` this degenerates to the paper's
+    /// `[e] = L`, and the result never exceeds `from_ratio` — the robust
+    /// bound is a tightening, so every previously safe plan stays safe.
+    ///
+    /// The root is computed exactly on integers (no floating point), which
+    /// also makes the historical Ceil/Floor rounding distinction moot: see
+    /// [`Rounding`].
+    pub fn from_run_budget(len: u64, hops: u64) -> DummyInterval {
+        debug_assert!(hops > 0, "hop count of a path is positive");
+        DummyInterval::Finite(integer_root(len, hops).max(1))
+    }
+}
+
+/// Largest `t` with `t^hops ≤ len` (0 when `len == 0`), computed with
+/// overflow-checked integer arithmetic.
+fn integer_root(len: u64, hops: u64) -> u64 {
+    if hops == 1 || len <= 1 {
+        return len;
+    }
+    if hops >= 64 {
+        // 2^64 overflows u64, so for any len < 2^64 the root is 1.
+        return 1;
+    }
+    let below = |t: u64| -> bool {
+        // t^hops ≤ len, without overflow.
+        let mut acc: u64 = 1;
+        for _ in 0..hops {
+            acc = match acc.checked_mul(t) {
+                Some(v) if v <= len => v,
+                _ => return false,
+            };
+        }
+        true
+    };
+    let (mut lo, mut hi) = (1u64, len);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if below(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
 }
 
 impl PartialOrd for DummyInterval {
@@ -88,12 +157,19 @@ impl fmt::Display for DummyInterval {
     }
 }
 
-/// Rounding mode for the Non-Propagation ratio `L / h`.
+/// Rounding mode for the paper's Non-Propagation ratio `L / h`.
 ///
 /// Fig. 3 of the paper rounds **up** (`8/3 → 3`); [`Rounding::Ceil`] matches
-/// the figure and is the default.  [`Rounding::Floor`] is the strictly
-/// conservative choice (never a larger interval than the exact ratio) and is
-/// exposed for the ablation study described in `DESIGN.md`.
+/// the figure and is the default, while [`Rounding::Floor`] was the strictly
+/// conservative reading exposed for the ablation study in `DESIGN.md`.
+///
+/// Since the filtering-robustness fix (E17 postmortem) the planner computes
+/// Non-Propagation intervals with the exact integer-root bound of
+/// [`DummyInterval::from_run_budget`], which does not round at all — under
+/// either mode the plan is identical, and the choice survives only as plan
+/// metadata (and in cache keys) for API stability.  The ratio formula the
+/// modes used to distinguish remains available as
+/// [`DummyInterval::from_ratio`] for diagnostics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Rounding {
     /// Round the ratio up (paper's Fig. 3 behaviour).
@@ -215,6 +291,65 @@ mod tests {
             DummyInterval::from_ratio(8, 3, Rounding::Floor),
             DummyInterval::Finite(2)
         );
+    }
+
+    #[test]
+    fn run_budget_is_the_exact_integer_root() {
+        // Largest T with T^h ≤ len.
+        assert_eq!(DummyInterval::from_run_budget(8, 1), DummyInterval::Finite(8));
+        assert_eq!(DummyInterval::from_run_budget(8, 2), DummyInterval::Finite(2));
+        assert_eq!(DummyInterval::from_run_budget(9, 2), DummyInterval::Finite(3));
+        assert_eq!(DummyInterval::from_run_budget(8, 3), DummyInterval::Finite(2));
+        assert_eq!(DummyInterval::from_run_budget(7, 3), DummyInterval::Finite(1));
+        assert_eq!(DummyInterval::from_run_budget(6, 3), DummyInterval::Finite(1));
+        assert_eq!(DummyInterval::from_run_budget(27, 3), DummyInterval::Finite(3));
+        assert_eq!(DummyInterval::from_run_budget(26, 3), DummyInterval::Finite(2));
+        // Degenerate inputs clamp to 1 and huge hop counts cannot overflow.
+        assert_eq!(DummyInterval::from_run_budget(0, 4), DummyInterval::Finite(1));
+        assert_eq!(DummyInterval::from_run_budget(1, 4), DummyInterval::Finite(1));
+        assert_eq!(
+            DummyInterval::from_run_budget(u64::MAX, 2),
+            DummyInterval::Finite(u32::MAX as u64)
+        );
+        assert_eq!(
+            DummyInterval::from_run_budget(u64::MAX, 100),
+            DummyInterval::Finite(1)
+        );
+    }
+
+    #[test]
+    fn run_budget_product_over_a_run_respects_the_slack() {
+        // The defining property: h edges at the bound multiply to ≤ len.
+        for len in 1u64..200 {
+            for hops in 1u64..8 {
+                let t = DummyInterval::from_run_budget(len, hops).finite().unwrap();
+                assert!(t >= 1);
+                let product = t.checked_pow(hops as u32).unwrap();
+                assert!(product <= len, "len {len} hops {hops}: {t}^{hops} = {product}");
+                // And it is the largest such T.
+                let next = (t + 1).checked_pow(hops as u32);
+                assert!(
+                    next.is_none_or(|n| n > len),
+                    "len {len} hops {hops}: {t} not maximal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_budget_never_exceeds_the_paper_ratio() {
+        // The robust bound is a tightening of the paper's L/h in every mode.
+        for len in 1u64..200 {
+            for hops in 1u64..8 {
+                let robust = DummyInterval::from_run_budget(len, hops);
+                for rounding in [Rounding::Ceil, Rounding::Floor] {
+                    assert!(
+                        robust <= DummyInterval::from_ratio(len, hops, rounding),
+                        "len {len} hops {hops} {rounding:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,26 +1,40 @@
 //! Non-Propagation-algorithm intervals on SP-ladders (§VI.B of the paper),
-//! `O(|G|³)`.
+//! `O(|G|³)`, with the **filtering-robust** escape bound of the E17
+//! postmortem.
 //!
 //! As with the Propagation case, cycles internal to each contracted
 //! constituent are handled by the SP algorithm on that constituent's
 //! component tree; this module adds the external-cycle constraints.  For
 //! every fork `w` (the ladder source or a cross-link tail), every *potential
 //! sink* `t` (the ladder sink or a cross-link head), and every ordered pair
-//! of distinct constituents `(c_e, c_o)` leaving `w`, the paper bounds every
-//! edge `e` of every constituent `H` lying on a `w → t` path that starts
-//! through `c_e` by
+//! of distinct constituents `(c_e, c_o)` leaving `w`, every edge `e` of
+//! every constituent `H` lying on a `w → t` path that starts through `c_e`
+//! is bounded by
 //!
 //! ```text
-//! [e] ← min([e],  L_o(w, t)  /  (h_e(w, t) − h(H) + h(H, e)) )
+//! [e] ← min([e],  ⌊ L_o(w, t) ^ (1 / (h_e(w, t) − h(H) + h(H, e))) ⌋ )
 //! ```
 //!
 //! where `L_o(w, t)` is the shortest buffer length of a `w → t` path
 //! starting through `c_o` and `h_e(w, t)` the largest hop count of a
 //! `w → t` path starting through `c_e` (both computed over the ladder
-//! skeleton using the per-constituent `L(H)` / `h(H)` metrics).  Path
-//! lengths never decrease by substituting the longest hop count, so the
-//! bound is conservative whenever `H` does not lie on the hop-longest path,
-//! exactly as in the paper.
+//! skeleton using the per-constituent `L(H)` / `h(H)` metrics).
+//!
+//! The paper divides `L_o` by the hop count instead of taking its root.
+//! That recurrence assumed data re-emission along the run: with per-node
+//! *interior* filtering the inter-message gap along a run multiplies per
+//! hop (a Non-Propagation node relays at most one message per `[e]`
+//! messages reaching it, because its gap counter ticks per accepted input),
+//! so the product — not the sum — of the run's intervals must fit in the
+//! opposite slack.  The division demonstrably deadlocked 16+-rung random
+//! ladders under aggressive interior filtering
+//! (`tests/ladder_interior_filtering.rs`, formerly a pinned failing-case
+//! harness); the root bound restores "admitted ⇒ deadlock-free".  For
+//! every actual `w → t` path `p` through `e`, the denominator is at least
+//! `|p|` (the skeleton tables substitute the hop-longest path), so the
+//! per-edge root keeps `∏_{e' ∈ p} [e'] ≤ L_o` — conservative whenever `H`
+//! does not lie on the hop-longest path, exactly as the paper's division
+//! was.
 
 use fila_graph::{Graph, NodeId};
 use fila_spdag::{CompId, SpForest, SpMetrics};
@@ -107,13 +121,14 @@ impl Skeleton {
 }
 
 /// Applies the external-cycle Non-Propagation constraints of one SP-ladder
-/// block to `intervals`.
+/// block to `intervals`.  `_rounding` is retained for API stability: the
+/// robust integer-root bound is exact and rounding-free (see [`Rounding`]).
 pub fn apply_ladder_nonpropagation(
     _g: &Graph,
     forest: &SpForest,
     metrics: &SpMetrics,
     ladder: &LadderDecomposition,
-    rounding: Rounding,
+    _rounding: Rounding,
     intervals: &mut IntervalMap,
 ) {
     let index = LadderIndex::new(ladder);
@@ -175,8 +190,7 @@ pub fn apply_ladder_nonpropagation(
                         let h_comp = metrics.h(edge.comp);
                         for (e, h_e_edge) in metrics.h_per_edge(forest, edge.comp) {
                             let denom = h_e.saturating_sub(h_comp).saturating_add(h_e_edge).max(1);
-                            intervals
-                                .tighten(e, DummyInterval::from_ratio(l_o, denom, rounding));
+                            intervals.tighten(e, DummyInterval::from_run_budget(l_o, denom));
                         }
                     }
                 }

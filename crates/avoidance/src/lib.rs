@@ -24,9 +24,16 @@
 //!   to the cheapest applicable algorithm;
 //! * [`cache`] — a structural plan cache keyed by canonical topology
 //!   fingerprints, sharing `Arc`-wrapped plans across repeat submissions
-//!   of the same shape (the service layer's planning amortisation);
+//!   of the same shape (the service layer's planning amortisation), plus a
+//!   certification-verdict cache keyed by `(fingerprint, filter signature)`;
 //! * [`verify`] — safety/optimality cross-checks of a computed plan against
-//!   the cycle-level definition.
+//!   the cycle-level definition, and the **filtering-aware certification**
+//!   pass ([`verify::certify_plan`]): a bounded model check of a plan
+//!   against a declared filter profile and its worst-case adversarial
+//!   escalations, driven by [`Planner::certify`] with an automatic
+//!   Non-Prop → Propagation → exhaustive fallback chain (the E17
+//!   postmortem's guarantee that an "admitted ⇒ deadlock-free" contract can
+//!   never again silently depend on the client's filter pattern).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -44,10 +51,13 @@ pub mod planner;
 pub mod prop_sp;
 pub mod verify;
 
-pub use cache::{CachedPlan, PlanCache};
+pub use cache::{CachedPlan, CertifiedCached, PlanCache};
 pub use cs4::{classify, Cs4Decomposition, Cs4Segment, GraphClass};
 pub use interval::{DummyInterval, IntervalMap, Rounding};
 pub use ladder::LadderDecomposition;
 pub use plan::{Algorithm, AvoidancePlan};
-pub use planner::Planner;
-pub use verify::{verify_plan, Verification};
+pub use planner::{CertifiedPlan, CertifyAttempt, CertifyError, Planner};
+pub use verify::{
+    certify_plan, certify_plan_bounded, filter_signature, verify_plan, Certification,
+    ModelOutcome, Verification,
+};

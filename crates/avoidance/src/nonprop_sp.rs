@@ -1,23 +1,37 @@
-//! Non-Propagation-algorithm intervals on SP-DAGs (§IV.B of the paper).
+//! Non-Propagation-algorithm intervals on SP-DAGs (§IV.B of the paper),
+//! with the **filtering-robust** bound of the E17 postmortem.
 //!
 //! The Non-Propagation protocol lets every node send dummies on its own
 //! output channels, but a dummy is consumed at the next node and never
-//! forwarded.  The interval for edge `e` therefore divides the slack of the
-//! opposite branch of each cycle by the number of hops on `e`'s own branch:
+//! forwarded.  The paper bounds edge `e` by dividing the slack of the
+//! opposite branch of each cycle by the number of hops on `e`'s own branch
+//! (`[e] = L(C, e) / h(C, e)`).  That division is only sound when every
+//! interior node of the run re-emits the data it receives: a node's gap
+//! counter ticks once per *accepted input*, so when interior nodes filter,
+//! the inter-message gap along a run **multiplies** per hop (each hop
+//! relays at most one message per `[e]` messages reaching it) instead of
+//! adding, and `L/h` plans deadlock (DESIGN.md, "Resolved: interior
+//! filtering vs Non-Propagation").  The robust bound keeps the worst-case
+//! product of the run's intervals within the opposite slack:
 //!
 //! ```text
-//! [e] = min over cycles C containing e of  L(C, e) / h(C, e)
+//! [e] = min over cycles C containing e of  ⌊ L(C, e) ^ (1 / h(C, e)) ⌋
 //! ```
 //!
 //! On the SP component tree this becomes, for every parallel composition
 //! `Pc(H1, H2)` and every edge `e ∈ H1` (symmetrically for `H2`):
 //!
 //! ```text
-//! [e] ← min([e], L(H2) / h(H1, e))
+//! [e] ← min([e], ⌊ L(H2) ^ (1 / h(H1, e)) ⌋)
 //! ```
 //!
-//! The per-ancestor recomputation of `h(H, e)` makes this `O(|G|²)` overall,
-//! exactly as analysed in the paper.
+//! Exactness w.r.t. the (equally fixed) cycle-level definition is
+//! preserved: the bound is monotone increasing in `L` and decreasing in
+//! `h`, and the minimum-`L` sibling path and maximum-`h` own path live in
+//! different children of the parallel composition, so a single cycle
+//! realises both extremes — the same argument as the paper's Claim IV.1.
+//! The per-ancestor recomputation of `h(H, e)` makes this `O(|G|²)`
+//! overall, exactly as analysed in the paper.
 
 use fila_graph::Graph;
 use fila_spdag::{SpDecomposition, SpForest, SpKind, SpMetrics};
@@ -25,21 +39,24 @@ use fila_spdag::{SpDecomposition, SpForest, SpKind, SpMetrics};
 use crate::interval::{DummyInterval, IntervalMap, Rounding};
 
 /// Computes Non-Propagation dummy intervals for an SP-DAG in `O(|G|²)`.
-pub fn nonprop_intervals(g: &Graph, d: &SpDecomposition, rounding: Rounding) -> IntervalMap {
+///
+/// `_rounding` is retained for API stability: the robust integer-root bound
+/// is exact and rounding-free (see [`Rounding`]).
+pub fn nonprop_intervals(g: &Graph, d: &SpDecomposition, _rounding: Rounding) -> IntervalMap {
     let metrics = SpMetrics::compute(g, &d.forest);
     let mut intervals = IntervalMap::for_graph(g);
-    nonprop_into(&d.forest, &metrics, d.root, rounding, &mut intervals);
+    nonprop_into(&d.forest, &metrics, d.root, _rounding, &mut intervals);
     intervals
 }
 
 /// The reusable core: processes the subtree rooted at `root`, tightening
 /// `intervals` in place.  Used by the CS4 planner once per contracted
-/// skeleton component.
+/// skeleton component.  `_rounding` is inert (see [`nonprop_intervals`]).
 pub fn nonprop_into(
     forest: &SpForest,
     metrics: &SpMetrics,
     root: fila_spdag::CompId,
-    rounding: Rounding,
+    _rounding: Rounding,
     intervals: &mut IntervalMap,
 ) {
     for comp in forest.post_order(root) {
@@ -56,7 +73,7 @@ pub fn nonprop_into(
             // this composition; this is the step that makes the whole
             // algorithm quadratic.
             for (e, h_e) in metrics.h_per_edge(forest, child) {
-                intervals.tighten(e, DummyInterval::from_ratio(l_other, h_e, rounding));
+                intervals.tighten(e, DummyInterval::from_run_budget(l_other, h_e));
             }
         }
     }
@@ -82,27 +99,36 @@ mod tests {
     }
 
     #[test]
-    fn fig3_nonprop_intervals_with_ceiling() {
+    fn fig3_nonprop_intervals_are_the_robust_tightening_of_the_paper() {
         let (g, d) = fig3();
         let ivals = nonprop_intervals(&g, &d, Rounding::Ceil);
         let e = |s: &str, t: &str| g.edge_by_names(s, t).unwrap();
-        // Paper: [ab] = [be] = [ef] = 6/3 = 2; [ac] = [cd] = [df] = ⌈8/3⌉ = 3.
+        // Paper (re-emission model): [ab] = [be] = [ef] = 6/3 = 2 and
+        // [ac] = [cd] = [df] = ⌈8/3⌉ = 3.  Robust (accepted-input model):
+        // the product of a 3-hop run must fit in the opposite slack, so
+        // ⌊6^(1/3)⌋ = 1 and ⌊8^(1/3)⌋ = 2.
         for (s, t) in [("a", "b"), ("b", "e"), ("e", "f")] {
-            assert_eq!(ivals.get(e(s, t)), DummyInterval::Finite(2), "[{s}{t}]");
+            assert_eq!(ivals.get(e(s, t)), DummyInterval::Finite(1), "[{s}{t}]");
         }
         for (s, t) in [("a", "c"), ("c", "d"), ("d", "f")] {
-            assert_eq!(ivals.get(e(s, t)), DummyInterval::Finite(3), "[{s}{t}]");
+            assert_eq!(ivals.get(e(s, t)), DummyInterval::Finite(2), "[{s}{t}]");
+        }
+        // Never looser than the paper's published Fig. 3 values.
+        for ((s, t), paper) in [(("a", "b"), 2), (("a", "c"), 3)] {
+            assert!(ivals.get(e(s, t)) <= DummyInterval::Finite(paper), "[{s}{t}]");
         }
     }
 
     #[test]
-    fn fig3_nonprop_intervals_with_floor() {
+    fn rounding_no_longer_changes_nonprop_plans() {
+        // The integer-root bound is exact; the historical Ceil/Floor
+        // ablation collapsed with the robustness fix (a mode may never
+        // loosen an interval again — that was part of the bug surface).
         let (g, d) = fig3();
-        let ivals = nonprop_intervals(&g, &d, Rounding::Floor);
-        let e = |s: &str, t: &str| g.edge_by_names(s, t).unwrap();
-        for (s, t) in [("a", "c"), ("c", "d"), ("d", "f")] {
-            assert_eq!(ivals.get(e(s, t)), DummyInterval::Finite(2), "[{s}{t}]");
-        }
+        assert_eq!(
+            nonprop_intervals(&g, &d, Rounding::Ceil),
+            nonprop_intervals(&g, &d, Rounding::Floor)
+        );
     }
 
     #[test]
@@ -142,10 +168,11 @@ mod tests {
     }
 
     #[test]
-    fn deep_branch_divides_by_hop_count() {
+    fn deep_branch_takes_the_hop_count_root() {
         // Two branches: a 1-hop edge (cap 12) and a 4-hop chain.  Edges of
-        // the 4-hop chain get interval 12 / 4 = 3; the 1-hop edge gets the
-        // chain's total length 4 / 1 = 4.
+        // the 4-hop chain get interval ⌊12^(1/4)⌋ = 1 (their worst-case
+        // relayed gap is the product over 4 hops, and 2⁴ = 16 > 12); the
+        // 1-hop edge gets the chain's total length ⌊4^(1/1)⌋ = 4.
         let spec = SpSpec::Parallel(vec![SpSpec::Edge(12), SpSpec::pipeline(&[1, 1, 1, 1])]);
         let (g, d) = build_sp(&spec);
         let ivals = nonprop_intervals(&g, &d, Rounding::Ceil);
@@ -153,7 +180,7 @@ mod tests {
             if g.capacity(e) == 12 {
                 assert_eq!(ivals.get(e), DummyInterval::Finite(4));
             } else {
-                assert_eq!(ivals.get(e), DummyInterval::Finite(3));
+                assert_eq!(ivals.get(e), DummyInterval::Finite(1));
             }
         }
     }

@@ -20,7 +20,11 @@
 //! assert_eq!(plan.interval(ab), DummyInterval::Finite(6));
 //! ```
 
-use fila_graph::{Graph, Result};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fila_graph::{Graph, GraphError, Result};
 use fila_spdag::{recognize, Recognition, SpMetrics};
 
 use crate::cs4::{classify, decompose_cs4, Cs4Segment, GraphClass};
@@ -31,6 +35,7 @@ use crate::ladder_prop::apply_ladder_propagation;
 use crate::nonprop_sp::nonprop_into;
 use crate::plan::{Algorithm, AvoidancePlan};
 use crate::prop_sp::setivals_into;
+use crate::verify::{certify_plan, Certification};
 
 /// Builder-style planner for deadlock-avoidance plans.
 #[derive(Debug, Clone)]
@@ -183,6 +188,229 @@ impl<'g> Planner<'g> {
             AvoidancePlan::new(g, self.algorithm, self.rounding, intervals),
         ))
     }
+
+    /// Plans **and certifies** against the declared per-node filter
+    /// `periods` (node-id-aligned; period 1 = broadcast), walking the
+    /// automatic fallback chain when certification fails:
+    ///
+    /// 1. the requested algorithm, structural dispatch;
+    /// 2. the other protocol, structural dispatch (Non-Prop → Propagation
+    ///    and vice versa);
+    /// 3. the requested algorithm, forced exhaustive (the per-cycle bounds
+    ///    are tighter than the conservative ladder recurrences);
+    /// 4. the other protocol, forced exhaustive.
+    ///
+    /// The first candidate whose [`certify_plan`] passes is returned;
+    /// see `crates/avoidance/src/verify.rs` for what certification checks.
+    /// On a `General`-class topology the structural steps *are* the
+    /// exhaustive ones, so the chain collapses to two candidates.
+    pub fn certify(&self, periods: &[u64]) -> std::result::Result<CertifiedPlan, CertifyError> {
+        let class = if self.force_exhaustive {
+            GraphClass::General
+        } else {
+            classify(self.graph).map_err(CertifyError::Unplannable)?
+        };
+        let accepted = walk_certification_chain(
+            self.graph,
+            self.algorithm,
+            class == GraphClass::General,
+            periods,
+            |algorithm, exhaustive| {
+                let planning = Instant::now();
+                let plan = self
+                    .clone()
+                    .algorithm(algorithm)
+                    .force_exhaustive(exhaustive)
+                    .plan()?;
+                Ok((Arc::new(plan), planning.elapsed()))
+            },
+        )?;
+        Ok(CertifiedPlan {
+            plan: accepted.plan,
+            requested: self.algorithm,
+            used: accepted.used,
+            exhaustive: accepted.exhaustive,
+            fell_back: accepted.fell_back,
+            certification: accepted.certification,
+            attempts: accepted.attempts,
+        })
+    }
+}
+
+/// The accepted candidate of one certification-chain walk, with the time
+/// spent planning and model-checking on this call.
+pub(crate) struct ChainAccepted {
+    pub plan: Arc<AvoidancePlan>,
+    pub used: Algorithm,
+    pub exhaustive: bool,
+    pub fell_back: bool,
+    pub certification: Certification,
+    pub attempts: Vec<CertifyAttempt>,
+    pub plan_time: Duration,
+    pub certify_time: Duration,
+}
+
+/// Walks the certification fallback chain — THE single implementation of
+/// the candidate order, attempt bookkeeping and error classification,
+/// shared by [`Planner::certify`] and the verdict-caching
+/// [`PlanCache::certify`](crate::cache::PlanCache::certify) so the two can
+/// never select differently.  `provide` produces the candidate plan for
+/// `(algorithm, force_exhaustive)` plus the planning time spent doing so
+/// (zero when served from a cache).
+pub(crate) fn walk_certification_chain<F>(
+    g: &Graph,
+    requested: Algorithm,
+    general: bool,
+    periods: &[u64],
+    mut provide: F,
+) -> std::result::Result<ChainAccepted, CertifyError>
+where
+    F: FnMut(Algorithm, bool) -> Result<(Arc<AvoidancePlan>, Duration)>,
+{
+    let mut attempts = Vec::new();
+    let mut last_certification = None;
+    let mut first_plan_error = None;
+    let mut plan_time = Duration::ZERO;
+    let mut certify_time = Duration::ZERO;
+    for (index, (algorithm, exhaustive)) in
+        certification_candidates(requested, general).into_iter().enumerate()
+    {
+        let plan = match provide(algorithm, exhaustive) {
+            Ok((plan, spent)) => {
+                plan_time += spent;
+                plan
+            }
+            Err(e) => {
+                first_plan_error.get_or_insert(e);
+                continue;
+            }
+        };
+        let checking = Instant::now();
+        let certification = match certify_plan(g, &plan, periods) {
+            Ok(c) => c,
+            Err(e) => return Err(CertifyError::Unplannable(e)),
+        };
+        certify_time += checking.elapsed();
+        attempts.push(CertifyAttempt {
+            algorithm,
+            exhaustive,
+            certified: certification.certified,
+        });
+        last_certification = Some(certification);
+        if certification.certified {
+            return Ok(ChainAccepted {
+                plan,
+                used: algorithm,
+                exhaustive,
+                fell_back: index > 0,
+                certification,
+                attempts,
+                plan_time,
+                certify_time,
+            });
+        }
+    }
+    match last_certification {
+        None => Err(CertifyError::Unplannable(first_plan_error.unwrap_or_else(|| {
+            GraphError::Structure("no candidate plan could be computed".into())
+        }))),
+        Some(last) => Err(CertifyError::Uncertifiable { attempts, last }),
+    }
+}
+
+/// The certification fallback chain for a requested protocol: `(algorithm,
+/// force_exhaustive)` candidates in the order they are tried.  Shared by
+/// [`Planner::certify`] and the verdict-caching
+/// [`PlanCache::certify`](crate::cache::PlanCache::certify) so the two can
+/// never select differently.
+pub(crate) fn certification_candidates(
+    requested: Algorithm,
+    general: bool,
+) -> Vec<(Algorithm, bool)> {
+    let other = match requested {
+        Algorithm::Propagation => Algorithm::NonPropagation,
+        Algorithm::NonPropagation => Algorithm::Propagation,
+    };
+    if general {
+        // Structural dispatch on a general graph is already exhaustive.
+        vec![(requested, true), (other, true)]
+    } else {
+        vec![(requested, false), (other, false), (requested, true), (other, true)]
+    }
+}
+
+/// One attempted candidate of the certification fallback chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CertifyAttempt {
+    /// The protocol the candidate plan targeted.
+    pub algorithm: Algorithm,
+    /// Whether the exhaustive per-cycle planner was forced.
+    pub exhaustive: bool,
+    /// Whether the candidate passed certification.
+    pub certified: bool,
+}
+
+/// The result of [`Planner::certify`]: a plan that passed the bounded
+/// model check for the declared filter profile.
+#[derive(Debug, Clone)]
+pub struct CertifiedPlan {
+    /// The certified plan (shared, so certification never copies interval
+    /// tables).
+    pub plan: Arc<AvoidancePlan>,
+    /// The protocol the caller asked for.
+    pub requested: Algorithm,
+    /// The protocol of the certified plan (differs from `requested` after
+    /// a protocol fallback).
+    pub used: Algorithm,
+    /// Whether the certified plan came from the forced-exhaustive planner.
+    pub exhaustive: bool,
+    /// True if the certified plan was not the first candidate of the chain.
+    pub fell_back: bool,
+    /// The certification evidence for the accepted plan.
+    pub certification: Certification,
+    /// Every candidate tried, in order, with its verdict.
+    pub attempts: Vec<CertifyAttempt>,
+}
+
+/// Why [`Planner::certify`] could not produce a certified plan.
+#[derive(Debug)]
+pub enum CertifyError {
+    /// No candidate plan could even be computed (invalid graph, cycle
+    /// budget exceeded, …) — the submission is unplannable regardless of
+    /// filtering.
+    Unplannable(GraphError),
+    /// Candidate plans were computed, but none passed certification for
+    /// the declared filter profile.
+    Uncertifiable {
+        /// Every candidate tried, in order.
+        attempts: Vec<CertifyAttempt>,
+        /// The certification record of the last candidate.
+        last: Certification,
+    },
+}
+
+impl fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertifyError::Unplannable(e) => write!(f, "unplannable: {e}"),
+            CertifyError::Uncertifiable { attempts, last } => write!(
+                f,
+                "no plan certified for the declared filter profile \
+                 ({} candidates tried; last: {})",
+                attempts.len(),
+                last.summary()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CertifyError::Unplannable(e) => Some(e),
+            CertifyError::Uncertifiable { .. } => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -218,9 +446,11 @@ mod tests {
             .algorithm(Algorithm::NonPropagation)
             .plan()
             .unwrap();
+        // Robust bound ⌊8^(1/3)⌋ = 2 (the paper's re-emission division
+        // gave ⌈8/3⌉ = 3, which interior filtering defeats — E17).
         assert_eq!(
             np.interval(g.edge_by_names("a", "c").unwrap()),
-            DummyInterval::Finite(3)
+            DummyInterval::Finite(2)
         );
     }
 
@@ -285,6 +515,121 @@ mod tests {
         let g = b.build().unwrap();
         let planner = Planner::new(&g).force_exhaustive(true).cycle_bound(3);
         assert!(planner.plan().is_err());
+    }
+
+    #[test]
+    fn certify_accepts_the_requested_algorithm_when_it_passes() {
+        let g = fig3();
+        let periods = vec![4u64; g.node_count()];
+        let certified = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .certify(&periods)
+            .unwrap();
+        assert_eq!(certified.requested, Algorithm::NonPropagation);
+        assert_eq!(certified.used, Algorithm::NonPropagation);
+        assert!(!certified.fell_back);
+        assert!(!certified.exhaustive);
+        assert!(certified.certification.certified);
+        assert_eq!(certified.attempts.len(), 1);
+    }
+
+    #[test]
+    fn certify_falls_back_from_propagation_to_nonpropagation() {
+        // Interior filtering defeats the literal Propagation trigger; the
+        // chain must land on the Non-Propagation plan.
+        let g = fig3();
+        // Interior nodes b and c filter; the source broadcasts.
+        let mut periods = vec![1u64; g.node_count()];
+        periods[g.node_by_name("b").unwrap().index()] = 3;
+        periods[g.node_by_name("c").unwrap().index()] = 3;
+        let certified = Planner::new(&g)
+            .algorithm(Algorithm::Propagation)
+            .certify(&periods)
+            .unwrap();
+        assert_eq!(certified.requested, Algorithm::Propagation);
+        assert_eq!(certified.used, Algorithm::NonPropagation);
+        assert!(certified.fell_back);
+        assert!(!certified.attempts[0].certified);
+        assert!(certified.attempts.last().unwrap().certified);
+    }
+
+    #[test]
+    fn certify_rejects_unplannable_graphs_with_the_planning_error() {
+        // A dense general (neither SP nor CS4) core whose cycle count
+        // exceeds the budget: every chain candidate is exhaustive and every
+        // one fails to plan.
+        let mut b = GraphBuilder::new().default_capacity(2);
+        for l in 0..3 {
+            b.edge("x", &format!("l{l}")).unwrap();
+            for r in 0..6 {
+                b.edge(&format!("l{l}"), &format!("r{r}")).unwrap();
+            }
+        }
+        for r in 0..6 {
+            b.edge(&format!("r{r}"), "y").unwrap();
+        }
+        let g = b.build().unwrap();
+        let periods = vec![2u64; g.node_count()];
+        let err = Planner::new(&g)
+            .cycle_bound(16)
+            .certify(&periods)
+            .unwrap_err();
+        assert!(matches!(err, CertifyError::Unplannable(_)), "{err}");
+        assert!(err.to_string().contains("unplannable"));
+    }
+
+    #[test]
+    fn certify_validates_the_profile_length() {
+        let g = fig3();
+        let err = Planner::new(&g).certify(&[1, 2]).unwrap_err();
+        assert!(matches!(err, CertifyError::Unplannable(_)), "{err}");
+    }
+
+    #[test]
+    fn general_class_chain_collapses_to_exhaustive_candidates() {
+        assert_eq!(
+            certification_candidates(Algorithm::NonPropagation, true),
+            vec![(Algorithm::NonPropagation, true), (Algorithm::Propagation, true)]
+        );
+        assert_eq!(
+            certification_candidates(Algorithm::Propagation, false),
+            vec![
+                (Algorithm::Propagation, false),
+                (Algorithm::NonPropagation, false),
+                (Algorithm::Propagation, true),
+                (Algorithm::NonPropagation, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn uncertifiable_error_is_descriptive() {
+        let err = CertifyError::Uncertifiable {
+            attempts: vec![CertifyAttempt {
+                algorithm: Algorithm::NonPropagation,
+                exhaustive: false,
+                certified: false,
+            }],
+            last: Certification {
+                certified: false,
+                declared: crate::verify::ModelOutcome {
+                    completed: false,
+                    deadlocked: true,
+                    steps: 7,
+                },
+                worst_case: crate::verify::ModelOutcome {
+                    completed: false,
+                    deadlocked: true,
+                    steps: 7,
+                },
+                failing_adversary: Some("starve-all"),
+                inputs: 256,
+                truncated: false,
+            },
+        };
+        let text = err.to_string();
+        assert!(text.contains("1 candidates tried"), "{text}");
+        assert!(text.contains("deadlocked"), "{text}");
     }
 
     #[test]

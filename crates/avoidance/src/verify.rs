@@ -1,4 +1,5 @@
-//! Cross-validation of computed plans against the cycle-level definition.
+//! Cross-validation of computed plans against the cycle-level definition,
+//! and **filtering-aware plan certification**.
 //!
 //! A plan is **safe** if every edge's interval is no larger than the value
 //! demanded by the exhaustive cycle-level definition (§II.B) — smaller
@@ -7,12 +8,52 @@
 //! SP algorithms (Claim IV.1 / Corollary IV.2); the ladder algorithms are
 //! exact in the common cases and conservative in the corner cases discussed
 //! in `DESIGN.md`, which is precisely what experiment E11 measures.
+//!
+//! ## Certification ([`certify_plan`])
+//!
+//! The cycle-level check above validates a plan against an *analytic*
+//! bound.  The E17 postmortem (DESIGN.md) showed that an analytic bound can
+//! itself encode a wrong protocol assumption and ship a deadlock silently —
+//! the paper's `L/h` Non-Propagation division survived four PRs of
+//! cross-validation because the exhaustive baseline shared its re-emission
+//! assumption.  Certification closes that class of bug with a *semantic*
+//! check: a bounded, deterministic model check of the plan against a
+//! declared per-node filter profile, executed on a built-in replica of the
+//! runtime's reference semantics (`fila_runtime::Simulator`'s worklist
+//! loop and `DummyWrapper` gap accounting, restricted to the declarative
+//! periodic-filter convention shared by the service layer and the
+//! workloads; a property test in `tests/certification.rs` pins the replica
+//! to the real engine).  The checked runs are:
+//!
+//! 1. **declared** — the filter profile exactly as submitted (periodic
+//!    filters are deterministic, so this is the job the service will run);
+//! 2. **a worst-case adversarial family** — every node the profile allows
+//!    to filter (period > 1) is replaced by an adversarial behaviour, one
+//!    deterministic pattern per run: total starvation, first-/last-output-
+//!    only emission (the classic fork asymmetry of Fig. 2), and the two
+//!    node-parity relay/starve patterns (one interior node starves a path
+//!    that its peers keep filling — the pattern behind the E14 ladder
+//!    deadlocks and the E12b Propagation-trigger escape).  Deadlock needs
+//!    asymmetry — some channel starved while another fills — so a single
+//!    "filter everything" run would be *weaker* than the declared one, not
+//!    stronger; the family covers both per-fork and per-node asymmetries
+//!    while staying a constant number of bounded runs.
+//!
+//! A plan is **certified** only if every run completes within the step
+//! budget.
+//! The check is bounded (default [`certification_inputs`]); a run that
+//! exhausts the budget without completing is conservatively *not*
+//! certified.  `Planner::certify` drives this pass with an automatic
+//! fallback chain, and the service layer caches verdicts per
+//! `(fingerprint, filter signature)` — see `fila_avoidance::cache`.
 
-use fila_graph::{EdgeId, Graph, Result};
+use std::collections::VecDeque;
+
+use fila_graph::{EdgeId, Graph, NodeId, Result};
 
 use crate::exhaustive::exhaustive_intervals_bounded;
 use crate::interval::DummyInterval;
-use crate::plan::AvoidancePlan;
+use crate::plan::{Algorithm, AvoidancePlan};
 
 /// The outcome of verifying a plan against the exhaustive baseline.
 #[derive(Debug, Clone)]
@@ -77,6 +118,560 @@ pub fn verify_plan_bounded(
     })
 }
 
+// --------------------------------------------------------------------------
+// Filtering-aware certification
+// --------------------------------------------------------------------------
+
+/// Canonical signature of a per-node filter profile: an FNV-1a hash over
+/// the node-id-aligned periods (clamped to ≥ 1, so `0`, `1` and "broadcast"
+/// spell the same profile).  Together with the structural graph fingerprint
+/// this keys cached certification verdicts.
+pub fn filter_signature(periods: &[u64]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |word: u64| {
+        for b in word.to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    fold(periods.len() as u64);
+    for &p in periods {
+        fold(p.max(1));
+    }
+    hash
+}
+
+/// The outcome of one bounded model-check run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelOutcome {
+    /// Every node reached end-of-stream.
+    pub completed: bool,
+    /// The run stalled with unfinished nodes (exact verdict).
+    pub deadlocked: bool,
+    /// Scheduler steps executed.
+    pub steps: u64,
+}
+
+impl ModelOutcome {
+    /// True if the step budget ran out before either verdict.
+    pub fn inconclusive(&self) -> bool {
+        !self.completed && !self.deadlocked
+    }
+}
+
+/// The outcome of certifying one plan against one filter profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Certification {
+    /// Every run completed within the budget *and* the budget was not
+    /// truncated: the plan is certified deadlock-free for the declared
+    /// profile and the worst-case adversarial family.
+    pub certified: bool,
+    /// The declared profile, exactly as submitted.
+    pub declared: ModelOutcome,
+    /// The worst outcome over the adversarial family (the first run that
+    /// failed, or the last run when all completed).
+    pub worst_case: ModelOutcome,
+    /// Name of the adversarial pattern that failed, if any.
+    pub failing_adversary: Option<&'static str>,
+    /// Input sequence numbers offered per source in each run.
+    pub inputs: u64,
+    /// True if `inputs` was clamped below what [`certification_inputs`]
+    /// requires for this graph (pathological buffer capacities).  A
+    /// truncated check cannot support the deadlock-free claim — the fill
+    /// horizon of some branch exceeds the simulated stream — so a
+    /// truncated certification is never `certified`, by construction.
+    pub truncated: bool,
+}
+
+impl Certification {
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        let leg = |o: &ModelOutcome| {
+            if o.completed {
+                "completed"
+            } else if o.deadlocked {
+                "deadlocked"
+            } else {
+                "inconclusive"
+            }
+        };
+        format!(
+            "certified: {} (declared: {}, worst-case: {}{}, {} inputs{})",
+            self.certified,
+            leg(&self.declared),
+            leg(&self.worst_case),
+            match self.failing_adversary {
+                Some(name) => format!(" under `{name}`"),
+                None => String::new(),
+            },
+            self.inputs,
+            if self.truncated { ", TRUNCATED budget" } else { "" }
+        )
+    }
+}
+
+/// One adversarial emission rule: `(node index, output slot, out-degree) →
+/// emit data on this slot for every accepted sequence number`.
+pub type AdversaryPattern = fn(usize, usize, usize) -> bool;
+
+/// The adversarial emission patterns applied to every node the profile
+/// allows to filter (see the module docs).  Exported so the end-to-end
+/// property suite (`tests/certification.rs`) re-runs exactly this family
+/// against the real engine — a pattern added here is automatically covered
+/// there.
+pub const ADVERSARIES: [(&str, AdversaryPattern); 5] = [
+    ("starve-all", |_, _, _| false),
+    ("first-output-only", |_, j, _| j == 0),
+    ("last-output-only", |_, j, outs| j + 1 == outs),
+    ("even-nodes-relay", |n, _, _| n % 2 == 0),
+    ("odd-nodes-relay", |n, _, _| n % 2 == 1),
+];
+
+/// The ceiling on model-checked inputs: budgets above it are *truncated*,
+/// and a truncated certification is never `certified` (explicit rejection
+/// instead of a silently unsupported claim).
+pub const MAX_CERTIFICATION_INPUTS: u64 = 65_536;
+
+/// The certification input budget `g` *requires*: enough sequence numbers
+/// to fill the deepest buffered source→sink path several times over.  A
+/// deadlock under a periodic profile manifests once some cycle branch
+/// fills while its opposite starves, and no branch can buffer more than
+/// the maximum path capacity — so the fill horizon is `O(max-path
+/// buffering)`, not of the (much larger, width-summing) total capacity.
+/// The floor keeps tiny graphs' checks meaningful; values above
+/// [`MAX_CERTIFICATION_INPUTS`] are truncated by [`certify_plan`] and
+/// reported as such.
+pub fn certification_inputs(g: &Graph) -> u64 {
+    // Longest source→sink path by buffer capacity: one pass in topological
+    // order (the graph is a DAG; a cyclic or invalid graph would already
+    // have failed planning, so fall back to total capacity there).
+    let Ok(order) = fila_graph::topo::topological_order(g) else {
+        return 64 + 4 * g.total_capacity().max(48);
+    };
+    let mut best = vec![0u64; g.node_count()];
+    let mut deepest = 0u64;
+    for n in order {
+        let here = best[n.index()];
+        deepest = deepest.max(here);
+        for &e in g.out_edges(n) {
+            let t = g.head(e);
+            let cand = here.saturating_add(g.capacity(e));
+            if cand > best[t.index()] {
+                best[t.index()] = cand;
+            }
+        }
+    }
+    64 + 4 * deepest.max(48)
+}
+
+/// Certifies `plan` against the per-node filter `periods` (node-id-aligned;
+/// period 1 = broadcast) with the default budgets.  See the module docs.
+pub fn certify_plan(g: &Graph, plan: &AvoidancePlan, periods: &[u64]) -> Result<Certification> {
+    let required = certification_inputs(g);
+    let inputs = required.min(MAX_CERTIFICATION_INPUTS);
+    let max_steps = default_step_budget(g, inputs);
+    certify_with_requirement(g, plan, periods, inputs, max_steps, required)
+}
+
+/// [`certify_plan`] with explicit input and step budgets.
+pub fn certify_plan_bounded(
+    g: &Graph,
+    plan: &AvoidancePlan,
+    periods: &[u64],
+    inputs: u64,
+    max_steps: u64,
+) -> Result<Certification> {
+    certify_with_requirement(g, plan, periods, inputs, max_steps, certification_inputs(g))
+}
+
+/// Shared body of [`certify_plan`] / [`certify_plan_bounded`]: `required`
+/// is the unclamped [`certification_inputs`] value, threaded through so
+/// the topological pass runs once per certification, not twice.
+fn certify_with_requirement(
+    g: &Graph,
+    plan: &AvoidancePlan,
+    periods: &[u64],
+    inputs: u64,
+    max_steps: u64,
+    required: u64,
+) -> Result<Certification> {
+    if periods.len() != g.node_count() {
+        return Err(fila_graph::GraphError::Structure(format!(
+            "filter profile has {} periods for {} nodes",
+            periods.len(),
+            g.node_count()
+        )));
+    }
+    if plan.edge_count() != g.edge_count() {
+        return Err(fila_graph::GraphError::Structure(format!(
+            "plan covers {} edges but the graph has {}",
+            plan.edge_count(),
+            g.edge_count()
+        )));
+    }
+    let truncated = inputs < required;
+    let periodic = |n: NodeId, seq: u64, j: usize, _outs: usize| -> bool {
+        (seq + j as u64) % periods[n.index()].max(1) == 0
+    };
+    let declared = model_check(g, plan, &periodic, inputs, max_steps);
+    let mut worst_case = declared;
+    let mut failing_adversary = None;
+    // A profile with no filtering node has an empty escalation: every
+    // adversarial run would degenerate to the declared one, so skip them.
+    if periods.iter().any(|&p| p > 1) {
+        for (name, pattern) in ADVERSARIES {
+            let emit = |n: NodeId, seq: u64, j: usize, outs: usize| -> bool {
+                if periods[n.index()] > 1 {
+                    pattern(n.index(), j, outs)
+                } else {
+                    periodic(n, seq, j, outs)
+                }
+            };
+            worst_case = model_check(g, plan, &emit, inputs, max_steps);
+            if !worst_case.completed {
+                failing_adversary = Some(name);
+                break;
+            }
+        }
+    }
+    Ok(Certification {
+        certified: declared.completed && failing_adversary.is_none() && !truncated,
+        declared,
+        worst_case,
+        failing_adversary,
+        inputs,
+        truncated,
+    })
+}
+
+fn default_step_budget(g: &Graph, inputs: u64) -> u64 {
+    // Every scheduler step fires a node for one sequence number (or flushes
+    // a blocked send); completed runs use at most ~nodes × inputs firings
+    // plus flush retries.  A generous multiple keeps the bound inert for
+    // live runs while still terminating adversarial ones; the absolute cap
+    // bounds admission CPU on pathological size×input combinations (an
+    // exhausted budget is an inconclusive run, i.e. not certified).
+    ((g.node_count() + g.edge_count()) as u64)
+        .saturating_mul(inputs.saturating_add(16))
+        .saturating_mul(8)
+        .saturating_add(10_000)
+        .min(500_000_000)
+}
+
+/// End-of-stream marker: ordinary sequence numbers are `< u64::MAX`.
+const EOS: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MsgKind {
+    Data,
+    Dummy,
+    Eos,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Msg {
+    seq: u64,
+    kind: MsgKind,
+}
+
+struct ModelNode {
+    /// Dummy thresholds per output channel (`u64::MAX` = infinite).
+    threshold: Vec<u64>,
+    /// Gap counters per output channel (accepted inputs since last send).
+    gap: Vec<u64>,
+    pending: VecDeque<(EdgeId, Msg)>,
+    is_source: bool,
+    next_seq: u64,
+    eos_queued: bool,
+    done: bool,
+}
+
+/// The emission oracle of one model-check run: `(node, seq, output slot,
+/// out-degree) → emits data?`.
+type EmitFn<'a> = &'a dyn Fn(NodeId, u64, usize, usize) -> bool;
+
+/// A deterministic replica of the reference engine
+/// (`fila_runtime::Simulator`, worklist scheduler) over a declarative
+/// emission oracle (the periodic convention `(s + j) % p == 0`, or one of
+/// the adversarial patterns).  The dummy-gap accounting is the runtime
+/// `DummyWrapper`'s (per accepted input, with the default `OnFilterOnly`
+/// Propagation trigger).  `tests/certification.rs` property-tests this
+/// replica against the real engine.
+fn model_check(
+    g: &Graph,
+    plan: &AvoidancePlan,
+    emit: EmitFn<'_>,
+    inputs: u64,
+    max_steps: u64,
+) -> ModelOutcome {
+    let algorithm = plan.algorithm();
+    let mut nodes: Vec<ModelNode> = g
+        .node_ids()
+        .map(|n| {
+            let out = g.out_edges(n);
+            ModelNode {
+                threshold: out
+                    .iter()
+                    .map(|&e| plan.interval(e).finite().unwrap_or(u64::MAX))
+                    .collect(),
+                gap: vec![0; out.len()],
+                pending: VecDeque::new(),
+                is_source: g.in_degree(n) == 0,
+                next_seq: 0,
+                eos_queued: false,
+                done: false,
+            }
+        })
+        .collect();
+    let mut channels: Vec<VecDeque<Msg>> = vec![VecDeque::new(); g.edge_count()];
+    let capacities: Vec<usize> = g.edge_ids().map(|e| g.capacity(e) as usize).collect();
+
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    let mut in_queue = vec![false; g.node_count()];
+    for (idx, n) in nodes.iter().enumerate() {
+        if n.is_source {
+            queue.push_back(NodeId::from_raw(idx as u32));
+            in_queue[idx] = true;
+        }
+    }
+    let mut filled: Vec<EdgeId> = Vec::new();
+    let mut drained: Vec<EdgeId> = Vec::new();
+    let mut steps = 0u64;
+
+    while let Some(node) = queue.pop_front() {
+        in_queue[node.index()] = false;
+        if steps >= max_steps {
+            return ModelOutcome { completed: false, deadlocked: false, steps };
+        }
+        if !step_node(
+            g, algorithm, emit, inputs, node, &mut nodes, &mut channels, &capacities,
+            &mut filled, &mut drained,
+        ) {
+            continue;
+        }
+        steps += 1;
+        if !nodes[node.index()].done && !in_queue[node.index()] {
+            in_queue[node.index()] = true;
+            queue.push_back(node);
+        }
+        while let Some(e) = filled.pop() {
+            let consumer = g.head(e);
+            if !in_queue[consumer.index()] && !nodes[consumer.index()].done {
+                in_queue[consumer.index()] = true;
+                queue.push_back(consumer);
+            }
+        }
+        while let Some(e) = drained.pop() {
+            let producer = g.tail(e);
+            if !in_queue[producer.index()] && !nodes[producer.index()].done {
+                in_queue[producer.index()] = true;
+                queue.push_back(producer);
+            }
+        }
+    }
+    let completed = nodes.iter().all(|n| n.done);
+    ModelOutcome {
+        completed,
+        deadlocked: !completed,
+        steps,
+    }
+}
+
+/// The `DummyWrapper::on_accept` gap rule for one accepted sequence number,
+/// queueing data and dummy messages on the node's pending ports.
+#[allow(clippy::too_many_arguments)]
+fn accept(
+    g: &Graph,
+    algorithm: Algorithm,
+    emit: EmitFn<'_>,
+    node_id: NodeId,
+    node: &mut ModelNode,
+    seq: u64,
+    fired_with_data: bool,
+    consumed_dummy: bool,
+) {
+    let outs = g.out_degree(node_id);
+    for (j, &e) in g.out_edges(node_id).iter().enumerate() {
+        let sent = fired_with_data && emit(node_id, seq, j, outs);
+        if sent {
+            node.pending.push_back((e, Msg { seq, kind: MsgKind::Data }));
+        }
+        let dummy = match algorithm {
+            Algorithm::Propagation => {
+                if consumed_dummy && !sent {
+                    node.gap[j] = 0;
+                    true
+                } else if sent {
+                    node.gap[j] = 0;
+                    false
+                } else {
+                    node.gap[j] += 1;
+                    if node.gap[j] >= node.threshold[j] {
+                        node.gap[j] = 0;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+            Algorithm::NonPropagation => {
+                if sent {
+                    node.gap[j] = 0;
+                    false
+                } else {
+                    node.gap[j] += 1;
+                    if node.gap[j] >= node.threshold[j] {
+                        node.gap[j] = 0;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+        };
+        if dummy {
+            node.pending.push_back((e, Msg { seq, kind: MsgKind::Dummy }));
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step_node(
+    g: &Graph,
+    algorithm: Algorithm,
+    emit: EmitFn<'_>,
+    inputs: u64,
+    node_id: NodeId,
+    nodes: &mut [ModelNode],
+    channels: &mut [VecDeque<Msg>],
+    capacities: &[usize],
+    filled: &mut Vec<EdgeId>,
+    drained: &mut Vec<EdgeId>,
+) -> bool {
+    let idx = node_id.index();
+    if flush_pending(node_id, nodes, channels, capacities, filled) {
+        return true;
+    }
+    if !nodes[idx].pending.is_empty() || nodes[idx].done {
+        return false;
+    }
+    if nodes[idx].is_source {
+        if nodes[idx].next_seq < inputs {
+            let seq = nodes[idx].next_seq;
+            nodes[idx].next_seq += 1;
+            accept(g, algorithm, emit, node_id, &mut nodes[idx], seq, true, false);
+            flush_pending(node_id, nodes, channels, capacities, filled);
+            return true;
+        }
+        if !nodes[idx].eos_queued {
+            nodes[idx].eos_queued = true;
+            for &e in g.out_edges(node_id) {
+                nodes[idx].pending.push_back((e, Msg { seq: EOS, kind: MsgKind::Eos }));
+            }
+            flush_pending(node_id, nodes, channels, capacities, filled);
+            mark_done_if_drained(&mut nodes[idx]);
+            return true;
+        }
+        mark_done_if_drained(&mut nodes[idx]);
+        return false;
+    }
+
+    let in_edges = g.in_edges(node_id);
+    if in_edges.iter().any(|&e| channels[e.index()].is_empty()) {
+        return false;
+    }
+    let accept_seq = in_edges
+        .iter()
+        .map(|&e| channels[e.index()].front().expect("non-empty").seq)
+        .min()
+        .expect("interior nodes have inputs");
+    if accept_seq == EOS {
+        for &e in g.out_edges(node_id) {
+            nodes[idx].pending.push_back((e, Msg { seq: EOS, kind: MsgKind::Eos }));
+        }
+        nodes[idx].eos_queued = true;
+        flush_pending(node_id, nodes, channels, capacities, filled);
+        mark_done_if_drained(&mut nodes[idx]);
+        return true;
+    }
+    let mut consumed_data = false;
+    let mut consumed_dummy = false;
+    for &e in in_edges {
+        let channel = &mut channels[e.index()];
+        if channel.front().expect("non-empty").seq != accept_seq {
+            continue;
+        }
+        let was_full = channel.len() >= capacities[e.index()];
+        match channel.pop_front().expect("non-empty").kind {
+            MsgKind::Data => consumed_data = true,
+            MsgKind::Dummy => consumed_dummy = true,
+            MsgKind::Eos => unreachable!("EOS has the maximal sequence number"),
+        }
+        if was_full {
+            drained.push(e);
+        }
+    }
+    accept(
+        g,
+        algorithm,
+        emit,
+        node_id,
+        &mut nodes[idx],
+        accept_seq,
+        consumed_data,
+        consumed_dummy,
+    );
+    flush_pending(node_id, nodes, channels, capacities, filled);
+    mark_done_if_drained(&mut nodes[idx]);
+    true
+}
+
+/// Delivers pending outputs FIFO per channel; independent ports (a full
+/// channel never delays a message for a different channel), exactly like
+/// the reference engine.
+fn flush_pending(
+    node_id: NodeId,
+    nodes: &mut [ModelNode],
+    channels: &mut [VecDeque<Msg>],
+    capacities: &[usize],
+    filled: &mut Vec<EdgeId>,
+) -> bool {
+    let node = &mut nodes[node_id.index()];
+    let mut delivered = false;
+    let mut blocked: Vec<EdgeId> = Vec::new();
+    let mut i = 0;
+    while i < node.pending.len() {
+        let (edge, msg) = node.pending[i];
+        if blocked.contains(&edge) {
+            i += 1;
+            continue;
+        }
+        let channel = &mut channels[edge.index()];
+        if channel.len() >= capacities[edge.index()] {
+            blocked.push(edge);
+            i += 1;
+            continue;
+        }
+        if channel.is_empty() {
+            filled.push(edge);
+        }
+        channel.push_back(msg);
+        node.pending.remove(i);
+        delivered = true;
+    }
+    if delivered {
+        mark_done_if_drained(node);
+    }
+    delivered
+}
+
+fn mark_done_if_drained(node: &mut ModelNode) {
+    if node.eos_queued && node.pending.is_empty() {
+        node.done = true;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +734,177 @@ mod tests {
         assert!(!v.safe);
         assert_eq!(v.violations.len(), 2);
         assert!(v.summary().contains("violations: 2"));
+    }
+
+    fn fig2() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("A", "B", 2).unwrap();
+        b.edge_with_capacity("B", "C", 2).unwrap();
+        b.edge_with_capacity("A", "C", 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn filter_signatures_are_canonical() {
+        assert_eq!(filter_signature(&[1, 2, 3]), filter_signature(&[1, 2, 3]));
+        // 0 and 1 both spell "broadcast".
+        assert_eq!(filter_signature(&[0, 2]), filter_signature(&[1, 2]));
+        assert_ne!(filter_signature(&[1, 2]), filter_signature(&[2, 1]));
+        assert_ne!(filter_signature(&[1]), filter_signature(&[1, 1]));
+        assert_ne!(filter_signature(&[]), filter_signature(&[1]));
+    }
+
+    #[test]
+    fn nonprop_plan_certifies_the_fig2_triangle() {
+        let g = fig2();
+        let plan = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap();
+        // A filters 7/8 of its traffic; B and C broadcast.
+        let cert = certify_plan(&g, &plan, &[8, 1, 1]).unwrap();
+        assert!(cert.certified, "{}", cert.summary());
+        assert!(cert.declared.completed);
+        assert!(cert.worst_case.completed);
+        assert!(cert.summary().contains("certified: true"));
+    }
+
+    #[test]
+    fn an_unprotected_filtering_triangle_fails_certification() {
+        let g = fig2();
+        // All-infinite intervals = no avoidance at all.
+        let plan = AvoidancePlan::new(
+            &g,
+            Algorithm::NonPropagation,
+            Rounding::Ceil,
+            IntervalMap::for_graph(&g),
+        );
+        let cert = certify_plan(&g, &plan, &[8, 1, 1]).unwrap();
+        assert!(!cert.certified, "{}", cert.summary());
+        // The declared profile happens to survive bare (period 8 with slot
+        // offsets feeds both branches), which is exactly why the
+        // adversarial family exists: the Fig. 2 asymmetry — fill A→B while
+        // starving A→C — deadlocks the unprotected run.
+        assert!(cert.declared.completed);
+        assert!(cert.worst_case.deadlocked);
+        assert_eq!(cert.failing_adversary, Some("first-output-only"));
+        assert!(cert.summary().contains("first-output-only"));
+    }
+
+    #[test]
+    fn worst_case_escalation_catches_plans_the_declared_profile_forgives() {
+        // Propagation with the literal trigger protects a *fork-filtering*
+        // profile, but if the profile lets an interior node filter, the
+        // adversarial escalation (one recogniser starves its path while
+        // the other keeps relaying) deadlocks — no dummy is ever created
+        // for the propagation rule to forward (the E12b escape).
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("split", "left", 4).unwrap();
+        b.edge_with_capacity("split", "right", 4).unwrap();
+        b.edge_with_capacity("left", "join", 4).unwrap();
+        b.edge_with_capacity("right", "join", 4).unwrap();
+        let g = b.build().unwrap();
+        let plan = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        // Broadcast fork, mildly filtering recognisers: the declared
+        // periodic run completes (period 2 on two outputs still feeds every
+        // branch), the escalation does not.
+        let cert = certify_plan(&g, &plan, &[1, 2, 2, 1]).unwrap();
+        assert!(cert.declared.completed, "{}", cert.summary());
+        assert!(cert.worst_case.deadlocked, "{}", cert.summary());
+        assert!(!cert.certified);
+        // The Non-Propagation plan certifies the same profile.
+        let np = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap();
+        let cert = certify_plan(&g, &np, &[1, 2, 2, 1]).unwrap();
+        assert!(cert.certified, "{}", cert.summary());
+    }
+
+    #[test]
+    fn certification_checks_profile_and_plan_shape() {
+        let g = fig2();
+        let plan = Planner::new(&g).plan().unwrap();
+        assert!(certify_plan(&g, &plan, &[1, 1]).is_err());
+        let other = {
+            let mut b = GraphBuilder::new();
+            b.chain(&["a", "b"]).unwrap();
+            b.build().unwrap()
+        };
+        let foreign = Planner::new(&other).plan().unwrap();
+        assert!(certify_plan(&g, &foreign, &[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn pathological_capacities_truncate_and_never_certify() {
+        // A graph whose fill horizon exceeds the input ceiling: the 4096-
+        // style flat clamp used to let an unsafe plan pass (the model run
+        // reached EOS before A->B ever filled).  Truncation must now be
+        // explicit and fail certification even for a *good* plan — the
+        // bounded check cannot support the claim, so it must not make it.
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("A", "B", 100_000).unwrap();
+        b.edge_with_capacity("B", "C", 100_000).unwrap();
+        b.edge_with_capacity("A", "C", 100_000).unwrap();
+        let g = b.build().unwrap();
+        assert!(certification_inputs(&g) > MAX_CERTIFICATION_INPUTS);
+        for plan in [
+            Planner::new(&g).algorithm(Algorithm::NonPropagation).plan().unwrap(),
+            // The unsafe all-infinite plan of the original escape scenario.
+            AvoidancePlan::new(
+                &g,
+                Algorithm::NonPropagation,
+                Rounding::Ceil,
+                IntervalMap::for_graph(&g),
+            ),
+        ] {
+            let cert = certify_plan(&g, &plan, &[8, 1, 1]).unwrap();
+            assert!(cert.truncated, "{}", cert.summary());
+            assert!(!cert.certified, "{}", cert.summary());
+            assert!(cert.summary().contains("TRUNCATED"), "{}", cert.summary());
+        }
+    }
+
+    #[test]
+    fn budget_scales_with_path_depth_not_graph_width() {
+        // A wide fan of shallow branches has a huge *total* capacity but a
+        // tiny fill horizon; the budget must follow the deepest path so
+        // wide graphs stay cheap to certify and tall ones stay sound.
+        let mut wide = GraphBuilder::new().default_capacity(64);
+        for i in 0..64 {
+            let mid = format!("m{i}");
+            wide.edge("s", &mid).unwrap();
+            wide.edge(&mid, "t").unwrap();
+        }
+        let wide = wide.build().unwrap();
+        assert_eq!(certification_inputs(&wide), 64 + 4 * 128);
+        let mut tall = GraphBuilder::new().default_capacity(64);
+        tall.chain(&["a", "b", "c", "d", "e"]).unwrap();
+        let tall = tall.build().unwrap();
+        assert_eq!(certification_inputs(&tall), 64 + 4 * 256);
+    }
+
+    #[test]
+    fn broadcast_profiles_skip_the_adversarial_family() {
+        // With no filtering node the escalation is empty; the verdict must
+        // come from the declared run alone (and still certify).
+        let g = fig2();
+        let plan = Planner::new(&g).plan().unwrap();
+        let cert = certify_plan(&g, &plan, &[1, 1, 1]).unwrap();
+        assert!(cert.certified, "{}", cert.summary());
+        assert_eq!(cert.declared, cert.worst_case);
+    }
+
+    #[test]
+    fn step_budget_exhaustion_is_conservatively_uncertified() {
+        let g = fig2();
+        let plan = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap();
+        let cert = certify_plan_bounded(&g, &plan, &[8, 1, 1], 256, 3).unwrap();
+        assert!(!cert.certified);
+        assert!(cert.declared.inconclusive());
     }
 
     #[test]

@@ -424,6 +424,115 @@ fn bench_service_jobs(c: &mut Criterion) {
     group.finish();
 }
 
+/// The E17 certification-overhead sweep: what does the filtering-aware
+/// certification gate cost **relative to planning** the same shape?  Three
+/// labels per shape:
+///
+/// * `plan` — structural planning alone (the pre-certification admission
+///   cost);
+/// * `certify` — `Planner::certify` end to end (plan + bounded model check
+///   of the declared profile and the adversarial family, including any
+///   fallback);
+/// * `cached_verdict` — a warm `PlanCache::certify` lookup, the steady-state
+///   per-submission cost the service actually pays for repeat shapes.
+fn bench_certification(c: &mut Criterion) {
+    use fila_avoidance::{PlanCache, Rounding};
+    let mut group = c.benchmark_group("certification");
+    group.sample_size(if fast() { 2 } else { 10 });
+    let ladder_rungs: &[usize] = if fast() { &[8] } else { &[8, 16, 32] };
+    for &rungs in ladder_rungs {
+        let g = random_ladder(&LadderConfig {
+            rungs,
+            capacity_range: (2, 8),
+            reverse_probability: 0.3,
+            seed: 0x1ADD + rungs as u64,
+        });
+        let periods: Vec<u64> = g.node_ids().map(|_| 16).collect();
+        group.bench_with_input(
+            BenchmarkId::new("plan/ladder/rungs", rungs),
+            &rungs,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        Planner::new(&g)
+                            .algorithm(Algorithm::NonPropagation)
+                            .plan()
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("certify/ladder/rungs", rungs),
+            &rungs,
+            |b, _| {
+                b.iter(|| {
+                    let certified = Planner::new(&g)
+                        .algorithm(Algorithm::NonPropagation)
+                        .certify(&periods)
+                        .unwrap();
+                    assert!(!certified.fell_back);
+                    black_box(certified.certification.inputs)
+                })
+            },
+        );
+        let cache = PlanCache::new(64);
+        // Warm the verdict once; the timed loop is the steady-state hit.
+        cache
+            .certify(&g, Algorithm::NonPropagation, Rounding::Ceil, 512, &periods)
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("cached_verdict/ladder/rungs", rungs),
+            &rungs,
+            |b, _| {
+                b.iter(|| {
+                    let hit = cache
+                        .certify(&g, Algorithm::NonPropagation, Rounding::Ceil, 512, &periods)
+                        .unwrap();
+                    assert!(hit.hit);
+                    black_box(hit.fell_back)
+                })
+            },
+        );
+    }
+    // One SP shape for the quadratic-planner comparison point.
+    let edges = if fast() { 24 } else { 128 };
+    let (g, _) = random_sp_dag(&GeneratorConfig {
+        target_edges: edges,
+        max_fanout: 3,
+        capacity_range: (2, 8),
+        seed: 0xF11A,
+    });
+    let periods: Vec<u64> = g.node_ids().map(|_| 8).collect();
+    group.bench_with_input(BenchmarkId::new("plan/sp/edges", edges), &edges, |b, _| {
+        b.iter(|| {
+            black_box(
+                Planner::new(&g)
+                    .algorithm(Algorithm::NonPropagation)
+                    .plan()
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("certify/sp/edges", edges),
+        &edges,
+        |b, _| {
+            b.iter(|| {
+                black_box(
+                    Planner::new(&g)
+                        .algorithm(Algorithm::NonPropagation)
+                        .certify(&periods)
+                        .unwrap()
+                        .certification
+                        .inputs,
+                )
+            })
+        },
+    );
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pipeline,
@@ -432,6 +541,7 @@ criterion_group!(
     bench_threaded,
     bench_pooled_scaling,
     bench_deadlock_detection,
-    bench_service_jobs
+    bench_service_jobs,
+    bench_certification
 );
 criterion_main!(benches);

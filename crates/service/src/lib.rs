@@ -15,12 +15,22 @@
 //!    bounded in-flight window ([`RejectReason::Saturated`]) protect the
 //!    pool *and* the planner: a saturated service sheds load before
 //!    spending any planning CPU on it.
-//! 3. **Plan, amortised** — deadlock-avoidance intervals come from a
-//!    structural [`PlanCache`](fila_avoidance::PlanCache) keyed by the
-//!    canonical topology fingerprint of `fila-graph`, so a million
+//! 3. **Plan and certify, amortised** — deadlock-avoidance intervals come
+//!    from a structural [`PlanCache`](fila_avoidance::PlanCache) keyed by
+//!    the canonical topology fingerprint of `fila-graph`, so a million
 //!    submissions of the same shape plan exactly once and share one
-//!    `Arc`-wrapped plan.  Graphs whose planning exceeds the service's
-//!    cycle budget reject with [`RejectReason::Unplannable`].
+//!    `Arc`-wrapped plan.  By default every planned admission is also
+//!    **certified**: the plan is model-checked against the job's declared
+//!    [`FilterSpec`] and its worst-case interior-filtering escalations,
+//!    falling back automatically (requested protocol → the other →
+//!    forced-exhaustive) when a candidate fails — so *admitted ⇒
+//!    deadlock-free* for what the client declared, and a plan's safety can
+//!    never silently depend on the filter pattern (the E17 postmortem).
+//!    Certification verdicts are cached per `(fingerprint, filter
+//!    signature)`, making the fallback a once-per-shape decision.  Graphs
+//!    whose planning exceeds the service's cycle budget reject with
+//!    [`RejectReason::Unplannable`]; plannable graphs no candidate
+//!    certifies reject with [`RejectReason::Uncertifiable`].
 //! 4. **Execute** — admitted jobs run *concurrently* on one shared
 //!    [`SharedPool`](fila_runtime::SharedPool): the node-tasks of every
 //!    in-flight job coexist in the same work-stealing run queues, and each

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fila_avoidance::{PlanCache, Rounding};
+use fila_avoidance::{Algorithm, AvoidancePlan, CertifyError, PlanCache, Rounding};
 use fila_graph::Fingerprint;
 use fila_runtime::{
     AvoidanceMode, ExecutionReport, JobHandle, JobVerdict, PropagationTrigger, SharedPool,
@@ -37,6 +37,17 @@ pub struct ServiceConfig {
     pub rounding: Rounding,
     /// Propagation-protocol dummy trigger.
     pub trigger: PropagationTrigger,
+    /// Certify every planned admission against the job's declared
+    /// [`FilterSpec`](crate::FilterSpec) (bounded model check + automatic
+    /// fallback chain; verdicts cached per `(fingerprint, filter
+    /// signature)`).  Defaults to `true` — the "admitted ⇒ deadlock-free"
+    /// contract.  With `false` the service plans without certifying, and
+    /// every such Non-Propagation admission is counted in
+    /// [`ServiceStats::uncertified_nonprop`].  Certification models the
+    /// default `OnFilterOnly` Propagation trigger; configuring the
+    /// experimental [`PropagationTrigger::Heartbeat`] disables it the same
+    /// way (a certificate must attest to the semantics the job runs).
+    pub certify: bool,
 }
 
 impl Default for ServiceConfig {
@@ -50,6 +61,7 @@ impl Default for ServiceConfig {
             cycle_bound: 512,
             rounding: Rounding::Ceil,
             trigger: PropagationTrigger::default(),
+            certify: true,
         }
     }
 }
@@ -74,6 +86,10 @@ pub enum RejectReason {
     /// No deadlock-avoidance plan could be computed within the service's
     /// planning budget (general graph, too many cycles, …).
     Unplannable(String),
+    /// Plans were computed, but none passed certification for the job's
+    /// declared filter spec (after the full Non-Prop → Propagation →
+    /// exhaustive fallback chain).  Admitting the job could deadlock it.
+    Uncertifiable(String),
 }
 
 impl fmt::Display for RejectReason {
@@ -87,6 +103,7 @@ impl fmt::Display for RejectReason {
                 write!(f, "service saturated: {limit} jobs already in flight")
             }
             RejectReason::Unplannable(why) => write!(f, "unplannable: {why}"),
+            RejectReason::Uncertifiable(why) => write!(f, "uncertifiable: {why}"),
         }
     }
 }
@@ -101,6 +118,11 @@ pub struct JobOutcome {
     /// `Some(true)` if the plan came from the cache, `Some(false)` if it
     /// was freshly computed, `None` for unplanned jobs.
     pub cache_hit: Option<bool>,
+    /// The protocol the job actually ran under (`None` for unplanned jobs;
+    /// differs from the requested one after a certification fallback).
+    pub algorithm: Option<Algorithm>,
+    /// True if certification replaced the requested plan with a fallback.
+    pub fell_back: bool,
 }
 
 /// A handle to one admitted job.
@@ -112,10 +134,19 @@ pub struct JobTicket {
     /// [`JobSpec::fingerprint`] for the filter-salted job identity).
     pub fingerprint: Fingerprint,
     /// Plan provenance: `Some(true)` cache hit, `Some(false)` fresh plan,
-    /// `None` unplanned.
+    /// `None` unplanned.  For certified admissions this is the
+    /// certification-verdict cache.
     pub cache_hit: Option<bool>,
+    /// The protocol the job runs under (`None` for unplanned jobs).
+    pub algorithm: Option<Algorithm>,
+    /// True if certification fell back from the requested plan (protocol
+    /// switch and/or exhaustive escalation).
+    pub fell_back: bool,
     /// Time spent planning this submission (zero on hits and unplanned).
     pub plan_time: Duration,
+    /// Time spent certifying this submission (zero on hits, unplanned and
+    /// uncertified admissions).
+    pub certify_time: Duration,
 }
 
 impl JobTicket {
@@ -126,6 +157,8 @@ impl JobTicket {
             report,
             verdict: self.handle.verdict().expect("settled job has a verdict"),
             cache_hit: self.cache_hit,
+            algorithm: self.algorithm,
+            fell_back: self.fell_back,
         }
     }
 
@@ -138,6 +171,18 @@ impl JobTicket {
     pub fn is_settled(&self) -> bool {
         self.handle.is_settled()
     }
+}
+
+/// What the planning/certification step hands to execution for a planned
+/// admission.
+struct PlannedAdmission {
+    plan: Arc<AvoidancePlan>,
+    fingerprint: Fingerprint,
+    hit: bool,
+    algorithm: Algorithm,
+    fell_back: bool,
+    plan_time: Duration,
+    certify_time: Duration,
 }
 
 /// The multi-tenant job service (see the crate docs for the life of a
@@ -236,9 +281,58 @@ impl JobService {
             });
         }
 
-        // 4. Planning, amortised through the structural plan cache.
+        // 4. Planning — and, by default, **certification**: the plan (with
+        // its automatic fallback chain) is model-checked against the job's
+        // declared filter spec before admission, so an admitted planned job
+        // is certified deadlock-free for what it declared.  Both plans and
+        // certification verdicts are amortised through the structural
+        // cache.
+        // Certification models the default (`OnFilterOnly`) Propagation
+        // trigger — the only one the service's reference semantics define.
+        // Under the experimental heartbeat trigger a certificate would
+        // attest to behaviour the job does not run, so a non-default
+        // trigger downgrades planned admissions to the uncertified path
+        // (visible in `uncertified_nonprop`) instead of issuing one.
+        let certifying =
+            self.config.certify && self.config.trigger == PropagationTrigger::default();
         let planned = match spec.avoidance {
             AvoidanceChoice::Disabled => None,
+            AvoidanceChoice::Planned(algorithm) if certifying => {
+                let periods = spec.filters.periods(&spec.graph);
+                match self.cache.certify(
+                    &spec.graph,
+                    algorithm,
+                    self.config.rounding,
+                    self.config.cycle_bound,
+                    &periods,
+                ) {
+                    Ok(certified) => {
+                        Counters::bump(&self.counters.certified);
+                        if certified.fell_back {
+                            Counters::bump(&self.counters.fell_back);
+                        }
+                        Some(PlannedAdmission {
+                            plan: certified.plan,
+                            fingerprint: certified.fingerprint,
+                            hit: certified.hit,
+                            algorithm: certified.used,
+                            fell_back: certified.fell_back,
+                            plan_time: certified.plan_time,
+                            certify_time: certified.certify_time,
+                        })
+                    }
+                    Err(CertifyError::Unplannable(e)) => {
+                        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        Counters::bump(&self.counters.rejected_unplannable);
+                        return Err(RejectReason::Unplannable(e.to_string()));
+                    }
+                    Err(e @ CertifyError::Uncertifiable { .. }) => {
+                        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        Counters::bump(&self.counters.rejected_uncertifiable);
+                        return Err(RejectReason::Uncertifiable(e.to_string()));
+                    }
+                }
+            }
             AvoidanceChoice::Planned(algorithm) => {
                 match self.cache.plan(
                     &spec.graph,
@@ -246,7 +340,20 @@ impl JobService {
                     self.config.rounding,
                     self.config.cycle_bound,
                 ) {
-                    Ok(cached) => Some(cached),
+                    Ok(cached) => {
+                        if algorithm == Algorithm::NonPropagation {
+                            Counters::bump(&self.counters.uncertified_nonprop);
+                        }
+                        Some(PlannedAdmission {
+                            plan: cached.plan,
+                            fingerprint: cached.fingerprint,
+                            hit: cached.hit,
+                            algorithm,
+                            fell_back: false,
+                            plan_time: cached.plan_time,
+                            certify_time: Duration::ZERO,
+                        })
+                    }
                     Err(e) => {
                         self.in_flight.fetch_sub(1, Ordering::SeqCst);
                         Counters::bump(&self.counters.rejected_unplannable);
@@ -294,7 +401,10 @@ impl JobService {
             handle,
             fingerprint,
             cache_hit: planned.as_ref().map(|c| c.hit),
-            plan_time: planned.map(|c| c.plan_time).unwrap_or(Duration::ZERO),
+            algorithm: planned.as_ref().map(|c| c.algorithm),
+            fell_back: planned.as_ref().is_some_and(|c| c.fell_back),
+            plan_time: planned.as_ref().map(|c| c.plan_time).unwrap_or(Duration::ZERO),
+            certify_time: planned.map(|c| c.certify_time).unwrap_or(Duration::ZERO),
         })
     }
 
@@ -309,6 +419,10 @@ impl JobService {
             rejected_too_large: load(&c.rejected_too_large),
             rejected_saturated: load(&c.rejected_saturated),
             rejected_unplannable: load(&c.rejected_unplannable),
+            rejected_uncertifiable: load(&c.rejected_uncertifiable),
+            certified: load(&c.certified),
+            fell_back: load(&c.fell_back),
+            uncertified_nonprop: load(&c.uncertified_nonprop),
             completed: load(&c.completed),
             deadlocked: load(&c.deadlocked),
             failed: load(&c.failed),
@@ -317,6 +431,8 @@ impl JobService {
             plan_cache_hits: self.cache.hits(),
             plan_cache_misses: self.cache.misses(),
             plan_cache_len: self.cache.len() as u64,
+            cert_cache_hits: self.cache.cert_hits(),
+            cert_cache_misses: self.cache.cert_misses(),
             messages: load(&c.messages),
             uptime: self.started.elapsed(),
         }
@@ -380,18 +496,27 @@ mod tests {
         };
         let t1 = svc.submit(spec(&g)).unwrap();
         assert_eq!(t1.cache_hit, Some(false));
+        assert_eq!(t1.algorithm, Some(Algorithm::NonPropagation));
+        assert!(!t1.fell_back);
         let t2 = svc.submit(spec(&g)).unwrap();
         assert_eq!(t2.cache_hit, Some(true));
         assert_eq!(t2.plan_time, Duration::ZERO);
+        assert_eq!(t2.certify_time, Duration::ZERO);
         assert_eq!(t1.fingerprint, t2.fingerprint);
         for t in [t1, t2] {
             let o = t.wait();
             assert_eq!(o.verdict, JobVerdict::Completed, "{o:?}");
         }
         let stats = svc.stats();
-        assert_eq!(stats.plan_cache_hits, 1);
+        // The repeat submission hits the certification-verdict cache, so
+        // the underlying plan map is consulted exactly once.
+        assert_eq!(stats.cert_cache_hits, 1);
+        assert_eq!(stats.cert_cache_misses, 1);
         assert_eq!(stats.plan_cache_misses, 1);
-        assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(stats.certified, 2);
+        assert_eq!(stats.fell_back, 0);
+        assert_eq!(stats.uncertified_nonprop, 0);
+        assert!((stats.cert_cache_hit_rate() - 0.5).abs() < 1e-9);
     }
 
     #[test]
@@ -509,7 +634,94 @@ mod tests {
             .unwrap();
         let _ = t.wait();
         let json = svc.stats().to_json();
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"completed\": 1"));
+        assert!(json.contains("\"uncertified_nonprop\": 0"));
+    }
+
+    #[test]
+    fn interior_filtering_admission_falls_back_and_completes() {
+        // A Propagation-requested job whose declared spec lets interior
+        // nodes filter: certification rejects the Propagation plan (the
+        // literal trigger cannot protect interior filtering) and admits
+        // the job under the Non-Propagation fallback instead.
+        let svc = small_service(16);
+        let g = {
+            let mut b = GraphBuilder::new().default_capacity(4);
+            b.edge("split", "left").unwrap();
+            b.edge("split", "right").unwrap();
+            b.edge("left", "join").unwrap();
+            b.edge("right", "join").unwrap();
+            b.build().unwrap()
+        };
+        let mut periods = vec![1u64; g.node_count()];
+        periods[g.node_by_name("left").unwrap().index()] = 3;
+        periods[g.node_by_name("right").unwrap().index()] = 5;
+        let spec = JobSpec::new(g, FilterSpec::PerNode(periods), 400)
+            .avoidance(AvoidanceChoice::Planned(Algorithm::Propagation));
+        let ticket = svc.submit(spec).unwrap();
+        assert!(ticket.fell_back);
+        assert_eq!(ticket.algorithm, Some(Algorithm::NonPropagation));
+        let outcome = ticket.wait();
+        assert_eq!(outcome.verdict, JobVerdict::Completed, "{outcome:?}");
+        assert!(outcome.fell_back);
+        let stats = svc.stats();
+        assert_eq!(stats.certified, 1);
+        assert_eq!(stats.fell_back, 1);
+    }
+
+    #[test]
+    fn heartbeat_trigger_disables_certification_visibly() {
+        // Certification attests to the default OnFilterOnly semantics; a
+        // service configured with the experimental heartbeat trigger must
+        // not issue certificates for runs it executes differently — the
+        // admission downgrades to the uncertified path and the counter
+        // shows it.
+        let svc = JobService::new(ServiceConfig {
+            workers: 2,
+            trigger: PropagationTrigger::Heartbeat,
+            ..ServiceConfig::default()
+        });
+        let g = {
+            let mut b = GraphBuilder::new();
+            b.edge_with_capacity("a", "b", 2).unwrap();
+            b.edge_with_capacity("b", "c", 2).unwrap();
+            b.edge_with_capacity("a", "c", 2).unwrap();
+            b.build().unwrap()
+        };
+        let ticket = svc
+            .submit(JobSpec::new(g, FilterSpec::Fork(2), 100))
+            .unwrap();
+        assert_eq!(ticket.certify_time, Duration::ZERO);
+        assert_eq!(ticket.wait().verdict, JobVerdict::Completed);
+        let stats = svc.stats();
+        assert_eq!(stats.certified, 0);
+        assert_eq!(stats.uncertified_nonprop, 1);
+    }
+
+    #[test]
+    fn certification_off_counts_uncertified_nonprop_admissions() {
+        let svc = JobService::new(ServiceConfig {
+            workers: 2,
+            certify: false,
+            ..ServiceConfig::default()
+        });
+        let g = {
+            let mut b = GraphBuilder::new();
+            b.edge_with_capacity("a", "b", 2).unwrap();
+            b.edge_with_capacity("b", "c", 2).unwrap();
+            b.edge_with_capacity("a", "c", 2).unwrap();
+            b.build().unwrap()
+        };
+        let ticket = svc
+            .submit(JobSpec::new(g, FilterSpec::Fork(2), 100))
+            .unwrap();
+        assert!(!ticket.fell_back);
+        assert_eq!(ticket.certify_time, Duration::ZERO);
+        assert_eq!(ticket.wait().verdict, JobVerdict::Completed);
+        let stats = svc.stats();
+        assert_eq!(stats.certified, 0);
+        assert_eq!(stats.uncertified_nonprop, 1);
+        assert_eq!(stats.cert_cache_misses, 0);
     }
 }

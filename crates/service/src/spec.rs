@@ -129,16 +129,19 @@ impl JobSpec {
 
     /// The canonical conversion from generated workload shapes (e.g.
     /// `fila_workloads::jobs::JobShape`) — a graph, per-node filter
-    /// periods, and a "wants avoidance" flag mapping to the default
-    /// Non-Propagation plan.  The CLI, the storm example and the service
-    /// bench all submit through this one mapping so their traffic cannot
-    /// silently diverge.
-    pub fn from_periods(graph: Graph, periods: Vec<u64>, inputs: u64, planned: bool) -> Self {
+    /// periods, and the requested protocol (`None` = run bare).  The CLI,
+    /// the storm example and the service bench all submit through this one
+    /// mapping so their traffic cannot silently diverge.
+    pub fn from_periods(
+        graph: Graph,
+        periods: Vec<u64>,
+        inputs: u64,
+        avoidance: Option<Algorithm>,
+    ) -> Self {
         let spec = JobSpec::new(graph, FilterSpec::PerNode(periods), inputs);
-        if planned {
-            spec
-        } else {
-            spec.unplanned()
+        match avoidance {
+            Some(algorithm) => spec.avoidance(AvoidanceChoice::Planned(algorithm)),
+            None => spec.unplanned(),
         }
     }
 

@@ -14,6 +14,10 @@ pub(crate) struct Counters {
     pub rejected_too_large: AtomicU64,
     pub rejected_saturated: AtomicU64,
     pub rejected_unplannable: AtomicU64,
+    pub rejected_uncertifiable: AtomicU64,
+    pub certified: AtomicU64,
+    pub fell_back: AtomicU64,
+    pub uncertified_nonprop: AtomicU64,
     pub completed: AtomicU64,
     pub deadlocked: AtomicU64,
     pub failed: AtomicU64,
@@ -42,6 +46,18 @@ pub struct ServiceStats {
     pub rejected_saturated: u64,
     /// Rejections: no deadlock-avoidance plan within the planning budget.
     pub rejected_unplannable: u64,
+    /// Rejections: plans were computed but none certified for the job's
+    /// declared filter spec (fallback chain exhausted).
+    pub rejected_uncertifiable: u64,
+    /// Planned admissions whose plan passed filtering-aware certification.
+    pub certified: u64,
+    /// Certified admissions whose plan was a fallback (protocol switch
+    /// and/or exhaustive escalation) from the requested one.
+    pub fell_back: u64,
+    /// Non-Propagation-planned admissions executed *without*
+    /// certification (only possible with `ServiceConfig::certify` off);
+    /// zero whenever the "admitted ⇒ deadlock-free" contract is in force.
+    pub uncertified_nonprop: u64,
     /// Settled jobs whose every node reached end-of-stream.
     pub completed: u64,
     /// Settled jobs with an exact runtime deadlock verdict.
@@ -58,6 +74,12 @@ pub struct ServiceStats {
     pub plan_cache_misses: u64,
     /// Plans currently cached.
     pub plan_cache_len: u64,
+    /// Certification lookups served from the verdict cache (repeat
+    /// submissions of a known shape + filter signature skip the whole
+    /// model check and fallback chain).
+    pub cert_cache_hits: u64,
+    /// Certification lookups that walked the fallback chain.
+    pub cert_cache_misses: u64,
     /// Messages (data + dummies) delivered by settled jobs.
     pub messages: u64,
     /// Time since the service started.
@@ -71,6 +93,7 @@ impl ServiceStats {
             + self.rejected_too_large
             + self.rejected_saturated
             + self.rejected_unplannable
+            + self.rejected_uncertifiable
     }
 
     /// Fraction of plan lookups served from the cache (0.0 before any).
@@ -80,6 +103,17 @@ impl ServiceStats {
             0.0
         } else {
             self.plan_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of certification lookups served from the verdict cache
+    /// (0.0 before any).
+    pub fn cert_cache_hit_rate(&self) -> f64 {
+        let total = self.cert_cache_hits + self.cert_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cert_cache_hits as f64 / total as f64
         }
     }
 
@@ -105,18 +139,25 @@ impl ServiceStats {
     }
 
     /// Hand-rolled JSON rendering (stable key order, schema-versioned; no
-    /// serde anywhere in this workspace).
+    /// serde anywhere in this workspace).  Schema version 2 added the
+    /// certification fields (`rejected_uncertifiable`, `certified`,
+    /// `fell_back`, `uncertified_nonprop`).
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"schema_version\": 1, ",
+                "{{\"schema_version\": 2, ",
                 "\"submitted\": {}, \"admitted\": {}, ",
                 "\"rejected_invalid\": {}, \"rejected_too_large\": {}, ",
                 "\"rejected_saturated\": {}, \"rejected_unplannable\": {}, ",
+                "\"rejected_uncertifiable\": {}, ",
+                "\"certified\": {}, \"fell_back\": {}, ",
+                "\"uncertified_nonprop\": {}, ",
                 "\"completed\": {}, \"deadlocked\": {}, \"failed\": {}, ",
                 "\"cancelled\": {}, \"in_flight\": {}, ",
                 "\"plan_cache_hits\": {}, \"plan_cache_misses\": {}, ",
                 "\"plan_cache_len\": {}, \"cache_hit_rate\": {:.4}, ",
+                "\"cert_cache_hits\": {}, \"cert_cache_misses\": {}, ",
+                "\"cert_cache_hit_rate\": {:.4}, ",
                 "\"messages\": {}, \"uptime_ms\": {:.3}, ",
                 "\"msgs_per_sec\": {:.1}, \"jobs_per_sec\": {:.2}}}"
             ),
@@ -126,6 +167,10 @@ impl ServiceStats {
             self.rejected_too_large,
             self.rejected_saturated,
             self.rejected_unplannable,
+            self.rejected_uncertifiable,
+            self.certified,
+            self.fell_back,
+            self.uncertified_nonprop,
             self.completed,
             self.deadlocked,
             self.failed,
@@ -135,6 +180,9 @@ impl ServiceStats {
             self.plan_cache_misses,
             self.plan_cache_len,
             self.cache_hit_rate(),
+            self.cert_cache_hits,
+            self.cert_cache_misses,
+            self.cert_cache_hit_rate(),
             self.messages,
             self.uptime.as_secs_f64() * 1e3,
             self.msgs_per_sec(),
@@ -155,6 +203,10 @@ mod tests {
             rejected_too_large: 0,
             rejected_saturated: 1,
             rejected_unplannable: 1,
+            rejected_uncertifiable: 0,
+            certified: 4,
+            fell_back: 1,
+            uncertified_nonprop: 0,
             completed: 5,
             deadlocked: 1,
             failed: 0,
@@ -163,6 +215,8 @@ mod tests {
             plan_cache_hits: 4,
             plan_cache_misses: 2,
             plan_cache_len: 2,
+            cert_cache_hits: 3,
+            cert_cache_misses: 1,
             messages: 1000,
             uptime: Duration::from_millis(500),
         }
@@ -173,6 +227,7 @@ mod tests {
         let s = sample();
         assert_eq!(s.rejected(), 3);
         assert!((s.cache_hit_rate() - 4.0 / 6.0).abs() < 1e-9);
+        assert!((s.cert_cache_hit_rate() - 0.75).abs() < 1e-9);
         assert!((s.msgs_per_sec() - 2000.0).abs() < 1e-6);
         assert!((s.jobs_per_sec() - 12.0).abs() < 1e-6);
     }
@@ -180,9 +235,13 @@ mod tests {
     #[test]
     fn json_is_parsable_shape() {
         let json = sample().to_json();
-        assert!(json.starts_with("{\"schema_version\": 1, "));
+        assert!(json.starts_with("{\"schema_version\": 2, "));
         assert!(json.ends_with('}'));
         assert!(json.contains("\"admitted\": 7"));
+        assert!(json.contains("\"certified\": 4"));
+        assert!(json.contains("\"fell_back\": 1"));
+        assert!(json.contains("\"uncertified_nonprop\": 0"));
+        assert!(json.contains("\"rejected_uncertifiable\": 0"));
         assert!(json.contains("\"cache_hit_rate\": 0.6667"));
         assert!(json.contains("\"msgs_per_sec\": 2000.0"));
         // Braces balance and no trailing comma sloppiness.

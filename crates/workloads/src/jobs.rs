@@ -13,6 +13,7 @@
 //! submissions; tests replay the same shapes through the reference
 //! [`fila_runtime::Simulator`] to pin per-job verdicts.
 
+use fila_avoidance::{Algorithm, Planner};
 use fila_graph::{Graph, GraphBuilder};
 use fila_runtime::Topology;
 use rand::rngs::StdRng;
@@ -34,6 +35,13 @@ pub enum JobKind {
     SpDag,
     /// A random CS4 ladder with fork filtering, protected by a plan.
     Ladder,
+    /// A split/join shape whose declared spec lets *interior* nodes
+    /// filter, submitted with a **Propagation** request: admission
+    /// certification must reject the Propagation plan (the literal trigger
+    /// cannot protect interior filtering) and fall back to
+    /// Non-Propagation — the service's fallback chain, exercised end to
+    /// end by realistic traffic.
+    InteriorFiltered,
     /// A dense general graph whose exhaustive planning exceeds any sane
     /// cycle budget: the service must reject it as unplannable.
     Unplannable,
@@ -55,8 +63,10 @@ pub struct JobShape {
     pub periods: Vec<u64>,
     /// Input sequence numbers offered at every source.
     pub inputs: u64,
-    /// Whether the job should be executed under a deadlock-avoidance plan.
-    pub avoidance: bool,
+    /// The protocol the submission requests a plan for, or `None` to run
+    /// bare (deadlocks become runtime verdicts).  The service may still
+    /// *execute* a different protocol when certification falls back.
+    pub avoidance: Option<Algorithm>,
 }
 
 impl JobShape {
@@ -95,15 +105,18 @@ pub fn dense_unplannable(m: usize) -> Graph {
 ///
 /// Not every random SP spec contains a cycle (an all-series draw is just a
 /// pipeline), so candidate seeds are screened with the reference
-/// [`fila_runtime::Simulator`] until one both *wedges bare* and *completes
-/// under a Non-Propagation plan* — generation stays deterministic per seed
-/// and the returned shape carries a guaranteed deadlock verdict for
-/// `inputs` ≥ 256 that a plan would have prevented.  (The second screen
-/// matters: on a few capacity-1-heavy draws with odd periods even the
-/// Non-Propagation intervals do not survive aggressive interior filtering
-/// — the SP sibling of the ladder limitation pinned by
-/// `tests/ladder_interior_filtering.rs` — and those draws are not
-/// "under-provisioned", they are planner-hostile.)
+/// [`fila_runtime::Simulator`] until one *wedges bare* — generation stays
+/// deterministic per seed and the returned shape carries a guaranteed
+/// deadlock verdict for `inputs` ≥ 256.
+///
+/// There is deliberately **no** "a plan rescues it" screen any more.  The
+/// pre-E17 generator had one, because on a few capacity-1-heavy draws with
+/// odd periods the paper's `L/h` Non-Propagation intervals did not survive
+/// aggressive interior filtering (the SP sibling of the ladder bug).  That
+/// screen was bug compensation: with the filtering-robust bound, *every*
+/// deadlocking draw is rescued by its plan, and
+/// `deadlocker_actually_deadlocks_and_plan_rescues_it` pins exactly that as
+/// a regression test instead of quietly generating around it.
 pub fn underprovisioned_sp(seed: u64, period: u64) -> (Graph, Vec<u64>) {
     let period = period.max(2);
     for attempt in 0..64u64 {
@@ -118,25 +131,47 @@ pub fn underprovisioned_sp(seed: u64, period: u64) -> (Graph, Vec<u64>) {
             continue;
         }
         let topo = periodic_filtered_topology(&g, |_| period);
-        if !fila_runtime::Simulator::new(&topo).run(256).deadlocked {
-            continue;
-        }
-        let Ok(plan) = fila_avoidance::Planner::new(&g)
-            .algorithm(fila_avoidance::Algorithm::NonPropagation)
-            .plan()
-        else {
-            continue;
-        };
-        if fila_runtime::Simulator::new(&topo)
-            .with_plan(&plan)
-            .run(256)
-            .completed
-        {
+        if fila_runtime::Simulator::new(&topo).run(256).deadlocked {
             let periods = g.node_ids().map(|_| period).collect();
             return (g, periods);
         }
     }
-    unreachable!("no rescuable deadlocking SP draw in 64 attempts (seed {seed}, period {period})")
+    unreachable!("no deadlocking SP draw in 64 attempts (seed {seed}, period {period})")
+}
+
+/// A split/join shape plus a filter profile that exercises the service's
+/// certification **fallback chain**: interior recognisers filter while the
+/// fork broadcasts, so the literal-trigger Propagation plan cannot protect
+/// it (no dummy is ever originated for the propagation rule to forward) —
+/// certification rejects Propagation and falls back to Non-Propagation.
+///
+/// Candidate draws are screened with `Planner::certify` until one actually
+/// takes the fallback (deterministic per seed): the Propagation candidate
+/// fails certification and a later candidate passes.
+pub fn interior_filtered_fallback(seed: u64) -> (Graph, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1F17);
+    for _ in 0..64 {
+        // A k-way split/join with randomised capacities: every branch is an
+        // interior recogniser between fork and join.
+        let branches = rng.gen_range(2..=4usize);
+        let mut b = GraphBuilder::new();
+        for i in 0..branches {
+            let mid = format!("rec{i}");
+            b.edge_with_capacity("split", &mid, rng.gen_range(2..=6)).unwrap();
+            b.edge_with_capacity(&mid, "join", rng.gen_range(2..=6)).unwrap();
+        }
+        let g = b.build().expect("split/join is a valid two-terminal DAG");
+        let mut periods = vec![1u64; g.node_count()];
+        for i in 0..branches {
+            let rec = g.node_by_name(&format!("rec{i}")).unwrap();
+            periods[rec.index()] = rng.gen_range(2..=6);
+        }
+        match Planner::new(&g).algorithm(Algorithm::Propagation).certify(&periods) {
+            Ok(certified) if certified.fell_back => return (g, periods),
+            _ => continue,
+        }
+    }
+    unreachable!("no fallback-exercising split/join draw in 64 attempts (seed {seed})")
 }
 
 /// Periods vector filtering only at the (unique) source with `period`;
@@ -157,8 +192,9 @@ pub const TEMPLATES_PER_KIND: usize = 3;
 
 /// Generates `count` mixed jobs, deterministically for a given `seed`.
 ///
-/// Roughly 1 in 12 jobs is [`JobKind::Unplannable`] and 1 in 12 is a
-/// [`JobKind::Deadlocker`]; the rest rotate over pipelines, SP DAGs and
+/// Roughly 1 in 12 jobs is [`JobKind::Unplannable`], 1 in 12 a
+/// [`JobKind::Deadlocker`] and 1 in 12 an [`JobKind::InteriorFiltered`]
+/// fallback-exerciser; the rest rotate over pipelines, SP DAGs and
 /// ladders.  Each kind cycles through [`TEMPLATES_PER_KIND`] fixed shape
 /// templates (graph + capacities + filter periods derived from a
 /// template-local RNG) while the per-job input count still varies, so
@@ -220,6 +256,12 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
             (g, periods)
         })
         .collect();
+    let interiors: Vec<(Graph, Vec<u64>)> = (0..TEMPLATES_PER_KIND)
+        .map(|t| {
+            let mut trng = template(0xFA, t);
+            interior_filtered_fallback(trng.gen_range(0..=u64::MAX))
+        })
+        .collect();
     (0..count)
         .map(|i| {
             // Per-job variation (advances for every job so the stream is
@@ -236,7 +278,18 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                         kind: JobKind::Unplannable,
                         periods,
                         inputs: 64,
-                        avoidance: true,
+                        avoidance: Some(Algorithm::NonPropagation),
+                        graph: g,
+                    }
+                }
+                8 => {
+                    let (g, periods) = interiors[tmpl].clone();
+                    JobShape {
+                        label: format!("interior-{i}"),
+                        kind: JobKind::InteriorFiltered,
+                        periods,
+                        inputs,
+                        avoidance: Some(Algorithm::Propagation),
                         graph: g,
                     }
                 }
@@ -247,7 +300,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                         kind: JobKind::Deadlocker,
                         periods,
                         inputs: 256,
-                        avoidance: false,
+                        avoidance: None,
                         graph: g,
                     }
                 }
@@ -258,7 +311,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                         kind: JobKind::Pipeline,
                         periods,
                         inputs,
-                        avoidance: false,
+                        avoidance: None,
                         graph: g,
                     }
                 }
@@ -269,7 +322,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                         kind: JobKind::SpDag,
                         periods,
                         inputs,
-                        avoidance: true,
+                        avoidance: Some(Algorithm::NonPropagation),
                         graph: g,
                     }
                 }
@@ -280,7 +333,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                         kind: JobKind::Ladder,
                         periods,
                         inputs,
-                        avoidance: true,
+                        avoidance: Some(Algorithm::NonPropagation),
                         graph: g,
                     }
                 }
@@ -292,7 +345,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fila_avoidance::{classify, Algorithm, GraphClass, Planner};
+    use fila_avoidance::{classify, GraphClass};
     use fila_runtime::Simulator;
 
     #[test]
@@ -304,16 +357,42 @@ mod tests {
             assert_eq!(x.graph, y.graph, "{}", x.label);
             assert_eq!(x.periods, y.periods);
             assert_eq!(x.inputs, y.inputs);
+            assert_eq!(x.avoidance, y.avoidance);
         }
         for kind in [
             JobKind::Pipeline,
             JobKind::SpDag,
             JobKind::Ladder,
+            JobKind::InteriorFiltered,
             JobKind::Unplannable,
             JobKind::Deadlocker,
         ] {
             assert!(a.iter().any(|s| s.kind == kind), "{kind:?} missing");
         }
+    }
+
+    #[test]
+    fn interior_filtered_shapes_exercise_the_fallback_chain() {
+        let mut seen = 0;
+        for shape in job_mix(11, 36) {
+            if shape.kind != JobKind::InteriorFiltered {
+                continue;
+            }
+            seen += 1;
+            assert_eq!(shape.avoidance, Some(Algorithm::Propagation), "{}", shape.label);
+            let certified = Planner::new(&shape.graph)
+                .algorithm(Algorithm::Propagation)
+                .certify(&shape.periods)
+                .unwrap_or_else(|e| panic!("{}: {e}", shape.label));
+            assert!(certified.fell_back, "{}", shape.label);
+            assert_eq!(certified.used, Algorithm::NonPropagation, "{}", shape.label);
+            // And the fallback plan really completes the declared job.
+            let report = Simulator::new(&shape.topology())
+                .with_plan(&certified.plan)
+                .run(shape.inputs);
+            assert!(report.completed, "{}: {report:?}", shape.label);
+        }
+        assert!(seen >= 3, "mix of 36 should contain ≥ 3 interior-filtered jobs, got {seen}");
     }
 
     #[test]
@@ -326,7 +405,12 @@ mod tests {
     #[test]
     fn deadlocker_actually_deadlocks_and_plan_rescues_it() {
         // Every Deadlocker shape in a mix must truly deadlock unprotected,
-        // and a Non-Propagation plan must rescue the same topology.
+        // and a Non-Propagation plan must rescue the same topology.  The
+        // generator no longer screens for rescuability (that screen was
+        // compensation for the pre-E17 interior-filtering unsoundness), so
+        // this assertion is the regression test for the fixed bound: any
+        // deadlocking under-provisioned draw a plan cannot rescue fails
+        // here.
         let mut seen = 0;
         for shape in job_mix(3, 48) {
             if shape.kind != JobKind::Deadlocker {

@@ -1,6 +1,12 @@
 //! Experiment E3 (Fig. 3): print the dummy-interval tables for the paper's
 //! worked example and cross-check them against the exponential baseline.
 //!
+//! Since the E17 filtering-robustness fix, the Non-Propagation intervals
+//! are the integer hop-count root of the opposite slack rather than the
+//! paper's rounded ratio — the Ceil and Floor tables below are therefore
+//! identical (the rounding ablation is closed; see DESIGN.md), and both
+//! are strictly tighter than the figure's printed `⌈8/3⌉ = 3` values.
+//!
 //! ```sh
 //! cargo run --example interval_report
 //! ```

@@ -75,18 +75,34 @@ fn main() {
         .collect();
     let storm_wall = started.elapsed();
 
-    // Cross-check every admitted job against the reference simulator.
+    // Cross-check every admitted job against the reference simulator.  For
+    // planned jobs the reference replays the service's own plan selection:
+    // `Planner::certify` walks the identical fallback chain the service's
+    // verdict cache walks, so a job the service fell back for must match
+    // the fallback plan's run — not the requested protocol's.
     println!("cross-checking {} verdicts against the Simulator …", outcomes.len());
     let mut completed = 0usize;
     let mut deadlocked = 0usize;
+    let mut fell_back = 0usize;
     for (shape, outcome) in &outcomes {
         let topo = shape.topology();
-        let reference = if shape.avoidance {
-            let plan = Planner::new(&shape.graph)
-                .algorithm(Algorithm::NonPropagation)
-                .plan()
-                .expect("admitted jobs are plannable");
-            Simulator::new(&topo).with_plan(&plan).run(shape.inputs)
+        let reference = if let Some(algorithm) = shape.avoidance {
+            let certified = Planner::new(&shape.graph)
+                .algorithm(algorithm)
+                .certify(&shape.periods)
+                .expect("admitted jobs are certifiable");
+            assert_eq!(
+                outcome.algorithm,
+                Some(certified.used),
+                "{}: the service executed a different protocol than the \
+                 certification chain selects",
+                shape.label
+            );
+            assert_eq!(outcome.fell_back, certified.fell_back, "{}", shape.label);
+            if outcome.fell_back {
+                fell_back += 1;
+            }
+            Simulator::new(&topo).with_plan(&certified.plan).run(shape.inputs)
         } else {
             Simulator::new(&topo).run(shape.inputs)
         };
@@ -118,21 +134,43 @@ fn main() {
             }
             other => panic!("{}: unexpected verdict {other:?}", shape.label),
         }
+        if shape.kind == JobKind::InteriorFiltered {
+            // The fallback chain is exercised end to end: a Propagation
+            // request, certified down to a Non-Propagation execution, with
+            // a Completed verdict.
+            assert!(outcome.fell_back, "{}: expected a fallback", shape.label);
+            assert_eq!(outcome.algorithm, Some(Algorithm::NonPropagation), "{}", shape.label);
+            assert_eq!(outcome.verdict, JobVerdict::Completed, "{}", shape.label);
+        }
     }
     assert!(deadlocked > 0, "the mix must contain deadlocking jobs");
     assert!(rejected > 0, "the mix must contain unplannable jobs");
+    assert!(fell_back > 0, "the mix must exercise the certification fallback");
 
     let stats = service.stats();
+    assert_eq!(
+        stats.uncertified_nonprop, 0,
+        "every planned admission must be certified"
+    );
+    assert_eq!(stats.fell_back as usize, fell_back);
     println!(
         "\n{jobs} jobs in {storm_wall:.2?}: {completed} completed, {deadlocked} deadlocked \
-         (exact per-job verdicts), {rejected} rejected as unplannable"
+         (exact per-job verdicts), {rejected} rejected as unplannable, \
+         {fell_back} certified via fallback"
     );
     println!(
-        "plan cache: {} plans served {} planned submissions ({:.0}% hits)",
+        "plan cache: {} plans served {} planned submissions ({:.0}% hits); \
+         certification: {} verdicts served {} lookups ({:.0}% hits)",
         stats.plan_cache_misses,
         stats.plan_cache_hits + stats.plan_cache_misses,
-        stats.cache_hit_rate() * 100.0
+        stats.cache_hit_rate() * 100.0,
+        stats.cert_cache_misses,
+        stats.cert_cache_hits + stats.cert_cache_misses,
+        stats.cert_cache_hit_rate() * 100.0
     );
     println!("aggregate: {}", stats.to_json());
-    println!("\nevery verdict and per-edge count matched the reference simulator ✓");
+    println!(
+        "\nevery verdict, per-edge count and fallback decision matched the reference \
+         simulator + certification chain ✓"
+    );
 }

@@ -155,8 +155,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 }
                 let plan = match ticket.cache_hit {
                     None => "none".to_string(),
-                    Some(true) => "cache-hit".to_string(),
-                    Some(false) => format!("fresh ({:.1?})", ticket.plan_time),
+                    Some(hit) => {
+                        let src = if hit {
+                            "cache-hit".to_string()
+                        } else {
+                            format!("fresh ({:.1?})", ticket.plan_time)
+                        };
+                        match (ticket.fell_back, ticket.algorithm) {
+                            (true, Some(algorithm)) => format!("{src}, fell back to {algorithm}"),
+                            _ => src,
+                        }
+                    }
                 };
                 println!(
                     "{name:<20} {verdict:<12} {:>10} {:>12.0} {:>10.1?}  {plan}",
@@ -347,9 +356,14 @@ fn cmd_storm(args: &[String]) -> ExitCode {
     }
     let mut completed = 0u64;
     let mut deadlocked = 0u64;
+    let mut fell_back = 0u64;
     let mut other = 0u64;
     for (shape, ticket) in &tickets {
-        match ticket.wait().verdict {
+        let outcome = ticket.wait();
+        if outcome.fell_back {
+            fell_back += 1;
+        }
+        match outcome.verdict {
             JobVerdict::Completed => completed += 1,
             JobVerdict::Deadlocked => {
                 deadlocked += 1;
@@ -367,10 +381,14 @@ fn cmd_storm(args: &[String]) -> ExitCode {
     println!(
         "storm: {jobs} jobs in {wall:.2?} — {completed} completed, {deadlocked} deadlocked, \
          {rejected_unplannable} rejected unplannable, {rejected_other} rejected other, {other} other; \
-         cache {:.0}% hits ({} plans for {} planned jobs)",
+         {} certified ({fell_back} via fallback, {} uncertified Non-Prop); \
+         cache {:.0}% hits ({} plans for {} planned jobs), cert cache {:.0}% hits",
+        stats.certified,
+        stats.uncertified_nonprop,
         stats.cache_hit_rate() * 100.0,
         stats.plan_cache_misses,
         stats.plan_cache_hits + stats.plan_cache_misses,
+        stats.cert_cache_hit_rate() * 100.0,
     );
     let json = stats.to_json();
     println!("{json}");
