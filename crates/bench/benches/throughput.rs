@@ -533,6 +533,83 @@ fn bench_certification(c: &mut Criterion) {
     group.finish();
 }
 
+/// The E18 checkpoint/restore overhead sweep on a planned, filtering SP
+/// DAG.  Four labels:
+///
+/// * `uninterrupted` — the plain run, the baseline every other label is
+///   read against;
+/// * `kill_restore` — the same workload killed halfway (barrier snapshot
+///   taken) and restored into a fresh engine that runs it to completion:
+///   the end-to-end price of one crash/recovery cycle;
+/// * `encode` / `decode` — the versioned wire codec on the captured
+///   mid-run snapshot (what a durable checkpoint would pay per write/read).
+fn bench_snapshot(c: &mut Criterion) {
+    use fila_runtime::{CheckpointOutcome, JobSnapshot};
+    let mut group = c.benchmark_group("snapshot");
+    group.sample_size(if fast() { 2 } else { 10 });
+    let edges = if fast() { 24 } else { 128 };
+    let inputs = if fast() { 32 } else { 128 };
+    let (g, _) = random_sp_dag(&GeneratorConfig {
+        target_edges: edges,
+        max_fanout: 3,
+        capacity_range: (2, 8),
+        seed: 0x5A4B,
+    });
+    let plan = Arc::new(
+        Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap(),
+    );
+    let topo = filtered_topology(&g, 4);
+    let sim = || Simulator::new(&topo).with_shared_plan(Arc::clone(&plan));
+    let reference = sim().run(inputs);
+    assert!(reference.completed, "{reference:?}");
+    // Kill halfway through the reference run's step count, so the snapshot
+    // carries a representative mix of in-flight channel state.
+    let kill_at = (reference.steps / 2).max(1);
+    group.bench_with_input(
+        BenchmarkId::new("uninterrupted/edges", edges),
+        &edges,
+        |b, _| {
+            b.iter(|| {
+                let report = sim().run(inputs);
+                assert!(report.completed);
+                black_box(report.total_messages())
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("kill_restore/edges", edges),
+        &edges,
+        |b, _| {
+            b.iter(|| {
+                let s = sim();
+                let CheckpointOutcome::Killed(snapshot) =
+                    s.run_with_checkpoint(inputs, kill_at)
+                else {
+                    panic!("halfway kill point must interrupt");
+                };
+                let resumed = s.resume(&snapshot).expect("same plan restores");
+                assert_eq!(resumed.per_edge_data, reference.per_edge_data);
+                black_box(resumed.total_messages())
+            })
+        },
+    );
+    let snapshot = match sim().run_with_checkpoint(inputs, kill_at) {
+        CheckpointOutcome::Killed(s) => s,
+        CheckpointOutcome::Finished(_) => panic!("halfway kill point must interrupt"),
+    };
+    group.bench_with_input(BenchmarkId::new("encode/edges", edges), &edges, |b, _| {
+        b.iter(|| black_box(snapshot.to_bytes()))
+    });
+    let bytes = snapshot.to_bytes();
+    group.bench_with_input(BenchmarkId::new("decode/edges", edges), &edges, |b, _| {
+        b.iter(|| black_box(JobSnapshot::from_bytes(&bytes).expect("own bytes decode")))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pipeline,
@@ -542,6 +619,7 @@ criterion_group!(
     bench_pooled_scaling,
     bench_deadlock_detection,
     bench_service_jobs,
-    bench_certification
+    bench_certification,
+    bench_snapshot
 );
 criterion_main!(benches);

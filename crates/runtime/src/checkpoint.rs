@@ -1,0 +1,637 @@
+//! Versioned job snapshots: checkpoint/restore for the runtime engines.
+//!
+//! A [`JobSnapshot`] captures everything a job needs to resume exactly where
+//! it stopped: per-channel in-flight messages, per-node [`DummyWrapper`]
+//! gap counters, per-node input progress (source cursors, EOS flags, staged
+//! but undelivered outputs) and the cumulative delivery counters — plus the
+//! identity of the *certified plan* the job was running under (an exact
+//! labelled topology hash, a digest of the avoidance plan's interval table,
+//! and the Propagation trigger).  Restoring under anything else is a
+//! [`RestoreError::PlanMismatch`], never a silent re-plan: the deadlock-
+//! freedom certificate attests to one specific `(topology, plan, filter)`
+//! triple, and a resumed job must provably still be the run it certifies.
+//!
+//! ## Consistency: sequence numbers as barrier epochs
+//!
+//! Two engines produce snapshots:
+//!
+//! * [`crate::Simulator`] stops between scheduler steps, where *any* cut is
+//!   trivially consistent — channels are captured verbatim.
+//! * [`crate::SharedPool`] cannot stop the world (other jobs keep running),
+//!   so it takes an asynchronous barrier snapshot in the spirit of Carbone
+//!   et al.'s ABS — but needs no barrier *markers*: the min-sequence Kahn
+//!   acceptance rule already makes sequence numbers a global logical clock.
+//!   The pool freezes the job's sources just long enough to pick a barrier
+//!   sequence number `k` (the maximum source cursor), and every task
+//!   contributes its state exactly once, at its own *alignment*: the moment
+//!   it would first consume or produce a sequence number `≥ k`.  At a
+//!   producer's alignment its delivery counters count exactly its pre-`k`
+//!   deliveries, at a consumer's alignment it has consumed exactly the
+//!   pre-`k` prefix of every input, and everything the ring still holds at
+//!   that point carries `seq ≥ k` — produced *after* the producer's aligned
+//!   state was captured, and therefore regenerated deterministically on
+//!   resume.  Channels are thus recorded empty (EOS markers aside), and the
+//!   restored wrapper gap counters continue exactly where they stopped: no
+//!   dummy interval is ever counted twice.
+//!
+//! Snapshots serialise to a small, versioned, magic-tagged byte format
+//! ([`JobSnapshot::to_bytes`] / [`JobSnapshot::from_bytes`]; hand-rolled,
+//! no serde in this workspace); foreign or corrupted blobs are rejected,
+//! not misinterpreted.
+//!
+//! [`DummyWrapper`]: crate::wrapper::DummyWrapper
+
+use fila_graph::fingerprint::labeled_fingerprint;
+
+use crate::message::Message;
+use crate::report::ExecutionReport;
+use crate::shared_pool::JobVerdict;
+use crate::topology::Topology;
+use crate::wrapper::{AvoidanceMode, PropagationTrigger};
+
+/// The snapshot format version this build writes and accepts.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Leading magic of the byte format (`b"FILASNAP"`).
+const MAGIC: [u8; 8] = *b"FILASNAP";
+
+/// The checkpointed state of one node.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeSnapshot {
+    /// The node's [`DummyWrapper`](crate::wrapper::DummyWrapper) gap
+    /// counters, aligned with its out-edges.
+    pub gaps: Vec<u64>,
+    /// Next sequence number this node would emit if it is a source.
+    pub next_source_seq: u64,
+    /// The node has staged its end-of-stream markers.
+    pub eos_queued: bool,
+    /// The node reached end-of-stream and drained all outputs.
+    pub done: bool,
+    /// Behaviour firings so far (source emissions + data acceptances).
+    pub firings: u64,
+    /// Data-bearing sequence numbers consumed so far, if the node is a sink.
+    pub sink_firings: u64,
+    /// Outputs produced but not yet delivered to their channel, in staging
+    /// order: `(edge index, message)` pairs.
+    pub staged: Vec<(u32, Message)>,
+}
+
+/// A versioned, self-describing checkpoint of one job (see the module docs
+/// for the consistency model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSnapshot {
+    /// Snapshot format version ([`SNAPSHOT_VERSION`] when produced by this
+    /// build).
+    pub version: u32,
+    /// Exact labelled topology hash
+    /// ([`fila_graph::fingerprint::labeled_fingerprint`]) of the graph the
+    /// snapshot was taken on — the precondition for transplanting the
+    /// per-edge state below onto a restore-side graph.
+    pub labeled_topology: u64,
+    /// The service-level job identity (structural fingerprint) the snapshot
+    /// was stamped with, if it passed through
+    /// `JobService::checkpoint_job`; `None` for bare runtime snapshots.
+    pub fingerprint: Option<u64>,
+    /// The filter signature (certification-key component) the job was
+    /// certified under, if stamped by the service.
+    pub filter_signature: Option<u64>,
+    /// Digest of the avoidance plan the job ran under (`None` = avoidance
+    /// disabled); see [`plan_digest`].
+    pub plan_digest: Option<u64>,
+    /// Propagation-trigger code the job ran under (see [`trigger_code`]).
+    pub trigger: u8,
+    /// Input sequence numbers offered at every source.
+    pub inputs: u64,
+    /// Progress marker at capture time: scheduler steps (simulator) or
+    /// total firings (pool).  Restored runs report this as
+    /// [`ExecutionReport::resumed_from`].
+    pub steps: u64,
+    /// Sink firings at capture time (cumulative, schedule-invariant).
+    pub sink_firings: u64,
+    /// Data messages delivered per channel at capture time.
+    pub per_edge_data: Vec<u64>,
+    /// Dummy messages delivered per channel at capture time.
+    pub per_edge_dummies: Vec<u64>,
+    /// In-flight messages per channel.  Simulator snapshots record channels
+    /// verbatim; pool barrier snapshots record only the already-delivered
+    /// EOS markers (everything else is regenerated on resume — see the
+    /// module docs).
+    pub channels: Vec<Vec<Message>>,
+    /// Per-node state, indexed by node id.
+    pub nodes: Vec<NodeSnapshot>,
+}
+
+/// Why a checkpoint request produced no snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The job already settled with this verdict; there is no in-flight
+    /// state left to capture.
+    Settled(JobVerdict),
+    /// Another checkpoint of the same job is still being collected.
+    InProgress,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Settled(v) => write!(f, "job already settled: {v:?}"),
+            SnapshotError::InProgress => write!(f, "a checkpoint of this job is already in progress"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Why a snapshot was rejected at restore time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The snapshot was written by an incompatible format version.
+    VersionMismatch {
+        /// Version recorded in the snapshot.
+        found: u32,
+        /// Version this build accepts.
+        expected: u32,
+    },
+    /// The restore-side topology, avoidance plan or trigger differs from
+    /// what the snapshot was certified under.  Resuming would silently run
+    /// the job under a plan its certificate does not attest to, so the
+    /// restore is rejected instead of re-planned.
+    PlanMismatch(String),
+    /// The snapshot is structurally inconsistent (truncated blob, counts
+    /// that do not fit the topology, over-capacity channels, …).
+    Corrupted(String),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found} not supported (expected {expected})")
+            }
+            RestoreError::PlanMismatch(why) => write!(f, "plan mismatch: {why}"),
+            RestoreError::Corrupted(why) => write!(f, "corrupted snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// What a [`Simulator::run_with_checkpoint`](crate::Simulator::run_with_checkpoint)
+/// run ended with.
+#[derive(Debug)]
+pub enum CheckpointOutcome {
+    /// The run settled before reaching the kill step.
+    Finished(ExecutionReport),
+    /// The run was killed at the requested step; this snapshot resumes it.
+    Killed(Box<JobSnapshot>),
+}
+
+/// A digest of the avoidance plan a job runs under: protocol, rounding and
+/// the full per-edge dummy-interval table.  `None` when avoidance is
+/// disabled.  Two modes share the digest exactly when the runtime wrapper
+/// behaves identically under them — the unit restore validation compares.
+pub fn plan_digest(mode: &AvoidanceMode) -> Option<u64> {
+    let AvoidanceMode::Plan(plan) = mode else {
+        return None;
+    };
+    let mut h = fold(0xF11A_5A4B, match plan.algorithm() {
+        fila_avoidance::Algorithm::Propagation => 1,
+        fila_avoidance::Algorithm::NonPropagation => 2,
+    });
+    h = fold(h, match plan.rounding() {
+        fila_avoidance::Rounding::Floor => 1,
+        fila_avoidance::Rounding::Ceil => 2,
+    });
+    h = fold(h, plan.edge_count() as u64);
+    for raw in 0..plan.edge_count() {
+        let e = fila_graph::EdgeId::from_raw(raw as u32);
+        // Finite intervals map to v+1 so interval 0 and "infinite" differ.
+        h = fold(h, plan.interval(e).finite().map(|v| v + 1).unwrap_or(0));
+    }
+    Some(h)
+}
+
+/// The stable wire code of a [`PropagationTrigger`].
+pub fn trigger_code(trigger: PropagationTrigger) -> u8 {
+    match trigger {
+        PropagationTrigger::OnFilterOnly => 0,
+        PropagationTrigger::Heartbeat => 1,
+    }
+}
+
+/// splitmix64-style mixing fold (same construction as the graph
+/// fingerprints, different stream constant).
+fn fold(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl JobSnapshot {
+    /// Validates that this snapshot can be restored onto `topology` running
+    /// under `mode`/`trigger`: the format version is supported, the exact
+    /// labelled topology hash, plan digest and trigger all match what the
+    /// snapshot was taken under, and every recorded vector fits the graph
+    /// (channel contents within capacity, wrapper state per out-degree,
+    /// staged messages on real out-edges).
+    pub fn validate_for(
+        &self,
+        topology: &Topology,
+        mode: &AvoidanceMode,
+        trigger: PropagationTrigger,
+    ) -> Result<(), RestoreError> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(RestoreError::VersionMismatch {
+                found: self.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let g = topology.graph();
+        if self.labeled_topology != labeled_fingerprint(g) {
+            return Err(RestoreError::PlanMismatch(
+                "topology fingerprint drifted since the snapshot was taken".into(),
+            ));
+        }
+        if self.plan_digest != plan_digest(mode) {
+            return Err(RestoreError::PlanMismatch(
+                "avoidance plan differs from the one the snapshot was certified under".into(),
+            ));
+        }
+        if self.trigger != trigger_code(trigger) {
+            return Err(RestoreError::PlanMismatch(
+                "propagation trigger differs from the snapshot's".into(),
+            ));
+        }
+        let corrupted = |why: &str| Err(RestoreError::Corrupted(why.into()));
+        if self.nodes.len() != g.node_count() {
+            return corrupted("node count does not match the topology");
+        }
+        if self.channels.len() != g.edge_count()
+            || self.per_edge_data.len() != g.edge_count()
+            || self.per_edge_dummies.len() != g.edge_count()
+        {
+            return corrupted("edge-indexed vectors do not match the topology");
+        }
+        for e in g.edge_ids() {
+            if self.channels[e.index()].len() > g.capacity(e) as usize {
+                return corrupted("channel contents exceed the channel capacity");
+            }
+        }
+        for (idx, ns) in self.nodes.iter().enumerate() {
+            let node = fila_graph::NodeId::from_raw(idx as u32);
+            let outs = g.out_edges(node);
+            if ns.gaps.len() != outs.len() {
+                return corrupted("wrapper state does not match the node's out-degree");
+            }
+            if ns.staged.len() > 2 * outs.len() {
+                return corrupted("more staged messages than staging slots");
+            }
+            for &(edge, _) in &ns.staged {
+                let e = fila_graph::EdgeId::from_raw(edge);
+                if !outs.contains(&e) {
+                    return corrupted("staged message on an edge the node does not produce");
+                }
+                if ns.staged.iter().filter(|&&(se, _)| se == edge).count() > 2 {
+                    return corrupted("more than two staged messages on one edge");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises the snapshot into the versioned byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            64 + 16 * self.per_edge_data.len() + 64 * self.nodes.len(),
+        );
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        put_u64(&mut out, self.labeled_topology);
+        put_opt(&mut out, self.fingerprint);
+        put_opt(&mut out, self.filter_signature);
+        put_opt(&mut out, self.plan_digest);
+        out.push(self.trigger);
+        put_u64(&mut out, self.inputs);
+        put_u64(&mut out, self.steps);
+        put_u64(&mut out, self.sink_firings);
+        put_u64s(&mut out, &self.per_edge_data);
+        put_u64s(&mut out, &self.per_edge_dummies);
+        put_u64(&mut out, self.channels.len() as u64);
+        for channel in &self.channels {
+            put_u64(&mut out, channel.len() as u64);
+            for &m in channel {
+                put_message(&mut out, m);
+            }
+        }
+        put_u64(&mut out, self.nodes.len() as u64);
+        for node in &self.nodes {
+            put_u64s(&mut out, &node.gaps);
+            put_u64(&mut out, node.next_source_seq);
+            out.push(node.eos_queued as u8);
+            out.push(node.done as u8);
+            put_u64(&mut out, node.firings);
+            put_u64(&mut out, node.sink_firings);
+            put_u64(&mut out, node.staged.len() as u64);
+            for &(edge, m) in &node.staged {
+                out.extend_from_slice(&edge.to_le_bytes());
+                put_message(&mut out, m);
+            }
+        }
+        out
+    }
+
+    /// Deserialises a snapshot, rejecting foreign blobs (bad magic),
+    /// unsupported versions and truncated or inconsistent encodings.
+    pub fn from_bytes(bytes: &[u8]) -> Result<JobSnapshot, RestoreError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(RestoreError::Corrupted("bad magic: not a fila snapshot".into()));
+        }
+        let version = u32::from_le_bytes(r.take(4)?[..4].try_into().expect("4 bytes"));
+        if version != SNAPSHOT_VERSION {
+            return Err(RestoreError::VersionMismatch {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let labeled_topology = r.u64()?;
+        let fingerprint = r.opt()?;
+        let filter_signature = r.opt()?;
+        let plan_digest = r.opt()?;
+        let trigger = r.u8()?;
+        let inputs = r.u64()?;
+        let steps = r.u64()?;
+        let sink_firings = r.u64()?;
+        let per_edge_data = r.u64s()?;
+        let per_edge_dummies = r.u64s()?;
+        let channel_count = r.len(9)?;
+        let mut channels = Vec::with_capacity(channel_count);
+        for _ in 0..channel_count {
+            let n = r.len(1)?;
+            let mut channel = Vec::with_capacity(n);
+            for _ in 0..n {
+                channel.push(r.message()?);
+            }
+            channels.push(channel);
+        }
+        let node_count = r.len(27)?;
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let gaps = r.u64s()?;
+            let next_source_seq = r.u64()?;
+            let eos_queued = r.u8()? != 0;
+            let done = r.u8()? != 0;
+            let firings = r.u64()?;
+            let sink_firings = r.u64()?;
+            let staged_count = r.len(5)?;
+            let mut staged = Vec::with_capacity(staged_count);
+            for _ in 0..staged_count {
+                let edge = u32::from_le_bytes(r.take(4)?[..4].try_into().expect("4 bytes"));
+                staged.push((edge, r.message()?));
+            }
+            nodes.push(NodeSnapshot {
+                gaps,
+                next_source_seq,
+                eos_queued,
+                done,
+                firings,
+                sink_firings,
+                staged,
+            });
+        }
+        if r.pos != bytes.len() {
+            return Err(RestoreError::Corrupted("trailing bytes after snapshot".into()));
+        }
+        Ok(JobSnapshot {
+            version,
+            labeled_topology,
+            fingerprint,
+            filter_signature,
+            plan_digest,
+            trigger,
+            inputs,
+            steps,
+            sink_firings,
+            per_edge_data,
+            per_edge_dummies,
+            channels,
+            nodes,
+        })
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64s(out: &mut Vec<u8>, vs: &[u64]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_u64(out, v);
+    }
+}
+
+fn put_opt(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_message(out: &mut Vec<u8>, m: Message) {
+    match m {
+        Message::Data { seq, payload } => {
+            out.push(0);
+            put_u64(out, seq);
+            put_u64(out, payload);
+        }
+        Message::Dummy { seq } => {
+            out.push(1);
+            put_u64(out, seq);
+        }
+        Message::Eos => out.push(2),
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RestoreError> {
+        if self.buf.len() - self.pos < n {
+            return Err(RestoreError::Corrupted("truncated snapshot".into()));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, RestoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, RestoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?[..8].try_into().expect("8 bytes")))
+    }
+
+    /// Reads a declared element count, bounding it by the bytes actually
+    /// remaining (each element occupies at least `min_elem` bytes) so a
+    /// corrupted length can never drive an allocation.
+    fn len(&mut self, min_elem: usize) -> Result<usize, RestoreError> {
+        let n = self.u64()? as usize;
+        match n.checked_mul(min_elem.max(1)) {
+            Some(bytes) if bytes <= self.buf.len() - self.pos => Ok(n),
+            _ => Err(RestoreError::Corrupted("declared length exceeds the blob".into())),
+        }
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>, RestoreError> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn opt(&mut self) -> Result<Option<u64>, RestoreError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(RestoreError::Corrupted("bad option tag".into())),
+        }
+    }
+
+    fn message(&mut self) -> Result<Message, RestoreError> {
+        match self.u8()? {
+            0 => Ok(Message::Data {
+                seq: self.u64()?,
+                payload: self.u64()?,
+            }),
+            1 => Ok(Message::Dummy { seq: self.u64()? }),
+            2 => Ok(Message::Eos),
+            _ => Err(RestoreError::Corrupted("bad message tag".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobSnapshot {
+        JobSnapshot {
+            version: SNAPSHOT_VERSION,
+            labeled_topology: 0xDEAD_BEEF,
+            fingerprint: Some(42),
+            filter_signature: None,
+            plan_digest: Some(7),
+            trigger: 0,
+            inputs: 100,
+            steps: 12,
+            sink_firings: 3,
+            per_edge_data: vec![5, 0],
+            per_edge_dummies: vec![0, 2],
+            channels: vec![
+                vec![Message::Data { seq: 9, payload: 1 }, Message::Dummy { seq: 10 }],
+                vec![Message::Eos],
+            ],
+            nodes: vec![
+                NodeSnapshot {
+                    gaps: vec![1, 2],
+                    next_source_seq: 11,
+                    eos_queued: false,
+                    done: false,
+                    firings: 11,
+                    sink_firings: 0,
+                    staged: vec![(0, Message::Data { seq: 10, payload: 4 })],
+                },
+                NodeSnapshot {
+                    gaps: vec![],
+                    next_source_seq: 0,
+                    eos_queued: true,
+                    done: true,
+                    firings: 3,
+                    sink_firings: 3,
+                    staged: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip_exactly() {
+        let snapshot = sample();
+        let bytes = snapshot.to_bytes();
+        assert_eq!(JobSnapshot::from_bytes(&bytes).unwrap(), snapshot);
+    }
+
+    #[test]
+    fn foreign_blob_is_rejected() {
+        let r = JobSnapshot::from_bytes(b"not a snapshot at all");
+        assert!(matches!(r, Err(RestoreError::Corrupted(_))), "{r:?}");
+        let r = JobSnapshot::from_bytes(&[]);
+        assert!(matches!(r, Err(RestoreError::Corrupted(_))), "{r:?}");
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected_not_misread() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 99; // version little-endian low byte
+        match JobSnapshot::from_bytes(&bytes) {
+            Err(RestoreError::VersionMismatch { found: 99, expected }) => {
+                assert_eq!(expected, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [bytes.len() - 1, bytes.len() / 2, 9] {
+            let r = JobSnapshot::from_bytes(&bytes[..cut]);
+            assert!(matches!(r, Err(RestoreError::Corrupted(_))), "cut {cut}: {r:?}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        let r = JobSnapshot::from_bytes(&extended);
+        assert!(matches!(r, Err(RestoreError::Corrupted(_))), "{r:?}");
+    }
+
+    #[test]
+    fn corrupted_length_cannot_drive_allocation() {
+        let mut bytes = sample().to_bytes();
+        // The per_edge_data length field sits right after the fixed header;
+        // blow it up to a value no blob of this size could hold.
+        let offset = 8 + 4 + 8 + 2 + 9 + 9 + 1 + 8 + 8 + 8;
+        bytes[offset..offset + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let r = JobSnapshot::from_bytes(&bytes);
+        assert!(matches!(r, Err(RestoreError::Corrupted(_))), "{r:?}");
+    }
+
+    #[test]
+    fn plan_digest_distinguishes_plans_and_disabled() {
+        use fila_avoidance::{Algorithm, Planner};
+        use fila_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        b.edge_with_capacity("a", "b", 2).unwrap();
+        b.edge_with_capacity("b", "c", 2).unwrap();
+        b.edge_with_capacity("a", "c", 2).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(plan_digest(&AvoidanceMode::Disabled), None);
+        let prop = Planner::new(&g).algorithm(Algorithm::Propagation).plan().unwrap();
+        let nonprop = Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap();
+        let d_prop = plan_digest(&AvoidanceMode::plan(prop.clone()));
+        let d_nonprop = plan_digest(&AvoidanceMode::plan(nonprop));
+        assert!(d_prop.is_some() && d_nonprop.is_some());
+        assert_ne!(d_prop, d_nonprop);
+        // Same plan twice: identical digest.
+        assert_eq!(d_prop, plan_digest(&AvoidanceMode::plan(prop)));
+    }
+}

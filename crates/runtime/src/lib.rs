@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod filters;
 pub mod message;
 pub mod node;
@@ -50,6 +51,9 @@ pub mod threaded;
 pub mod topology;
 pub mod wrapper;
 
+pub use checkpoint::{
+    CheckpointOutcome, JobSnapshot, NodeSnapshot, RestoreError, SnapshotError,
+};
 pub use filters::{Bernoulli, Broadcast, Collector, ModuloFilter, RouteRoundRobin};
 pub use message::{Message, Payload};
 pub use node::{FireDecision, FireInput, NodeBehavior};

@@ -326,9 +326,13 @@ impl Pool {
         let (outcome, newly_done) = {
             let mut task = self.tasks[node as usize].lock().expect("task lock");
             let was_done = task.done;
-            let outcome = task::run_task(&mut task, self.inputs, self.batch, &mut |n| {
-                self.wake(worker, n)
-            });
+            let outcome = task::run_task(
+                &mut task,
+                self.inputs,
+                self.batch,
+                &mut |n| self.wake(worker, n),
+                None,
+            );
             (outcome, task.done && !was_done)
         };
         if newly_done {

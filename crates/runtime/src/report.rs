@@ -48,6 +48,13 @@ pub struct ExecutionReport {
     /// Wall-clock time of the run, measured by the engine (submit-to-verdict
     /// for jobs on a shared pool).
     pub wall: Duration,
+    /// For restored runs, the `steps` progress marker of the
+    /// [`JobSnapshot`](crate::checkpoint::JobSnapshot) this run resumed
+    /// from; `None` for runs started fresh.  All counters in a resumed
+    /// run's report are **cumulative** across the original and resumed
+    /// executions — a resumed run that finishes reports exactly what the
+    /// uninterrupted run would have.
+    pub resumed_from: Option<u64>,
 }
 
 impl ExecutionReport {

@@ -36,15 +36,44 @@
 //! [`JobVerdict::Failed`]); the workers and every other job keep running.
 //! Dropping the pool stops the workers and settles still-undelivered jobs
 //! with [`JobVerdict::Cancelled`] so no waiter hangs.
+//!
+//! ## Barrier snapshots without stopping the pool
+//!
+//! [`JobHandle::checkpoint`] captures a consistent
+//! [`JobSnapshot`] of one running job while
+//! every other job (and the job itself) keeps executing — an asynchronous
+//! barrier snapshot in the spirit of Carbone et al.'s ABS, with sequence
+//! numbers playing the role of barrier markers (see the
+//! [`crate::checkpoint`] module docs for the full consistency argument).
+//! The checkpointer freezes the job's sources just long enough to read a
+//! barrier sequence number `k` (the maximum source cursor), publishes it,
+//! and every task contributes its state exactly once at its own
+//! *alignment* — the point where it would next consume or produce a
+//! sequence number `≥ k` — either from inside the task-stepping loop (one
+//! atomic load per firing when no snapshot is pending) or from the
+//! checkpointer's sweep for tasks that are already done.  If the job
+//! settles before the barrier completes, the checkpoint returns the
+//! verdict instead ([`crate::checkpoint::SnapshotError::Settled`]); it
+//! never hangs and never produces a torn snapshot.
+//! [`SharedPool::resume_full`] restores a snapshot as a new job that
+//! reports **cumulative** counts, after re-validating the exact topology,
+//! plan and trigger it was captured under.
 
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use fila_graph::fingerprint::labeled_fingerprint;
+use fila_graph::Graph;
+
+use crate::checkpoint::{
+    self, JobSnapshot, NodeSnapshot, RestoreError, SnapshotError, SNAPSHOT_VERSION,
+};
+use crate::message::Message;
 use crate::report::ExecutionReport;
 use crate::task::{self, Outcome, Task};
 use crate::topology::Topology;
@@ -107,6 +136,158 @@ struct JobState {
     started: Instant,
     slot: Mutex<DoneSlot>,
     done_cv: Condvar,
+    /// Node indices of the job's sources (in-degree 0), frozen briefly by
+    /// [`JobHandle::checkpoint`] to pick a barrier sequence number.
+    sources: Vec<usize>,
+    /// Snapshot identity, computed once at submission.
+    meta: SnapMeta,
+    /// Progress marker of the snapshot this job resumed from, if any.
+    resumed_from: Option<u64>,
+    /// Epoch of the snapshot currently being collected (0 = none).  This is
+    /// the one-atomic-load fast path `run_task` checks per firing; the
+    /// barrier below is published *before* it with release ordering.
+    snap_pending: AtomicU64,
+    /// Barrier sequence number of the pending snapshot epoch.
+    snap_barrier: AtomicU64,
+    /// Snapshot collection buffers and the finished result.  Lock order:
+    /// a task mutex is always taken *before* this mutex, never after.
+    snap: Mutex<SnapState>,
+    snap_cv: Condvar,
+}
+
+/// The identity stamped into every snapshot of a job, so restores can
+/// verify they resume under the exact certified plan.
+struct SnapMeta {
+    labeled_topology: u64,
+    plan_digest: Option<u64>,
+    trigger: u8,
+}
+
+impl SnapMeta {
+    fn new(g: &Graph, mode: &AvoidanceMode, trigger: PropagationTrigger) -> Self {
+        SnapMeta {
+            labeled_topology: labeled_fingerprint(g),
+            plan_digest: checkpoint::plan_digest(mode),
+            trigger: checkpoint::trigger_code(trigger),
+        }
+    }
+}
+
+/// In-flight snapshot collection state (guarded by `JobState::snap`).
+#[derive(Default)]
+struct SnapState {
+    /// Monotonic checkpoint epoch for this job; task-side `snap_epoch`
+    /// markers dedup contributions against it.
+    epoch: u64,
+    /// Tasks that have not yet contributed to the pending epoch.
+    remaining: usize,
+    nodes: Vec<Option<NodeSnapshot>>,
+    per_edge_data: Vec<u64>,
+    per_edge_dummies: Vec<u64>,
+    /// Delivered-EOS markers inferred at contribution time (a pool
+    /// barrier's channels are otherwise empty at the cut — see the
+    /// `checkpoint` module docs).
+    channels: Vec<Vec<Message>>,
+    /// The finished snapshot, or the verdict that pre-empted it.
+    result: Option<Result<Box<JobSnapshot>, SnapshotError>>,
+}
+
+impl JobState {
+    /// Records one task's aligned state into the pending snapshot.  The
+    /// caller holds the task mutex (lock order: task before snap); the
+    /// final contribution assembles the [`JobSnapshot`] and wakes the
+    /// checkpointer.
+    fn contribute(&self, node: usize, task: &mut Task) {
+        let mut snap = lock(&self.snap);
+        // A settle (or a stale wakeup from a finished epoch) may have
+        // fulfilled the result already; the buffers are gone then.
+        if snap.result.is_some() || snap.nodes[node].is_some() {
+            return;
+        }
+        for port in &task.outs {
+            snap.per_edge_data[port.edge as usize] = port.data;
+            snap.per_edge_dummies[port.edge as usize] = port.dummies;
+            // An EOS-queued producer with an empty staging queue has
+            // delivered its EOS marker; consumers never pop EOS, so it is
+            // part of the channel state and must survive the restore.
+            if task.eos_queued && port.queue.len() == 0 {
+                snap.channels[port.edge as usize].push(Message::Eos);
+            }
+        }
+        snap.nodes[node] = Some(NodeSnapshot {
+            gaps: task.wrapper.gaps().to_vec(),
+            next_source_seq: task.next_source_seq,
+            eos_queued: task.eos_queued,
+            done: task.done,
+            firings: task.firings,
+            sink_firings: task.sink_firings,
+            staged: task
+                .outs
+                .iter()
+                .flat_map(|port| {
+                    [port.queue.first, port.queue.second]
+                        .into_iter()
+                        .flatten()
+                        .map(move |m| (port.edge, m))
+                })
+                .collect(),
+        });
+        snap.remaining -= 1;
+        if snap.remaining == 0 {
+            let nodes: Vec<NodeSnapshot> = snap
+                .nodes
+                .iter_mut()
+                .map(|n| n.take().expect("every task contributed"))
+                .collect();
+            let steps = nodes.iter().map(|n| n.firings).sum();
+            let sink_firings = nodes.iter().map(|n| n.sink_firings).sum();
+            snap.result = Some(Ok(Box::new(JobSnapshot {
+                version: SNAPSHOT_VERSION,
+                labeled_topology: self.meta.labeled_topology,
+                fingerprint: None,
+                filter_signature: None,
+                plan_digest: self.meta.plan_digest,
+                trigger: self.meta.trigger,
+                inputs: self.inputs,
+                steps,
+                sink_firings,
+                per_edge_data: std::mem::take(&mut snap.per_edge_data),
+                per_edge_dummies: std::mem::take(&mut snap.per_edge_dummies),
+                channels: std::mem::take(&mut snap.channels),
+                nodes,
+            })));
+            self.snap_pending.store(0, Ordering::Release);
+            self.snap_cv.notify_all();
+        }
+    }
+}
+
+/// The [`task::SnapSink`] view of one job, handed to [`task::run_task`] so
+/// tasks contribute at their alignment point.
+struct JobSnapSink<'a> {
+    job: &'a JobState,
+    node: usize,
+}
+
+impl task::SnapSink for JobSnapSink<'_> {
+    fn pending(&self) -> u64 {
+        self.job.snap_pending.load(Ordering::Acquire)
+    }
+
+    fn barrier(&self) -> u64 {
+        self.job.snap_barrier.load(Ordering::Acquire)
+    }
+
+    fn contribute(&self, task: &mut Task) {
+        self.job.contribute(self.node, task);
+    }
+}
+
+fn source_indices(g: &Graph) -> Vec<usize> {
+    g.node_ids()
+        .filter(|&n| g.in_degree(n) == 0)
+        .map(|n| n.index())
+        .collect()
 }
 
 struct DoneSlot {
@@ -150,6 +331,101 @@ impl JobHandle {
     /// True once the report is available ([`JobHandle::wait`] won't block).
     pub fn is_settled(&self) -> bool {
         lock(&self.job.slot).report.is_some()
+    }
+
+    /// Captures a consistent barrier snapshot of this job while it — and
+    /// every other job on the pool — keeps executing (see the module docs).
+    ///
+    /// Blocks until every task has contributed its aligned state, then
+    /// returns the assembled [`JobSnapshot`].  Returns
+    /// [`SnapshotError::Settled`] if the job reaches its verdict before the
+    /// barrier completes (the checkpoint never hangs on a finished job) and
+    /// [`SnapshotError::InProgress`] if another checkpoint of this job is
+    /// still collecting.  Concurrent checkpoints of the *same* job may
+    /// observe each other's snapshots; checkpoints of different jobs are
+    /// fully independent.
+    pub fn checkpoint(&self) -> Result<JobSnapshot, SnapshotError> {
+        let job = &self.job;
+        let node_count = job.tasks.len();
+        let epoch;
+        {
+            let mut snap = lock(&job.snap);
+            if let Some(verdict) = self.verdict() {
+                return Err(SnapshotError::Settled(verdict));
+            }
+            if job.snap_pending.load(Ordering::SeqCst) != 0 {
+                return Err(SnapshotError::InProgress);
+            }
+            snap.epoch += 1;
+            epoch = snap.epoch;
+            snap.remaining = node_count;
+            snap.nodes = vec![None; node_count];
+            snap.per_edge_data = vec![0; job.edge_count];
+            snap.per_edge_dummies = vec![0; job.edge_count];
+            snap.channels = vec![Vec::new(); job.edge_count];
+            snap.result = None;
+        }
+        // Freeze every source just long enough to read the barrier: the
+        // maximum source cursor, i.e. the first sequence number no source
+        // has produced yet.  Runners hold the task mutex for their whole
+        // batch, so holding all source locks pins every cursor at once.
+        // The barrier is published before the epoch (release ordering via
+        // SeqCst) so any task that sees the epoch sees the barrier too.
+        {
+            let guards: Vec<_> = job
+                .sources
+                .iter()
+                .map(|&s| lock(&job.tasks[s]))
+                .collect();
+            let barrier = guards
+                .iter()
+                .map(|task| task.next_source_seq)
+                .max()
+                .unwrap_or(0);
+            job.snap_barrier.store(barrier, Ordering::SeqCst);
+            job.snap_pending.store(epoch, Ordering::SeqCst);
+        }
+        // The job may have settled between the verdict check above and the
+        // publish; `deliver` has already run then and nobody else will
+        // fulfil the pending snapshot — do it here.
+        if self.verdict().is_some() && job.snap_pending.swap(0, Ordering::SeqCst) != 0 {
+            let mut snap = lock(&job.snap);
+            if snap.result.is_none() {
+                let verdict = self.verdict().expect("verdict checked above");
+                snap.result = Some(Err(SnapshotError::Settled(verdict)));
+            }
+        }
+        // Sweep: contribute every task that is already aligned.  Done tasks
+        // never run again, so `run_task` cannot catch them; blocked tasks
+        // that are already past the barrier would otherwise contribute only
+        // on their next wake, which may never come for a deadlocked branch.
+        for node in 0..node_count {
+            if job.snap_pending.load(Ordering::SeqCst) != epoch {
+                break; // collection finished (or pre-empted by a settle)
+            }
+            let mut task = lock(&job.tasks[node]);
+            let task = &mut *task;
+            if task.snap_epoch != epoch
+                && (task.done
+                    || task.eos_queued
+                    || (task.is_source
+                        && task.staged == 0
+                        && task.next_source_seq >= job.snap_barrier.load(Ordering::SeqCst)))
+            {
+                task.snap_epoch = epoch;
+                job.contribute(node, task);
+            }
+        }
+        let mut snap = lock(&job.snap);
+        loop {
+            if let Some(result) = snap.result.clone() {
+                return result.map(|snapshot| *snapshot);
+            }
+            snap = job
+                .snap_cv
+                .wait(snap)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
     }
 }
 
@@ -301,6 +577,13 @@ impl SharedPool {
                     on_settle: None,
                 }),
                 done_cv: Condvar::new(),
+                sources: Vec::new(),
+                meta: SnapMeta::new(g, &mode, trigger),
+                resumed_from: None,
+                snap_pending: AtomicU64::new(0),
+                snap_barrier: AtomicU64::new(0),
+                snap: Mutex::new(SnapState::default()),
+                snap_cv: Condvar::new(),
             });
             return JobHandle { job };
         }
@@ -324,6 +607,13 @@ impl SharedPool {
                 on_settle,
             }),
             done_cv: Condvar::new(),
+            sources: source_indices(g),
+            meta: SnapMeta::new(g, &mode, trigger),
+            resumed_from: None,
+            snap_pending: AtomicU64::new(0),
+            snap_barrier: AtomicU64::new(0),
+            snap: Mutex::new(SnapState::default()),
+            snap_cv: Condvar::new(),
         });
         lock(&self.core.live).push(Arc::clone(&job));
         // Seed every task once, round-robin from a rotating origin; from
@@ -339,6 +629,137 @@ impl SharedPool {
             );
         }
         JobHandle { job }
+    }
+
+    /// Restores a [`JobSnapshot`] as a new job on this pool: the job picks
+    /// up exactly where the snapshot was captured, and its report counts
+    /// are **cumulative** — they include the pre-snapshot progress, so a
+    /// killed-and-restored job's final report equals an uninterrupted
+    /// run's.
+    ///
+    /// The snapshot is first re-validated against the topology, avoidance
+    /// mode and trigger it is being resumed under; any drift (different
+    /// labeled topology, different plan intervals, different trigger, or a
+    /// foreign/corrupted blob) is a [`RestoreError`] — a snapshot is never
+    /// silently re-planned onto a different certification.
+    pub fn resume_full(
+        &self,
+        topology: &Topology,
+        mode: AvoidanceMode,
+        trigger: PropagationTrigger,
+        snapshot: &JobSnapshot,
+        on_settle: Option<SettleHook>,
+    ) -> Result<JobHandle, RestoreError> {
+        snapshot.validate_for(topology, &mode, trigger)?;
+        let started = Instant::now();
+        let g = topology.graph();
+        let node_count = g.node_count();
+        let mut tasks = task::build_tasks(topology, &mode, trigger);
+        for (idx, task) in tasks.iter_mut().enumerate() {
+            let node = &snapshot.nodes[idx];
+            task.next_source_seq = node.next_source_seq;
+            task.eos_queued = node.eos_queued;
+            task.done = node.done;
+            task.firings = node.firings;
+            task.sink_firings = node.sink_firings;
+            task.wrapper.restore_gaps(&node.gaps);
+            for port in &mut task.outs {
+                port.data = snapshot.per_edge_data[port.edge as usize];
+                port.dummies = snapshot.per_edge_dummies[port.edge as usize];
+                for &message in &snapshot.channels[port.edge as usize] {
+                    port.tx
+                        .push(message)
+                        .unwrap_or_else(|_| unreachable!("validated against ring capacity"));
+                }
+            }
+            for &(edge, message) in &node.staged {
+                let port = task
+                    .outs
+                    .iter_mut()
+                    .find(|p| p.edge == edge)
+                    .expect("staged edges validated against out-ports");
+                if port.queue.first.is_none() {
+                    port.queue.first = Some(message);
+                } else {
+                    port.queue.second = Some(message);
+                }
+                task.staged += 1;
+            }
+        }
+        let unfinished = tasks.iter().filter(|task| !task.done).count();
+        let tasks: Vec<Mutex<Task>> = tasks.into_iter().map(Mutex::new).collect();
+        if unfinished == 0 {
+            // The snapshot caught the job fully drained (every node done):
+            // settle synchronously, exactly like the empty-topology path.
+            let mut report =
+                task::assemble_report(&tasks, g.edge_count(), snapshot.inputs, false);
+            report.completed = true;
+            report.resumed_from = Some(snapshot.steps);
+            report.wall = started.elapsed();
+            if let Some(hook) = on_settle {
+                hook(&report, JobVerdict::Completed);
+            }
+            let job = Arc::new(JobState {
+                tasks,
+                states: (0..node_count).map(|_| AtomicU8::new(IDLE)).collect(),
+                active: AtomicUsize::new(0),
+                unfinished: AtomicUsize::new(0),
+                verdict: AtomicU8::new(JOB_COMPLETED),
+                delivered: AtomicBool::new(true),
+                inputs: snapshot.inputs,
+                edge_count: g.edge_count(),
+                started,
+                slot: Mutex::new(DoneSlot {
+                    report: Some(report),
+                    on_settle: None,
+                }),
+                done_cv: Condvar::new(),
+                sources: source_indices(g),
+                meta: SnapMeta::new(g, &mode, trigger),
+                resumed_from: Some(snapshot.steps),
+                snap_pending: AtomicU64::new(0),
+                snap_barrier: AtomicU64::new(0),
+                snap: Mutex::new(SnapState::default()),
+                snap_cv: Condvar::new(),
+            });
+            return Ok(JobHandle { job });
+        }
+        let job = Arc::new(JobState {
+            states: (0..node_count).map(|_| AtomicU8::new(QUEUED)).collect(),
+            tasks,
+            active: AtomicUsize::new(node_count),
+            unfinished: AtomicUsize::new(unfinished),
+            verdict: AtomicU8::new(JOB_RUNNING),
+            delivered: AtomicBool::new(false),
+            inputs: snapshot.inputs,
+            edge_count: g.edge_count(),
+            started,
+            slot: Mutex::new(DoneSlot {
+                report: None,
+                on_settle,
+            }),
+            done_cv: Condvar::new(),
+            sources: source_indices(g),
+            meta: SnapMeta::new(g, &mode, trigger),
+            resumed_from: Some(snapshot.steps),
+            snap_pending: AtomicU64::new(0),
+            snap_barrier: AtomicU64::new(0),
+            snap: Mutex::new(SnapState::default()),
+            snap_cv: Condvar::new(),
+        });
+        lock(&self.core.live).push(Arc::clone(&job));
+        // Seed every task (done tasks retire themselves on first run).
+        let base = self.core.next_seed.fetch_add(1, Ordering::Relaxed);
+        for node in 0..node_count {
+            self.core.push(
+                (base + node) % self.core.queues.len(),
+                TaskRef {
+                    job: Arc::clone(&job),
+                    node: node as u32,
+                },
+            );
+        }
+        Ok(JobHandle { job })
     }
 }
 
@@ -495,10 +916,18 @@ impl PoolCore {
         let exec = {
             let mut task = lock(&job.tasks[node]);
             let was_done = task.done;
+            let sink = JobSnapSink {
+                job: job.as_ref(),
+                node,
+            };
             let result = catch_unwind(AssertUnwindSafe(|| {
-                task::run_task(&mut task, job.inputs, self.batch, &mut |n| {
-                    self.wake(worker, job, n)
-                })
+                task::run_task(
+                    &mut task,
+                    job.inputs,
+                    self.batch,
+                    &mut |n| self.wake(worker, job, n),
+                    Some(&sink),
+                )
             }));
             match result {
                 Ok(outcome) => Exec::Normal(outcome, task.done && !was_done),
@@ -592,6 +1021,16 @@ impl PoolCore {
             JOB_FAILED => JobVerdict::Failed,
             _ => JobVerdict::Cancelled,
         };
+        // A checkpoint still pending at settle time can never complete (no
+        // task will ever contribute again); fulfil it with the verdict so
+        // the checkpointer returns instead of hanging.
+        if job.snap_pending.swap(0, Ordering::SeqCst) != 0 {
+            let mut snap = lock(&job.snap);
+            if snap.result.is_none() {
+                snap.result = Some(Err(SnapshotError::Settled(verdict)));
+            }
+            job.snap_cv.notify_all();
+        }
         let mut report = task::assemble_report(
             &job.tasks,
             job.edge_count,
@@ -600,6 +1039,7 @@ impl PoolCore {
         );
         report.completed = verdict == JobVerdict::Completed;
         report.wall = job.started.elapsed();
+        report.resumed_from = job.resumed_from;
         lock(&self.live).retain(|j| !Arc::ptr_eq(j, job));
         // The hook runs BEFORE the report is published, so a returning
         // `JobHandle::wait` implies the hook's effects (e.g. the service's

@@ -31,8 +31,12 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use fila_avoidance::AvoidancePlan;
+use fila_graph::fingerprint::labeled_fingerprint;
 use fila_graph::{EdgeId, Graph, NodeId};
 
+use crate::checkpoint::{
+    self, CheckpointOutcome, JobSnapshot, NodeSnapshot, RestoreError, SNAPSHOT_VERSION,
+};
 use crate::message::{Message, Payload};
 use crate::node::{FireDecision, FireInput};
 use crate::report::{BlockedInfo, BlockedReason, ExecutionReport};
@@ -123,6 +127,76 @@ impl<'t> Simulator<'t> {
         report.wall = started.elapsed();
         report
     }
+
+    /// Runs like [`Simulator::run`], but kills the run as soon as `kill_at`
+    /// scheduler steps have executed and returns a [`JobSnapshot`] of the
+    /// exact point of death (all channel contents, node progress and
+    /// wrapper state); if the run settles first, the finished report is
+    /// returned instead.  Since the simulator stops *between* steps, any
+    /// cut is consistent — no barrier is needed.  Always uses the worklist
+    /// scheduler (the kill step indexes its step sequence).
+    pub fn run_with_checkpoint(&self, inputs: u64, kill_at: u64) -> CheckpointOutcome {
+        let started = std::time::Instant::now();
+        let run = Run::new(self.topology, &self.mode, self.trigger, inputs);
+        match run.worklist_until(self.max_steps, false, kill_at) {
+            WorklistEnd::Report(mut report) => {
+                report.wall = started.elapsed();
+                CheckpointOutcome::Finished(report)
+            }
+            WorklistEnd::Killed(run) => CheckpointOutcome::Killed(Box::new(run.capture(
+                labeled_fingerprint(self.topology.graph()),
+                checkpoint::plan_digest(&self.mode),
+                checkpoint::trigger_code(self.trigger),
+            ))),
+        }
+    }
+
+    /// Resumes a killed run from its snapshot and drives it to a verdict.
+    ///
+    /// The snapshot must have been taken under *this* simulator's exact
+    /// topology, avoidance plan and trigger
+    /// ([`JobSnapshot::validate_for`]); anything else is a [`RestoreError`],
+    /// never a silent re-plan.  The returned report is **cumulative**: a
+    /// resumed run that completes reports exactly the counts the
+    /// uninterrupted run would have (and
+    /// [`ExecutionReport::resumed_from`] records the snapshot's progress
+    /// marker).  Always uses the worklist scheduler.
+    pub fn resume(&self, snapshot: &JobSnapshot) -> Result<ExecutionReport, RestoreError> {
+        let started = std::time::Instant::now();
+        snapshot.validate_for(self.topology, &self.mode, self.trigger)?;
+        let mut run = Run::new(self.topology, &self.mode, self.trigger, snapshot.inputs);
+        for (channel, contents) in run.channels.iter_mut().zip(&snapshot.channels) {
+            *channel = contents.iter().copied().collect();
+        }
+        run.report.steps = snapshot.steps;
+        run.report.sink_firings = snapshot.sink_firings;
+        run.report.per_edge_data = snapshot.per_edge_data.clone();
+        run.report.per_edge_dummies = snapshot.per_edge_dummies.clone();
+        run.report.data_messages = snapshot.per_edge_data.iter().sum();
+        run.report.dummy_messages = snapshot.per_edge_dummies.iter().sum();
+        run.report.resumed_from = Some(snapshot.steps);
+        for (state, ns) in run.nodes.iter_mut().zip(&snapshot.nodes) {
+            state.next_source_seq = ns.next_source_seq;
+            state.eos_queued = ns.eos_queued;
+            state.done = ns.done;
+            state.firings = ns.firings;
+            state.sink_firings = ns.sink_firings;
+            state.wrapper.restore_gaps(&ns.gaps);
+            state.pending = ns
+                .staged
+                .iter()
+                .map(|&(e, m)| (EdgeId::from_raw(e), m))
+                .collect();
+        }
+        // Seed every unfinished node: unlike a fresh run, restored interior
+        // nodes may already hold consumable channel contents.
+        let mut report = match run.worklist_until(self.max_steps, true, u64::MAX) {
+            WorklistEnd::Report(report) => report,
+            WorklistEnd::Killed(_) => unreachable!("kill step is never set for resumed runs"),
+        };
+        report.wall = started.elapsed();
+        Ok(report)
+    }
 }
 
 struct NodeState {
@@ -133,6 +207,18 @@ struct NodeState {
     next_source_seq: u64,
     eos_queued: bool,
     done: bool,
+    /// Behaviour firings (source emissions + data acceptances), mirroring
+    /// the pooled engines' per-task counter so snapshots carry the same
+    /// per-node progress regardless of which engine captured them.
+    firings: u64,
+    sink_firings: u64,
+}
+
+/// How a worklist execution ended: with a verdict, or killed mid-run with
+/// the whole [`Run`] handed back for checkpointing.
+enum WorklistEnd<'t> {
+    Report(ExecutionReport),
+    Killed(Box<Run<'t>>),
 }
 
 struct Run<'t> {
@@ -178,6 +264,8 @@ impl<'t> Run<'t> {
                 next_source_seq: 0,
                 eos_queued: false,
                 done: false,
+                firings: 0,
+                sink_firings: 0,
             })
             .collect();
         let report = ExecutionReport {
@@ -212,23 +300,38 @@ impl<'t> Run<'t> {
     /// seeded with the sources.  Invariant: any node that may be able to
     /// make progress is in the queue, so an empty queue with unfinished
     /// nodes is exactly a deadlock.
-    fn execute_worklist(mut self, max_steps: u64) -> ExecutionReport {
+    fn execute_worklist(self, max_steps: u64) -> ExecutionReport {
+        match self.worklist_until(max_steps, false, u64::MAX) {
+            WorklistEnd::Report(report) => report,
+            WorklistEnd::Killed(_) => unreachable!("kill step is never set for plain runs"),
+        }
+    }
+
+    /// The worklist scheduler body, parameterised for checkpoint/restore:
+    /// `seed_all` seeds every unfinished node instead of only the sources
+    /// (restored runs may hold consumable channel contents anywhere), and
+    /// the run is killed — handing back the whole `Run` for state capture —
+    /// once `kill_at` steps have executed (`u64::MAX` = never).
+    fn worklist_until(mut self, max_steps: u64, seed_all: bool, kill_at: u64) -> WorklistEnd<'t> {
         let g = self.graph();
         let node_count = g.node_count();
         let mut queue: VecDeque<NodeId> = VecDeque::with_capacity(node_count);
         let mut in_queue = vec![false; node_count];
-        // All channels start empty, so only the sources can make the first
-        // move; everything else is woken by channel events.
+        // A fresh run's channels all start empty, so only the sources can
+        // make the first move; everything else is woken by channel events.
         for (idx, state) in self.nodes.iter().enumerate() {
-            if state.is_source {
+            if (state.is_source || seed_all) && !state.done {
                 queue.push_back(NodeId::from_raw(idx as u32));
                 in_queue[idx] = true;
             }
         }
         while let Some(node) = queue.pop_front() {
             in_queue[node.index()] = false;
+            if self.report.steps >= kill_at {
+                return WorklistEnd::Killed(Box::new(self));
+            }
             if self.report.steps >= max_steps {
-                return self.finish(false, false);
+                return WorklistEnd::Report(self.finish(false, false));
             }
             if !self.step(node) {
                 // A node that could not progress recorded no channel events
@@ -260,9 +363,50 @@ impl<'t> Run<'t> {
             }
         }
         if self.nodes.iter().all(|s| s.done) {
-            self.finish(true, false)
+            WorklistEnd::Report(self.finish(true, false))
         } else {
-            self.finish(false, true)
+            WorklistEnd::Report(self.finish(false, true))
+        }
+    }
+
+    /// Captures the run's entire state as a [`JobSnapshot`] (channels
+    /// verbatim: the simulator stops between steps, where any cut is
+    /// consistent).
+    fn capture(&self, labeled_topology: u64, plan_digest: Option<u64>, trigger: u8) -> JobSnapshot {
+        JobSnapshot {
+            version: SNAPSHOT_VERSION,
+            labeled_topology,
+            fingerprint: None,
+            filter_signature: None,
+            plan_digest,
+            trigger,
+            inputs: self.inputs,
+            steps: self.report.steps,
+            sink_firings: self.report.sink_firings,
+            per_edge_data: self.report.per_edge_data.clone(),
+            per_edge_dummies: self.report.per_edge_dummies.clone(),
+            channels: self
+                .channels
+                .iter()
+                .map(|c| c.iter().copied().collect())
+                .collect(),
+            nodes: self
+                .nodes
+                .iter()
+                .map(|state| NodeSnapshot {
+                    gaps: state.wrapper.gaps().to_vec(),
+                    next_source_seq: state.next_source_seq,
+                    eos_queued: state.eos_queued,
+                    done: state.done,
+                    firings: state.firings,
+                    sink_firings: state.sink_firings,
+                    staged: state
+                        .pending
+                        .iter()
+                        .map(|&(e, m)| (e.index() as u32, m))
+                        .collect(),
+                })
+                .collect(),
         }
     }
 
@@ -398,7 +542,9 @@ impl<'t> Run<'t> {
         if self.data_in.iter().any(Option::is_some) {
             if g.out_degree(node) == 0 {
                 self.report.sink_firings += 1;
+                self.nodes[node.index()].sink_firings += 1;
             }
+            self.nodes[node.index()].firings += 1;
             let decision = self.nodes[node.index()].behavior.fire(&FireInput {
                 seq: accept_seq,
                 data_in: &self.data_in,
@@ -420,6 +566,7 @@ impl<'t> Run<'t> {
             let state = &mut self.nodes[node.index()];
             let seq = state.next_source_seq;
             state.next_source_seq += 1;
+            state.firings += 1;
             let decision = state.behavior.fire(&FireInput { seq, data_in: &[] });
             self.queue_outputs(node, seq, &decision, false);
             self.flush_pending(node);

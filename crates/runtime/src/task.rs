@@ -71,6 +71,46 @@ pub(crate) struct Task {
     pub(crate) data_in: Vec<Option<Payload>>,
     pub(crate) firings: u64,
     pub(crate) sink_firings: u64,
+    /// Epoch of the last barrier snapshot this task contributed to (0 =
+    /// never); guarded by the task mutex like the rest of the state.
+    pub(crate) snap_epoch: u64,
+}
+
+/// A pending barrier snapshot, as seen from inside [`run_task`].
+///
+/// The [`crate::SharedPool`] implements this for its per-job snapshot
+/// collection state (see `shared_pool`): `pending()` returns the epoch of
+/// the snapshot being collected (0 = none — the fast path is one atomic
+/// load per firing), `barrier()` the barrier sequence number `k`, and
+/// `contribute` captures the task's state into the collection buffer.  The
+/// caller always holds the task mutex when invoking `contribute`.
+pub(crate) trait SnapSink {
+    fn pending(&self) -> u64;
+    fn barrier(&self) -> u64;
+    fn contribute(&self, task: &mut Task);
+}
+
+/// Contributes `task` to a pending snapshot if it is *already aligned*
+/// without consuming anything further: it is done, has queued its EOS
+/// markers (both mean its remaining work touches no pre-barrier sequence
+/// number), or is a source whose cursor reached the barrier **with nothing
+/// left in its staging queues** — staged pre-barrier messages must be
+/// delivered (and counted at the consumer's own alignment) before the
+/// source's counters are frozen, or the restore would re-deliver them to a
+/// consumer that already processed them.  Tasks aligned mid-stream are
+/// caught by the acceptance-time check in [`step`] instead.
+fn contribute_if_aligned(task: &mut Task, snap: &dyn SnapSink) {
+    let epoch = snap.pending();
+    if epoch == 0 || task.snap_epoch == epoch {
+        return;
+    }
+    if task.done
+        || task.eos_queued
+        || (task.is_source && task.staged == 0 && task.next_source_seq >= snap.barrier())
+    {
+        task.snap_epoch = epoch;
+        snap.contribute(task);
+    }
 }
 
 /// What a task run ended with.
@@ -140,28 +180,39 @@ pub(crate) fn build_tasks(
                 data_in,
                 firings: 0,
                 sink_firings: 0,
+                snap_epoch: 0,
             }
         })
         .collect()
 }
 
 /// Runs one task for up to `batch` firings.  `wake` receives the node index
-/// of every peer task a channel event of this run made runnable.
+/// of every peer task a channel event of this run made runnable.  `snap`,
+/// when present, is checked before every firing (and at acceptance time
+/// inside [`step`]) so a task never crosses a pending snapshot barrier
+/// without contributing its aligned state first.
 pub(crate) fn run_task(
     task: &mut Task,
     inputs: u64,
     batch: u32,
     wake: &mut dyn FnMut(u32),
+    snap: Option<&dyn SnapSink>,
 ) -> Outcome {
     let mut fired = 0;
     while fired < batch {
+        if let Some(snap) = snap {
+            contribute_if_aligned(task, snap);
+        }
         if task.done {
             return Outcome::Done;
         }
-        if !step(task, inputs, wake) {
+        if !step(task, inputs, wake, snap) {
             return Outcome::Blocked;
         }
         fired += 1;
+    }
+    if let Some(snap) = snap {
+        contribute_if_aligned(task, snap);
     }
     if task.done {
         Outcome::Done
@@ -173,7 +224,12 @@ pub(crate) fn run_task(
 /// Attempts one unit of progress on a task; mirrors `Simulator`'s per-node
 /// step exactly (same acceptance rule, same per-channel independent
 /// delivery), so all engines are confluent to the same terminal state.
-fn step(task: &mut Task, inputs: u64, wake: &mut dyn FnMut(u32)) -> bool {
+fn step(
+    task: &mut Task,
+    inputs: u64,
+    wake: &mut dyn FnMut(u32),
+    snap: Option<&dyn SnapSink>,
+) -> bool {
     // Phase 1: flush staged outputs; a node with undelivered messages does
     // nothing else (mirrors a blocking send).
     if flush(task, wake) {
@@ -199,6 +255,17 @@ fn step(task: &mut Task, inputs: u64, wake: &mut dyn FnMut(u32)) -> bool {
         match port.rx.front_or_register() {
             Some(head) => accept_seq = accept_seq.min(head.seq()),
             None => return false,
+        }
+    }
+    // Alignment check for interior nodes: the next acceptance would cross
+    // the snapshot barrier (EOS included — its sequence number is maximal),
+    // so this task's state — having consumed exactly the pre-barrier prefix
+    // of every input — belongs to the snapshot *now*, before consuming.
+    if let Some(snap) = snap {
+        let epoch = snap.pending();
+        if epoch != 0 && task.snap_epoch != epoch && accept_seq >= snap.barrier() {
+            task.snap_epoch = epoch;
+            snap.contribute(task);
         }
     }
     if accept_seq == u64::MAX {

@@ -209,6 +209,7 @@ impl<'t> ThreadedExecutor<'t> {
             steps: shared.firings.load(Ordering::Relaxed),
             blocked: Vec::new(),
             wall: started.elapsed(),
+            resumed_from: None,
         }
     }
 }

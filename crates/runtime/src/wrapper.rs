@@ -147,6 +147,29 @@ impl DummyWrapper {
         self.gap.len()
     }
 
+    /// The current gap counters (sequence numbers since each counter was
+    /// last reset), aligned with `graph.out_edges(node)` — the wrapper's
+    /// entire checkpointable state.
+    pub fn gaps(&self) -> &[u64] {
+        &self.gap
+    }
+
+    /// Overwrites the gap counters with values previously captured by
+    /// [`DummyWrapper::gaps`], so a restored node resumes its dummy
+    /// intervals exactly where they stopped (no interval is counted twice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gaps.len()` differs from the wrapper's output count.
+    pub fn restore_gaps(&mut self, gaps: &[u64]) {
+        assert_eq!(
+            gaps.len(),
+            self.gap.len(),
+            "restored gap counters must match the node's output count"
+        );
+        self.gap.copy_from_slice(gaps);
+    }
+
     /// Processes one accepted sequence number.
     ///
     /// * `consumed_dummy` — whether any of the messages consumed at this

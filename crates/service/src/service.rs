@@ -6,10 +6,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fila_avoidance::{Algorithm, AvoidancePlan, CertifyError, PlanCache, Rounding};
+use fila_avoidance::{
+    filter_signature, Algorithm, AvoidancePlan, CertifyError, PlanCache, Rounding,
+};
 use fila_graph::Fingerprint;
 use fila_runtime::{
-    AvoidanceMode, ExecutionReport, JobHandle, JobVerdict, PropagationTrigger, SharedPool,
+    AvoidanceMode, ExecutionReport, JobHandle, JobSnapshot, JobVerdict, PropagationTrigger,
+    SettleHook, SharedPool, SnapshotError,
 };
 
 use crate::spec::{AvoidanceChoice, JobSpec};
@@ -90,6 +93,12 @@ pub enum RejectReason {
     /// declared filter spec (after the full Non-Prop → Propagation →
     /// exhaustive fallback chain).  Admitting the job could deadlock it.
     Uncertifiable(String),
+    /// A [`JobService::resume_job`] snapshot does not match the submitted
+    /// spec: drifted workload identity (topology or filters), a plan that
+    /// differs from the one the snapshot was certified and captured under,
+    /// or a corrupted blob.  A mismatched resume is always rejected —
+    /// never silently re-planned onto a different certification.
+    RestoreMismatch(String),
 }
 
 impl fmt::Display for RejectReason {
@@ -104,6 +113,7 @@ impl fmt::Display for RejectReason {
             }
             RejectReason::Unplannable(why) => write!(f, "unplannable: {why}"),
             RejectReason::Uncertifiable(why) => write!(f, "uncertifiable: {why}"),
+            RejectReason::RestoreMismatch(why) => write!(f, "restore mismatch: {why}"),
         }
     }
 }
@@ -123,6 +133,11 @@ pub struct JobOutcome {
     pub algorithm: Option<Algorithm>,
     /// True if certification replaced the requested plan with a fallback.
     pub fell_back: bool,
+    /// `Some(progress)` if the job was admitted via
+    /// [`JobService::resume_job`]: the firing count of the snapshot it
+    /// resumed from.  The report's counts are cumulative across both
+    /// incarnations.
+    pub resumed_from: Option<u64>,
 }
 
 /// A handle to one admitted job.
@@ -147,6 +162,11 @@ pub struct JobTicket {
     /// Time spent certifying this submission (zero on hits, unplanned and
     /// uncertified admissions).
     pub certify_time: Duration,
+    /// Canonical signature of the job's declared filter profile; stamped
+    /// into snapshots so resumes can verify the workload identity.
+    pub filter_signature: u64,
+    /// `Some(progress)` if this ticket came from [`JobService::resume_job`].
+    pub resumed_from: Option<u64>,
 }
 
 impl JobTicket {
@@ -159,6 +179,7 @@ impl JobTicket {
             cache_hit: self.cache_hit,
             algorithm: self.algorithm,
             fell_back: self.fell_back,
+            resumed_from: self.resumed_from,
         }
     }
 
@@ -242,124 +263,22 @@ impl JobService {
     pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, RejectReason> {
         Counters::bump(&self.counters.submitted);
 
-        // 1. Validation: global graph invariants + filter-spec fit.
-        if let Err(e) = spec.graph.validate() {
-            Counters::bump(&self.counters.rejected_invalid);
-            return Err(RejectReason::Invalid(e.to_string()));
-        }
-        if let Err(why) = spec.filters.check(&spec.graph) {
-            Counters::bump(&self.counters.rejected_invalid);
-            return Err(RejectReason::Invalid(why));
-        }
-
-        // 2. Size cap.
-        let size = spec.graph.size();
-        if size > self.config.max_graph_size {
-            Counters::bump(&self.counters.rejected_too_large);
-            return Err(RejectReason::TooLarge {
-                size,
-                limit: self.config.max_graph_size,
-            });
-        }
+        // 1–2. Validation + size cap.
+        let periods = self.validate(&spec)?;
 
         // 3. Admission: reserve an in-flight slot BEFORE planning, so a
         // saturated service sheds load without paying planner CPU for
         // submissions it would bounce anyway.  The slot is released by the
         // pool's settle hook (or below, on a planning failure) — never by
         // the client, so abandoned tickets cannot leak slots.
-        let limit = self.config.max_in_flight.max(1) as u64;
-        if self
-            .in_flight
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
-                (n < limit).then_some(n + 1)
-            })
-            .is_err()
-        {
-            Counters::bump(&self.counters.rejected_saturated);
-            return Err(RejectReason::Saturated {
-                limit: self.config.max_in_flight.max(1),
-            });
-        }
+        self.reserve_slot()?;
 
-        // 4. Planning — and, by default, **certification**: the plan (with
-        // its automatic fallback chain) is model-checked against the job's
-        // declared filter spec before admission, so an admitted planned job
-        // is certified deadlock-free for what it declared.  Both plans and
-        // certification verdicts are amortised through the structural
-        // cache.
-        // Certification models the default (`OnFilterOnly`) Propagation
-        // trigger — the only one the service's reference semantics define.
-        // Under the experimental heartbeat trigger a certificate would
-        // attest to behaviour the job does not run, so a non-default
-        // trigger downgrades planned admissions to the uncertified path
-        // (visible in `uncertified_nonprop`) instead of issuing one.
-        let certifying =
-            self.config.certify && self.config.trigger == PropagationTrigger::default();
-        let planned = match spec.avoidance {
-            AvoidanceChoice::Disabled => None,
-            AvoidanceChoice::Planned(algorithm) if certifying => {
-                let periods = spec.filters.periods(&spec.graph);
-                match self.cache.certify(
-                    &spec.graph,
-                    algorithm,
-                    self.config.rounding,
-                    self.config.cycle_bound,
-                    &periods,
-                ) {
-                    Ok(certified) => {
-                        Counters::bump(&self.counters.certified);
-                        if certified.fell_back {
-                            Counters::bump(&self.counters.fell_back);
-                        }
-                        Some(PlannedAdmission {
-                            plan: certified.plan,
-                            fingerprint: certified.fingerprint,
-                            hit: certified.hit,
-                            algorithm: certified.used,
-                            fell_back: certified.fell_back,
-                            plan_time: certified.plan_time,
-                            certify_time: certified.certify_time,
-                        })
-                    }
-                    Err(CertifyError::Unplannable(e)) => {
-                        self.in_flight.fetch_sub(1, Ordering::SeqCst);
-                        Counters::bump(&self.counters.rejected_unplannable);
-                        return Err(RejectReason::Unplannable(e.to_string()));
-                    }
-                    Err(e @ CertifyError::Uncertifiable { .. }) => {
-                        self.in_flight.fetch_sub(1, Ordering::SeqCst);
-                        Counters::bump(&self.counters.rejected_uncertifiable);
-                        return Err(RejectReason::Uncertifiable(e.to_string()));
-                    }
-                }
-            }
-            AvoidanceChoice::Planned(algorithm) => {
-                match self.cache.plan(
-                    &spec.graph,
-                    algorithm,
-                    self.config.rounding,
-                    self.config.cycle_bound,
-                ) {
-                    Ok(cached) => {
-                        if algorithm == Algorithm::NonPropagation {
-                            Counters::bump(&self.counters.uncertified_nonprop);
-                        }
-                        Some(PlannedAdmission {
-                            plan: cached.plan,
-                            fingerprint: cached.fingerprint,
-                            hit: cached.hit,
-                            algorithm,
-                            fell_back: false,
-                            plan_time: cached.plan_time,
-                            certify_time: Duration::ZERO,
-                        })
-                    }
-                    Err(e) => {
-                        self.in_flight.fetch_sub(1, Ordering::SeqCst);
-                        Counters::bump(&self.counters.rejected_unplannable);
-                        return Err(RejectReason::Unplannable(e.to_string()));
-                    }
-                }
+        // 4. Planning — and, by default, certification.
+        let planned = match self.plan_admission(&spec, &periods) {
+            Ok(planned) => planned,
+            Err(reason) => {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                return Err(reason);
             }
         };
         Counters::bump(&self.counters.admitted);
@@ -369,27 +288,13 @@ impl JobService {
             .as_ref()
             .map(|c| AvoidanceMode::Plan(Arc::clone(&c.plan)))
             .unwrap_or(AvoidanceMode::Disabled);
-        let counters = Arc::clone(&self.counters);
-        let in_flight = Arc::clone(&self.in_flight);
         let topology = spec.topology();
         let handle = self.pool.submit_full(
             &topology,
             mode,
             self.config.trigger,
             spec.inputs,
-            Some(Box::new(move |report: &ExecutionReport, verdict| {
-                in_flight.fetch_sub(1, Ordering::SeqCst);
-                let counter = match verdict {
-                    JobVerdict::Completed => &counters.completed,
-                    JobVerdict::Deadlocked => &counters.deadlocked,
-                    JobVerdict::Failed => &counters.failed,
-                    JobVerdict::Cancelled => &counters.cancelled,
-                };
-                Counters::bump(counter);
-                counters
-                    .messages
-                    .fetch_add(report.total_messages(), Ordering::Relaxed);
-            })),
+            Some(self.settle_hook()),
         );
         // Planned submissions reuse the structural fingerprint the cache
         // already computed; only unplanned jobs hash here.
@@ -405,6 +310,261 @@ impl JobService {
             fell_back: planned.as_ref().is_some_and(|c| c.fell_back),
             plan_time: planned.as_ref().map(|c| c.plan_time).unwrap_or(Duration::ZERO),
             certify_time: planned.map(|c| c.certify_time).unwrap_or(Duration::ZERO),
+            filter_signature: filter_signature(&periods),
+            resumed_from: None,
+        })
+    }
+
+    /// Captures a barrier snapshot of a running job without stopping it
+    /// (or any other job on the pool — see
+    /// [`SharedPool`]'s module docs), stamped with the
+    /// job's workload identity (structural fingerprint + filter
+    /// signature) so [`JobService::resume_job`] can verify a later resume
+    /// against it.  Counted in [`ServiceStats::snapshots`].
+    ///
+    /// Returns [`SnapshotError::Settled`] if the job reached its verdict
+    /// first (nothing left to checkpoint) and [`SnapshotError::InProgress`]
+    /// if another checkpoint of the same job is still collecting.
+    pub fn checkpoint_job(&self, ticket: &JobTicket) -> Result<JobSnapshot, SnapshotError> {
+        let mut snapshot = ticket.handle.checkpoint()?;
+        snapshot.fingerprint = Some(ticket.fingerprint.0);
+        snapshot.filter_signature = Some(ticket.filter_signature);
+        Counters::bump(&self.counters.snapshots);
+        Ok(snapshot)
+    }
+
+    /// Resumes a checkpointed job as a new admission: the spec passes the
+    /// exact same validation, admission control and (certified) planning
+    /// as [`JobService::submit`], the snapshot's stamped identity and
+    /// captured plan are verified against the outcome, and the job
+    /// continues on the shared pool reporting **cumulative** counts.
+    ///
+    /// Any drift between snapshot and spec — a different workload shape or
+    /// filter profile, a plan whose certified intervals differ from the
+    /// ones the snapshot ran under, a corrupted blob — is
+    /// [`RejectReason::RestoreMismatch`]: a snapshot is never silently
+    /// re-planned onto a different certification.
+    pub fn resume_job(
+        &self,
+        spec: JobSpec,
+        snapshot: &JobSnapshot,
+    ) -> Result<JobTicket, RejectReason> {
+        Counters::bump(&self.counters.submitted);
+        let periods = self.validate(&spec)?;
+
+        // Cheap identity gate before burning an in-flight slot or any
+        // planner CPU: the snapshot must carry the stamp of
+        // [`JobService::checkpoint_job`] and it must match this spec.
+        let signature = filter_signature(&periods);
+        let structural = fila_graph::fingerprint::fingerprint(&spec.graph);
+        if snapshot.fingerprint != Some(structural.0)
+            || snapshot.filter_signature != Some(signature)
+        {
+            Counters::bump(&self.counters.rejected_restore_mismatch);
+            return Err(RejectReason::RestoreMismatch(format!(
+                "snapshot identity {:016x}/{:016x} does not match the submitted spec \
+                 {:016x}/{:016x}",
+                snapshot.fingerprint.unwrap_or(0),
+                snapshot.filter_signature.unwrap_or(0),
+                structural.0,
+                signature,
+            )));
+        }
+
+        self.reserve_slot()?;
+        let planned = match self.plan_admission(&spec, &periods) {
+            Ok(planned) => planned,
+            Err(reason) => {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                return Err(reason);
+            }
+        };
+        let mode = planned
+            .as_ref()
+            .map(|c| AvoidanceMode::Plan(Arc::clone(&c.plan)))
+            .unwrap_or(AvoidanceMode::Disabled);
+        let topology = spec.topology();
+        let handle = match self.pool.resume_full(
+            &topology,
+            mode,
+            self.config.trigger,
+            snapshot,
+            Some(self.settle_hook()),
+        ) {
+            Ok(handle) => handle,
+            Err(e) => {
+                // The plan this service certifies for the spec differs
+                // from the one the snapshot was captured under (or the
+                // blob is inconsistent): reject, releasing the slot.
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                Counters::bump(&self.counters.rejected_restore_mismatch);
+                return Err(RejectReason::RestoreMismatch(e.to_string()));
+            }
+        };
+        Counters::bump(&self.counters.admitted);
+        Counters::bump(&self.counters.restores);
+        let fingerprint = planned.as_ref().map(|c| c.fingerprint).unwrap_or(structural);
+        Ok(JobTicket {
+            handle,
+            fingerprint,
+            cache_hit: planned.as_ref().map(|c| c.hit),
+            algorithm: planned.as_ref().map(|c| c.algorithm),
+            fell_back: planned.as_ref().is_some_and(|c| c.fell_back),
+            plan_time: planned.as_ref().map(|c| c.plan_time).unwrap_or(Duration::ZERO),
+            certify_time: planned.map(|c| c.certify_time).unwrap_or(Duration::ZERO),
+            filter_signature: signature,
+            resumed_from: Some(snapshot.steps),
+        })
+    }
+
+    /// Steps 1–2 of admission (shared by [`JobService::submit`] and
+    /// [`JobService::resume_job`]): graph invariants, filter-spec fit and
+    /// the size cap.  Returns the per-node filter periods on success so
+    /// callers hash/plan without recomputing them.
+    fn validate(&self, spec: &JobSpec) -> Result<Vec<u64>, RejectReason> {
+        if let Err(e) = spec.graph.validate() {
+            Counters::bump(&self.counters.rejected_invalid);
+            return Err(RejectReason::Invalid(e.to_string()));
+        }
+        if let Err(why) = spec.filters.check(&spec.graph) {
+            Counters::bump(&self.counters.rejected_invalid);
+            return Err(RejectReason::Invalid(why));
+        }
+        let size = spec.graph.size();
+        if size > self.config.max_graph_size {
+            Counters::bump(&self.counters.rejected_too_large);
+            return Err(RejectReason::TooLarge {
+                size,
+                limit: self.config.max_graph_size,
+            });
+        }
+        Ok(spec.filters.periods(&spec.graph))
+    }
+
+    /// Reserves one in-flight slot or rejects as saturated.
+    fn reserve_slot(&self) -> Result<(), RejectReason> {
+        let limit = self.config.max_in_flight.max(1) as u64;
+        if self
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < limit).then_some(n + 1)
+            })
+            .is_err()
+        {
+            Counters::bump(&self.counters.rejected_saturated);
+            return Err(RejectReason::Saturated {
+                limit: self.config.max_in_flight.max(1),
+            });
+        }
+        Ok(())
+    }
+
+    /// Step 4 of admission: planning — and, by default, **certification**:
+    /// the plan (with its automatic fallback chain) is model-checked
+    /// against the job's declared filter spec before admission, so an
+    /// admitted planned job is certified deadlock-free for what it
+    /// declared.  Both plans and certification verdicts are amortised
+    /// through the structural cache.
+    ///
+    /// Certification models the default (`OnFilterOnly`) Propagation
+    /// trigger — the only one the service's reference semantics define.
+    /// Under the experimental heartbeat trigger a certificate would attest
+    /// to behaviour the job does not run, so a non-default trigger
+    /// downgrades planned admissions to the uncertified path (visible in
+    /// `uncertified_nonprop`) instead of issuing one.
+    ///
+    /// Bumps the planning/certification counters itself; the **caller**
+    /// owns the in-flight slot and must release it on `Err`.
+    fn plan_admission(
+        &self,
+        spec: &JobSpec,
+        periods: &[u64],
+    ) -> Result<Option<PlannedAdmission>, RejectReason> {
+        let certifying =
+            self.config.certify && self.config.trigger == PropagationTrigger::default();
+        match spec.avoidance {
+            AvoidanceChoice::Disabled => Ok(None),
+            AvoidanceChoice::Planned(algorithm) if certifying => {
+                match self.cache.certify(
+                    &spec.graph,
+                    algorithm,
+                    self.config.rounding,
+                    self.config.cycle_bound,
+                    periods,
+                ) {
+                    Ok(certified) => {
+                        Counters::bump(&self.counters.certified);
+                        if certified.fell_back {
+                            Counters::bump(&self.counters.fell_back);
+                        }
+                        Ok(Some(PlannedAdmission {
+                            plan: certified.plan,
+                            fingerprint: certified.fingerprint,
+                            hit: certified.hit,
+                            algorithm: certified.used,
+                            fell_back: certified.fell_back,
+                            plan_time: certified.plan_time,
+                            certify_time: certified.certify_time,
+                        }))
+                    }
+                    Err(CertifyError::Unplannable(e)) => {
+                        Counters::bump(&self.counters.rejected_unplannable);
+                        Err(RejectReason::Unplannable(e.to_string()))
+                    }
+                    Err(e @ CertifyError::Uncertifiable { .. }) => {
+                        Counters::bump(&self.counters.rejected_uncertifiable);
+                        Err(RejectReason::Uncertifiable(e.to_string()))
+                    }
+                }
+            }
+            AvoidanceChoice::Planned(algorithm) => {
+                match self.cache.plan(
+                    &spec.graph,
+                    algorithm,
+                    self.config.rounding,
+                    self.config.cycle_bound,
+                ) {
+                    Ok(cached) => {
+                        if algorithm == Algorithm::NonPropagation {
+                            Counters::bump(&self.counters.uncertified_nonprop);
+                        }
+                        Ok(Some(PlannedAdmission {
+                            plan: cached.plan,
+                            fingerprint: cached.fingerprint,
+                            hit: cached.hit,
+                            algorithm,
+                            fell_back: false,
+                            plan_time: cached.plan_time,
+                            certify_time: Duration::ZERO,
+                        }))
+                    }
+                    Err(e) => {
+                        Counters::bump(&self.counters.rejected_unplannable);
+                        Err(RejectReason::Unplannable(e.to_string()))
+                    }
+                }
+            }
+        }
+    }
+
+    /// The settle hook every admitted (or resumed) job runs on a worker
+    /// when it reaches its verdict: releases the in-flight slot and feeds
+    /// the verdict/message counters.
+    fn settle_hook(&self) -> SettleHook {
+        let counters = Arc::clone(&self.counters);
+        let in_flight = Arc::clone(&self.in_flight);
+        Box::new(move |report: &ExecutionReport, verdict| {
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+            let counter = match verdict {
+                JobVerdict::Completed => &counters.completed,
+                JobVerdict::Deadlocked => &counters.deadlocked,
+                JobVerdict::Failed => &counters.failed,
+                JobVerdict::Cancelled => &counters.cancelled,
+            };
+            Counters::bump(counter);
+            counters
+                .messages
+                .fetch_add(report.total_messages(), Ordering::Relaxed);
         })
     }
 
@@ -420,6 +580,7 @@ impl JobService {
             rejected_saturated: load(&c.rejected_saturated),
             rejected_unplannable: load(&c.rejected_unplannable),
             rejected_uncertifiable: load(&c.rejected_uncertifiable),
+            rejected_restore_mismatch: load(&c.rejected_restore_mismatch),
             certified: load(&c.certified),
             fell_back: load(&c.fell_back),
             uncertified_nonprop: load(&c.uncertified_nonprop),
@@ -434,6 +595,8 @@ impl JobService {
             cert_cache_hits: self.cache.cert_hits(),
             cert_cache_misses: self.cache.cert_misses(),
             messages: load(&c.messages),
+            snapshots: load(&c.snapshots),
+            restores: load(&c.restores),
             uptime: self.started.elapsed(),
         }
     }
@@ -634,9 +797,12 @@ mod tests {
             .unwrap();
         let _ = t.wait();
         let json = svc.stats().to_json();
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"completed\": 1"));
         assert!(json.contains("\"uncertified_nonprop\": 0"));
+        assert!(json.contains("\"snapshots\": 0"));
+        assert!(json.contains("\"restores\": 0"));
+        assert!(json.contains("\"rejected_restore_mismatch\": 0"));
     }
 
     #[test]
@@ -723,5 +889,103 @@ mod tests {
         assert_eq!(stats.certified, 0);
         assert_eq!(stats.uncertified_nonprop, 1);
         assert_eq!(stats.cert_cache_misses, 0);
+    }
+
+    #[test]
+    fn service_checkpoint_resume_roundtrip() {
+        let svc = small_service(16);
+        // Big enough that a checkpoint issued right after submission
+        // overwhelmingly lands mid-run; the settled race stays legal.
+        let spec = || JobSpec::new(pipeline(24, 4), FilterSpec::Broadcast, 10_000).unplanned();
+        let ticket = svc.submit(spec()).unwrap();
+        let identity = (ticket.fingerprint, ticket.filter_signature);
+        let snapshot = svc.checkpoint_job(&ticket);
+        let original = ticket.wait();
+        assert_eq!(original.verdict, JobVerdict::Completed);
+        assert!(original.resumed_from.is_none());
+        match snapshot {
+            Ok(snapshot) => {
+                // The snapshot carries the job's workload identity.
+                assert_eq!(snapshot.fingerprint, Some(identity.0 .0));
+                assert_eq!(snapshot.filter_signature, Some(identity.1));
+                let resumed = svc.resume_job(spec(), &snapshot).unwrap();
+                assert_eq!(resumed.resumed_from, Some(snapshot.steps));
+                let outcome = resumed.wait();
+                assert_eq!(outcome.verdict, JobVerdict::Completed, "{outcome:?}");
+                assert_eq!(outcome.resumed_from, Some(snapshot.steps));
+                // Cumulative counts equal the uninterrupted run's.
+                assert_eq!(outcome.report.per_edge_data, original.report.per_edge_data);
+                assert_eq!(outcome.report.sink_firings, original.report.sink_firings);
+                let stats = svc.stats();
+                assert_eq!(stats.snapshots, 1);
+                assert_eq!(stats.restores, 1);
+                assert_eq!(stats.admitted, 2);
+                assert_eq!(stats.in_flight, 0);
+            }
+            Err(SnapshotError::Settled(JobVerdict::Completed)) => {
+                assert_eq!(svc.stats().snapshots, 0);
+            }
+            Err(e) => panic!("unexpected checkpoint failure: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_rejects_identity_and_plan_drift() {
+        use fila_runtime::{CheckpointOutcome, Simulator};
+        let svc = small_service(4);
+        let spec = || JobSpec::new(pipeline(5, 4), FilterSpec::Broadcast, 200).unplanned();
+        let probe = spec();
+        let topo = probe.topology();
+        let sim = Simulator::new(&topo);
+        let reference = sim.run(200);
+        let CheckpointOutcome::Killed(mut snapshot) = sim.run_with_checkpoint(200, 5) else {
+            panic!("kill point 5 must interrupt a 200-input run");
+        };
+
+        // An unstamped snapshot (not from `checkpoint_job`) has no
+        // identity to verify against: rejected.
+        let r = svc.resume_job(spec(), &snapshot);
+        assert!(matches!(r, Err(RejectReason::RestoreMismatch(_))), "{r:?}");
+
+        snapshot.fingerprint =
+            Some(fila_graph::fingerprint::fingerprint(&probe.graph).0);
+        snapshot.filter_signature =
+            Some(filter_signature(&probe.filters.periods(&probe.graph)));
+
+        // Filter drift: same graph shape, different declared filter
+        // profile.
+        let drifted = JobSpec::new(
+            pipeline(5, 4),
+            FilterSpec::PerNode(vec![1, 2, 1, 1, 1]),
+            200,
+        )
+        .unplanned();
+        let r = svc.resume_job(drifted, &snapshot);
+        assert!(matches!(r, Err(RejectReason::RestoreMismatch(_))), "{r:?}");
+
+        // Plan drift: the snapshot ran unplanned; asking the service to
+        // resume it under a certified plan is a mismatch, not a re-plan.
+        let planned = JobSpec::new(pipeline(5, 4), FilterSpec::Broadcast, 200)
+            .avoidance(AvoidanceChoice::Planned(Algorithm::NonPropagation));
+        let r = svc.resume_job(planned, &snapshot);
+        assert!(matches!(r, Err(RejectReason::RestoreMismatch(_))), "{r:?}");
+
+        let stats = svc.stats();
+        assert_eq!(stats.rejected_restore_mismatch, 3);
+        assert_eq!(stats.restores, 0);
+        // Every rejected resume released its in-flight slot (if it got
+        // that far).
+        assert_eq!(stats.in_flight, 0);
+
+        // The matching spec resumes fine and finishes with the reference
+        // counts.
+        let outcome = svc.resume_job(spec(), &snapshot).unwrap().wait();
+        assert_eq!(outcome.verdict, JobVerdict::Completed, "{outcome:?}");
+        assert_eq!(outcome.resumed_from, Some(snapshot.steps));
+        assert_eq!(outcome.report.per_edge_data, reference.per_edge_data);
+        assert_eq!(outcome.report.sink_firings, reference.sink_firings);
+        let stats = svc.stats();
+        assert_eq!(stats.restores, 1);
+        assert_eq!(stats.admitted, 1);
     }
 }

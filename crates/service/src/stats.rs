@@ -15,6 +15,7 @@ pub(crate) struct Counters {
     pub rejected_saturated: AtomicU64,
     pub rejected_unplannable: AtomicU64,
     pub rejected_uncertifiable: AtomicU64,
+    pub rejected_restore_mismatch: AtomicU64,
     pub certified: AtomicU64,
     pub fell_back: AtomicU64,
     pub uncertified_nonprop: AtomicU64,
@@ -23,6 +24,8 @@ pub(crate) struct Counters {
     pub failed: AtomicU64,
     pub cancelled: AtomicU64,
     pub messages: AtomicU64,
+    pub snapshots: AtomicU64,
+    pub restores: AtomicU64,
 }
 
 impl Counters {
@@ -49,6 +52,12 @@ pub struct ServiceStats {
     /// Rejections: plans were computed but none certified for the job's
     /// declared filter spec (fallback chain exhausted).
     pub rejected_uncertifiable: u64,
+    /// Rejections: a [`JobService::resume_job`](crate::JobService::resume_job)
+    /// submission whose snapshot does not match the spec's workload
+    /// identity or certified plan (drifted topology, filters, plan
+    /// intervals, or a corrupted blob).  A mismatched resume is always
+    /// rejected — never silently re-planned.
+    pub rejected_restore_mismatch: u64,
     /// Planned admissions whose plan passed filtering-aware certification.
     pub certified: u64,
     /// Certified admissions whose plan was a fallback (protocol switch
@@ -82,6 +91,13 @@ pub struct ServiceStats {
     pub cert_cache_misses: u64,
     /// Messages (data + dummies) delivered by settled jobs.
     pub messages: u64,
+    /// Barrier snapshots captured via
+    /// [`JobService::checkpoint_job`](crate::JobService::checkpoint_job).
+    pub snapshots: u64,
+    /// Jobs admitted as resumes of a snapshot via
+    /// [`JobService::resume_job`](crate::JobService::resume_job)
+    /// (counted in `admitted` too).
+    pub restores: u64,
     /// Time since the service started.
     pub uptime: Duration,
 }
@@ -94,6 +110,7 @@ impl ServiceStats {
             + self.rejected_saturated
             + self.rejected_unplannable
             + self.rejected_uncertifiable
+            + self.rejected_restore_mismatch
     }
 
     /// Fraction of plan lookups served from the cache (0.0 before any).
@@ -141,15 +158,18 @@ impl ServiceStats {
     /// Hand-rolled JSON rendering (stable key order, schema-versioned; no
     /// serde anywhere in this workspace).  Schema version 2 added the
     /// certification fields (`rejected_uncertifiable`, `certified`,
-    /// `fell_back`, `uncertified_nonprop`).
+    /// `fell_back`, `uncertified_nonprop`); version 3 added the
+    /// checkpoint/restore fields (`rejected_restore_mismatch`,
+    /// `snapshots`, `restores`).
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"schema_version\": 2, ",
+                "{{\"schema_version\": 3, ",
                 "\"submitted\": {}, \"admitted\": {}, ",
                 "\"rejected_invalid\": {}, \"rejected_too_large\": {}, ",
                 "\"rejected_saturated\": {}, \"rejected_unplannable\": {}, ",
                 "\"rejected_uncertifiable\": {}, ",
+                "\"rejected_restore_mismatch\": {}, ",
                 "\"certified\": {}, \"fell_back\": {}, ",
                 "\"uncertified_nonprop\": {}, ",
                 "\"completed\": {}, \"deadlocked\": {}, \"failed\": {}, ",
@@ -158,7 +178,8 @@ impl ServiceStats {
                 "\"plan_cache_len\": {}, \"cache_hit_rate\": {:.4}, ",
                 "\"cert_cache_hits\": {}, \"cert_cache_misses\": {}, ",
                 "\"cert_cache_hit_rate\": {:.4}, ",
-                "\"messages\": {}, \"uptime_ms\": {:.3}, ",
+                "\"messages\": {}, \"snapshots\": {}, \"restores\": {}, ",
+                "\"uptime_ms\": {:.3}, ",
                 "\"msgs_per_sec\": {:.1}, \"jobs_per_sec\": {:.2}}}"
             ),
             self.submitted,
@@ -168,6 +189,7 @@ impl ServiceStats {
             self.rejected_saturated,
             self.rejected_unplannable,
             self.rejected_uncertifiable,
+            self.rejected_restore_mismatch,
             self.certified,
             self.fell_back,
             self.uncertified_nonprop,
@@ -184,6 +206,8 @@ impl ServiceStats {
             self.cert_cache_misses,
             self.cert_cache_hit_rate(),
             self.messages,
+            self.snapshots,
+            self.restores,
             self.uptime.as_secs_f64() * 1e3,
             self.msgs_per_sec(),
             self.jobs_per_sec(),
@@ -204,6 +228,7 @@ mod tests {
             rejected_saturated: 1,
             rejected_unplannable: 1,
             rejected_uncertifiable: 0,
+            rejected_restore_mismatch: 1,
             certified: 4,
             fell_back: 1,
             uncertified_nonprop: 0,
@@ -218,6 +243,8 @@ mod tests {
             cert_cache_hits: 3,
             cert_cache_misses: 1,
             messages: 1000,
+            snapshots: 2,
+            restores: 1,
             uptime: Duration::from_millis(500),
         }
     }
@@ -225,7 +252,7 @@ mod tests {
     #[test]
     fn derived_rates() {
         let s = sample();
-        assert_eq!(s.rejected(), 3);
+        assert_eq!(s.rejected(), 4);
         assert!((s.cache_hit_rate() - 4.0 / 6.0).abs() < 1e-9);
         assert!((s.cert_cache_hit_rate() - 0.75).abs() < 1e-9);
         assert!((s.msgs_per_sec() - 2000.0).abs() < 1e-6);
@@ -235,13 +262,16 @@ mod tests {
     #[test]
     fn json_is_parsable_shape() {
         let json = sample().to_json();
-        assert!(json.starts_with("{\"schema_version\": 2, "));
+        assert!(json.starts_with("{\"schema_version\": 3, "));
         assert!(json.ends_with('}'));
         assert!(json.contains("\"admitted\": 7"));
         assert!(json.contains("\"certified\": 4"));
         assert!(json.contains("\"fell_back\": 1"));
         assert!(json.contains("\"uncertified_nonprop\": 0"));
         assert!(json.contains("\"rejected_uncertifiable\": 0"));
+        assert!(json.contains("\"rejected_restore_mismatch\": 1"));
+        assert!(json.contains("\"snapshots\": 2"));
+        assert!(json.contains("\"restores\": 1"));
         assert!(json.contains("\"cache_hit_rate\": 0.6667"));
         assert!(json.contains("\"msgs_per_sec\": 2000.0"));
         // Braces balance and no trailing comma sloppiness.

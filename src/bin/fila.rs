@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! fila run <jobfile> [--workers N]      execute the jobs in a textual job file
-//! fila storm [--jobs N] [--seed S] [--workers N] [--json PATH]
-//!                                       submit a generated mixed workload
+//! fila storm [--jobs N] [--seed S] [--workers N] [--kill-rate F] [--json PATH]
+//!                                       submit a generated mixed workload,
+//!                                       optionally checkpoint/kill/restore
+//!                                       a fraction of it
 //! fila help                             this text + the job-file grammar
 //! ```
 //!
@@ -49,7 +51,7 @@ fila — filtering-aware deadlock avoidance as a multi-tenant job service
 
 USAGE:
   fila run <jobfile> [--workers N]
-  fila storm [--jobs N] [--seed S] [--workers N] [--json PATH]
+  fila storm [--jobs N] [--seed S] [--workers N] [--kill-rate F] [--json PATH]
   fila help
 
 `run` executes every job of a textual job file on one shared worker pool,
@@ -58,7 +60,12 @@ prints a per-job verdict table and the aggregate service stats as JSON.
 `storm` generates a mixed workload (pipelines, SP DAGs, CS4 ladders, plus
 deliberately unplannable and deadlocking shapes), submits all of it
 concurrently, and reports the same stats; `--json PATH` also writes them to
-a file (used by CI as a service smoke test).
+a file (used by CI as a service smoke test).  `--kill-rate F` (0.0..=1.0)
+additionally takes a live barrier snapshot of a deterministic fraction F of
+the admitted jobs, lets the originals run to their verdicts as references,
+then resumes every snapshot and checks the resumed runs settle with the
+exact same verdicts and per-edge message counts — a crash-recovery
+fault-injection smoke on the real service.
 
 JOB FILE GRAMMAR (line oriented, `#` starts a comment):
   job <name>
@@ -324,6 +331,11 @@ fn cmd_storm(args: &[String]) -> ExitCode {
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
+    let kill_rate = match parse_num(args, "--kill-rate", 0.0f64) {
+        Ok(k) if (0.0..=1.0).contains(&k) => k,
+        Ok(k) => return fail(&format!("--kill-rate: {k} is not within 0.0..=1.0")),
+        Err(e) => return fail(&e),
+    };
 
     let shapes = job_mix(seed, jobs);
     let svc = service(workers, jobs);
@@ -331,6 +343,15 @@ fn cmd_storm(args: &[String]) -> ExitCode {
     let mut tickets = Vec::new();
     let mut rejected_unplannable = 0u64;
     let mut rejected_other = 0u64;
+    // Fault injection: a deterministic fraction of the admitted jobs gets
+    // a live barrier snapshot taken right after admission, *while the pool
+    // churns through the rest of the storm*.  The originals are not
+    // actually torn down — they run to their verdicts and serve as the
+    // uninterrupted references the resumed runs are checked against.
+    let mut snapshots = Vec::new();
+    let mut killed = 0u64;
+    let mut outran = 0u64;
+    let mut mismatched = 0u64;
     for shape in &shapes {
         let spec = JobSpec::from_periods(
             shape.graph.clone(),
@@ -339,7 +360,25 @@ fn cmd_storm(args: &[String]) -> ExitCode {
             shape.avoidance,
         );
         match svc.submit(spec) {
-            Ok(t) => tickets.push((shape, t)),
+            Ok(t) => {
+                let i = tickets.len();
+                if kill_rate > 0.0
+                    && (mix(seed ^ 0xD1E ^ i as u64) as f64) < kill_rate * u64::MAX as f64
+                {
+                    match svc.checkpoint_job(&t) {
+                        Ok(snapshot) => {
+                            killed += 1;
+                            snapshots.push((i, snapshot));
+                        }
+                        Err(fila::runtime::SnapshotError::Settled(_)) => outran += 1,
+                        Err(e) => {
+                            mismatched += 1;
+                            eprintln!("storm: {} checkpoint failed: {e}", shape.label);
+                        }
+                    }
+                }
+                tickets.push((shape, t));
+            }
             Err(RejectReason::Unplannable(_)) => {
                 rejected_unplannable += 1;
                 assert!(
@@ -358,6 +397,7 @@ fn cmd_storm(args: &[String]) -> ExitCode {
     let mut deadlocked = 0u64;
     let mut fell_back = 0u64;
     let mut other = 0u64;
+    let mut outcomes = Vec::with_capacity(tickets.len());
     for (shape, ticket) in &tickets {
         let outcome = ticket.wait();
         if outcome.fell_back {
@@ -375,6 +415,43 @@ fn cmd_storm(args: &[String]) -> ExitCode {
             }
             _ => other += 1,
         }
+        outcomes.push(outcome);
+    }
+    // Restore every snapshot and pin the resumed run to its reference:
+    // same verdict, same cumulative per-edge counts, same sink firings.
+    let mut restored = 0u64;
+    for (i, snapshot) in &snapshots {
+        let (shape, _) = &tickets[*i];
+        let original = &outcomes[*i];
+        let spec = JobSpec::from_periods(
+            shape.graph.clone(),
+            shape.periods.clone(),
+            shape.inputs,
+            shape.avoidance,
+        );
+        match svc.resume_job(spec, snapshot) {
+            Ok(ticket) => {
+                let resumed = ticket.wait();
+                if resumed.verdict == original.verdict
+                    && resumed.report.per_edge_data == original.report.per_edge_data
+                    && resumed.report.per_edge_dummies == original.report.per_edge_dummies
+                    && resumed.report.sink_firings == original.report.sink_firings
+                {
+                    restored += 1;
+                } else {
+                    mismatched += 1;
+                    eprintln!(
+                        "storm: {} resumed run diverged from its reference \
+                         ({:?} vs {:?})",
+                        shape.label, resumed.verdict, original.verdict
+                    );
+                }
+            }
+            Err(e) => {
+                mismatched += 1;
+                eprintln!("storm: {} resume rejected: {e}", shape.label);
+            }
+        }
     }
     let wall = started.elapsed();
     let stats = svc.stats();
@@ -390,6 +467,13 @@ fn cmd_storm(args: &[String]) -> ExitCode {
         stats.plan_cache_hits + stats.plan_cache_misses,
         stats.cert_cache_hit_rate() * 100.0,
     );
+    if kill_rate > 0.0 {
+        println!(
+            "storm kill/restore: {killed} snapshots captured, {outran} settled before \
+             their checkpoint, {restored} restored with identical outcomes, \
+             {mismatched} mismatched"
+        );
+    }
     let json = stats.to_json();
     println!("{json}");
     if let Some(path) = json_path {
@@ -397,11 +481,18 @@ fn cmd_storm(args: &[String]) -> ExitCode {
             return fail(&format!("cannot write {path}: {e}"));
         }
     }
-    if rejected_other == 0 && other == 0 {
+    if rejected_other == 0 && other == 0 && mismatched == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// splitmix64 finaliser — deterministic per-job kill selection.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
 }
 
 fn fail(msg: &str) -> ExitCode {

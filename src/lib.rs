@@ -47,8 +47,9 @@ pub mod prelude {
     };
     pub use fila_graph::{EdgeId, Fingerprint, Graph, GraphBuilder, NodeId};
     pub use fila_runtime::{
-        ExecutionReport, JobVerdict, PooledExecutor, Scheduler, SharedPool, Simulator,
-        ThreadedExecutor, Topology,
+        CheckpointOutcome, ExecutionReport, JobSnapshot, JobVerdict, PooledExecutor,
+        RestoreError, Scheduler, SharedPool, Simulator, SnapshotError, ThreadedExecutor,
+        Topology,
     };
     pub use fila_service::{
         AvoidanceChoice, FilterSpec, JobService, JobSpec, RejectReason, ServiceConfig,

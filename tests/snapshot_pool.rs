@@ -1,0 +1,218 @@
+//! Barrier snapshots on the live multi-tenant pool: checkpoint one job
+//! while the pool keeps executing other jobs, restore the snapshot, and
+//! cross-check the resumed job's cumulative counts against the
+//! deterministic simulator; plus the crash-recovery story — a job whose
+//! behaviour panics *after* a checkpoint is recovered from its last
+//! snapshot and finishes with the exact uninterrupted counts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fila::prelude::*;
+use fila::runtime::filters::Predicate;
+use fila::runtime::{AvoidanceMode, PropagationTrigger};
+use fila::workloads::figures::fig2_triangle;
+
+/// Fig. 2 with a filtering fork at `A` whose firings are slowed down, so a
+/// checkpoint issued right after submission reliably lands mid-run.
+fn slow_filtered_topology(g: &Graph, pause: Duration) -> Topology {
+    let a = g.node_by_name("A").unwrap();
+    Topology::from_graph(g).with(a, move || {
+        Predicate::new(2, move |seq, out| {
+            std::thread::sleep(pause);
+            out == 0 || seq % 4 == 0
+        })
+    })
+}
+
+fn pipeline(n: usize) -> Graph {
+    let names: Vec<String> = (0..n).map(|i| format!("n{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut b = GraphBuilder::new().default_capacity(4);
+    b.chain(&refs).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn busy_pool_barrier_snapshot_restores_to_simulator_counts() {
+    let inputs = 300;
+    let g = fig2_triangle(4);
+    let plan = Arc::new(
+        Planner::new(&g)
+            .algorithm(Algorithm::Propagation)
+            .plan()
+            .unwrap(),
+    );
+    let topo = slow_filtered_topology(&g, Duration::from_micros(100));
+    let reference = Simulator::new(&topo)
+        .with_shared_plan(Arc::clone(&plan))
+        .run(inputs);
+    assert!(reference.completed);
+
+    let pool = SharedPool::new(3);
+    // A bystander job keeps the pool busy across the whole snapshot; it
+    // must be completely unaffected by the barrier.
+    let bystander_topo = Topology::from_graph(&pipeline(12));
+    let bystander = pool.submit(&bystander_topo, 5_000);
+    let handle = pool.submit_with(&topo, AvoidanceMode::Plan(Arc::clone(&plan)), inputs);
+
+    // Snapshot the target while it runs.  The job is slowed enough that
+    // the first checkpoint overwhelmingly lands mid-run; if it still
+    // settles first, `Settled` is the documented (and correct) answer.
+    let snapshot = handle.checkpoint();
+    let original = handle.wait();
+    assert!(original.completed, "{original:?}");
+    assert_eq!(original.per_edge_data, reference.per_edge_data);
+    assert!(bystander.wait().completed);
+
+    match snapshot {
+        Ok(snapshot) => {
+            let resumed = pool
+                .resume_full(
+                    &topo,
+                    AvoidanceMode::Plan(Arc::clone(&plan)),
+                    PropagationTrigger::default(),
+                    &snapshot,
+                    None,
+                )
+                .expect("same topology and plan restores")
+                .wait();
+            // Cumulative counts: resuming from a mid-run cut reproduces
+            // the uninterrupted totals exactly.
+            assert!(resumed.completed, "{resumed:?}");
+            assert_eq!(resumed.resumed_from, Some(snapshot.steps));
+            assert_eq!(resumed.per_edge_data, reference.per_edge_data);
+            assert_eq!(resumed.per_edge_dummies, reference.per_edge_dummies);
+            assert_eq!(resumed.sink_firings, reference.sink_firings);
+        }
+        Err(err) => assert!(
+            matches!(err, fila::runtime::SnapshotError::Settled(JobVerdict::Completed)),
+            "{err:?}"
+        ),
+    }
+
+    // Checkpointing a settled job always reports the verdict.
+    assert!(matches!(
+        handle.checkpoint(),
+        Err(fila::runtime::SnapshotError::Settled(JobVerdict::Completed))
+    ));
+}
+
+#[test]
+fn panic_after_checkpoint_recovers_from_last_snapshot() {
+    let inputs = 300;
+    let g = fig2_triangle(4);
+    let plan = Arc::new(
+        Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap(),
+    );
+    let a = g.node_by_name("A").unwrap();
+    let bomb = Arc::new(AtomicBool::new(false));
+    let topo = {
+        let bomb = Arc::clone(&bomb);
+        Topology::from_graph(&g).with(a, move || {
+            let bomb = Arc::clone(&bomb);
+            Predicate::new(2, move |seq, out| {
+                std::thread::sleep(Duration::from_micros(100));
+                assert!(!bomb.load(Ordering::SeqCst), "injected crash at seq {seq}");
+                out == 0 || seq % 4 == 0
+            })
+        })
+    };
+    let reference = Simulator::new(&topo)
+        .with_shared_plan(Arc::clone(&plan))
+        .run(inputs);
+    assert!(reference.completed);
+
+    let pool = SharedPool::new(2);
+    let handle = pool.submit_with(&topo, AvoidanceMode::Plan(Arc::clone(&plan)), inputs);
+    let snapshot = handle.checkpoint();
+    // Arm the bomb only after the checkpoint: the snapshot predates the
+    // crash, which is exactly the recovery contract.
+    bomb.store(true, Ordering::SeqCst);
+    let crashed = handle.wait();
+
+    let Ok(snapshot) = snapshot else {
+        // The job finished before the checkpoint (and before the bomb).
+        assert!(crashed.completed);
+        return;
+    };
+    assert_eq!(handle.verdict(), Some(JobVerdict::Failed));
+    // Recovery: disarm and restore the last snapshot; the job must finish
+    // with the exact uninterrupted counts.
+    bomb.store(false, Ordering::SeqCst);
+    let recovered = pool
+        .resume_full(
+            &topo,
+            AvoidanceMode::Plan(Arc::clone(&plan)),
+            PropagationTrigger::default(),
+            &snapshot,
+            None,
+        )
+        .expect("snapshot predates the crash")
+        .wait();
+    assert!(recovered.completed, "{recovered:?}");
+    assert_eq!(recovered.per_edge_data, reference.per_edge_data);
+    assert_eq!(recovered.per_edge_dummies, reference.per_edge_dummies);
+    assert_eq!(recovered.sink_firings, reference.sink_firings);
+}
+
+#[test]
+fn pool_restore_rejects_drifted_plan_and_foreign_bytes() {
+    let inputs = 200;
+    let g = fig2_triangle(4);
+    let prop = Arc::new(
+        Planner::new(&g)
+            .algorithm(Algorithm::Propagation)
+            .plan()
+            .unwrap(),
+    );
+    let nonprop = Arc::new(
+        Planner::new(&g)
+            .algorithm(Algorithm::NonPropagation)
+            .plan()
+            .unwrap(),
+    );
+    let topo = slow_filtered_topology(&g, Duration::from_micros(100));
+    let pool = SharedPool::new(2);
+    let handle = pool.submit_with(&topo, AvoidanceMode::Plan(Arc::clone(&prop)), inputs);
+    let Ok(snapshot) = handle.checkpoint() else {
+        // Vanishingly unlikely with the slowed source; nothing to assert.
+        return;
+    };
+    let _ = handle.wait();
+
+    // Plan drift: same topology, different certified intervals.
+    assert!(matches!(
+        pool.resume_full(
+            &topo,
+            AvoidanceMode::Plan(Arc::clone(&nonprop)),
+            PropagationTrigger::default(),
+            &snapshot,
+            None,
+        ),
+        Err(RestoreError::PlanMismatch(_))
+    ));
+    // Wire-level: a corrupted version byte is rejected before any
+    // validation against the pool.
+    let mut bytes = snapshot.to_bytes();
+    bytes[8] = 0x63;
+    assert!(matches!(
+        JobSnapshot::from_bytes(&bytes),
+        Err(RestoreError::VersionMismatch { .. })
+    ));
+    // The unmodified snapshot restores fine.
+    let resumed = pool
+        .resume_full(
+            &topo,
+            AvoidanceMode::Plan(prop),
+            PropagationTrigger::default(),
+            &snapshot,
+            None,
+        )
+        .expect("original plan restores");
+    assert!(resumed.wait().completed);
+}
