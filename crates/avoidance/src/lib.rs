@@ -58,6 +58,6 @@ pub use ladder::LadderDecomposition;
 pub use plan::{Algorithm, AvoidancePlan};
 pub use planner::{CertifiedPlan, CertifyAttempt, CertifyError, Planner};
 pub use verify::{
-    certify_plan, certify_plan_bounded, filter_signature, verify_plan, Certification,
-    ModelOutcome, Verification,
+    certify_plan, certify_plan_bounded, filter_signature, observed_periods, verify_plan,
+    Certification, ModelOutcome, Verification,
 };

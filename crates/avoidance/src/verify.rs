@@ -142,6 +142,55 @@ pub fn filter_signature(periods: &[u64]) -> u64 {
     hash
 }
 
+/// Estimates the **observed** per-node filter profile of a (possibly still
+/// running) job from its cumulative traffic counters, merged conservatively
+/// with the declared profile — the re-certification input of the adaptive
+/// runtime's hot-swap path.
+///
+/// Under the periodic convention (output `j` of a period-`p` node emits for
+/// sequence numbers with `(s + j) % p == 0`) each out-edge of the node
+/// carries `≈ firings / p` data messages, so the busiest out-edge inverts
+/// to `p ≈ ⌈firings / max_e data[e]⌉`.  A node observed to filter *more*
+/// than it declared gets its estimate (`max(declared, estimate)`); one
+/// filtering less, or not yet sampled (`firings == 0`), keeps its declared
+/// period — loosening a profile below declaration is never useful for
+/// re-certification, and small samples must not shrink it.  A node that
+/// fired without emitting anything yet estimates `firings + 1`: the
+/// tightest period its own history has not already contradicted.
+///
+/// Sinks have no out-edges and keep their declared period.  `declared`,
+/// `per_node_firings` and `per_edge_data` must be node-/edge-id aligned
+/// with `g` (the counters of `ExecutionReport` / the shared pool's
+/// `FilterObservation` are).
+pub fn observed_periods(
+    g: &Graph,
+    declared: &[u64],
+    per_node_firings: &[u64],
+    per_edge_data: &[u64],
+) -> Vec<u64> {
+    g.node_ids()
+        .map(|n| {
+            let declared = declared.get(n.index()).copied().unwrap_or(1).max(1);
+            let firings = per_node_firings.get(n.index()).copied().unwrap_or(0);
+            let outs = g.out_edges(n);
+            if firings == 0 || outs.is_empty() {
+                return declared;
+            }
+            let busiest = outs
+                .iter()
+                .map(|&e| per_edge_data.get(e.index()).copied().unwrap_or(0))
+                .max()
+                .unwrap_or(0);
+            let estimate = if busiest == 0 {
+                firings.saturating_add(1)
+            } else {
+                firings.div_ceil(busiest)
+            };
+            declared.max(estimate)
+        })
+        .collect()
+}
+
 /// The outcome of one bounded model-check run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModelOutcome {
@@ -752,6 +801,35 @@ mod tests {
         assert_ne!(filter_signature(&[1, 2]), filter_signature(&[2, 1]));
         assert_ne!(filter_signature(&[1]), filter_signature(&[1, 1]));
         assert_ne!(filter_signature(&[]), filter_signature(&[1]));
+    }
+
+    #[test]
+    fn observed_periods_invert_the_periodic_convention() {
+        // fig2 ids: nodes A=0, B=1, C=2; edges A→B=0, B→C=1, A→C=2.
+        let g = fig2();
+        // A fired 100 times, busiest out-edge carried 25 → period ≈ 4,
+        // which exceeds its declared 2; B passed half its 50 firings on;
+        // C is a sink and keeps its declared period.
+        assert_eq!(
+            observed_periods(&g, &[2, 1, 1], &[100, 50, 50], &[25, 25, 20]),
+            vec![4, 2, 1]
+        );
+        // Filtering *less* than declared never loosens the profile…
+        assert_eq!(
+            observed_periods(&g, &[4, 1, 1], &[100, 0, 0], &[100, 0, 100]),
+            vec![4, 1, 1]
+        );
+        // …and an unsampled node (zero firings) keeps its declaration.
+        assert_eq!(
+            observed_periods(&g, &[2, 1, 1], &[0, 0, 0], &[0, 0, 0]),
+            vec![2, 1, 1]
+        );
+        // A node that fired without emitting estimates firings + 1: the
+        // tightest period its history has not contradicted.
+        assert_eq!(
+            observed_periods(&g, &[2, 1, 1], &[7, 0, 0], &[0, 0, 0]),
+            vec![8, 1, 1]
+        );
     }
 
     #[test]

@@ -610,6 +610,122 @@ fn bench_snapshot(c: &mut Criterion) {
     group.finish();
 }
 
+/// The E19 adaptive-runtime sweep: what does drift supervision cost when
+/// nothing drifts, and what does a certified plan hot-swap cost when
+/// something does?  Labels:
+///
+/// * `unsupervised` / `supervised` — the identical honest job executed
+///   bare vs under the polling supervisor.  The firing hot path is
+///   untouched by supervision (the counters it reads exist regardless),
+///   so the delta is the cost of the poll loop's periodic one-lock-per-
+///   node counter observations;
+/// * `hot_swap/warm` — a drifting job detected mid-flight, barrier-
+///   snapshotted and resumed under a plan whose certification verdict for
+///   the observed profile is already cached (the service's steady-state
+///   fast path);
+/// * `hot_swap/cold` — the same migration where every iteration carries a
+///   never-seen structural fingerprint, so the full re-certification runs
+///   inside the swap window.
+fn bench_adaptive(c: &mut Criterion) {
+    use fila_service::{AdaptiveOutcome, DriftPolicy, FilterSpec};
+    use fila_workloads::figures::fig2_triangle;
+    use std::time::Duration;
+
+    let mut group = c.benchmark_group("adaptive");
+    group.sample_size(if fast() { 2 } else { 10 });
+
+    // --- Detector overhead on an honest job -----------------------------
+    // Long enough that the supervisor's settle-detection tail (at most one
+    // poll period) is small against the job's wall time, so the label pair
+    // reads as the real per-poll observation cost.
+    let inputs = if fast() { 20_000 } else { 100_000 };
+    let svc = JobService::new(ServiceConfig::default());
+    let policy = DriftPolicy::default();
+    let honest = JobSpec::new(fig2_triangle(4), FilterSpec::Fork(2), inputs);
+    group.bench_with_input(
+        BenchmarkId::new("unsupervised/fig2/inputs", inputs),
+        &inputs,
+        |b, _| {
+            b.iter(|| {
+                let ticket = svc.submit(honest.clone()).expect("admitted");
+                let outcome = ticket.wait();
+                assert_eq!(outcome.verdict, JobVerdict::Completed, "{outcome:?}");
+                black_box(outcome.report.total_messages())
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("supervised/fig2/inputs", inputs),
+        &inputs,
+        |b, _| {
+            b.iter(|| {
+                let ticket = svc.submit(honest.clone()).expect("admitted");
+                let AdaptiveOutcome::Settled(outcome) = svc.supervise(&honest, ticket, &policy)
+                else {
+                    panic!("an honest job must settle untouched");
+                };
+                assert_eq!(outcome.verdict, JobVerdict::Completed, "{outcome:?}");
+                black_box(outcome.report.total_messages())
+            })
+        },
+    );
+
+    // --- Hot-swap latency, warm vs cold certification -------------------
+    // Inputs sized so the drifting job's wall time (linear in inputs, a
+    // couple of ms per 10k in release) dwarfs the detect → certify →
+    // snapshot pipeline even on a busy CI worker: the swap must land
+    // mid-flight every iteration or the benchmark panics.
+    let swap_inputs = if fast() { 100_000 } else { 200_000 };
+    let tight = DriftPolicy {
+        window: 16,
+        breaches: 2,
+        poll: Duration::from_micros(50),
+        ..DriftPolicy::default()
+    };
+    let drifting = |buffer: u64| {
+        JobSpec::new(fig2_triangle(buffer), FilterSpec::Fork(2), swap_inputs)
+            .with_actual_filters(FilterSpec::Fork(4))
+    };
+    let run_swap = |spec: &JobSpec| -> u64 {
+        let ticket = svc.submit(spec.clone()).expect("admitted");
+        match svc.supervise(spec, ticket, &tight) {
+            AdaptiveOutcome::HotSwapped { outcome, swap }
+            | AdaptiveOutcome::Replanned { outcome, swap } => {
+                assert_eq!(outcome.verdict, JobVerdict::Completed, "{outcome:?}");
+                black_box(swap.latency);
+                outcome.report.total_messages()
+            }
+            other => panic!("a drifting fig2 job must be swapped, got {other:?}"),
+        }
+    };
+    // Pre-warm: one swap caches the observed profile's certification
+    // verdict, so every timed warm iteration takes the fast path.
+    run_swap(&drifting(4));
+    group.bench_with_input(
+        BenchmarkId::new("hot_swap/warm/inputs", swap_inputs),
+        &swap_inputs,
+        |b, _| b.iter(|| black_box(run_swap(&drifting(4)))),
+    );
+    // Cold: a never-seen buffer capacity per iteration gives each job a
+    // fresh structural fingerprint, so certification runs from scratch
+    // inside every swap window.  Growing a buffer never introduces a
+    // deadlock; capacities stay far below the input count, so the job
+    // remains back-pressured and the dynamics comparable to `warm`.
+    let unique = Cell::new(4u64);
+    group.bench_with_input(
+        BenchmarkId::new("hot_swap/cold/inputs", swap_inputs),
+        &swap_inputs,
+        |b, _| {
+            b.iter(|| {
+                let buffer = unique.get() + 1;
+                unique.set(buffer);
+                black_box(run_swap(&drifting(buffer)))
+            })
+        },
+    );
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pipeline,
@@ -620,6 +736,7 @@ criterion_group!(
     bench_deadlock_detection,
     bench_service_jobs,
     bench_certification,
-    bench_snapshot
+    bench_snapshot,
+    bench_adaptive
 );
 criterion_main!(benches);

@@ -160,6 +160,23 @@ pub enum RestoreError {
     /// The snapshot is structurally inconsistent (truncated blob, counts
     /// that do not fit the topology, over-capacity channels, …).
     Corrupted(String),
+    /// A node's recorded dummy-gap counter is not strictly below the
+    /// restore-side plan's finite interval on that channel.  Every legally
+    /// captured gap lies in `[0, interval)` (the wrapper resets on firing),
+    /// so an out-of-range gap means the snapshot does not belong to this
+    /// plan's interval table — e.g. a hot-swap that skipped
+    /// [`JobSnapshot::rebase`], or a doctored blob.  Restoring it anyway
+    /// could postpone a due dummy beyond the certified interval.
+    GapExceedsInterval {
+        /// Node whose wrapper state is out of range.
+        node: u32,
+        /// Index of the offending channel within the node's out-edges.
+        out_index: u32,
+        /// The recorded gap counter.
+        gap: u64,
+        /// The restore-side plan's finite dummy interval on that channel.
+        interval: u64,
+    },
 }
 
 impl std::fmt::Display for RestoreError {
@@ -170,6 +187,16 @@ impl std::fmt::Display for RestoreError {
             }
             RestoreError::PlanMismatch(why) => write!(f, "plan mismatch: {why}"),
             RestoreError::Corrupted(why) => write!(f, "corrupted snapshot: {why}"),
+            RestoreError::GapExceedsInterval {
+                node,
+                out_index,
+                gap,
+                interval,
+            } => write!(
+                f,
+                "dummy-gap counter {gap} on node {node} out-channel {out_index} is not \
+                 below the plan's interval {interval} (snapshot not rebased onto this plan?)"
+            ),
         }
     }
 }
@@ -209,6 +236,36 @@ pub fn plan_digest(mode: &AvoidanceMode) -> Option<u64> {
         h = fold(h, plan.interval(e).finite().map(|v| v + 1).unwrap_or(0));
     }
     Some(h)
+}
+
+/// An intentional plan-swap authorisation: the exact pair of plan digests a
+/// hot-swap moves a snapshot between.
+///
+/// The "restored under the exact captured plan" rule
+/// ([`RestoreError::PlanMismatch`]) has one deliberate exception: an
+/// *adaptive* hot-swap, where the party that re-certified the job against
+/// its observed filter profile moves the snapshot onto the new certified
+/// plan.  The token names both digests, so a swap is admitted only when the
+/// caller can state what the snapshot ran under **and** what it certified
+/// next — a stale or mixed-up snapshot still fails closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapToken {
+    /// Digest of the plan the snapshot was captured under (`None` =
+    /// avoidance was disabled).
+    pub from: Option<u64>,
+    /// Digest of the re-certified plan the job resumes under.
+    pub to: Option<u64>,
+}
+
+impl SwapToken {
+    /// Authorises a swap between two avoidance modes (typically: the mode
+    /// the snapshot was captured under and the freshly re-certified one).
+    pub fn authorise(from: &AvoidanceMode, to: &AvoidanceMode) -> SwapToken {
+        SwapToken {
+            from: plan_digest(from),
+            to: plan_digest(to),
+        }
+    }
 }
 
 /// The stable wire code of a [`PropagationTrigger`].
@@ -296,7 +353,84 @@ impl JobSnapshot {
                     return corrupted("more than two staged messages on one edge");
                 }
             }
+            // Dummy-gap counters must be strictly below the restore-side
+            // plan's finite intervals: the wrapper resets a counter the
+            // moment it reaches the threshold, so every legally captured
+            // gap is in `[0, interval)`.  This is what makes a swapped
+            // resume that skipped [`JobSnapshot::rebase`] fail closed
+            // instead of silently stretching a certified dummy interval.
+            if let AvoidanceMode::Plan(plan) = mode {
+                for (out_index, (&gap, &e)) in ns.gaps.iter().zip(outs).enumerate() {
+                    if let Some(interval) = plan.interval(e).finite() {
+                        if gap >= interval.max(1) {
+                            return Err(RestoreError::GapExceedsInterval {
+                                node: idx as u32,
+                                out_index: out_index as u32,
+                                gap,
+                                interval,
+                            });
+                        }
+                    }
+                }
+            }
         }
+        Ok(())
+    }
+
+    /// Rebases this snapshot onto a different avoidance plan — the one
+    /// deliberate exception to the exact-plan restore rule, authorised by a
+    /// [`SwapToken`] naming both digests.  `token.from` must equal the
+    /// digest the snapshot was captured under and `token.to` the digest of
+    /// `mode`; anything else is a [`RestoreError::PlanMismatch`].
+    ///
+    /// The only runtime state that depends on the interval table is the
+    /// per-node dummy-gap counters, and rebasing them is behaviour-
+    /// preserving: a counter `g ≥ t′` under a new finite threshold `t′`
+    /// acts on the next accepted sequence number exactly like `g = t′ − 1`
+    /// (one dummy fires, the counter resets), so each gap is clamped to
+    /// `min(g, t′ − 1)`.  After a successful rebase the snapshot carries
+    /// the new plan digest and passes [`JobSnapshot::validate_for`] under
+    /// `mode` — the swapped resume then goes through the ordinary restore
+    /// path with full structural validation.
+    pub fn rebase(
+        &mut self,
+        topology: &Topology,
+        mode: &AvoidanceMode,
+        token: &SwapToken,
+    ) -> Result<(), RestoreError> {
+        if token.from != self.plan_digest {
+            return Err(RestoreError::PlanMismatch(
+                "swap token does not name the plan the snapshot was captured under".into(),
+            ));
+        }
+        if token.to != plan_digest(mode) {
+            return Err(RestoreError::PlanMismatch(
+                "swap token does not name the restore-side plan".into(),
+            ));
+        }
+        let g = topology.graph();
+        if self.nodes.len() != g.node_count() {
+            return Err(RestoreError::Corrupted(
+                "node count does not match the topology".into(),
+            ));
+        }
+        if let AvoidanceMode::Plan(plan) = mode {
+            for (idx, ns) in self.nodes.iter_mut().enumerate() {
+                let node = fila_graph::NodeId::from_raw(idx as u32);
+                let outs = g.out_edges(node);
+                if ns.gaps.len() != outs.len() {
+                    return Err(RestoreError::Corrupted(
+                        "wrapper state does not match the node's out-degree".into(),
+                    ));
+                }
+                for (gap, &e) in ns.gaps.iter_mut().zip(outs) {
+                    if let Some(interval) = plan.interval(e).finite() {
+                        *gap = (*gap).min(interval.saturating_sub(1));
+                    }
+                }
+            }
+        }
+        self.plan_digest = token.to;
         Ok(())
     }
 

@@ -52,14 +52,14 @@ pub mod topology;
 pub mod wrapper;
 
 pub use checkpoint::{
-    CheckpointOutcome, JobSnapshot, NodeSnapshot, RestoreError, SnapshotError,
+    CheckpointOutcome, JobSnapshot, NodeSnapshot, RestoreError, SnapshotError, SwapToken,
 };
 pub use filters::{Bernoulli, Broadcast, Collector, ModuloFilter, RouteRoundRobin};
 pub use message::{Message, Payload};
 pub use node::{FireDecision, FireInput, NodeBehavior};
 pub use pooled::PooledExecutor;
 pub use report::{BlockedInfo, BlockedReason, ExecutionReport};
-pub use shared_pool::{JobHandle, JobVerdict, SettleHook, SharedPool};
+pub use shared_pool::{FilterObservation, JobHandle, JobVerdict, SettleHook, SharedPool};
 pub use simulator::{Scheduler, Simulator};
 pub use threaded::ThreadedExecutor;
 pub use topology::{BehaviorFactory, Topology};

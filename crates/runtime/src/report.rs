@@ -41,6 +41,14 @@ pub struct ExecutionReport {
     pub per_edge_dummies: Vec<u64>,
     /// Number of data-bearing sequence numbers consumed by sink nodes.
     pub sink_firings: u64,
+    /// Firings (accepted sequence numbers) per node, indexed by node id.
+    /// Together with `per_edge_data` this is the observed filter profile of
+    /// the run: node `n` emitted `per_edge_data[e] / per_node_firings[n]`
+    /// data messages per accepted sequence number on each out-edge `e` —
+    /// what the service's drift detector compares against the declared
+    /// `FilterSpec`.  Maintained by every engine from counters the tasks
+    /// already kept, so the cost is one `Vec` per report, not per firing.
+    pub per_node_firings: Vec<u64>,
     /// Scheduler steps (simulator) or total firings (threaded engine).
     pub steps: u64,
     /// Nodes that were blocked when the run stopped (empty on completion).

@@ -63,7 +63,7 @@ use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -71,7 +71,7 @@ use fila_graph::fingerprint::labeled_fingerprint;
 use fila_graph::Graph;
 
 use crate::checkpoint::{
-    self, JobSnapshot, NodeSnapshot, RestoreError, SnapshotError, SNAPSHOT_VERSION,
+    self, JobSnapshot, NodeSnapshot, RestoreError, SnapshotError, SwapToken, SNAPSHOT_VERSION,
 };
 use crate::message::Message;
 use crate::report::ExecutionReport;
@@ -295,10 +295,33 @@ struct DoneSlot {
     on_settle: Option<SettleHook>,
 }
 
+/// A cheap point-in-time read of one running job's cumulative traffic
+/// counters, taken by [`JobHandle::observe`] without stopping the job.
+///
+/// `per_node_firings[n] / inputs` and `per_edge_data[e] /
+/// per_node_firings[producer(e)]` together give the *observed* filter
+/// profile — what a drift detector compares against the declared
+/// `FilterSpec` the job was certified under.  The read is **not** a
+/// consistent cut (each task is sampled independently), which is fine for
+/// rate estimation: every counter is monotonic, so successive observations
+/// bound the true trajectory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FilterObservation {
+    /// Accepted sequence numbers per node, indexed by node id.
+    pub per_node_firings: Vec<u64>,
+    /// Data messages delivered per channel, indexed by edge id.
+    pub per_edge_data: Vec<u64>,
+    /// Dummy messages delivered per channel, indexed by edge id.
+    pub per_edge_dummies: Vec<u64>,
+}
+
 /// A handle to one submitted job; all accessors are callable any number of
 /// times and from any thread.
 pub struct JobHandle {
     job: Arc<JobState>,
+    /// Back-reference for [`JobHandle::cancel`]; weak so an orphaned handle
+    /// never keeps a dropped pool's queues alive.
+    core: Weak<PoolCore>,
 }
 
 impl JobHandle {
@@ -426,6 +449,60 @@ impl JobHandle {
                 .wait(snap)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+    }
+
+    /// Samples the job's cumulative traffic counters while it keeps
+    /// running: one brief task-mutex lock per node, no barrier, no effect
+    /// on scheduling.  Callable before and after the job settles (after, it
+    /// returns the final counts).  This is the drift detector's polling
+    /// primitive; for a consistent cut use [`JobHandle::checkpoint`].
+    pub fn observe(&self) -> FilterObservation {
+        let job = &self.job;
+        let mut obs = FilterObservation {
+            per_node_firings: vec![0; job.tasks.len()],
+            per_edge_data: vec![0; job.edge_count],
+            per_edge_dummies: vec![0; job.edge_count],
+        };
+        for (idx, task) in job.tasks.iter().enumerate() {
+            let task = lock(task);
+            obs.per_node_firings[idx] = task.firings;
+            for port in &task.outs {
+                obs.per_edge_data[port.edge as usize] = port.data;
+                obs.per_edge_dummies[port.edge as usize] = port.dummies;
+            }
+        }
+        obs
+    }
+
+    /// Cancels the job: its verdict becomes [`JobVerdict::Cancelled`], its
+    /// report (with counters as of the cancellation) is delivered to
+    /// waiters, and any of its tasks still sitting in run queues are
+    /// dropped on pop — the pool itself never stops.  Returns `true` if
+    /// this call settled the job, `false` if it had already settled (the
+    /// existing verdict stands).  This is the response ladder's retirement
+    /// step: the old incarnation of a hot-swapped job is cancelled after
+    /// its snapshot is taken, and a drift-cancelled job is cancelled
+    /// outright.
+    pub fn cancel(&self) -> bool {
+        if self
+            .job
+            .verdict
+            .compare_exchange(
+                JOB_RUNNING,
+                JOB_CANCELLED,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_err()
+        {
+            return false;
+        }
+        if let Some(core) = self.core.upgrade() {
+            core.deliver(&self.job);
+        }
+        // If the pool is already gone, its `Drop` has drained `live` and
+        // delivered every job — the CAS above could not have succeeded.
+        true
     }
 }
 
@@ -585,7 +662,7 @@ impl SharedPool {
                 snap: Mutex::new(SnapState::default()),
                 snap_cv: Condvar::new(),
             });
-            return JobHandle { job };
+            return JobHandle { job, core: Arc::downgrade(&self.core) };
         }
 
         let tasks: Vec<Mutex<Task>> = task::build_tasks(topology, &mode, trigger)
@@ -628,7 +705,7 @@ impl SharedPool {
                 },
             );
         }
-        JobHandle { job }
+        JobHandle { job, core: Arc::downgrade(&self.core) }
     }
 
     /// Restores a [`JobSnapshot`] as a new job on this pool: the job picks
@@ -722,7 +799,7 @@ impl SharedPool {
                 snap: Mutex::new(SnapState::default()),
                 snap_cv: Condvar::new(),
             });
-            return Ok(JobHandle { job });
+            return Ok(JobHandle { job, core: Arc::downgrade(&self.core) });
         }
         let job = Arc::new(JobState {
             states: (0..node_count).map(|_| AtomicU8::new(QUEUED)).collect(),
@@ -759,7 +836,35 @@ impl SharedPool {
                 },
             );
         }
-        Ok(JobHandle { job })
+        Ok(JobHandle { job, core: Arc::downgrade(&self.core) })
+    }
+
+    /// Restores a snapshot under a **different** avoidance plan than the
+    /// one it was captured under — the hot-swap path of the adaptive
+    /// runtime's response ladder.
+    ///
+    /// [`SharedPool::resume_full`] deliberately rejects any plan drift
+    /// ([`RestoreError::PlanMismatch`]); this is the one sanctioned
+    /// loophole, and it is gated on an explicit [`SwapToken`] naming both
+    /// the captured plan and the restore-side plan by digest.  The
+    /// snapshot is rebased first ([`JobSnapshot::rebase`]): dummy-gap
+    /// counters are clamped into the new plan's intervals (sound because a
+    /// wrapper with gap ≥ t′−1 behaves identically to one at t′−1 — see
+    /// the rebase docs) and the snapshot is re-stamped, after which the
+    /// full [`JobSnapshot::validate_for`] gauntlet — including the
+    /// gap-vs-interval check — runs as usual.
+    pub fn resume_swapped(
+        &self,
+        topology: &Topology,
+        mode: AvoidanceMode,
+        trigger: PropagationTrigger,
+        snapshot: &JobSnapshot,
+        token: SwapToken,
+        on_settle: Option<SettleHook>,
+    ) -> Result<JobHandle, RestoreError> {
+        let mut rebased = snapshot.clone();
+        rebased.rebase(topology, &mode, &token)?;
+        self.resume_full(topology, mode, trigger, &rebased, on_settle)
     }
 }
 

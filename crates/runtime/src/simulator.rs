@@ -440,6 +440,7 @@ impl<'t> Run<'t> {
 
     fn finish(mut self, completed: bool, stalled: bool) -> ExecutionReport {
         self.report.completed = completed;
+        self.report.per_node_firings = self.nodes.iter().map(|s| s.firings).collect();
         if !completed && stalled {
             let g = self.graph();
             let mut blocked = Vec::new();

@@ -434,6 +434,7 @@ pub(crate) fn assemble_report(
         inputs_offered: inputs,
         per_edge_data: vec![0; edge_count],
         per_edge_dummies: vec![0; edge_count],
+        per_node_firings: vec![0; tasks.len()],
         ..Default::default()
     };
     for (idx, task) in tasks.iter().enumerate() {
@@ -443,6 +444,7 @@ pub(crate) fn assemble_report(
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         report.steps += task.firings;
+        report.per_node_firings[idx] = task.firings;
         report.sink_firings += task.sink_firings;
         for port in &task.outs {
             report.per_edge_data[port.edge as usize] = port.data;

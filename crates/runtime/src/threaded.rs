@@ -121,6 +121,7 @@ impl<'t> ThreadedExecutor<'t> {
             dummy_messages: AtomicU64::new(0),
             sink_firings: AtomicU64::new(0),
             firings: AtomicU64::new(0),
+            per_node_firings: (0..g.node_count()).map(|_| AtomicU64::new(0)).collect(),
             per_edge_data: (0..edge_count).map(|_| AtomicU64::new(0)).collect(),
             per_edge_dummies: (0..edge_count).map(|_| AtomicU64::new(0)).collect(),
         });
@@ -206,6 +207,11 @@ impl<'t> ThreadedExecutor<'t> {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             sink_firings: shared.sink_firings.load(Ordering::Relaxed),
+            per_node_firings: shared
+                .per_node_firings
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
             steps: shared.firings.load(Ordering::Relaxed),
             blocked: Vec::new(),
             wall: started.elapsed(),
@@ -229,6 +235,7 @@ struct Shared {
     dummy_messages: AtomicU64,
     sink_firings: AtomicU64,
     firings: AtomicU64,
+    per_node_firings: Vec<AtomicU64>,
     per_edge_data: Vec<AtomicU64>,
     per_edge_dummies: Vec<AtomicU64>,
 }
@@ -343,6 +350,7 @@ impl Worker<'_> {
             }
             let decision = behavior.fire(&FireInput { seq, data_in: &[] });
             self.shared.firings.fetch_add(1, Ordering::Relaxed);
+            self.shared.per_node_firings[self.node.index()].fetch_add(1, Ordering::Relaxed);
             if !self.emit(seq, Some(&decision), false) {
                 return;
             }
@@ -392,6 +400,7 @@ impl Worker<'_> {
                     self.shared.sink_firings.fetch_add(1, Ordering::Relaxed);
                 }
                 self.shared.firings.fetch_add(1, Ordering::Relaxed);
+                self.shared.per_node_firings[self.node.index()].fetch_add(1, Ordering::Relaxed);
                 Some(behavior.fire(&FireInput {
                     seq: accept_seq,
                     data_in: &data_in,

@@ -1,0 +1,350 @@
+//! Filter-drift detection: windowed observed-rate tracking with
+//! hysteresis.
+//!
+//! Certification (PR 5) proves "admitted ⇒ deadlock-free" against the
+//! *declared* [`FilterSpec`](crate::FilterSpec); nothing stops a tenant's
+//! real traffic from filtering more heavily than it declared, at which
+//! point the certificate attests to a profile the job is not running.  The
+//! [`DriftDetector`] is the pure state machine that notices: the
+//! supervisor polls a running job's cumulative counters (the shared
+//! pool's `FilterObservation` — one brief task-lock per node, nothing on
+//! the firing hot path), and the detector folds each poll into per-node
+//! evaluation windows.
+//!
+//! ## Windowing and hysteresis
+//!
+//! A node is **evaluated** when an observation shows it has fired at
+//! least [`DriftPolicy::window`] times since its last evaluation; the
+//! whole span since that evaluation is judged as one unit.  Over a span
+//! of `s` firings the declared period `p` predicts `≈ s / p` data
+//! messages on the node's *busiest* out-edge (the periodic convention
+//! staggers output slots, so the busiest edge is the right invariant —
+//! it is `1/p` of traffic regardless of out-degree; dummy-only steps do
+//! not count as firings, so upstream filtering cannot frame an honest
+//! relay).  The span **breaches** when the observed count falls below
+//! `(1 − tolerance) · s / p`.  One window of breach proves nothing —
+//! scheduling interleavings, slot stagger, staged-but-unflushed outputs
+//! and batch boundaries all perturb a short reading — so the detector
+//! *triggers* only once a node accumulates [`DriftPolicy::breaches`]
+//! consecutive *windows of breaching evidence*; any clean evaluation
+//! resets the streak.  A breaching span contributes `s / window`
+//! complete windows of evidence: a slow poll that shows a shortfall
+//! sustained across many windows is *stronger* evidence than one dip,
+//! and — crucially — a node that races to completion between two polls
+//! (deep buffers, no back-pressure) is still convictable from the single
+//! exact reading of its whole run.  What a span can never do is frame an
+//! honest node: the full data delta is attributed to the full firing
+//! span, so only a genuine rate shortfall breaches.  The unit tests in
+//! this module pin both halves of that hysteresis.
+//!
+//! What happens on a trigger is the service's response ladder
+//! ([`JobService::supervise`](crate::JobService::supervise)), not the
+//! detector's business: this module decides *whether*, the ladder decides
+//! *what*.
+
+use std::time::Duration;
+
+use fila_graph::Graph;
+
+/// Tuning of the drift detector and the supervisor's polling loop.
+#[derive(Debug, Clone)]
+pub struct DriftPolicy {
+    /// Accepted sequence numbers per evaluation window per node.
+    pub window: u64,
+    /// Relative shortfall below the declared rate a window must show to
+    /// count as a breach: observed data on the busiest out-edge below
+    /// `(1 − tolerance) · window / period` breaches.  Clamped to
+    /// `[0, 0.95]`.
+    pub tolerance: f64,
+    /// Consecutive breached windows required to trigger (hysteresis;
+    /// clamped to ≥ 1).
+    pub breaches: u32,
+    /// Supervisor poll interval between counter observations.
+    pub poll: Duration,
+}
+
+impl Default for DriftPolicy {
+    fn default() -> Self {
+        DriftPolicy {
+            window: 64,
+            tolerance: 0.25,
+            breaches: 3,
+            poll: Duration::from_micros(200),
+        }
+    }
+}
+
+/// One node the detector convicted: its declared period and the period its
+/// observed traffic actually spells (estimated over the convicting
+/// windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriftOffender {
+    /// Node id (index) of the offending node.
+    pub node: u32,
+    /// The period the job declared (and was certified) for this node.
+    pub declared_period: u64,
+    /// The period its observed emission rate corresponds to.
+    pub observed_period: u64,
+}
+
+/// Per-node window tracking state.
+struct NodeTrack {
+    node: u32,
+    period: u64,
+    out_edges: Vec<u32>,
+    /// Cumulative firings at the last evaluation.
+    base_firings: u64,
+    /// Cumulative per-out-edge data counts at the last evaluation.
+    base_data: Vec<u64>,
+    /// Accumulated consecutive windows of breaching evidence.
+    streak: u32,
+    /// Latched once the streak reaches the policy's breach count.
+    triggered: bool,
+    /// Observed period estimated over the last breaching span.
+    observed_period: u64,
+}
+
+/// The pure drift state machine (no clocks, no threads): feed it
+/// successive cumulative counter observations, get a verdict when the
+/// hysteresis is exhausted.  See the module docs.
+pub struct DriftDetector {
+    window: u64,
+    tolerance: f64,
+    breaches: u32,
+    nodes: Vec<NodeTrack>,
+}
+
+impl DriftDetector {
+    /// Builds a detector for `g` against the declared per-node `periods`
+    /// (node-id aligned, clamped to ≥ 1).  Sinks have no out-edges and are
+    /// never tracked — a sink cannot under-emit.
+    pub fn new(g: &Graph, periods: &[u64], policy: &DriftPolicy) -> Self {
+        DriftDetector {
+            window: policy.window.max(1),
+            tolerance: policy.tolerance.clamp(0.0, 0.95),
+            breaches: policy.breaches.max(1),
+            nodes: g
+                .node_ids()
+                .filter(|&n| g.out_degree(n) > 0)
+                .map(|n| NodeTrack {
+                    node: n.index() as u32,
+                    period: periods.get(n.index()).copied().unwrap_or(1).max(1),
+                    out_edges: g.out_edges(n).iter().map(|e| e.index() as u32).collect(),
+                    base_firings: 0,
+                    base_data: vec![0; g.out_degree(n)],
+                    streak: 0,
+                    triggered: false,
+                    observed_period: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Folds one cumulative counter observation (node-id-aligned firings,
+    /// edge-id-aligned data counts) into the window state.  Returns the
+    /// offender list the first time any node's breach streak reaches the
+    /// policy's hysteresis — exactly once; later calls keep returning
+    /// `None` (the supervisor has already moved to the response ladder).
+    pub fn ingest(
+        &mut self,
+        per_node_firings: &[u64],
+        per_edge_data: &[u64],
+    ) -> Option<Vec<DriftOffender>> {
+        if self.nodes.iter().any(|t| t.triggered) {
+            return None;
+        }
+        let mut fired = false;
+        for track in &mut self.nodes {
+            let firings = per_node_firings.get(track.node as usize).copied().unwrap_or(0);
+            // Judge the whole span since the last evaluation as ONE unit.
+            // Splitting a slow poll into per-window slices would attribute
+            // the entire data delta to the first slice and auto-breach the
+            // rest, convicting honest nodes from a single reading; the
+            // span-average can only breach on a genuine rate shortfall.
+            let span = firings.saturating_sub(track.base_firings);
+            if span < self.window {
+                continue;
+            }
+            let evidence = u32::try_from(span / self.window).unwrap_or(u32::MAX);
+            let busiest = track
+                .out_edges
+                .iter()
+                .zip(&track.base_data)
+                .map(|(&e, &base)| {
+                    per_edge_data
+                        .get(e as usize)
+                        .copied()
+                        .unwrap_or(0)
+                        .saturating_sub(base)
+                })
+                .max()
+                .unwrap_or(0);
+            track.base_firings = firings;
+            for (slot, &e) in track.base_data.iter_mut().zip(&track.out_edges) {
+                *slot = per_edge_data.get(e as usize).copied().unwrap_or(0);
+            }
+            let expected = span as f64 / track.period as f64;
+            if (busiest as f64) < (1.0 - self.tolerance) * expected {
+                track.streak = track.streak.saturating_add(evidence);
+                track.observed_period = if busiest == 0 {
+                    span.saturating_add(1)
+                } else {
+                    span.div_ceil(busiest)
+                };
+                if track.streak >= self.breaches {
+                    track.triggered = true;
+                    fired = true;
+                }
+            } else {
+                track.streak = 0;
+            }
+        }
+        if fired {
+            Some(self.offenders())
+        } else {
+            None
+        }
+    }
+
+    /// The nodes currently convicted (non-empty only after [`ingest`]
+    /// returned `Some`).
+    ///
+    /// [`ingest`]: DriftDetector::ingest
+    pub fn offenders(&self) -> Vec<DriftOffender> {
+        self.nodes
+            .iter()
+            .filter(|t| t.triggered)
+            .map(|t| DriftOffender {
+                node: t.node,
+                declared_period: t.period,
+                observed_period: t.observed_period,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fila_graph::GraphBuilder;
+
+    fn fork() -> Graph {
+        let mut b = GraphBuilder::new().default_capacity(4);
+        b.edge("a", "b").unwrap();
+        b.edge("a", "c").unwrap();
+        b.build().unwrap()
+    }
+
+    fn policy(window: u64, breaches: u32) -> DriftPolicy {
+        DriftPolicy {
+            window,
+            breaches,
+            ..DriftPolicy::default()
+        }
+    }
+
+    #[test]
+    fn no_trigger_below_a_full_window() {
+        let g = fork();
+        let mut d = DriftDetector::new(&g, &[2, 1, 1], &policy(64, 1));
+        // 63 firings with zero output: suspicious, but the window has not
+        // closed — no verdict.
+        assert_eq!(d.ingest(&[63, 0, 0], &[0, 0]), None);
+        assert!(d.offenders().is_empty());
+    }
+
+    #[test]
+    fn single_noisy_window_does_not_trigger() {
+        let g = fork();
+        // Hysteresis 3: one bad window must not convict.
+        let mut d = DriftDetector::new(&g, &[2, 1, 1], &policy(16, 3));
+        // Window 1: node a emitted nothing (a full breach).
+        assert_eq!(d.ingest(&[16, 0, 0], &[0, 0]), None);
+        // Window 2: back to the declared rate (16 / period 2 = 8 on the
+        // busiest edge) — the streak resets.
+        assert_eq!(d.ingest(&[32, 0, 0], &[8, 8]), None);
+        // Two more bad windows: still only a streak of 2 < 3.
+        assert_eq!(d.ingest(&[48, 0, 0], &[8, 8]), None);
+        assert_eq!(d.ingest(&[64, 0, 0], &[8, 8]), None);
+        assert!(d.offenders().is_empty());
+    }
+
+    #[test]
+    fn sustained_breaches_trigger_with_offender_details() {
+        let g = fork();
+        let mut d = DriftDetector::new(&g, &[2, 1, 1], &policy(16, 3));
+        // Three consecutive windows at a quarter of the declared rate
+        // (2 data per 16 firings instead of 8: observed period 8).
+        assert_eq!(d.ingest(&[16, 0, 0], &[2, 0]), None);
+        assert_eq!(d.ingest(&[32, 0, 0], &[4, 0]), None);
+        let offenders = d.ingest(&[48, 0, 0], &[6, 0]).expect("third breach convicts");
+        assert_eq!(
+            offenders,
+            vec![DriftOffender {
+                node: 0,
+                declared_period: 2,
+                observed_period: 8,
+            }]
+        );
+        // The verdict is latched and delivered exactly once.
+        assert_eq!(d.ingest(&[64, 0, 0], &[6, 0]), None);
+        assert_eq!(d.offenders(), offenders);
+    }
+
+    #[test]
+    fn one_observation_can_carry_full_hysteresis() {
+        let g = fork();
+        let mut d = DriftDetector::new(&g, &[2, 1, 1], &policy(16, 3));
+        // A single poll showing a shortfall sustained across three whole
+        // windows carries three windows of evidence — enough to convict a
+        // node that raced to completion between polls (deep buffers never
+        // block it, so its span freezes after one reading).
+        let offenders = d
+            .ingest(&[48, 0, 0], &[0, 0])
+            .expect("three silent windows in one span convict");
+        assert_eq!(offenders.len(), 1);
+        // Estimated over the whole breaching span (48 firings, zero data).
+        assert_eq!(offenders[0].observed_period, 49);
+    }
+
+    #[test]
+    fn partial_evidence_accumulates_across_polls() {
+        let g = fork();
+        let mut d = DriftDetector::new(&g, &[2, 1, 1], &policy(16, 3));
+        // Window-sized breaching polls contribute one window of evidence
+        // each: two are not enough at hysteresis 3, the third convicts.
+        assert_eq!(d.ingest(&[16, 0, 0], &[0, 0]), None);
+        assert_eq!(d.ingest(&[32, 0, 0], &[0, 0]), None);
+        assert!(d.ingest(&[48, 0, 0], &[0, 0]).is_some());
+    }
+
+    #[test]
+    fn slow_polls_do_not_frame_honest_nodes() {
+        let g = fork();
+        let mut d = DriftDetector::new(&g, &[2, 1, 1], &policy(16, 3));
+        // Each poll spans many windows at exactly the declared rate
+        // (period 2 → half the firings on the busiest edge).  Under the
+        // old per-window splitting the first window absorbed the whole
+        // data delta and the rest auto-breached; span evaluation must
+        // stay clean forever.
+        for w in 1..40u64 {
+            let f = 48 * w;
+            assert_eq!(d.ingest(&[f, 0, 0], &[f / 2, f / 2]), None, "poll {w}");
+        }
+        assert!(d.offenders().is_empty());
+    }
+
+    #[test]
+    fn nodes_at_their_declared_rate_never_trigger() {
+        let g = fork();
+        let mut d = DriftDetector::new(&g, &[4, 1, 1], &policy(16, 1));
+        // Period 4 → 4 data per 16 firings on the busiest edge; run many
+        // windows at exactly that rate.
+        for w in 1..50u64 {
+            assert_eq!(d.ingest(&[16 * w, 0, 0], &[4 * w, 4 * w]), None, "window {w}");
+        }
+        // Broadcast node b (period 1) relays everything it got; no breach
+        // either even though its absolute counts are lower.
+        assert!(d.offenders().is_empty());
+    }
+}

@@ -66,10 +66,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod drift;
 pub mod service;
 pub mod spec;
 pub mod stats;
 
-pub use service::{JobOutcome, JobService, JobTicket, RejectReason, ServiceConfig};
+pub use drift::{DriftDetector, DriftOffender, DriftPolicy};
+pub use service::{
+    AdaptiveOutcome, JobOutcome, JobService, JobTicket, RejectReason, ServiceConfig, SwapReport,
+};
 pub use spec::{AvoidanceChoice, FilterSpec, JobSpec};
 pub use stats::ServiceStats;

@@ -7,14 +7,16 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fila_avoidance::{
-    filter_signature, Algorithm, AvoidancePlan, CertifyError, PlanCache, Rounding,
+    filter_signature, observed_periods, Algorithm, AvoidancePlan, CertifyError, PlanCache,
+    Rounding,
 };
 use fila_graph::Fingerprint;
 use fila_runtime::{
-    AvoidanceMode, ExecutionReport, JobHandle, JobSnapshot, JobVerdict, PropagationTrigger,
-    SettleHook, SharedPool, SnapshotError,
+    checkpoint, AvoidanceMode, ExecutionReport, JobHandle, JobSnapshot, JobVerdict,
+    PropagationTrigger, SettleHook, SharedPool, SnapshotError, SwapToken,
 };
 
+use crate::drift::{DriftDetector, DriftOffender, DriftPolicy};
 use crate::spec::{AvoidanceChoice, JobSpec};
 use crate::stats::{Counters, ServiceStats};
 
@@ -191,6 +193,123 @@ impl JobTicket {
     /// True once [`JobTicket::wait`] will not block.
     pub fn is_settled(&self) -> bool {
         self.handle.is_settled()
+    }
+
+    /// Samples the job's cumulative filter counters (cheap, non-blocking;
+    /// see [`JobHandle::observe`]).  This is the feed for an external
+    /// [`DriftDetector`] when the caller runs its own supervision loop
+    /// instead of [`JobService::supervise`].
+    pub fn observe(&self) -> fila_runtime::FilterObservation {
+        self.handle.observe()
+    }
+}
+
+/// Provenance of one successful plan hot-swap (or quarantine replan):
+/// what drifted, what the observed profile was, and how long the
+/// detect → re-certify → snapshot → resume pipeline took.
+#[derive(Debug, Clone)]
+pub struct SwapReport {
+    /// The nodes the drift detector convicted.
+    pub offenders: Vec<DriftOffender>,
+    /// The per-node filter profile estimated from the live counter sample
+    /// taken at the drift verdict (node-id aligned; never looser than the
+    /// declaration).  The swapped-in plan is certified against *this*
+    /// profile.
+    pub observed_periods: Vec<u64>,
+    /// Firing count of the barrier snapshot the job migrated through.
+    pub snapshot_steps: u64,
+    /// Protocol of the swapped-in plan (after any certification fallback).
+    pub algorithm: Algorithm,
+    /// True if certification fell back from the requested protocol.
+    pub fell_back: bool,
+    /// True if the observed profile's certification verdict was already
+    /// cached — the hot-swap fast path.
+    pub cache_hit: bool,
+    /// Wall time from the drift verdict to the new incarnation running on
+    /// the pool (snapshot + re-certification + resume; excludes the time
+    /// the detector spent accumulating evidence).
+    pub latency: Duration,
+}
+
+/// How a supervised job ([`JobService::supervise`]) ended: either it
+/// settled before any drift verdict, or the response ladder ran.  The
+/// rungs, in order of preference:
+///
+/// 1. **Hot-swap** ([`AdaptiveOutcome::HotSwapped`]) — re-certify the
+///    job's *observed* filter profile through the plan cache while the
+///    job keeps running, then barrier-snapshot it, retire the old
+///    incarnation and resume the snapshot under the new plan.  The pool
+///    and every co-tenant keep running throughout.  Certification runs
+///    *before* the snapshot on purpose: the consistent cut of a job
+///    whose sources raced far ahead only completes near end-of-stream,
+///    so a plan must already be in hand when the barrier is paid for.
+/// 2. **Quarantine + replan** ([`AdaptiveOutcome::Replanned`]) — the
+///    standard-budget certification failed, so the job is marked
+///    quarantined and a dedicated escalated-budget certification attempt
+///    runs; on success the snapshot-and-resume proceeds exactly as in
+///    rung 1.  The job is retired the moment the ladder knows its fate:
+///    swapped out on success, cancelled on failure — stopping it any
+///    earlier would buy nothing, because without a certified plan there
+///    is no resumable state to preserve.
+/// 3. **Cancel** ([`AdaptiveOutcome::DriftCancelled`]) — no certifiable
+///    plan exists for the observed profile; the job is cancelled
+///    mid-flight and the verdict carries the offending nodes and their
+///    observed rates.
+#[derive(Debug)]
+pub enum AdaptiveOutcome {
+    /// The job settled (by any verdict) before drift triggered.
+    Settled(JobOutcome),
+    /// Rung 1: the job finished under a plan certified for its observed
+    /// profile, migrated live through a barrier snapshot.
+    HotSwapped {
+        /// The final outcome of the swapped incarnation (cumulative
+        /// counts across both incarnations).
+        outcome: JobOutcome,
+        /// Swap provenance.
+        swap: SwapReport,
+    },
+    /// Rung 2: as [`AdaptiveOutcome::HotSwapped`], but the job was
+    /// quarantined (stopped) during the escalated replan.
+    Replanned {
+        /// The final outcome of the replanned incarnation.
+        outcome: JobOutcome,
+        /// Swap provenance (its `latency` includes the quarantined gap).
+        swap: SwapReport,
+    },
+    /// Rung 3: drift was detected but no plan certifies the observed
+    /// profile; the job was cancelled.
+    DriftCancelled {
+        /// The nodes the detector convicted.
+        offenders: Vec<DriftOffender>,
+        /// The observed per-node profile re-certification was attempted
+        /// against.
+        observed_periods: Vec<u64>,
+        /// Why the ladder exhausted (last certification/restore error).
+        reason: String,
+        /// The cancelled incarnation's outcome (its verdict is
+        /// [`JobVerdict::Cancelled`] unless the job settled on its own in
+        /// the race window).
+        outcome: JobOutcome,
+    },
+}
+
+impl AdaptiveOutcome {
+    /// The underlying job outcome, whichever rung produced it.
+    pub fn outcome(&self) -> &JobOutcome {
+        match self {
+            AdaptiveOutcome::Settled(outcome) => outcome,
+            AdaptiveOutcome::HotSwapped { outcome, .. } => outcome,
+            AdaptiveOutcome::Replanned { outcome, .. } => outcome,
+            AdaptiveOutcome::DriftCancelled { outcome, .. } => outcome,
+        }
+    }
+
+    /// True for the rungs that resumed the job under a new certified plan.
+    pub fn swapped(&self) -> bool {
+        matches!(
+            self,
+            AdaptiveOutcome::HotSwapped { .. } | AdaptiveOutcome::Replanned { .. }
+        )
     }
 }
 
@@ -417,6 +536,214 @@ impl JobService {
         })
     }
 
+    /// Supervises a running job for filter drift, blocking until it
+    /// settles: polls the job's cumulative counters (one cheap
+    /// [`observe`](fila_runtime::JobHandle) per [`DriftPolicy::poll`],
+    /// nothing on the firing hot path), feeds them to a [`DriftDetector`],
+    /// and — if the hysteresis convicts — runs the graceful-degradation
+    /// response ladder documented on [`AdaptiveOutcome`].
+    ///
+    /// `spec` must be the spec the ticket was admitted from; the detector
+    /// tracks the *declared* profile (what certification attested to),
+    /// which is exactly what a drifting job violates.
+    pub fn supervise(
+        &self,
+        spec: &JobSpec,
+        ticket: JobTicket,
+        policy: &DriftPolicy,
+    ) -> AdaptiveOutcome {
+        let declared = spec.filters.periods(&spec.graph);
+        let mut detector = DriftDetector::new(&spec.graph, &declared, policy);
+        loop {
+            if ticket.is_settled() {
+                return AdaptiveOutcome::Settled(ticket.wait());
+            }
+            let obs = ticket.handle.observe();
+            if let Some(offenders) = detector.ingest(&obs.per_node_firings, &obs.per_edge_data) {
+                Counters::bump(&self.counters.drift_detected);
+                return self.respond_to_drift(spec, &ticket, &declared, offenders);
+            }
+            std::thread::sleep(policy.poll);
+        }
+    }
+
+    /// The response ladder (see [`AdaptiveOutcome`]): hot-swap →
+    /// quarantine + replan → cancel.  Runs once per supervised job, after
+    /// the detector latched its one-shot verdict.
+    fn respond_to_drift(
+        &self,
+        spec: &JobSpec,
+        ticket: &JobTicket,
+        declared: &[u64],
+        offenders: Vec<DriftOffender>,
+    ) -> AdaptiveOutcome {
+        let detected = Instant::now();
+
+        // Estimate the observed profile from a cheap live counter sample —
+        // deliberately NOT from a snapshot.  The barrier of a consistent
+        // cut sits at the maximum source cursor, so for a job whose
+        // sources raced far ahead of its sinks (deep buffers, no
+        // back-pressure) the cut only completes near end-of-stream;
+        // certifying first keeps the whole deliberation off the job's
+        // critical path and leaves the cancel rung able to land while the
+        // drifter is still mid-flight.
+        let obs = ticket.handle.observe();
+        let observed = observed_periods(
+            &spec.graph,
+            declared,
+            &obs.per_node_firings,
+            &obs.per_edge_data,
+        );
+        let requested = match spec.avoidance {
+            AvoidanceChoice::Planned(algorithm) => algorithm,
+            // A bare job gets its rescue attempt under the protocol that
+            // protects arbitrary filtering.
+            AvoidanceChoice::Disabled => Algorithm::NonPropagation,
+        };
+
+        // Rung 1: re-certify the observed profile while the job keeps
+        // running (a cached verdict makes this the fast path).
+        let (certified, hot) = match self.cache.certify(
+            &spec.graph,
+            requested,
+            self.config.rounding,
+            self.config.cycle_bound,
+            &observed,
+        ) {
+            Ok(certified) => (certified, true),
+            Err(first) => {
+                // Rung 2: quarantine + replan — one dedicated
+                // escalated-budget certification attempt.  The job keeps
+                // running meanwhile: without a certified plan there is no
+                // resumable state worth preserving, so the only thing an
+                // early stop could achieve is turning a still-rescuable
+                // job into a dead one.
+                Counters::bump(&self.counters.quarantined);
+                match self.cache.certify(
+                    &spec.graph,
+                    requested,
+                    self.config.rounding,
+                    self.config.cycle_bound.saturating_mul(4),
+                    &observed,
+                ) {
+                    Ok(certified) => (certified, false),
+                    // Rung 3: nothing certifies the observed profile.
+                    Err(_) => {
+                        return self.drift_cancel(ticket, offenders, observed, first.to_string())
+                    }
+                }
+            }
+        };
+
+        // A plan covers the observed profile — now pay for the consistent
+        // cut to migrate through.  If the job settled in the race window
+        // there is nothing left to swap; `InProgress` (a concurrent
+        // checkpoint, impossible from this single supervisor) degrades the
+        // same way.
+        let snapshot = match self.checkpoint_job(ticket) {
+            Ok(snapshot) => snapshot,
+            Err(_) => return AdaptiveOutcome::Settled(ticket.wait()),
+        };
+
+        // Retire the old incarnation.  Its settle hook runs inline during
+        // cancellation, releasing the in-flight slot the resume below
+        // re-reserves.
+        if !ticket.handle.cancel() {
+            // The job settled on its own while we certified: its verdict
+            // stands and no swap happened.
+            return AdaptiveOutcome::Settled(ticket.wait());
+        }
+        if self.reserve_slot().is_err() {
+            // Saturated inside the swap window: degrade to a cancel
+            // rather than wedge the ladder waiting for capacity.
+            let reason = "service saturated mid-swap".to_string();
+            return self.drift_cancel(ticket, offenders, observed, reason);
+        }
+
+        Counters::bump(&self.counters.certified);
+        if certified.fell_back {
+            Counters::bump(&self.counters.fell_back);
+        }
+        let new_mode = AvoidanceMode::Plan(Arc::clone(&certified.plan));
+        let token = SwapToken {
+            from: snapshot.plan_digest,
+            to: checkpoint::plan_digest(&new_mode),
+        };
+        let topology = spec.topology();
+        let handle = match self.pool.resume_swapped(
+            &topology,
+            new_mode,
+            self.config.trigger,
+            &snapshot,
+            token,
+            Some(self.settle_hook()),
+        ) {
+            Ok(handle) => handle,
+            Err(e) => {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                return self.drift_cancel(ticket, offenders, observed, e.to_string());
+            }
+        };
+        let latency = detected.elapsed();
+        Counters::bump(&self.counters.admitted);
+        Counters::bump(&self.counters.restores);
+        if hot {
+            Counters::bump(&self.counters.hot_swapped);
+        }
+        let report = handle.wait();
+        let verdict = handle.verdict().expect("settled job has a verdict");
+        let outcome = JobOutcome {
+            report,
+            verdict,
+            cache_hit: Some(certified.hit),
+            algorithm: Some(certified.used),
+            fell_back: certified.fell_back,
+            resumed_from: Some(snapshot.steps),
+        };
+        let swap = SwapReport {
+            offenders,
+            observed_periods: observed,
+            snapshot_steps: snapshot.steps,
+            algorithm: certified.used,
+            fell_back: certified.fell_back,
+            cache_hit: certified.hit,
+            latency,
+        };
+        if hot {
+            AdaptiveOutcome::HotSwapped { outcome, swap }
+        } else {
+            AdaptiveOutcome::Replanned { outcome, swap }
+        }
+    }
+
+    /// The ladder's last rung: cancel the job (idempotent if an earlier
+    /// rung already retired it) and package the drift evidence with the
+    /// cancelled incarnation's outcome.  If the job beat the ladder to a
+    /// verdict of its own — it completed or deadlocked before the cancel
+    /// landed — that verdict stands and the outcome degrades to
+    /// [`AdaptiveOutcome::Settled`]: the detector's verdict was real, but
+    /// no response was applied.
+    fn drift_cancel(
+        &self,
+        ticket: &JobTicket,
+        offenders: Vec<DriftOffender>,
+        observed_periods: Vec<u64>,
+        reason: String,
+    ) -> AdaptiveOutcome {
+        let cancelled_now = ticket.handle.cancel();
+        let outcome = ticket.wait();
+        if !cancelled_now && outcome.verdict != JobVerdict::Cancelled {
+            return AdaptiveOutcome::Settled(outcome);
+        }
+        Counters::bump(&self.counters.drift_cancelled);
+        AdaptiveOutcome::DriftCancelled {
+            offenders,
+            observed_periods,
+            reason,
+            outcome,
+        }
+    }
+
     /// Steps 1–2 of admission (shared by [`JobService::submit`] and
     /// [`JobService::resume_job`]): graph invariants, filter-spec fit and
     /// the size cap.  Returns the per-node filter periods on success so
@@ -429,6 +756,12 @@ impl JobService {
         if let Err(why) = spec.filters.check(&spec.graph) {
             Counters::bump(&self.counters.rejected_invalid);
             return Err(RejectReason::Invalid(why));
+        }
+        if let Some(actual) = &spec.actual {
+            if let Err(why) = actual.check(&spec.graph) {
+                Counters::bump(&self.counters.rejected_invalid);
+                return Err(RejectReason::Invalid(format!("actual filter profile: {why}")));
+            }
         }
         let size = spec.graph.size();
         if size > self.config.max_graph_size {
@@ -597,6 +930,10 @@ impl JobService {
             messages: load(&c.messages),
             snapshots: load(&c.snapshots),
             restores: load(&c.restores),
+            drift_detected: load(&c.drift_detected),
+            hot_swapped: load(&c.hot_swapped),
+            quarantined: load(&c.quarantined),
+            drift_cancelled: load(&c.drift_cancelled),
             uptime: self.started.elapsed(),
         }
     }
@@ -797,12 +1134,16 @@ mod tests {
             .unwrap();
         let _ = t.wait();
         let json = svc.stats().to_json();
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(json.contains("\"completed\": 1"));
         assert!(json.contains("\"uncertified_nonprop\": 0"));
         assert!(json.contains("\"snapshots\": 0"));
         assert!(json.contains("\"restores\": 0"));
         assert!(json.contains("\"rejected_restore_mismatch\": 0"));
+        assert!(json.contains("\"drift_detected\": 0"));
+        assert!(json.contains("\"hot_swapped\": 0"));
+        assert!(json.contains("\"quarantined\": 0"));
+        assert!(json.contains("\"drift_cancelled\": 0"));
     }
 
     #[test]

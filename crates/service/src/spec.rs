@@ -113,6 +113,14 @@ pub struct JobSpec {
     pub inputs: u64,
     /// Deadlock-avoidance choice.
     pub avoidance: AvoidanceChoice,
+    /// Filter-drift fault injection: when set, the job *executes* this
+    /// profile while being admitted, fingerprinted, planned and certified
+    /// against `filters` — exactly the lie a drifting tenant tells in
+    /// production.  Identity ([`JobSpec::fingerprint`]) and certification
+    /// stay on the declared profile on purpose: the point is that the
+    /// certificate no longer covers the traffic, which is what the
+    /// service's drift detector and response ladder exist to catch.
+    pub actual: Option<FilterSpec>,
 }
 
 impl JobSpec {
@@ -124,6 +132,7 @@ impl JobSpec {
             filters,
             inputs,
             avoidance: AvoidanceChoice::Planned(Algorithm::NonPropagation),
+            actual: None,
         }
     }
 
@@ -157,10 +166,20 @@ impl JobSpec {
         self
     }
 
+    /// Builder-style drift injection: the job will *run* `actual` while
+    /// declaring (and being certified for) `self.filters` — see the
+    /// [`JobSpec::actual`] field docs.
+    pub fn with_actual_filters(mut self, actual: FilterSpec) -> Self {
+        self.actual = Some(actual);
+        self
+    }
+
     /// The runnable topology: the periodic filter of [`FilterSpec`]
-    /// installed on every node with outputs.
+    /// installed on every node with outputs.  Drift injection
+    /// ([`JobSpec::actual`]) substitutes the executed profile here — and
+    /// only here; identity and certification stay on the declared one.
     pub fn topology(&self) -> Topology {
-        let periods = self.filters.periods(&self.graph);
+        let periods = self.actual.as_ref().unwrap_or(&self.filters).periods(&self.graph);
         let mut topo = Topology::from_graph(&self.graph);
         for n in self.graph.node_ids() {
             let outs = self.graph.out_degree(n);

@@ -26,6 +26,10 @@ pub(crate) struct Counters {
     pub messages: AtomicU64,
     pub snapshots: AtomicU64,
     pub restores: AtomicU64,
+    pub drift_detected: AtomicU64,
+    pub hot_swapped: AtomicU64,
+    pub quarantined: AtomicU64,
+    pub drift_cancelled: AtomicU64,
 }
 
 impl Counters {
@@ -98,6 +102,23 @@ pub struct ServiceStats {
     /// [`JobService::resume_job`](crate::JobService::resume_job)
     /// (counted in `admitted` too).
     pub restores: u64,
+    /// Supervised jobs whose observed filter profile breached the declared
+    /// one for the configured number of consecutive windows (see
+    /// [`DriftPolicy`](crate::DriftPolicy)); every detection takes exactly
+    /// one of the three ladder exits below.
+    pub drift_detected: u64,
+    /// Drift responses resolved by the ladder's first rung: snapshot,
+    /// re-certify the observed profile (cached verdicts are the fast
+    /// path), and resume under the new plan without stopping the pool.
+    pub hot_swapped: u64,
+    /// Drift responses that fell past the first rung: the job was
+    /// quarantined (its running incarnation cancelled) while a dedicated
+    /// escalated-budget replan ran.
+    pub quarantined: u64,
+    /// Quarantined jobs whose escalated replan also failed: retired with
+    /// the offending nodes and observed rates
+    /// ([`AdaptiveOutcome::DriftCancelled`](crate::AdaptiveOutcome)).
+    pub drift_cancelled: u64,
     /// Time since the service started.
     pub uptime: Duration,
 }
@@ -160,11 +181,13 @@ impl ServiceStats {
     /// certification fields (`rejected_uncertifiable`, `certified`,
     /// `fell_back`, `uncertified_nonprop`); version 3 added the
     /// checkpoint/restore fields (`rejected_restore_mismatch`,
-    /// `snapshots`, `restores`).
+    /// `snapshots`, `restores`); version 4 added the adaptive-runtime
+    /// fields (`drift_detected`, `hot_swapped`, `quarantined`,
+    /// `drift_cancelled`).
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"schema_version\": 3, ",
+                "{{\"schema_version\": 4, ",
                 "\"submitted\": {}, \"admitted\": {}, ",
                 "\"rejected_invalid\": {}, \"rejected_too_large\": {}, ",
                 "\"rejected_saturated\": {}, \"rejected_unplannable\": {}, ",
@@ -179,6 +202,8 @@ impl ServiceStats {
                 "\"cert_cache_hits\": {}, \"cert_cache_misses\": {}, ",
                 "\"cert_cache_hit_rate\": {:.4}, ",
                 "\"messages\": {}, \"snapshots\": {}, \"restores\": {}, ",
+                "\"drift_detected\": {}, \"hot_swapped\": {}, ",
+                "\"quarantined\": {}, \"drift_cancelled\": {}, ",
                 "\"uptime_ms\": {:.3}, ",
                 "\"msgs_per_sec\": {:.1}, \"jobs_per_sec\": {:.2}}}"
             ),
@@ -208,6 +233,10 @@ impl ServiceStats {
             self.messages,
             self.snapshots,
             self.restores,
+            self.drift_detected,
+            self.hot_swapped,
+            self.quarantined,
+            self.drift_cancelled,
             self.uptime.as_secs_f64() * 1e3,
             self.msgs_per_sec(),
             self.jobs_per_sec(),
@@ -245,6 +274,10 @@ mod tests {
             messages: 1000,
             snapshots: 2,
             restores: 1,
+            drift_detected: 2,
+            hot_swapped: 1,
+            quarantined: 1,
+            drift_cancelled: 1,
             uptime: Duration::from_millis(500),
         }
     }
@@ -262,7 +295,7 @@ mod tests {
     #[test]
     fn json_is_parsable_shape() {
         let json = sample().to_json();
-        assert!(json.starts_with("{\"schema_version\": 3, "));
+        assert!(json.starts_with("{\"schema_version\": 4, "));
         assert!(json.ends_with('}'));
         assert!(json.contains("\"admitted\": 7"));
         assert!(json.contains("\"certified\": 4"));
@@ -272,6 +305,10 @@ mod tests {
         assert!(json.contains("\"rejected_restore_mismatch\": 1"));
         assert!(json.contains("\"snapshots\": 2"));
         assert!(json.contains("\"restores\": 1"));
+        assert!(json.contains("\"drift_detected\": 2"));
+        assert!(json.contains("\"hot_swapped\": 1"));
+        assert!(json.contains("\"quarantined\": 1"));
+        assert!(json.contains("\"drift_cancelled\": 1"));
         assert!(json.contains("\"cache_hit_rate\": 0.6667"));
         assert!(json.contains("\"msgs_per_sec\": 2000.0"));
         // Braces balance and no trailing comma sloppiness.

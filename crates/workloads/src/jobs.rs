@@ -48,6 +48,14 @@ pub enum JobKind {
     /// An under-provisioned filtering topology submitted with avoidance
     /// disabled: admitted, then deadlocks at runtime.
     Deadlocker,
+    /// A job whose *executed* filter profile is stricter than its declared
+    /// one ([`JobShape::actual_periods`]): admitted and certified for the
+    /// declaration, it drifts at runtime and exercises the service's drift
+    /// detector and response ladder.  Planned drifters (SP DAG / ladder
+    /// conversions) re-certify their observed profile and hot-swap; the
+    /// bare dense drifters ([`dense_drifter`]) are unplannable at any
+    /// budget and land in the ladder's cancel rung.
+    Drifting,
 }
 
 /// One generated job: a topology shape plus its runtime configuration.
@@ -67,13 +75,26 @@ pub struct JobShape {
     /// bare (deadlocks become runtime verdicts).  The service may still
     /// *execute* a different protocol when certification falls back.
     pub avoidance: Option<Algorithm>,
+    /// Filter-drift injection: when set, the job *executes* these per-node
+    /// periods while declaring (and being certified for) `periods`.  Only
+    /// [`JobKind::Drifting`] shapes set this, and always strictly heavier
+    /// filtering than declared (drift in the dangerous direction).
+    pub actual_periods: Option<Vec<u64>>,
 }
 
 impl JobShape {
-    /// Builds the runnable topology: the canonical periodic filter of
+    /// Builds the *declared* topology: the canonical periodic filter of
     /// [`periodic_filtered_topology`] with this shape's per-node periods.
     pub fn topology(&self) -> Topology {
         let periods = self.periods.clone();
+        periodic_filtered_topology(&self.graph, move |n| periods[n.index()])
+    }
+
+    /// Builds the topology the job actually executes: the declared one
+    /// unless this is a drifting shape, in which case
+    /// [`JobShape::actual_periods`] substitutes.
+    pub fn executed_topology(&self) -> Topology {
+        let periods = self.actual_periods.as_ref().unwrap_or(&self.periods).clone();
         periodic_filtered_topology(&self.graph, move |n| periods[n.index()])
     }
 }
@@ -83,8 +104,23 @@ impl JobShape {
 /// combinatorially in `m` — the canonical "reject me" submission for any
 /// bounded exhaustive planner.
 pub fn dense_unplannable(m: usize) -> Graph {
+    dense_bipartite(m, 2)
+}
+
+/// The plannability-hostile shape of [`dense_unplannable`] with buffers
+/// deep enough that a *bare* filtered run never builds back-pressure: with
+/// `capacity ≥ inputs` nothing ever blocks on a full edge, so the run
+/// completes even though the fork's staggered filtering starves every join
+/// until end-of-stream.  This is the deterministic cancel-rung drifter of
+/// [`job_mix_with_drift`]: it runs (and drifts) long enough to be
+/// detected, but no cycle budget — escalated or not — can plan it.
+pub fn dense_drifter(m: usize, capacity: u64) -> Graph {
+    dense_bipartite(m, capacity.max(2))
+}
+
+fn dense_bipartite(m: usize, capacity: u64) -> Graph {
     let m = m.max(2);
-    let mut b = GraphBuilder::new().default_capacity(2);
+    let mut b = GraphBuilder::new().default_capacity(capacity);
     for l in 0..3 {
         b.edge("x", &format!("l{l}")).unwrap();
     }
@@ -279,6 +315,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                         periods,
                         inputs: 64,
                         avoidance: Some(Algorithm::NonPropagation),
+                        actual_periods: None,
                         graph: g,
                     }
                 }
@@ -290,6 +327,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                         periods,
                         inputs,
                         avoidance: Some(Algorithm::Propagation),
+                        actual_periods: None,
                         graph: g,
                     }
                 }
@@ -301,6 +339,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                         periods,
                         inputs: 256,
                         avoidance: None,
+                        actual_periods: None,
                         graph: g,
                     }
                 }
@@ -312,6 +351,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                         periods,
                         inputs,
                         avoidance: None,
+                        actual_periods: None,
                         graph: g,
                     }
                 }
@@ -323,6 +363,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                         periods,
                         inputs,
                         avoidance: Some(Algorithm::NonPropagation),
+                        actual_periods: None,
                         graph: g,
                     }
                 }
@@ -334,12 +375,79 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                         periods,
                         inputs,
                         avoidance: Some(Algorithm::NonPropagation),
+                        actual_periods: None,
                         graph: g,
                     }
                 }
             }
         })
         .collect()
+}
+
+/// [`job_mix`] with **filter-drift fault injection**: roughly `drift_rate`
+/// of the jobs (deterministically per seed, independent of the base mix's
+/// RNG stream) are converted to [`JobKind::Drifting`] shapes whose
+/// executed profile filters more heavily than the declared one:
+///
+/// - Planned SP-DAG / ladder jobs keep their declaration but *execute*
+///   with every filtering period doubled — the hot-swap path: their
+///   observed profile still certifies under Non-Propagation, so the
+///   service's response ladder migrates them live onto a new plan.  Their
+///   input counts are raised so detection reliably beats completion (a
+///   Non-Propagation plan keeps a drifting job running, never wedged).
+/// - Pipeline jobs are *replaced* by bare [`dense_drifter`] submissions
+///   (declared broadcast, executed fork-filtering, buffers ≥ inputs so the
+///   bare run never deadlocks): detected drifters whose graph no cycle
+///   budget can plan — the deterministic cancel rung.
+///
+/// `drift_rate ≤ 0` returns the base mix unchanged (bit-for-bit), so every
+/// pinned [`job_mix`] expectation holds for the zero-rate call.
+pub fn job_mix_with_drift(seed: u64, count: usize, drift_rate: f64) -> Vec<JobShape> {
+    let mut shapes = job_mix(seed, count);
+    if drift_rate <= 0.0 {
+        return shapes;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD21F_7ED0);
+    // One dense cancel-path template per mix, built lazily: inputs stay at
+    // or below the edge capacity so the bare filtered run cannot wedge.
+    const DENSE_INPUTS: u64 = 4096;
+    let mut dense: Option<Graph> = None;
+    for (i, shape) in shapes.iter_mut().enumerate() {
+        if !rng.gen_bool(drift_rate.clamp(0.0, 1.0)) {
+            continue;
+        }
+        match shape.kind {
+            JobKind::SpDag | JobKind::Ladder => {
+                let actual = shape
+                    .periods
+                    .iter()
+                    .map(|&p| if p > 1 { p * 2 } else { 1 })
+                    .collect();
+                shape.label = format!("drifting-{i}");
+                shape.kind = JobKind::Drifting;
+                shape.actual_periods = Some(actual);
+                shape.inputs = shape.inputs.max(4096);
+            }
+            JobKind::Pipeline => {
+                let g = dense
+                    .get_or_insert_with(|| dense_drifter(16, DENSE_INPUTS))
+                    .clone();
+                let declared = vec![1; g.node_count()];
+                let actual = fork_periods(&g, 2);
+                *shape = JobShape {
+                    label: format!("drifting-dense-{i}"),
+                    kind: JobKind::Drifting,
+                    periods: declared,
+                    inputs: DENSE_INPUTS,
+                    avoidance: None,
+                    actual_periods: Some(actual),
+                    graph: g,
+                };
+            }
+            _ => {}
+        }
+    }
+    shapes
 }
 
 #[cfg(test)]
@@ -449,6 +557,81 @@ mod tests {
                 .run(shape.inputs);
             assert!(report.completed, "{}: {report:?}", shape.label);
         }
+    }
+
+    #[test]
+    fn zero_drift_rate_is_the_base_mix_bit_for_bit() {
+        let base = job_mix(42, 36);
+        let zero = job_mix_with_drift(42, 36, 0.0);
+        assert_eq!(base.len(), zero.len());
+        for (x, y) in base.iter().zip(&zero) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.graph, y.graph);
+            assert_eq!(x.periods, y.periods);
+            assert_eq!(x.actual_periods, y.actual_periods);
+        }
+    }
+
+    #[test]
+    fn drift_mix_injects_both_ladder_paths() {
+        let shapes = job_mix_with_drift(42, 72, 0.9);
+        let drifters: Vec<_> = shapes.iter().filter(|s| s.kind == JobKind::Drifting).collect();
+        // Hot-swap path: planned drifters whose executed profile strictly
+        // tightens the declared one.
+        let planned: Vec<_> = drifters.iter().filter(|s| s.avoidance.is_some()).collect();
+        assert!(!planned.is_empty(), "no planned drifters at rate 0.9");
+        for s in &planned {
+            let actual = s.actual_periods.as_ref().expect("drifters carry an executed profile");
+            assert!(s.periods.iter().zip(actual).all(|(d, a)| a >= d));
+            assert!(s.periods.iter().zip(actual).any(|(d, a)| a > d), "{}", s.label);
+            assert!(s.inputs >= 4096, "{}: detection must beat completion", s.label);
+        }
+        // Cancel path: bare dense drifters no cycle budget can plan, with
+        // buffers deep enough that the bare run cannot wedge.
+        let dense: Vec<_> = drifters.iter().filter(|s| s.avoidance.is_none()).collect();
+        assert!(!dense.is_empty(), "no bare dense drifters at rate 0.9");
+        for s in &dense {
+            assert!(Planner::new(&s.graph).cycle_bound(4096).plan().is_err(), "{}", s.label);
+            assert!(s.graph.edge_ids().all(|e| s.graph.capacity(e) >= s.inputs), "{}", s.label);
+        }
+        // Non-convertible kinds survive untouched.
+        for kind in [JobKind::Unplannable, JobKind::Deadlocker, JobKind::InteriorFiltered] {
+            assert!(shapes.iter().any(|s| s.kind == kind), "{kind:?} missing");
+        }
+    }
+
+    #[test]
+    fn drifting_shapes_run_safely_and_detectably() {
+        // The two load-bearing runtime claims behind the response ladder:
+        // a planned drifter never wedges under its (declared-profile) plan,
+        // and a bare dense drifter completes without any plan at all — so
+        // in both cases detection only has to beat *completion*, never a
+        // deadlock.  Checked on the reference simulator with the executed
+        // (drifted) topology but modest inputs to keep the test quick.
+        let shapes = job_mix_with_drift(5, 48, 0.9);
+        let mut planned = 0;
+        let mut dense = 0;
+        for shape in shapes.iter().filter(|s| s.kind == JobKind::Drifting) {
+            match shape.avoidance {
+                Some(algorithm) => {
+                    planned += 1;
+                    let plan = Planner::new(&shape.graph).algorithm(algorithm).plan().unwrap();
+                    let report = Simulator::new(&shape.executed_topology())
+                        .with_plan(&plan)
+                        .run(512);
+                    assert!(report.completed, "{}: {report:?}", shape.label);
+                }
+                None => {
+                    if dense > 0 {
+                        continue; // every dense drifter clones one template
+                    }
+                    dense += 1;
+                    let report = Simulator::new(&shape.executed_topology()).run(shape.inputs);
+                    assert!(report.completed, "{}: {report:?}", shape.label);
+                }
+            }
+        }
+        assert!(planned >= 1 && dense >= 1, "planned {planned}, dense {dense}");
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub mod generators;
 pub mod jobs;
 
 pub use generators::{GeneratorConfig, LadderConfig};
-pub use jobs::{job_mix, JobKind, JobShape};
+pub use jobs::{job_mix, job_mix_with_drift, JobKind, JobShape};

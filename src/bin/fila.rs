@@ -2,10 +2,13 @@
 //!
 //! ```text
 //! fila run <jobfile> [--workers N]      execute the jobs in a textual job file
-//! fila storm [--jobs N] [--seed S] [--workers N] [--kill-rate F] [--json PATH]
+//! fila storm [--jobs N] [--seed S] [--workers N] [--kill-rate F]
+//!            [--drift-rate F] [--json PATH]
 //!                                       submit a generated mixed workload,
 //!                                       optionally checkpoint/kill/restore
-//!                                       a fraction of it
+//!                                       a fraction of it and/or inject
+//!                                       filter-drifting tenants that the
+//!                                       adaptive supervisor must catch
 //! fila help                             this text + the job-file grammar
 //! ```
 //!
@@ -26,7 +29,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use fila::prelude::*;
-use fila::workloads::jobs::{job_mix, JobKind};
+use fila::workloads::jobs::{job_mix_with_drift, JobKind, JobShape};
 use fila_service::JobTicket;
 
 fn main() -> ExitCode {
@@ -51,7 +54,8 @@ fila — filtering-aware deadlock avoidance as a multi-tenant job service
 
 USAGE:
   fila run <jobfile> [--workers N]
-  fila storm [--jobs N] [--seed S] [--workers N] [--kill-rate F] [--json PATH]
+  fila storm [--jobs N] [--seed S] [--workers N] [--kill-rate F]
+             [--drift-rate F] [--json PATH]
   fila help
 
 `run` executes every job of a textual job file on one shared worker pool,
@@ -65,7 +69,14 @@ additionally takes a live barrier snapshot of a deterministic fraction F of
 the admitted jobs, lets the originals run to their verdicts as references,
 then resumes every snapshot and checks the resumed runs settle with the
 exact same verdicts and per-edge message counts — a crash-recovery
-fault-injection smoke on the real service.
+fault-injection smoke on the real service.  `--drift-rate F` (0.0..=1.0)
+converts a deterministic fraction F of the workload into filter-drifting
+tenants: jobs that declare (and get certified for) one filter profile but
+execute a strictly heavier one.  Each drifting job runs under the adaptive
+supervisor, which detects the drift and walks the response ladder —
+certified plan hot-swap, quarantine + escalated replan, or cancellation
+with the offending nodes — while every hot-swapped job's final counts are
+checked against an uninterrupted reference run of its observed profile.
 
 JOB FILE GRAMMAR (line oriented, `#` starts a comment):
   job <name>
@@ -336,11 +347,24 @@ fn cmd_storm(args: &[String]) -> ExitCode {
         Ok(k) => return fail(&format!("--kill-rate: {k} is not within 0.0..=1.0")),
         Err(e) => return fail(&e),
     };
+    let drift_rate = match parse_num(args, "--drift-rate", 0.0f64) {
+        Ok(d) if (0.0..=1.0).contains(&d) => d,
+        Ok(d) => return fail(&format!("--drift-rate: {d} is not within 0.0..=1.0")),
+        Err(e) => return fail(&e),
+    };
 
-    let shapes = job_mix(seed, jobs);
+    let shapes = job_mix_with_drift(seed, jobs, drift_rate);
     let svc = service(workers, jobs);
+    let policy = DriftPolicy::default();
     let started = Instant::now();
+    // Drifting tenants block their supervisor until they settle, so each
+    // one runs under a scoped supervision thread while the main thread
+    // drives the rest of the storm.
+    std::thread::scope(|scope| {
+    let svc = &svc;
+    let policy = &policy;
     let mut tickets = Vec::new();
+    let mut supervisions = Vec::new();
     let mut rejected_unplannable = 0u64;
     let mut rejected_other = 0u64;
     // Fault injection: a deterministic fraction of the admitted jobs gets
@@ -353,6 +377,30 @@ fn cmd_storm(args: &[String]) -> ExitCode {
     let mut outran = 0u64;
     let mut mismatched = 0u64;
     for shape in &shapes {
+        if shape.kind == JobKind::Drifting {
+            let actual = shape
+                .actual_periods
+                .clone()
+                .expect("drifting shapes carry an executed profile");
+            let spec = JobSpec::from_periods(
+                shape.graph.clone(),
+                shape.periods.clone(),
+                shape.inputs,
+                shape.avoidance,
+            )
+            .with_actual_filters(FilterSpec::PerNode(actual));
+            match svc.submit(spec.clone()) {
+                Ok(ticket) => {
+                    let handle = scope.spawn(move || svc.supervise(&spec, ticket, policy));
+                    supervisions.push((shape, handle));
+                }
+                Err(reason) => {
+                    rejected_other += 1;
+                    eprintln!("storm: {} rejected: {reason}", shape.label);
+                }
+            }
+            continue;
+        }
         let spec = JobSpec::from_periods(
             shape.graph.clone(),
             shape.periods.clone(),
@@ -453,6 +501,79 @@ fn cmd_storm(args: &[String]) -> ExitCode {
             }
         }
     }
+    // Join the supervisors and pin every swapped job to its reference: a
+    // hot-swapped (or replanned) run must complete with exactly the
+    // per-edge data counts and sink firings of an uninterrupted run of
+    // its *observed* profile under the swapped-in plan — data counts are
+    // a property of the Kahn network, not of the protecting plan or of
+    // where the migration cut fell.
+    let mut drifting = 0u64;
+    let mut hot_swapped = 0u64;
+    let mut replanned = 0u64;
+    let mut drift_cancelled = 0u64;
+    let mut drift_settled = 0u64;
+    let swap_matches_reference =
+        |shape: &JobShape, outcome: &fila_service::JobOutcome, swap: &SwapReport| -> bool {
+            let reference = Planner::new(&shape.graph)
+                .algorithm(swap.algorithm)
+                .certify(&swap.observed_periods)
+                .ok()
+                .map(|c| {
+                    Simulator::new(&shape.executed_topology())
+                        .with_plan(&c.plan)
+                        .run(shape.inputs)
+                });
+            outcome.verdict == JobVerdict::Completed
+                && reference.as_ref().is_some_and(|r| {
+                    r.completed
+                        && r.per_edge_data == outcome.report.per_edge_data
+                        && r.sink_firings == outcome.report.sink_firings
+                })
+        };
+    for (shape, handle) in supervisions {
+        drifting += 1;
+        match handle.join().expect("supervisor threads do not panic") {
+            AdaptiveOutcome::Settled(outcome) => {
+                drift_settled += 1;
+                if outcome.verdict != JobVerdict::Completed {
+                    other += 1;
+                    eprintln!(
+                        "storm: {} settled {:?} before the ladder could act",
+                        shape.label, outcome.verdict
+                    );
+                }
+            }
+            AdaptiveOutcome::HotSwapped { outcome, swap } => {
+                hot_swapped += 1;
+                if !swap_matches_reference(shape, &outcome, &swap) {
+                    mismatched += 1;
+                    eprintln!(
+                        "storm: {} hot-swapped run diverged from its \
+                         observed-profile reference ({:?})",
+                        shape.label, outcome.verdict
+                    );
+                }
+            }
+            AdaptiveOutcome::Replanned { outcome, swap } => {
+                replanned += 1;
+                if !swap_matches_reference(shape, &outcome, &swap) {
+                    mismatched += 1;
+                    eprintln!(
+                        "storm: {} replanned run diverged from its \
+                         observed-profile reference ({:?})",
+                        shape.label, outcome.verdict
+                    );
+                }
+            }
+            AdaptiveOutcome::DriftCancelled { offenders, .. } => {
+                drift_cancelled += 1;
+                if offenders.is_empty() {
+                    mismatched += 1;
+                    eprintln!("storm: {} drift-cancelled without offenders", shape.label);
+                }
+            }
+        }
+    }
     let wall = started.elapsed();
     let stats = svc.stats();
     println!(
@@ -474,6 +595,13 @@ fn cmd_storm(args: &[String]) -> ExitCode {
              {mismatched} mismatched"
         );
     }
+    if drift_rate > 0.0 {
+        println!(
+            "storm drift: {drifting} drifting tenants — {hot_swapped} hot-swapped, \
+             {replanned} replanned, {drift_cancelled} drift-cancelled, \
+             {drift_settled} settled untouched"
+        );
+    }
     let json = stats.to_json();
     println!("{json}");
     if let Some(path) = json_path {
@@ -486,6 +614,7 @@ fn cmd_storm(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+    })
 }
 
 /// splitmix64 finaliser — deterministic per-job kill selection.

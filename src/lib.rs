@@ -48,12 +48,12 @@ pub mod prelude {
     pub use fila_graph::{EdgeId, Fingerprint, Graph, GraphBuilder, NodeId};
     pub use fila_runtime::{
         CheckpointOutcome, ExecutionReport, JobSnapshot, JobVerdict, PooledExecutor,
-        RestoreError, Scheduler, SharedPool, Simulator, SnapshotError, ThreadedExecutor,
-        Topology,
+        RestoreError, Scheduler, SharedPool, Simulator, SnapshotError, SwapToken,
+        ThreadedExecutor, Topology,
     };
     pub use fila_service::{
-        AvoidanceChoice, FilterSpec, JobService, JobSpec, RejectReason, ServiceConfig,
-        ServiceStats,
+        AdaptiveOutcome, AvoidanceChoice, DriftPolicy, FilterSpec, JobService, JobSpec,
+        RejectReason, ServiceConfig, ServiceStats, SwapReport,
     };
     pub use fila_spdag::{recognize, SpDecomposition, SpSpec};
 }
