@@ -726,6 +726,83 @@ fn bench_adaptive(c: &mut Criterion) {
     group.finish();
 }
 
+/// The E20 self-healing sweep: end-to-end crash→recovered latency of
+/// [`JobService::run_recoverable`] as a function of the auto-checkpoint
+/// interval.
+///
+/// Every iteration builds a fresh service whose pool is armed with the
+/// chaos fault plan at a seed for which the *first* job serial
+/// deterministically draws a mid-firing worker panic and the recovery
+/// incarnations stay unarmed — so each timed run is exactly one injected
+/// crash plus one trip down the recovery ladder.  The interval sweep reads
+/// the checkpoint-cadence trade directly: a fine cadence recovers from a
+/// fresh snapshot (short replay), a coarse cadence replays more, and an
+/// interval longer than the job's progress at the crash leaves no snapshot
+/// at all, forcing the genesis rung (full re-run) — the priced-in worst
+/// case.
+fn bench_recovery(c: &mut Criterion) {
+    use fila_runtime::FaultPlan;
+    use fila_service::{
+        CheckpointPolicy, FilterSpec, RecoveryMode, RecoveryOutcome, RecoveryPolicy,
+    };
+    use fila_workloads::figures::fig2_triangle;
+
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(if fast() { 2 } else { 10 });
+
+    // The injected panics are the workload here — keep their default-hook
+    // stack traces out of the bench output, but let real panics through.
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.starts_with("injected:"))
+            .unwrap_or(false);
+        if !injected {
+            previous_hook(info);
+        }
+    }));
+
+    // Seed 66 at rate 0.3: serial 0 is armed with a Firing(47) crash and
+    // the following serials are unarmed (the same deterministic pair the
+    // service's recovery tests pin), so the crash always lands and the
+    // recovery incarnation always survives.
+    let inputs = if fast() { 2_048 } else { 4_096 };
+    let spec = JobSpec::new(fig2_triangle(4), FilterSpec::Fork(2), inputs);
+    let policy = RecoveryPolicy {
+        mode: RecoveryMode::Exact,
+        ..RecoveryPolicy::default()
+    };
+    for interval in [256u64, 1_024, 4_096] {
+        let checkpoints = CheckpointPolicy {
+            every_n_inputs: interval,
+            max_snapshots: 4,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("crash_recover/interval", interval),
+            &interval,
+            |b, _| {
+                b.iter(|| {
+                    let svc = JobService::new(ServiceConfig {
+                        faults: Some(Arc::new(FaultPlan::seeded(66).kill_rate(0.3))),
+                        ..ServiceConfig::default()
+                    });
+                    let outcome = svc
+                        .run_recoverable(&spec, &checkpoints, &policy)
+                        .expect("admitted");
+                    let RecoveryOutcome::Recovered { outcome, report } = outcome else {
+                        panic!("serial 0 must crash and recover, got {outcome:?}");
+                    };
+                    assert_eq!(outcome.verdict, JobVerdict::Completed, "{outcome:?}");
+                    black_box((report.crashes, outcome.report.total_messages()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pipeline,
@@ -737,6 +814,7 @@ criterion_group!(
     bench_service_jobs,
     bench_certification,
     bench_snapshot,
-    bench_adaptive
+    bench_adaptive,
+    bench_recovery
 );
 criterion_main!(benches);

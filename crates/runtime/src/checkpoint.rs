@@ -213,6 +213,25 @@ pub enum CheckpointOutcome {
     Killed(Box<JobSnapshot>),
 }
 
+/// The message deficit a partial restart would incur on its frontier
+/// edges: messages a cone-side consumer had already consumed past the base
+/// cut which its (not-rolled-back) producer will never re-send.  Produced
+/// by [`JobSnapshot::splice_downstream`]; an exact recovery requires both
+/// components to be zero, while an approximate recovery accepts a bounded
+/// `data` deficit and reports it (Cheng et al.'s bounded-divergence trade,
+/// specialised to replay cursors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpliceDivergence {
+    /// Data messages consumed inside the cone since the base cut that
+    /// cannot be replayed.
+    pub data: u64,
+    /// Dummy messages likewise lost.  Dummies carry no payload — a lost
+    /// dummy only delays liveness information that the frontier producer's
+    /// preserved gap counters will regenerate — so approximate mode bounds
+    /// only `data`; an exact recovery still refuses any deficit.
+    pub dummies: u64,
+}
+
 /// A digest of the avoidance plan a job runs under: protocol, rounding and
 /// the full per-edge dummy-interval table.  `None` when avoidance is
 /// disabled.  Two modes share the digest exactly when the runtime wrapper
@@ -432,6 +451,144 @@ impl JobSnapshot {
         }
         self.plan_digest = token.to;
         Ok(())
+    }
+
+    /// Splices a **partial restart** snapshot: the nodes inside `cone`
+    /// (the failed node and everything downstream of it) are rolled back
+    /// to the consistent `base` cut, while every node outside the cone
+    /// keeps its `wreck` state — the verbatim final state the job died in
+    /// ([`JobHandle::salvage`](crate::shared_pool::JobHandle::salvage)).
+    /// The base cut's per-edge cumulative counts act as replay cursors:
+    /// a rolled-back producer re-sends exactly what its counter says is
+    /// undelivered.
+    ///
+    /// `cone` is indexed by node, `cone_edges` by edge as
+    /// `(tail_in_cone, head_in_cone)`.  Edge classes:
+    ///
+    /// * `(true, true)` — interior: both endpoints roll back; counters and
+    ///   channel contents come from `base`.
+    /// * `(false, false)` — exterior: untouched; everything from `wreck`.
+    /// * `(false, true)` — **frontier**: the producer keeps its wreck
+    ///   state, the consumer rolls back.  The wreck's ring contents and
+    ///   counters are kept; anything the consumer had consumed *past the
+    ///   base cut* was re-sent by nobody and counts as divergence.
+    /// * `(true, false)` — the cone is not downstream-closed (a rolled-back
+    ///   producer would feed a consumer that already consumed ahead):
+    ///   rejected as [`RestoreError::Corrupted`].
+    ///
+    /// Returns the spliced snapshot plus the total [`SpliceDivergence`]
+    /// across frontier edges.  Exact recovery requires a zero divergence;
+    /// approximate recovery accepts a bounded data deficit.  The caller
+    /// must still certify the spliced cut against the restore-side plan
+    /// ([`JobSnapshot::validate_for`] / `rebase`) before staging any task.
+    pub fn splice_downstream(
+        base: &JobSnapshot,
+        wreck: &JobSnapshot,
+        cone: &[bool],
+        cone_edges: &[(bool, bool)],
+    ) -> Result<(JobSnapshot, SpliceDivergence), RestoreError> {
+        if base.version != wreck.version {
+            return Err(RestoreError::VersionMismatch {
+                found: wreck.version,
+                expected: base.version,
+            });
+        }
+        if base.labeled_topology != wreck.labeled_topology
+            || base.plan_digest != wreck.plan_digest
+            || base.trigger != wreck.trigger
+            || base.inputs != wreck.inputs
+        {
+            return Err(RestoreError::PlanMismatch(
+                "base cut and wreck do not describe the same job".into(),
+            ));
+        }
+        let nodes = base.nodes.len();
+        let edges = base.per_edge_data.len();
+        if wreck.nodes.len() != nodes
+            || cone.len() != nodes
+            || wreck.per_edge_data.len() != edges
+            || wreck.per_edge_dummies.len() != edges
+            || base.per_edge_dummies.len() != edges
+            || base.channels.len() != edges
+            || wreck.channels.len() != edges
+            || cone_edges.len() != edges
+        {
+            return Err(RestoreError::Corrupted(
+                "base cut and wreck shapes disagree".into(),
+            ));
+        }
+        let mut spliced = JobSnapshot {
+            version: base.version,
+            labeled_topology: base.labeled_topology,
+            fingerprint: None,
+            filter_signature: None,
+            plan_digest: base.plan_digest,
+            trigger: base.trigger,
+            inputs: base.inputs,
+            steps: 0,
+            sink_firings: 0,
+            per_edge_data: vec![0; edges],
+            per_edge_dummies: vec![0; edges],
+            channels: vec![Vec::new(); edges],
+            nodes: Vec::with_capacity(nodes),
+        };
+        for (idx, &in_cone) in cone.iter().enumerate() {
+            let donor = if in_cone { base } else { wreck };
+            spliced.nodes.push(donor.nodes[idx].clone());
+        }
+        let mut divergence = SpliceDivergence::default();
+        for (e, &(tail_in, head_in)) in cone_edges.iter().enumerate() {
+            match (tail_in, head_in) {
+                (true, false) => {
+                    return Err(RestoreError::Corrupted(
+                        "cone is not downstream-closed: a rolled-back producer \
+                         would feed an un-rolled-back consumer"
+                            .into(),
+                    ));
+                }
+                (true, true) => {
+                    spliced.per_edge_data[e] = base.per_edge_data[e];
+                    spliced.per_edge_dummies[e] = base.per_edge_dummies[e];
+                    spliced.channels[e] = base.channels[e].clone();
+                }
+                (false, false) => {
+                    spliced.per_edge_data[e] = wreck.per_edge_data[e];
+                    spliced.per_edge_dummies[e] = wreck.per_edge_dummies[e];
+                    spliced.channels[e] = wreck.channels[e].clone();
+                }
+                (false, true) => {
+                    // Frontier: producer state and ring contents are the
+                    // wreck's; the rolled-back consumer resumes consuming
+                    // from that ring.  delivered − in-ring = consumed;
+                    // whatever the consumer consumed beyond the base cut
+                    // is gone for good.
+                    let consumed = |snap: &JobSnapshot| {
+                        let (mut ring_data, mut ring_dummies) = (0u64, 0u64);
+                        for m in &snap.channels[e] {
+                            match m {
+                                Message::Data { .. } => ring_data += 1,
+                                Message::Dummy { .. } => ring_dummies += 1,
+                                Message::Eos => {}
+                            }
+                        }
+                        (
+                            snap.per_edge_data[e].saturating_sub(ring_data),
+                            snap.per_edge_dummies[e].saturating_sub(ring_dummies),
+                        )
+                    };
+                    let (wreck_data, wreck_dummies) = consumed(wreck);
+                    let (base_data, base_dummies) = consumed(base);
+                    divergence.data += wreck_data.saturating_sub(base_data);
+                    divergence.dummies += wreck_dummies.saturating_sub(base_dummies);
+                    spliced.per_edge_data[e] = wreck.per_edge_data[e];
+                    spliced.per_edge_dummies[e] = wreck.per_edge_dummies[e];
+                    spliced.channels[e] = wreck.channels[e].clone();
+                }
+            }
+        }
+        spliced.steps = spliced.nodes.iter().map(|n| n.firings).sum();
+        spliced.sink_firings = spliced.nodes.iter().map(|n| n.sink_firings).sum();
+        Ok((spliced, divergence))
     }
 
     /// Serialises the snapshot into the versioned byte format.

@@ -38,6 +38,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod checkpoint;
+pub mod faults;
 pub mod filters;
 pub mod message;
 pub mod node;
@@ -52,8 +53,10 @@ pub mod topology;
 pub mod wrapper;
 
 pub use checkpoint::{
-    CheckpointOutcome, JobSnapshot, NodeSnapshot, RestoreError, SnapshotError, SwapToken,
+    CheckpointOutcome, JobSnapshot, NodeSnapshot, RestoreError, SnapshotError, SpliceDivergence,
+    SwapToken,
 };
+pub use faults::{CrashSite, FaultArm, FaultPlan, SnapshotDamage};
 pub use filters::{Bernoulli, Broadcast, Collector, ModuloFilter, RouteRoundRobin};
 pub use message::{Message, Payload};
 pub use node::{FireDecision, FireInput, NodeBehavior};

@@ -62,7 +62,7 @@
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -73,6 +73,7 @@ use fila_graph::Graph;
 use crate::checkpoint::{
     self, JobSnapshot, NodeSnapshot, RestoreError, SnapshotError, SwapToken, SNAPSHOT_VERSION,
 };
+use crate::faults::{FaultArm, FaultPlan};
 use crate::message::Message;
 use crate::report::ExecutionReport;
 use crate::task::{self, Outcome, Task};
@@ -153,6 +154,12 @@ struct JobState {
     /// a task mutex is always taken *before* this mutex, never after.
     snap: Mutex<SnapState>,
     snap_cv: Condvar,
+    /// The job's injected-fault schedule (`None` on pools without a
+    /// [`FaultPlan`] — the zero-cost-when-disabled common case).
+    fault: Option<Arc<FaultArm>>,
+    /// Node index of the task whose execution panicked (`u32::MAX` =
+    /// none): the provenance a partial restart restarts downstream of.
+    failed_node: AtomicU32,
 }
 
 /// The identity stamped into every snapshot of a job, so restores can
@@ -279,6 +286,11 @@ impl task::SnapSink for JobSnapSink<'_> {
     }
 
     fn contribute(&self, task: &mut Task) {
+        if let Some(arm) = &self.job.fault {
+            // Chaos: an armed alignment crash panics here, mid-barrier, on
+            // the worker thread — inside `execute`'s catch_unwind region.
+            arm.trip_alignment(self.job.snap_pending.load(Ordering::Acquire));
+        }
         self.job.contribute(self.node, task);
     }
 }
@@ -451,6 +463,79 @@ impl JobHandle {
         }
     }
 
+    /// Node index of the task whose execution panicked, if the job failed
+    /// (`None` while running or for non-panic verdicts).  This is the
+    /// provenance a partial restart re-runs the downstream cone of.
+    pub fn failed_node(&self) -> Option<u32> {
+        match self.job.failed_node.load(Ordering::SeqCst) {
+            u32::MAX => None,
+            node => Some(node),
+        }
+    }
+
+    /// The job's injected-fault schedule, if the pool armed one (chaos
+    /// harness plumbing; always `None` on pools without a
+    /// [`FaultPlan`]).
+    pub fn fault_arm(&self) -> Option<Arc<FaultArm>> {
+        self.job.fault.clone()
+    }
+
+    /// Destructively captures the **wreck** of a settled job: every task's
+    /// verbatim final state, with each channel's in-flight contents drained
+    /// out of its ring.  Unlike [`JobHandle::checkpoint`] this is *not* a
+    /// consistent barrier cut — it is the literal state the job died in,
+    /// which is exactly what a partial restart needs for the subgraph that
+    /// is **not** being re-run (see
+    /// [`JobSnapshot::splice_downstream`]).
+    ///
+    /// Returns [`SnapshotError::InProgress`] while the job is still in
+    /// flight.  Meaningful for jobs that settled on their own (completed /
+    /// deadlocked / failed — their task set is quiescent by the time the
+    /// report is delivered); a *cancelled* job's wreck may interleave with
+    /// tasks still finishing their last batch and should not be trusted.
+    /// Draining the rings makes the wreck unrepeatable: salvage once.
+    pub fn salvage(&self) -> Result<JobSnapshot, SnapshotError> {
+        let job = &self.job;
+        if !self.is_settled() {
+            return Err(SnapshotError::InProgress);
+        }
+        let mut per_edge_data = vec![0; job.edge_count];
+        let mut per_edge_dummies = vec![0; job.edge_count];
+        let mut channels = vec![Vec::new(); job.edge_count];
+        let nodes: Vec<NodeSnapshot> = job
+            .tasks
+            .iter()
+            .map(|task| {
+                // Tolerate poisoning: the panicked task's mutex is poisoned
+                // but its state (and its rings) are still meaningful.
+                let mut task = lock(task);
+                task::capture_wreck(
+                    &mut task,
+                    &mut per_edge_data,
+                    &mut per_edge_dummies,
+                    &mut channels,
+                )
+            })
+            .collect();
+        let steps = nodes.iter().map(|n| n.firings).sum();
+        let sink_firings = nodes.iter().map(|n| n.sink_firings).sum();
+        Ok(JobSnapshot {
+            version: SNAPSHOT_VERSION,
+            labeled_topology: job.meta.labeled_topology,
+            fingerprint: None,
+            filter_signature: None,
+            plan_digest: job.meta.plan_digest,
+            trigger: job.meta.trigger,
+            inputs: job.inputs,
+            steps,
+            sink_firings,
+            per_edge_data,
+            per_edge_dummies,
+            channels,
+            nodes,
+        })
+    }
+
     /// Samples the job's cumulative traffic counters while it keeps
     /// running: one brief task-mutex lock per node, no barrier, no effect
     /// on scheduling.  Callable before and after the job settles (after, it
@@ -534,6 +619,11 @@ struct PoolCore {
     batch: u32,
     /// Rotates the seeding origin so small jobs spread over all workers.
     next_seed: AtomicUsize,
+    /// The pool-wide fault-injection schedule (`None` in production).
+    faults: Option<Arc<FaultPlan>>,
+    /// Monotonic job serial, the key [`FaultPlan::arm`] maps to a fault
+    /// schedule.
+    next_serial: AtomicU64,
 }
 
 /// The long-lived multi-job work-stealing pool (see the module docs).
@@ -561,6 +651,14 @@ impl SharedPool {
     /// Spawns a pool with an explicit worker count (`0` = default) and
     /// per-wake firing batch (clamped to ≥ 1).
     pub fn with_config(workers: usize, batch: u32) -> Self {
+        Self::with_faults(workers, batch, None)
+    }
+
+    /// [`SharedPool::with_config`] plus a deterministic fault-injection
+    /// schedule (see [`crate::faults`]).  `None` is the production
+    /// configuration: jobs carry no arm and the hot path pays one
+    /// predictable branch per task execution.
+    pub fn with_faults(workers: usize, batch: u32, faults: Option<Arc<FaultPlan>>) -> Self {
         let workers = NonZeroUsize::new(workers)
             .map(NonZeroUsize::get)
             .unwrap_or_else(|| {
@@ -578,6 +676,8 @@ impl SharedPool {
             live: Mutex::new(Vec::new()),
             batch: batch.max(1),
             next_seed: AtomicUsize::new(0),
+            faults,
+            next_serial: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|w| {
@@ -661,6 +761,8 @@ impl SharedPool {
                 snap_barrier: AtomicU64::new(0),
                 snap: Mutex::new(SnapState::default()),
                 snap_cv: Condvar::new(),
+                fault: None,
+                failed_node: AtomicU32::new(u32::MAX),
             });
             return JobHandle { job, core: Arc::downgrade(&self.core) };
         }
@@ -691,6 +793,8 @@ impl SharedPool {
             snap_barrier: AtomicU64::new(0),
             snap: Mutex::new(SnapState::default()),
             snap_cv: Condvar::new(),
+            fault: self.core.arm_next(),
+            failed_node: AtomicU32::new(u32::MAX),
         });
         lock(&self.core.live).push(Arc::clone(&job));
         // Seed every task once, round-robin from a rotating origin; from
@@ -744,17 +848,25 @@ impl SharedPool {
                 port.data = snapshot.per_edge_data[port.edge as usize];
                 port.dummies = snapshot.per_edge_dummies[port.edge as usize];
                 for &message in &snapshot.channels[port.edge as usize] {
-                    port.tx
-                        .push(message)
-                        .unwrap_or_else(|_| unreachable!("validated against ring capacity"));
+                    // `validate_for` bounds channel lengths by ring capacity,
+                    // but a hostile/corrupted blob must degrade to a typed
+                    // error, never a panic on the restore path.
+                    if port.tx.push(message).is_err() {
+                        return Err(RestoreError::Corrupted(
+                            "restored channel overflows ring capacity".into(),
+                        ));
+                    }
                 }
             }
             for &(edge, message) in &node.staged {
-                let port = task
-                    .outs
-                    .iter_mut()
-                    .find(|p| p.edge == edge)
-                    .expect("staged edges validated against out-ports");
+                let port = match task.outs.iter_mut().find(|p| p.edge == edge) {
+                    Some(port) => port,
+                    None => {
+                        return Err(RestoreError::Corrupted(
+                            "staged message on an edge the node does not produce".into(),
+                        ))
+                    }
+                };
                 if port.queue.first.is_none() {
                     port.queue.first = Some(message);
                 } else {
@@ -798,6 +910,8 @@ impl SharedPool {
                 snap_barrier: AtomicU64::new(0),
                 snap: Mutex::new(SnapState::default()),
                 snap_cv: Condvar::new(),
+                fault: None,
+                failed_node: AtomicU32::new(u32::MAX),
             });
             return Ok(JobHandle { job, core: Arc::downgrade(&self.core) });
         }
@@ -823,6 +937,8 @@ impl SharedPool {
             snap_barrier: AtomicU64::new(0),
             snap: Mutex::new(SnapState::default()),
             snap_cv: Condvar::new(),
+            fault: self.core.arm_next(),
+            failed_node: AtomicU32::new(u32::MAX),
         });
         lock(&self.core.live).push(Arc::clone(&job));
         // Seed every task (done tasks retire themselves on first run).
@@ -895,6 +1011,13 @@ impl Drop for SharedPool {
 }
 
 impl PoolCore {
+    /// Draws the next job serial and maps it through the fault plan (if
+    /// any) to the job's arm.  `None` on production pools.
+    fn arm_next(&self) -> Option<Arc<FaultArm>> {
+        let serial = self.next_serial.fetch_add(1, Ordering::SeqCst);
+        self.faults.as_ref().and_then(|plan| plan.arm(serial))
+    }
+
     fn worker_loop(&self, worker: usize) {
         loop {
             if self.shutdown.load(Ordering::Acquire) {
@@ -987,6 +1110,10 @@ impl PoolCore {
             match state.compare_exchange(current, target, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
                     if enqueue {
+                        if let Some(arm) = &job.fault {
+                            // Chaos: a bounded budget of delayed wakeups.
+                            arm.delay_wake();
+                        }
                         job.active.fetch_add(1, Ordering::SeqCst);
                         self.push(
                             worker,
@@ -1026,6 +1153,11 @@ impl PoolCore {
                 node,
             };
             let result = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(arm) = &job.fault {
+                    // Chaos: an armed firing crash panics here, exactly
+                    // like a buggy node behaviour would.
+                    arm.tick_execute();
+                }
                 task::run_task(
                     &mut task,
                     job.inputs,
@@ -1041,6 +1173,14 @@ impl PoolCore {
         };
         match exec {
             Exec::Panicked => {
+                // Record which node blew up (first panic wins) — the
+                // provenance a partial restart re-runs downstream of.
+                let _ = job.failed_node.compare_exchange(
+                    u32::MAX,
+                    tref.node,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
                 // The behaviour blew up: fail this job only.  Peer tasks of
                 // the job wind down as they block (or get dropped from the
                 // queues by the verdict check above); every other job on the

@@ -23,6 +23,7 @@ use std::sync::Mutex;
 
 use fila_graph::NodeId;
 
+use crate::checkpoint::NodeSnapshot;
 use crate::message::{Message, Payload};
 use crate::node::{FireDecision, FireInput, NodeBehavior};
 use crate::report::{BlockedInfo, BlockedReason, ExecutionReport};
@@ -110,6 +111,54 @@ fn contribute_if_aligned(task: &mut Task, snap: &dyn SnapSink) {
     {
         task.snap_epoch = epoch;
         snap.contribute(task);
+    }
+}
+
+/// Destructively captures a task's **verbatim** final state for a wreck
+/// snapshot ([`crate::shared_pool::JobHandle::salvage`]): out-port delivery
+/// counters, staged messages, wrapper gaps, and — unlike the aligned
+/// barrier capture in [`SnapSink::contribute`] — the task's *input* rings,
+/// drained message by message into the per-edge channel buffers.  No EOS
+/// is inferred: a delivered EOS marker is still sitting in the consumer's
+/// ring (consumers never pop EOS) and is captured literally by the drain.
+///
+/// The result is not a consistent cut: a job that died mid-flight has
+/// tasks at unrelated sequence numbers.  It is exactly the raw material a
+/// partial restart splices against a consistent base snapshot
+/// ([`crate::checkpoint::JobSnapshot::splice_downstream`]).
+pub(crate) fn capture_wreck(
+    task: &mut Task,
+    per_edge_data: &mut [u64],
+    per_edge_dummies: &mut [u64],
+    channels: &mut [Vec<Message>],
+) -> NodeSnapshot {
+    for port in &task.outs {
+        per_edge_data[port.edge as usize] = port.data;
+        per_edge_dummies[port.edge as usize] = port.dummies;
+    }
+    for port in &mut task.ins {
+        let buf = &mut channels[port.edge as usize];
+        while let Some(message) = port.rx.pop() {
+            buf.push(message);
+        }
+    }
+    NodeSnapshot {
+        gaps: task.wrapper.gaps().to_vec(),
+        next_source_seq: task.next_source_seq,
+        eos_queued: task.eos_queued,
+        done: task.done,
+        firings: task.firings,
+        sink_firings: task.sink_firings,
+        staged: task
+            .outs
+            .iter()
+            .flat_map(|port| {
+                [port.queue.first, port.queue.second]
+                    .into_iter()
+                    .flatten()
+                    .map(move |m| (port.edge, m))
+            })
+            .collect(),
     }
 }
 

@@ -67,11 +67,15 @@
 #![warn(rust_2018_idioms)]
 
 pub mod drift;
+pub mod recovery;
 pub mod service;
 pub mod spec;
 pub mod stats;
 
 pub use drift::{DriftDetector, DriftOffender, DriftPolicy};
+pub use recovery::{
+    CheckpointPolicy, RecoveryMode, RecoveryOutcome, RecoveryPolicy, RecoveryReport,
+};
 pub use service::{
     AdaptiveOutcome, JobOutcome, JobService, JobTicket, RejectReason, ServiceConfig, SwapReport,
 };

@@ -12,7 +12,7 @@ use fila_avoidance::{
 };
 use fila_graph::Fingerprint;
 use fila_runtime::{
-    checkpoint, AvoidanceMode, ExecutionReport, JobHandle, JobSnapshot, JobVerdict,
+    checkpoint, AvoidanceMode, ExecutionReport, FaultPlan, JobHandle, JobSnapshot, JobVerdict,
     PropagationTrigger, SettleHook, SharedPool, SnapshotError, SwapToken,
 };
 
@@ -53,6 +53,12 @@ pub struct ServiceConfig {
     /// experimental [`PropagationTrigger::Heartbeat`] disables it the same
     /// way (a certificate must attest to the semantics the job runs).
     pub certify: bool,
+    /// Deterministic fault-injection plan wired into the shared pool and
+    /// the checkpoint codec (`None` — the default — compiles the hooks
+    /// down to a skipped `Option` load; the hot path is untouched).  Set
+    /// by the chaos harness (`fila storm --chaos SEED`) to exercise the
+    /// supervised-recovery ladder.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +73,7 @@ impl Default for ServiceConfig {
             rounding: Rounding::Ceil,
             trigger: PropagationTrigger::default(),
             certify: true,
+            faults: None,
         }
     }
 }
@@ -145,7 +152,7 @@ pub struct JobOutcome {
 /// A handle to one admitted job.
 #[derive(Debug)]
 pub struct JobTicket {
-    handle: JobHandle,
+    pub(crate) handle: JobHandle,
     /// The canonical *structural* fingerprint of the submitted graph (the
     /// plan-cache key; the filter spec is not folded in — use
     /// [`JobSpec::fingerprint`] for the filter-salted job identity).
@@ -328,11 +335,11 @@ struct PlannedAdmission {
 /// The multi-tenant job service (see the crate docs for the life of a
 /// submission).
 pub struct JobService {
-    pool: SharedPool,
-    cache: PlanCache,
-    counters: Arc<Counters>,
-    in_flight: Arc<AtomicU64>,
-    config: ServiceConfig,
+    pub(crate) pool: SharedPool,
+    pub(crate) cache: PlanCache,
+    pub(crate) counters: Arc<Counters>,
+    pub(crate) in_flight: Arc<AtomicU64>,
+    pub(crate) config: ServiceConfig,
     started: Instant,
 }
 
@@ -357,7 +364,7 @@ impl JobService {
     /// cache.
     pub fn new(config: ServiceConfig) -> Self {
         JobService {
-            pool: SharedPool::with_config(config.workers, config.batch),
+            pool: SharedPool::with_faults(config.workers, config.batch, config.faults.clone()),
             cache: PlanCache::new(config.plan_cache_capacity),
             counters: Arc::new(Counters::default()),
             in_flight: Arc::new(AtomicU64::new(0)),
@@ -748,7 +755,7 @@ impl JobService {
     /// [`JobService::resume_job`]): graph invariants, filter-spec fit and
     /// the size cap.  Returns the per-node filter periods on success so
     /// callers hash/plan without recomputing them.
-    fn validate(&self, spec: &JobSpec) -> Result<Vec<u64>, RejectReason> {
+    pub(crate) fn validate(&self, spec: &JobSpec) -> Result<Vec<u64>, RejectReason> {
         if let Err(e) = spec.graph.validate() {
             Counters::bump(&self.counters.rejected_invalid);
             return Err(RejectReason::Invalid(e.to_string()));
@@ -775,7 +782,7 @@ impl JobService {
     }
 
     /// Reserves one in-flight slot or rejects as saturated.
-    fn reserve_slot(&self) -> Result<(), RejectReason> {
+    pub(crate) fn reserve_slot(&self) -> Result<(), RejectReason> {
         let limit = self.config.max_in_flight.max(1) as u64;
         if self
             .in_flight
@@ -883,7 +890,7 @@ impl JobService {
     /// The settle hook every admitted (or resumed) job runs on a worker
     /// when it reaches its verdict: releases the in-flight slot and feeds
     /// the verdict/message counters.
-    fn settle_hook(&self) -> SettleHook {
+    pub(crate) fn settle_hook(&self) -> SettleHook {
         let counters = Arc::clone(&self.counters);
         let in_flight = Arc::clone(&self.in_flight);
         Box::new(move |report: &ExecutionReport, verdict| {
@@ -934,6 +941,12 @@ impl JobService {
             hot_swapped: load(&c.hot_swapped),
             quarantined: load(&c.quarantined),
             drift_cancelled: load(&c.drift_cancelled),
+            recovered: load(&c.recovered),
+            recovery_attempts: load(&c.recovery_attempts),
+            partial_restarts: load(&c.partial_restarts),
+            recovery_exhausted: load(&c.recovery_exhausted),
+            snapshots_corrupted: load(&c.snapshots_corrupted),
+            approx_recovered: load(&c.approx_recovered),
             uptime: self.started.elapsed(),
         }
     }
@@ -1134,7 +1147,7 @@ mod tests {
             .unwrap();
         let _ = t.wait();
         let json = svc.stats().to_json();
-        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"schema_version\": 5"));
         assert!(json.contains("\"completed\": 1"));
         assert!(json.contains("\"uncertified_nonprop\": 0"));
         assert!(json.contains("\"snapshots\": 0"));
@@ -1144,6 +1157,8 @@ mod tests {
         assert!(json.contains("\"hot_swapped\": 0"));
         assert!(json.contains("\"quarantined\": 0"));
         assert!(json.contains("\"drift_cancelled\": 0"));
+        assert!(json.contains("\"recovered\": 0"));
+        assert!(json.contains("\"recovery_exhausted\": 0"));
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub(crate) struct Counters {
     pub hot_swapped: AtomicU64,
     pub quarantined: AtomicU64,
     pub drift_cancelled: AtomicU64,
+    pub recovered: AtomicU64,
+    pub recovery_attempts: AtomicU64,
+    pub partial_restarts: AtomicU64,
+    pub recovery_exhausted: AtomicU64,
+    pub snapshots_corrupted: AtomicU64,
+    pub approx_recovered: AtomicU64,
 }
 
 impl Counters {
@@ -119,6 +125,30 @@ pub struct ServiceStats {
     /// the offending nodes and observed rates
     /// ([`AdaptiveOutcome::DriftCancelled`](crate::AdaptiveOutcome)).
     pub drift_cancelled: u64,
+    /// Supervised-recovery jobs ([`JobService::run_recoverable`](crate::JobService::run_recoverable))
+    /// that failed mid-run and were brought back to a genuine verdict by
+    /// the recovery ladder (full restore, partial restart or genesis
+    /// resubmission).
+    pub recovered: u64,
+    /// Individual restore/restart attempts made by the recovery ladder
+    /// (each retry of each snapshot counts; ≥ `recovered`).
+    pub recovery_attempts: u64,
+    /// Recoveries that went through a **partial restart**: only the
+    /// subgraph downstream of the failed node was rolled back to the last
+    /// consistent cut, spliced against the salvaged wreck.
+    pub partial_restarts: u64,
+    /// Supervised-recovery jobs whose entire ladder (every snapshot, the
+    /// partial restart, the genesis resubmission) failed: reported as
+    /// [`RecoveryOutcome::Exhausted`](crate::RecoveryOutcome) with full
+    /// provenance, never silently dropped.
+    pub recovery_exhausted: u64,
+    /// Auto-checkpoint snapshots that failed decode at recovery time
+    /// (torn/bit-flipped blobs skipped by the ladder).
+    pub snapshots_corrupted: u64,
+    /// Recoveries admitted under
+    /// [`RecoveryMode::Approximate`](crate::RecoveryMode) with a non-zero
+    /// reported divergence bound.
+    pub approx_recovered: u64,
     /// Time since the service started.
     pub uptime: Duration,
 }
@@ -183,11 +213,13 @@ impl ServiceStats {
     /// checkpoint/restore fields (`rejected_restore_mismatch`,
     /// `snapshots`, `restores`); version 4 added the adaptive-runtime
     /// fields (`drift_detected`, `hot_swapped`, `quarantined`,
-    /// `drift_cancelled`).
+    /// `drift_cancelled`); version 5 added the self-healing fields
+    /// (`recovered`, `recovery_attempts`, `partial_restarts`,
+    /// `recovery_exhausted`, `snapshots_corrupted`, `approx_recovered`).
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"schema_version\": 4, ",
+                "{{\"schema_version\": 5, ",
                 "\"submitted\": {}, \"admitted\": {}, ",
                 "\"rejected_invalid\": {}, \"rejected_too_large\": {}, ",
                 "\"rejected_saturated\": {}, \"rejected_unplannable\": {}, ",
@@ -204,6 +236,9 @@ impl ServiceStats {
                 "\"messages\": {}, \"snapshots\": {}, \"restores\": {}, ",
                 "\"drift_detected\": {}, \"hot_swapped\": {}, ",
                 "\"quarantined\": {}, \"drift_cancelled\": {}, ",
+                "\"recovered\": {}, \"recovery_attempts\": {}, ",
+                "\"partial_restarts\": {}, \"recovery_exhausted\": {}, ",
+                "\"snapshots_corrupted\": {}, \"approx_recovered\": {}, ",
                 "\"uptime_ms\": {:.3}, ",
                 "\"msgs_per_sec\": {:.1}, \"jobs_per_sec\": {:.2}}}"
             ),
@@ -237,6 +272,12 @@ impl ServiceStats {
             self.hot_swapped,
             self.quarantined,
             self.drift_cancelled,
+            self.recovered,
+            self.recovery_attempts,
+            self.partial_restarts,
+            self.recovery_exhausted,
+            self.snapshots_corrupted,
+            self.approx_recovered,
             self.uptime.as_secs_f64() * 1e3,
             self.msgs_per_sec(),
             self.jobs_per_sec(),
@@ -278,6 +319,12 @@ mod tests {
             hot_swapped: 1,
             quarantined: 1,
             drift_cancelled: 1,
+            recovered: 2,
+            recovery_attempts: 5,
+            partial_restarts: 1,
+            recovery_exhausted: 1,
+            snapshots_corrupted: 1,
+            approx_recovered: 1,
             uptime: Duration::from_millis(500),
         }
     }
@@ -295,7 +342,7 @@ mod tests {
     #[test]
     fn json_is_parsable_shape() {
         let json = sample().to_json();
-        assert!(json.starts_with("{\"schema_version\": 4, "));
+        assert!(json.starts_with("{\"schema_version\": 5, "));
         assert!(json.ends_with('}'));
         assert!(json.contains("\"admitted\": 7"));
         assert!(json.contains("\"certified\": 4"));
@@ -309,6 +356,12 @@ mod tests {
         assert!(json.contains("\"hot_swapped\": 1"));
         assert!(json.contains("\"quarantined\": 1"));
         assert!(json.contains("\"drift_cancelled\": 1"));
+        assert!(json.contains("\"recovered\": 2"));
+        assert!(json.contains("\"recovery_attempts\": 5"));
+        assert!(json.contains("\"partial_restarts\": 1"));
+        assert!(json.contains("\"recovery_exhausted\": 1"));
+        assert!(json.contains("\"snapshots_corrupted\": 1"));
+        assert!(json.contains("\"approx_recovered\": 1"));
         assert!(json.contains("\"cache_hit_rate\": 0.6667"));
         assert!(json.contains("\"msgs_per_sec\": 2000.0"));
         // Braces balance and no trailing comma sloppiness.

@@ -3,12 +3,16 @@
 //! ```text
 //! fila run <jobfile> [--workers N]      execute the jobs in a textual job file
 //! fila storm [--jobs N] [--seed S] [--workers N] [--kill-rate F]
-//!            [--drift-rate F] [--json PATH]
+//!            [--drift-rate F] [--chaos SEED] [--json PATH]
 //!                                       submit a generated mixed workload,
 //!                                       optionally checkpoint/kill/restore
 //!                                       a fraction of it and/or inject
 //!                                       filter-drifting tenants that the
-//!                                       adaptive supervisor must catch
+//!                                       adaptive supervisor must catch;
+//!                                       with --chaos, arm a seeded fault
+//!                                       plan inside the pool itself and
+//!                                       run every job under the
+//!                                       self-healing recovery ladder
 //! fila help                             this text + the job-file grammar
 //! ```
 //!
@@ -26,11 +30,13 @@
 
 use std::collections::HashMap;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use fila::prelude::*;
+use fila::runtime::FaultPlan;
 use fila::workloads::jobs::{job_mix_with_drift, JobKind, JobShape};
-use fila_service::JobTicket;
+use fila_service::{CheckpointPolicy, JobTicket, RecoveryMode, RecoveryOutcome, RecoveryPolicy};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,7 +61,7 @@ fila — filtering-aware deadlock avoidance as a multi-tenant job service
 USAGE:
   fila run <jobfile> [--workers N]
   fila storm [--jobs N] [--seed S] [--workers N] [--kill-rate F]
-             [--drift-rate F] [--json PATH]
+             [--drift-rate F] [--chaos SEED] [--json PATH]
   fila help
 
 `run` executes every job of a textual job file on one shared worker pool,
@@ -77,6 +83,17 @@ supervisor, which detects the drift and walks the response ladder —
 certified plan hot-swap, quarantine + escalated replan, or cancellation
 with the offending nodes — while every hot-swapped job's final counts are
 checked against an uninterrupted reference run of its observed profile.
+`--chaos SEED` turns the storm into a self-healing smoke: the pool itself
+is armed with a deterministic seeded fault plan (worker panics mid-firing
+and mid-barrier, delayed wakeups, snapshot corruption on encode and on
+restore; `--kill-rate F` is reused as the per-job arming probability,
+default 0.25), every job runs under the supervised auto-checkpoint +
+recovery ladder (full restore -> partial subgraph restart -> genesis,
+alternating exact and approximate recovery modes per job), and every
+outcome — recovered or not — is cross-checked against an uninterrupted
+Simulator reference run.  Exact-mode recoveries must reproduce the
+reference verdict, per-edge data counts, and sink firings bit-exactly;
+approximate recoveries may trail by at most the reported divergence.
 
 JOB FILE GRAMMAR (line oriented, `#` starts a comment):
   job <name>
@@ -352,6 +369,22 @@ fn cmd_storm(args: &[String]) -> ExitCode {
         Ok(d) => return fail(&format!("--drift-rate: {d} is not within 0.0..=1.0")),
         Err(e) => return fail(&e),
     };
+    let chaos = match parse_flag(args, "--chaos") {
+        Ok(None) => None,
+        Ok(Some(v)) => match v.parse::<u64>() {
+            Ok(s) => Some(s),
+            Err(_) => return fail(&format!("--chaos: invalid seed `{v}`")),
+        },
+        Err(e) => return fail(&e),
+    };
+    if let Some(chaos_seed) = chaos {
+        if drift_rate > 0.0 {
+            return fail("--chaos and --drift-rate are separate smokes; pick one");
+        }
+        // In chaos mode --kill-rate is the fault-plan arming probability.
+        let arm_rate = if kill_rate > 0.0 { kill_rate } else { 0.25 };
+        return cmd_storm_chaos(jobs, seed, chaos_seed, arm_rate, workers, json_path);
+    }
 
     let shapes = job_mix_with_drift(seed, jobs, drift_rate);
     let svc = service(workers, jobs);
@@ -615,6 +648,264 @@ fn cmd_storm(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     }
     })
+}
+
+// -------------------------------------------------------- chaos storm ----
+
+/// `fila storm --chaos SEED`: the same mixed workload, but the pool itself
+/// is armed with a deterministic seeded [`FaultPlan`] and every job runs
+/// under the supervised recovery ladder of
+/// [`JobService::run_recoverable`].  Every outcome — uninterrupted or
+/// recovered — is cross-checked against an uninterrupted [`Simulator`]
+/// reference run of the same shape: exact-mode recoveries must reproduce
+/// the reference verdict, per-edge data counts, and sink firings
+/// bit-exactly; approximate recoveries may trail each count by at most
+/// the divergence the splice accepted.
+fn cmd_storm_chaos(
+    jobs: usize,
+    seed: u64,
+    chaos_seed: u64,
+    arm_rate: f64,
+    workers: usize,
+    json_path: Option<String>,
+) -> ExitCode {
+    // Injected fault panics are part of the experiment: silence their
+    // default-hook stack traces so the storm output stays readable, but
+    // keep the hook for any *real* panic.
+    let previous_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.starts_with("injected:"))
+            .unwrap_or(false);
+        if !injected {
+            previous_hook(info);
+        }
+    }));
+
+    let shapes = job_mix_with_drift(seed, jobs, 0.0);
+    let faults = Arc::new(FaultPlan::seeded(chaos_seed).kill_rate(arm_rate));
+    let svc = JobService::new(ServiceConfig {
+        workers,
+        max_in_flight: jobs,
+        faults: Some(faults),
+        ..ServiceConfig::default()
+    });
+    let started = Instant::now();
+
+    let mut uninterrupted = 0u64;
+    let mut recovered_jobs = 0u64;
+    let mut crashes = 0u64;
+    let mut partial_restarts = 0u64;
+    let mut midbarrier_partial_restarts = 0u64;
+    let mut genesis_restarts = 0u64;
+    let mut approx_divergent = 0u64;
+    let mut exhausted = 0u64;
+    let mut rejected_unplannable = 0u64;
+    let mut rejected_other = 0u64;
+    let mut mismatched = 0u64;
+
+    std::thread::scope(|scope| {
+        let svc = &svc;
+        let mut handles = Vec::new();
+        for (i, shape) in shapes.iter().enumerate() {
+            let spec = JobSpec::from_periods(
+                shape.graph.clone(),
+                shape.periods.clone(),
+                shape.inputs,
+                shape.avoidance,
+            );
+            // Alternate what recovery is allowed to give up, so one storm
+            // exercises both ladder orders: exact (full restore first,
+            // partial only at zero divergence) and approximate (partial
+            // subgraph restart first, bounded divergence accepted).
+            let mode = if i % 2 == 0 {
+                RecoveryMode::Exact
+            } else {
+                RecoveryMode::Approximate { max_divergence: 256 }
+            };
+            let checkpoints = CheckpointPolicy {
+                every_n_inputs: (shape.inputs / 6).max(16),
+                max_snapshots: 4,
+            };
+            let policy = RecoveryPolicy {
+                max_attempts: 12,
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(20),
+                mode,
+                ..RecoveryPolicy::default()
+            };
+            handles.push((
+                shape,
+                mode,
+                scope.spawn(move || svc.run_recoverable(&spec, &checkpoints, &policy)),
+            ));
+        }
+        for (shape, mode, handle) in handles {
+            match handle.join().expect("recovery supervisors do not panic") {
+                Err(RejectReason::Unplannable(_)) => {
+                    rejected_unplannable += 1;
+                    assert!(
+                        shape.kind == JobKind::Unplannable,
+                        "only Unplannable shapes may be rejected as unplannable, got {}",
+                        shape.label
+                    );
+                }
+                Err(other) => {
+                    rejected_other += 1;
+                    eprintln!("storm: {} rejected: {other}", shape.label);
+                }
+                Ok(RecoveryOutcome::Uninterrupted(outcome)) => {
+                    uninterrupted += 1;
+                    if let Err(why) = chaos_matches_reference(shape, &outcome, 0) {
+                        mismatched += 1;
+                        eprintln!(
+                            "storm: {} uninterrupted run diverged from its reference: {why}",
+                            shape.label
+                        );
+                    }
+                }
+                Ok(RecoveryOutcome::Recovered { outcome, report }) => {
+                    recovered_jobs += 1;
+                    crashes += u64::from(report.crashes);
+                    if report.partial_restart {
+                        partial_restarts += 1;
+                        if report.midbarrier_crash {
+                            midbarrier_partial_restarts += 1;
+                        }
+                    }
+                    if report.genesis_restart {
+                        genesis_restarts += 1;
+                    }
+                    // An exact-mode ladder (and any zero-divergence
+                    // recovery) must be bit-exact; an approximate splice
+                    // may trail the reference by what it reported losing.
+                    let bound = match mode {
+                        RecoveryMode::Exact => 0,
+                        RecoveryMode::Approximate { .. } => report.divergence,
+                    };
+                    if bound > 0 {
+                        approx_divergent += 1;
+                    }
+                    if let Err(why) = chaos_matches_reference(shape, &outcome, bound) {
+                        mismatched += 1;
+                        eprintln!(
+                            "storm: {} recovered run ({} crashes, divergence {}) \
+                             diverged from its reference: {why}",
+                            shape.label, report.crashes, report.divergence
+                        );
+                    }
+                }
+                Ok(RecoveryOutcome::Exhausted { report, last_error }) => {
+                    exhausted += 1;
+                    eprintln!(
+                        "storm: {} recovery exhausted after {} attempts: {last_error}",
+                        shape.label, report.attempts
+                    );
+                }
+            }
+        }
+    });
+
+    let wall = started.elapsed();
+    let stats = svc.stats();
+    println!(
+        "storm chaos: seed={chaos_seed} arm-rate={arm_rate} — {jobs} jobs in {wall:.2?}: \
+         uninterrupted={uninterrupted} recovered={recovered_jobs} crashes={crashes} \
+         partial_restarts={partial_restarts} \
+         midbarrier_partial_restarts={midbarrier_partial_restarts} \
+         genesis_restarts={genesis_restarts} approx_divergent={approx_divergent} \
+         exhausted={exhausted} rejected_unplannable={rejected_unplannable} \
+         rejected_other={rejected_other} mismatched={mismatched}"
+    );
+    let json = stats.to_json();
+    println!("{json}");
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+    }
+    if rejected_other == 0 && exhausted == 0 && mismatched == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Pins a chaos-storm outcome to an uninterrupted [`Simulator`] reference
+/// run of the same shape.  `bound` is the tolerated per-edge data deficit
+/// (0 for exact-mode and uninterrupted runs); the sink-firing deficit is
+/// allowed `bound` per sink, since one lost frontier message suppresses at
+/// most one firing at each downstream sink.  Dummy counts are *not*
+/// compared: they are a property of the protecting plan, and the service
+/// may certify a different fallback plan than the reference planner.
+fn chaos_matches_reference(
+    shape: &JobShape,
+    outcome: &fila_service::JobOutcome,
+    bound: u64,
+) -> Result<(), String> {
+    let Some(reference) = chaos_reference(shape) else {
+        // No certifiable reference plan (the service admitted via a path
+        // the bare planner cannot reproduce): pin the verdict only.
+        return if outcome.verdict == JobVerdict::Completed {
+            Ok(())
+        } else {
+            Err(format!("no reference plan and verdict {:?}", outcome.verdict))
+        };
+    };
+    let expected = if reference.completed {
+        JobVerdict::Completed
+    } else {
+        JobVerdict::Deadlocked
+    };
+    if outcome.verdict != expected {
+        return Err(format!("verdict {:?}, reference {expected:?}", outcome.verdict));
+    }
+    let got = &outcome.report.per_edge_data;
+    if got.len() != reference.per_edge_data.len() {
+        return Err("per-edge count shapes disagree".into());
+    }
+    for (e, (g, r)) in got.iter().zip(&reference.per_edge_data).enumerate() {
+        if g > r || r - g > bound {
+            return Err(format!("edge {e}: data {g} vs reference {r} (bound {bound})"));
+        }
+    }
+    let sink_bound = bound.saturating_mul(shape.graph.sinks().len() as u64);
+    let (s, r) = (outcome.report.sink_firings, reference.sink_firings);
+    if s > r || r - s > sink_bound {
+        return Err(format!("sink firings {s} vs reference {r} (bound {sink_bound})"));
+    }
+    Ok(())
+}
+
+/// An uninterrupted reference run for a chaos-storm shape: planned shapes
+/// simulate under the requested protocol's certified plan (falling back to
+/// the other protocol exactly like admission does), bare shapes simulate
+/// unprotected — deadlockers deterministically reach their unique blocked
+/// quiescent state, so even their counts are pinnable.
+fn chaos_reference(shape: &JobShape) -> Option<ExecutionReport> {
+    let topology = shape.executed_topology();
+    match shape.avoidance {
+        None => Some(Simulator::new(&topology).run(shape.inputs)),
+        Some(requested) => {
+            let fallback = match requested {
+                Algorithm::Propagation => Algorithm::NonPropagation,
+                Algorithm::NonPropagation => Algorithm::Propagation,
+            };
+            [requested, fallback].into_iter().find_map(|alg| {
+                Planner::new(&shape.graph)
+                    .algorithm(alg)
+                    .certify(&shape.periods)
+                    .ok()
+                    .map(|c| {
+                        Simulator::new(&topology)
+                            .with_plan(&c.plan)
+                            .run(shape.inputs)
+                    })
+            })
+        }
+    }
 }
 
 /// splitmix64 finaliser — deterministic per-job kill selection.

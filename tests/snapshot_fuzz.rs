@@ -1,0 +1,138 @@
+//! Fuzzing the snapshot wire codec: `JobSnapshot::from_bytes` is the one
+//! decoder that eats bytes from *outside* the process (checkpoint stores,
+//! crash-recovery archives, the chaos storm's deliberately corrupted
+//! blobs), so it must never panic and never let a corrupted length field
+//! drive an allocation — whatever it is fed: random garbage, bit-flipped
+//! real snapshots, truncations, or absurd declared lengths.  Every
+//! rejection must be a typed [`RestoreError`].
+
+use std::sync::OnceLock;
+
+use fila::prelude::*;
+use fila::workloads::figures::fig2_triangle;
+use fila::workloads::generators::periodic_filtered_topology;
+use proptest::prelude::*;
+
+/// Real snapshot buffers killed at several depths: a bare pipeline (data
+/// messages and staged sends only) and a planned filtering triangle
+/// (dummies in flight, gap counters, Eos markers).  Built once — the
+/// corpus is the honest half of every mutation strategy below.
+fn corpus() -> &'static Vec<Vec<u8>> {
+    static CORPUS: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let mut corpus = Vec::new();
+        let mut b = GraphBuilder::new().default_capacity(3);
+        b.chain(&["s", "m0", "m1", "sink"]).unwrap();
+        let pipeline = b.build().unwrap();
+        let bare = periodic_filtered_topology(&pipeline, |_| 1);
+        let triangle = fig2_triangle(3);
+        let plan = Planner::new(&triangle)
+            .algorithm(Algorithm::Propagation)
+            .plan()
+            .unwrap();
+        let fork = triangle.node_by_name("A").unwrap();
+        let filtered = periodic_filtered_topology(&triangle, |n| if n == fork { 2 } else { 1 });
+        for kill_at in [1, 7, 40, 200] {
+            for (topology, plan) in [(&bare, None), (&filtered, Some(&plan))] {
+                let sim = match plan {
+                    Some(p) => Simulator::new(topology).with_plan(p),
+                    None => Simulator::new(topology),
+                };
+                if let CheckpointOutcome::Killed(snapshot) = sim.run_with_checkpoint(120, kill_at)
+                {
+                    corpus.push(snapshot.to_bytes());
+                }
+            }
+        }
+        assert!(corpus.len() >= 6, "corpus kills must land mid-run");
+        corpus
+    })
+}
+
+/// splitmix64 — derives the mutation coordinates (corpus pick, offset,
+/// bit, bomb value) from the single proptest seed, since the vendored
+/// proptest shim generates one strategy argument per test.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary bytes: decode returns, it never panics.  (An OOM from a
+    /// corrupted length field would abort the whole test binary, so this
+    /// also pins the allocation guard.)
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..512)) {
+        let _ = JobSnapshot::from_bytes(&bytes);
+    }
+
+    /// Random garbage behind a *valid* magic + version header — the
+    /// adversarial case the magic check no longer shields.
+    #[test]
+    fn garbage_behind_valid_header_never_panics(seed in 0u64..u64::MAX) {
+        let corpus = corpus();
+        let mut buf = corpus[mix(seed) as usize % corpus.len()][..12].to_vec();
+        let n = (mix(seed ^ 1) % 384) as usize;
+        buf.extend((0..n).map(|i| mix(seed ^ (i as u64) << 9) as u8));
+        let _ = JobSnapshot::from_bytes(&buf);
+    }
+
+    /// Every strict prefix of a real snapshot is rejected with a typed
+    /// error (the parse is deterministic, so a cut buffer must run out of
+    /// bytes or fail a length bound before the trailing-bytes check).
+    #[test]
+    fn truncations_error_cleanly(seed in 0u64..u64::MAX) {
+        let corpus = corpus();
+        let full = &corpus[mix(seed) as usize % corpus.len()];
+        let len = mix(seed ^ 2) as usize % full.len();
+        prop_assert!(JobSnapshot::from_bytes(&full[..len]).is_err());
+    }
+
+    /// A single flipped bit anywhere: decode returns Ok or a typed Err,
+    /// never a panic; flips inside the magic/version header always reject.
+    #[test]
+    fn bit_flips_never_panic(seed in 0u64..u64::MAX) {
+        let corpus = corpus();
+        let mut bytes = corpus[mix(seed) as usize % corpus.len()].clone();
+        let pos = mix(seed ^ 3) as usize % bytes.len();
+        bytes[pos] ^= 1 << (mix(seed ^ 4) % 8);
+        let decoded = JobSnapshot::from_bytes(&bytes);
+        if pos < 12 {
+            prop_assert!(decoded.is_err(), "corrupted header byte {} decoded", pos);
+        }
+    }
+
+    /// Length-field bombs: stamp `u64::MAX` (and friends) over any
+    /// 8-byte window of a real snapshot.  The reader bounds every
+    /// declared count by the bytes actually remaining, so the decode must
+    /// return (with an error or a reinterpreted-but-valid snapshot)
+    /// instead of attempting a multi-exabyte allocation.
+    #[test]
+    fn huge_declared_lengths_never_allocate(seed in 0u64..u64::MAX) {
+        let corpus = corpus();
+        let mut bytes = corpus[mix(seed) as usize % corpus.len()].clone();
+        let bomb = match mix(seed ^ 5) % 4 {
+            0 => u64::MAX,
+            1 => u64::MAX / 8,
+            2 => 1u64 << 56,
+            _ => (1u64 << 32) | mix(seed ^ 6),
+        };
+        let pos = mix(seed ^ 7) as usize % bytes.len();
+        let end = (pos + 8).min(bytes.len());
+        bytes[pos..end].copy_from_slice(&bomb.to_le_bytes()[..end - pos]);
+        let _ = JobSnapshot::from_bytes(&bytes);
+    }
+
+    /// The honest half: every corpus buffer round-trips bit-exactly.
+    #[test]
+    fn corpus_round_trips(seed in 0u64..u64::MAX) {
+        let corpus = corpus();
+        let bytes = &corpus[mix(seed) as usize % corpus.len()];
+        let decoded = JobSnapshot::from_bytes(bytes).expect("own bytes decode");
+        prop_assert_eq!(&decoded.to_bytes(), bytes);
+    }
+}

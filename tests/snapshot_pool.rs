@@ -216,3 +216,91 @@ fn pool_restore_rejects_drifted_plan_and_foreign_bytes() {
         .expect("original plan restores");
     assert!(resumed.wait().completed);
 }
+
+#[test]
+fn checkpoint_resume_checkpoint_chain_never_double_counts() {
+    // Crash-recovery archives are chains, not single hops: a restored job
+    // must itself be checkpointable, and a snapshot taken *from the
+    // resumed generation* must carry the cumulative counters forward —
+    // resuming it reproduces the uninterrupted totals exactly (nothing
+    // from the first generation is replayed or counted twice).
+    let inputs = 400;
+    let g = fig2_triangle(4);
+    let plan = Arc::new(
+        Planner::new(&g)
+            .algorithm(Algorithm::Propagation)
+            .plan()
+            .unwrap(),
+    );
+    let topo = slow_filtered_topology(&g, Duration::from_micros(100));
+    let reference = Simulator::new(&topo)
+        .with_shared_plan(Arc::clone(&plan))
+        .run(inputs);
+    assert!(reference.completed);
+
+    let pool = SharedPool::new(2);
+    let first = pool.submit_with(&topo, AvoidanceMode::Plan(Arc::clone(&plan)), inputs);
+    let Ok(snapshot1) = first.checkpoint() else {
+        // The job outran its first checkpoint; the chain has nothing to
+        // exercise (vanishingly unlikely with the slowed fork).
+        assert!(first.wait().completed);
+        return;
+    };
+    assert!(first.wait().completed);
+
+    // Generation 2: resume the cut, then checkpoint the *resumed* run.
+    let second = pool
+        .resume_full(
+            &topo,
+            AvoidanceMode::Plan(Arc::clone(&plan)),
+            PropagationTrigger::default(),
+            &snapshot1,
+            None,
+        )
+        .expect("generation-1 snapshot restores");
+    let snapshot2 = second.checkpoint();
+    let second_report = second.wait();
+    assert!(second_report.completed, "{second_report:?}");
+    assert_eq!(second_report.per_edge_data, reference.per_edge_data);
+    assert_eq!(second_report.per_edge_dummies, reference.per_edge_dummies);
+
+    let Ok(snapshot2) = snapshot2 else {
+        // Generation 2 settled before its checkpoint; the counts above
+        // already pin the no-double-counting contract for the first hop.
+        return;
+    };
+    // Counters are cumulative across the chain, never reset per
+    // generation and never replayed into the next one.
+    assert!(
+        snapshot2.steps >= snapshot1.steps,
+        "generation-2 cut ({}) precedes generation-1 cut ({})",
+        snapshot2.steps,
+        snapshot1.steps
+    );
+    for (e, (d2, d1)) in snapshot2
+        .per_edge_data
+        .iter()
+        .zip(&snapshot1.per_edge_data)
+        .enumerate()
+    {
+        assert!(d2 >= d1, "edge {e}: generation-2 data count {d2} < generation-1 {d1}");
+    }
+
+    // Generation 3: resume the second-generation cut; the totals must be
+    // the uninterrupted reference, bit-exactly.
+    let third = pool
+        .resume_full(
+            &topo,
+            AvoidanceMode::Plan(Arc::clone(&plan)),
+            PropagationTrigger::default(),
+            &snapshot2,
+            None,
+        )
+        .expect("generation-2 snapshot restores")
+        .wait();
+    assert!(third.completed, "{third:?}");
+    assert_eq!(third.resumed_from, Some(snapshot2.steps));
+    assert_eq!(third.per_edge_data, reference.per_edge_data);
+    assert_eq!(third.per_edge_dummies, reference.per_edge_dummies);
+    assert_eq!(third.sink_firings, reference.sink_firings);
+}
