@@ -48,6 +48,7 @@ pub mod shared_pool;
 pub mod simulator;
 pub mod spsc;
 mod task;
+pub mod telemetry;
 pub mod threaded;
 pub mod topology;
 pub mod wrapper;
@@ -64,6 +65,7 @@ pub use pooled::PooledExecutor;
 pub use report::{BlockedInfo, BlockedReason, ExecutionReport};
 pub use shared_pool::{FilterObservation, JobHandle, JobVerdict, SettleHook, SharedPool};
 pub use simulator::{Scheduler, Simulator};
+pub use telemetry::{chrome_trace, EventKind, JobTimeline, TelemetryHandle, TraceEvent};
 pub use threaded::ThreadedExecutor;
 pub use topology::{BehaviorFactory, Topology};
 pub use wrapper::{AvoidanceMode, DummyWrapper, PropagationTrigger};

@@ -95,15 +95,13 @@ impl ExecutionReport {
     }
 
     /// Delivered messages (data + dummies) per wall-clock second — the unit
-    /// the throughput benchmarks and the service stats report.  Zero when
-    /// the engine recorded no elapsed time.
-    pub fn messages_per_sec(&self) -> f64 {
+    /// the throughput benchmarks and the service stats report.  `None` when
+    /// the engine recorded no elapsed time (a zero-duration micro-job has
+    /// *no* rate — reporting 0 msg/s would poison any average or minimum
+    /// computed over it).
+    pub fn messages_per_sec(&self) -> Option<f64> {
         let secs = self.wall.as_secs_f64();
-        if secs <= 0.0 {
-            0.0
-        } else {
-            self.total_messages() as f64 / secs
-        }
+        (secs > 0.0).then(|| self.total_messages() as f64 / secs)
     }
 }
 
@@ -140,9 +138,11 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(r.wall_time(), Duration::from_millis(100));
-        assert!((r.messages_per_sec() - 2000.0).abs() < 1e-6);
-        // No recorded time -> no rate, never a division by zero.
+        let rate = r.messages_per_sec().expect("elapsed time was recorded");
+        assert!((rate - 2000.0).abs() < 1e-6);
+        // No recorded time -> no rate (not a fake 0), never a division by
+        // zero.
         let zero = ExecutionReport::default();
-        assert_eq!(zero.messages_per_sec(), 0.0);
+        assert_eq!(zero.messages_per_sec(), None);
     }
 }

@@ -75,8 +75,9 @@ use crate::checkpoint::{
 };
 use crate::faults::{FaultArm, FaultPlan};
 use crate::message::Message;
-use crate::report::ExecutionReport;
+use crate::report::{BlockedReason, ExecutionReport};
 use crate::task::{self, Outcome, Task};
+use crate::telemetry::{EventKind, TelemetryHandle, CONTROL_LANE};
 use crate::topology::Topology;
 use crate::wrapper::{AvoidanceMode, PropagationTrigger};
 
@@ -157,6 +158,13 @@ struct JobState {
     /// The job's injected-fault schedule (`None` on pools without a
     /// [`FaultPlan`] — the zero-cost-when-disabled common case).
     fault: Option<Arc<FaultArm>>,
+    /// The pool job serial stamped on this job's trace events
+    /// (`u64::MAX` for degenerate jobs that settle synchronously and
+    /// never draw a serial).
+    serial: u64,
+    /// Submission timestamp on the telemetry clock (0 when telemetry is
+    /// off); start of the job's `EventKind::Job` span.
+    t_submit_ns: u64,
     /// Node index of the task whose execution panicked (`u32::MAX` =
     /// none): the provenance a partial restart restarts downstream of.
     failed_node: AtomicU32,
@@ -274,6 +282,10 @@ impl JobState {
 struct JobSnapSink<'a> {
     job: &'a JobState,
     node: usize,
+    /// Flight recorder + recording worker lane, for barrier-alignment
+    /// instants (`None` on untraced pools).
+    telemetry: Option<&'a TelemetryHandle>,
+    worker: usize,
 }
 
 impl task::SnapSink for JobSnapSink<'_> {
@@ -286,6 +298,15 @@ impl task::SnapSink for JobSnapSink<'_> {
     }
 
     fn contribute(&self, task: &mut Task) {
+        if let Some(tele) = self.telemetry {
+            tele.instant(
+                self.worker,
+                EventKind::BarrierAlign,
+                self.job.serial,
+                self.node as u32,
+                self.job.snap_pending.load(Ordering::Acquire),
+            );
+        }
         if let Some(arm) = &self.job.fault {
             // Chaos: an armed alignment crash panics here, mid-barrier, on
             // the worker thread — inside `execute`'s catch_unwind region.
@@ -624,6 +645,9 @@ struct PoolCore {
     /// Monotonic job serial, the key [`FaultPlan::arm`] maps to a fault
     /// schedule.
     next_serial: AtomicU64,
+    /// The flight recorder (`None` in production — every hook below is a
+    /// never-taken branch then, leaving the hot path unchanged).
+    telemetry: Option<TelemetryHandle>,
 }
 
 /// The long-lived multi-job work-stealing pool (see the module docs).
@@ -659,6 +683,23 @@ impl SharedPool {
     /// configuration: jobs carry no arm and the hot path pays one
     /// predictable branch per task execution.
     pub fn with_faults(workers: usize, batch: u32, faults: Option<Arc<FaultPlan>>) -> Self {
+        Self::with_telemetry(workers, batch, faults, false)
+    }
+
+    /// [`SharedPool::with_faults`] plus the flight recorder: when
+    /// `telemetry` is true the pool creates one
+    /// [`crate::telemetry::TelemetryHandle`] lane per worker and records
+    /// firing spans, steals, parks, blocked stalls, barrier alignments,
+    /// faults and job spans into it (retrieve it with
+    /// [`SharedPool::telemetry_handle`]).  When false this is exactly
+    /// [`SharedPool::with_faults`]: no recorder exists and every hook is a
+    /// never-taken `None` branch.
+    pub fn with_telemetry(
+        workers: usize,
+        batch: u32,
+        faults: Option<Arc<FaultPlan>>,
+        telemetry: bool,
+    ) -> Self {
         let workers = NonZeroUsize::new(workers)
             .map(NonZeroUsize::get)
             .unwrap_or_else(|| {
@@ -666,6 +707,7 @@ impl SharedPool {
                     .map(NonZeroUsize::get)
                     .unwrap_or(1)
             });
+        let telemetry = telemetry.then(|| TelemetryHandle::new(workers));
         let core = Arc::new(PoolCore {
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             queued: AtomicUsize::new(0),
@@ -678,6 +720,7 @@ impl SharedPool {
             next_seed: AtomicUsize::new(0),
             faults,
             next_serial: AtomicU64::new(0),
+            telemetry,
         });
         let handles = (0..workers)
             .map(|w| {
@@ -697,6 +740,12 @@ impl SharedPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The pool's flight recorder, if it was created with telemetry on
+    /// ([`SharedPool::with_telemetry`]); `None` on production pools.
+    pub fn telemetry_handle(&self) -> Option<TelemetryHandle> {
+        self.core.telemetry.clone()
     }
 
     /// Submits a job with deadlock avoidance disabled.
@@ -762,6 +811,8 @@ impl SharedPool {
                 snap: Mutex::new(SnapState::default()),
                 snap_cv: Condvar::new(),
                 fault: None,
+                serial: u64::MAX,
+                t_submit_ns: 0,
                 failed_node: AtomicU32::new(u32::MAX),
             });
             return JobHandle { job, core: Arc::downgrade(&self.core) };
@@ -771,6 +822,7 @@ impl SharedPool {
             .into_iter()
             .map(Mutex::new)
             .collect();
+        let (serial, fault) = self.core.arm_next();
         let job = Arc::new(JobState {
             states: (0..node_count).map(|_| AtomicU8::new(QUEUED)).collect(),
             tasks,
@@ -793,7 +845,9 @@ impl SharedPool {
             snap_barrier: AtomicU64::new(0),
             snap: Mutex::new(SnapState::default()),
             snap_cv: Condvar::new(),
-            fault: self.core.arm_next(),
+            fault,
+            serial,
+            t_submit_ns: self.core.telemetry.as_ref().map_or(0, TelemetryHandle::now_ns),
             failed_node: AtomicU32::new(u32::MAX),
         });
         lock(&self.core.live).push(Arc::clone(&job));
@@ -911,10 +965,13 @@ impl SharedPool {
                 snap: Mutex::new(SnapState::default()),
                 snap_cv: Condvar::new(),
                 fault: None,
+                serial: u64::MAX,
+                t_submit_ns: 0,
                 failed_node: AtomicU32::new(u32::MAX),
             });
             return Ok(JobHandle { job, core: Arc::downgrade(&self.core) });
         }
+        let (serial, fault) = self.core.arm_next();
         let job = Arc::new(JobState {
             states: (0..node_count).map(|_| AtomicU8::new(QUEUED)).collect(),
             tasks,
@@ -937,7 +994,9 @@ impl SharedPool {
             snap_barrier: AtomicU64::new(0),
             snap: Mutex::new(SnapState::default()),
             snap_cv: Condvar::new(),
-            fault: self.core.arm_next(),
+            fault,
+            serial,
+            t_submit_ns: self.core.telemetry.as_ref().map_or(0, TelemetryHandle::now_ns),
             failed_node: AtomicU32::new(u32::MAX),
         });
         lock(&self.core.live).push(Arc::clone(&job));
@@ -1012,10 +1071,14 @@ impl Drop for SharedPool {
 
 impl PoolCore {
     /// Draws the next job serial and maps it through the fault plan (if
-    /// any) to the job's arm.  `None` on production pools.
-    fn arm_next(&self) -> Option<Arc<FaultArm>> {
+    /// any) to the job's arm (`None` on production pools).  The serial is
+    /// also the job's identity in the flight-recorder stream; it is drawn
+    /// here and nowhere else, so the fault plan's serial→arm mapping stays
+    /// bit-identical with or without telemetry.
+    fn arm_next(&self) -> (u64, Option<Arc<FaultArm>>) {
         let serial = self.next_serial.fetch_add(1, Ordering::SeqCst);
-        self.faults.as_ref().and_then(|plan| plan.arm(serial))
+        let arm = self.faults.as_ref().and_then(|plan| plan.arm(serial));
+        (serial, arm)
     }
 
     fn worker_loop(&self, worker: usize) {
@@ -1024,9 +1087,27 @@ impl PoolCore {
                 return;
             }
             match self.pop_any(worker) {
-                Some(tref) => self.execute(worker, tref),
+                Some((tref, src)) => {
+                    if src != worker {
+                        if let Some(tele) = &self.telemetry {
+                            tele.instant(
+                                worker,
+                                EventKind::Steal,
+                                tref.job.serial,
+                                tref.node,
+                                src as u64,
+                            );
+                        }
+                    }
+                    self.execute(worker, tref);
+                }
                 None => {
-                    if !self.park() {
+                    let t_park = self.telemetry.as_ref().map(TelemetryHandle::now_ns);
+                    let alive = self.park();
+                    if let (Some(tele), Some(t0)) = (&self.telemetry, t_park) {
+                        tele.span(worker, EventKind::Park, u64::MAX, u32::MAX, t0, 0);
+                    }
+                    if !alive {
                         return;
                     }
                 }
@@ -1034,13 +1115,15 @@ impl PoolCore {
         }
     }
 
-    fn pop_any(&self, worker: usize) -> Option<TaskRef> {
+    /// Pops the next task, own queue first; returns the task and the queue
+    /// index it came from (`!= worker` means a steal).
+    fn pop_any(&self, worker: usize) -> Option<(TaskRef, usize)> {
         for i in 0..self.queues.len() {
             let q = (worker + i) % self.queues.len();
             let popped = lock(&self.queues[q]).pop_front();
             if let Some(tref) = popped {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
-                return Some(tref);
+                return Some((tref, q));
             }
         }
         None
@@ -1151,7 +1234,18 @@ impl PoolCore {
             let sink = JobSnapSink {
                 job: job.as_ref(),
                 node,
+                telemetry: self.telemetry.as_ref(),
+                worker,
             };
+            // Ring-full probe doubles as the slice timestamp: when this
+            // worker's lane has no room, every event below would be dropped
+            // anyway, so the whole slice skips instrumentation for the
+            // price of two atomic loads (see `TelemetryHandle::slice_start`).
+            let slice_start = self
+                .telemetry
+                .as_ref()
+                .and_then(|tele| tele.slice_start(worker))
+                .map(|t0| (t0, task.firings));
             let result = catch_unwind(AssertUnwindSafe(|| {
                 if let Some(arm) = &job.fault {
                     // Chaos: an armed firing crash panics here, exactly
@@ -1167,8 +1261,36 @@ impl PoolCore {
                 )
             }));
             match result {
-                Ok(outcome) => Exec::Normal(outcome, task.done && !was_done),
-                Err(_) => Exec::Panicked,
+                Ok(outcome) => {
+                    if let (Some(tele), Some((t0, fired_before))) =
+                        (&self.telemetry, slice_start)
+                    {
+                        let fired = task.firings - fired_before;
+                        if fired > 0 {
+                            tele.span(worker, EventKind::Firing, job.serial, tref.node, t0, fired);
+                        }
+                        if matches!(outcome, Outcome::Blocked) {
+                            if let Some(reason) = task.blocked_on() {
+                                let (kind, edge) = match reason {
+                                    BlockedReason::WaitingForSpace(e) => {
+                                        (EventKind::BlockedSpace, e.index() as u64)
+                                    }
+                                    BlockedReason::WaitingForInput(e) => {
+                                        (EventKind::BlockedInput, e.index() as u64)
+                                    }
+                                };
+                                tele.instant(worker, kind, job.serial, tref.node, edge);
+                            }
+                        }
+                    }
+                    Exec::Normal(outcome, task.done && !was_done)
+                }
+                Err(_) => {
+                    if let Some(tele) = &self.telemetry {
+                        tele.instant(worker, EventKind::Fault, job.serial, tref.node, 0);
+                    }
+                    Exec::Panicked
+                }
             }
         };
         match exec {
@@ -1275,6 +1397,26 @@ impl PoolCore {
                 snap.result = Some(Err(SnapshotError::Settled(verdict)));
             }
             job.snap_cv.notify_all();
+        }
+        // The job's whole-lifetime span; `deliver` may run on any thread
+        // (worker, canceller, pool drop), so it goes to the control lane.
+        if let Some(tele) = &self.telemetry {
+            if job.serial != u64::MAX {
+                let code = match verdict {
+                    JobVerdict::Completed => 0,
+                    JobVerdict::Deadlocked => 1,
+                    JobVerdict::Failed => 2,
+                    JobVerdict::Cancelled => 3,
+                };
+                tele.span(
+                    CONTROL_LANE,
+                    EventKind::Job,
+                    job.serial,
+                    u32::MAX,
+                    job.t_submit_ns,
+                    code,
+                );
+            }
         }
         let mut report = task::assemble_report(
             &job.tasks,

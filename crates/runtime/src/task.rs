@@ -77,6 +77,22 @@ pub(crate) struct Task {
     pub(crate) snap_epoch: u64,
 }
 
+impl Task {
+    /// Diagnoses what this (blocked, not-done) task is waiting on: a full
+    /// output channel wins over an empty input (undelivered staged messages
+    /// block everything else), mirroring the deadlock report's per-node
+    /// diagnosis.  `None` if neither applies (e.g. the task is done).
+    pub(crate) fn blocked_on(&self) -> Option<BlockedReason> {
+        if let Some(port) = self.outs.iter().find(|p| p.queue.front().is_some()) {
+            return Some(BlockedReason::WaitingForSpace(edge_id(port.edge)));
+        }
+        self.ins
+            .iter()
+            .find(|p| p.rx.is_empty())
+            .map(|port| BlockedReason::WaitingForInput(edge_id(port.edge)))
+    }
+}
+
 /// A pending barrier snapshot, as seen from inside [`run_task`].
 ///
 /// The [`crate::SharedPool`] implements this for its per-job snapshot
@@ -500,16 +516,10 @@ pub(crate) fn assemble_report(
             report.per_edge_dummies[port.edge as usize] = port.dummies;
         }
         if deadlocked && !task.done {
-            let node = NodeId::from_raw(idx as u32);
-            if let Some(port) = task.outs.iter().find(|p| p.queue.front().is_some()) {
+            if let Some(reason) = task.blocked_on() {
                 report.blocked.push(BlockedInfo {
-                    node,
-                    reason: BlockedReason::WaitingForSpace(edge_id(port.edge)),
-                });
-            } else if let Some(port) = task.ins.iter().find(|p| p.rx.is_empty()) {
-                report.blocked.push(BlockedInfo {
-                    node,
-                    reason: BlockedReason::WaitingForInput(edge_id(port.edge)),
+                    node: NodeId::from_raw(idx as u32),
+                    reason,
                 });
             }
         }

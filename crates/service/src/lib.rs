@@ -67,12 +67,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod drift;
+pub mod metrics;
 pub mod recovery;
 pub mod service;
 pub mod spec;
 pub mod stats;
 
 pub use drift::{DriftDetector, DriftOffender, DriftPolicy};
+pub use metrics::{
+    IntervalTraffic, LatencyHistogram, LatencySummary, ServiceMetrics, TenantSummary,
+};
 pub use recovery::{
     CheckpointPolicy, RecoveryMode, RecoveryOutcome, RecoveryPolicy, RecoveryReport,
 };

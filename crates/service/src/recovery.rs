@@ -40,6 +40,7 @@ use std::time::Duration;
 
 use fila_avoidance::{filter_signature, observed_periods};
 use fila_graph::NodeId;
+use fila_runtime::telemetry::{EventKind, TelemetryHandle, CONTROL_LANE};
 use fila_runtime::{
     checkpoint, AvoidanceMode, JobSnapshot, JobVerdict, SnapshotError, SwapToken,
 };
@@ -292,6 +293,10 @@ impl JobService {
             };
             let mut last_error = String::from("job failed with no snapshot to restore");
             for rung in rungs {
+                // Flight-recorder span for this rung attempt, on the
+                // control lane (the supervisor is not a pool worker):
+                // arg 0 = full restore, 1 = partial restart, 2 = genesis.
+                let rung_t0 = self.telemetry.as_ref().map(TelemetryHandle::now_ns);
                 let attempt = match rung {
                     Rung::Full => self.rung_full_restore(
                         spec,
@@ -315,6 +320,21 @@ impl JobService {
                         self.rung_genesis(spec, policy, max_attempts, &mut report)
                     }
                 };
+                if let (Some(telemetry), Some(t0)) = (self.telemetry.as_ref(), rung_t0) {
+                    let code = match rung {
+                        Rung::Full => 0,
+                        Rung::Partial => 1,
+                        Rung::Genesis => 2,
+                    };
+                    telemetry.span(
+                        CONTROL_LANE,
+                        EventKind::RecoveryRung,
+                        u64::MAX,
+                        u32::MAX,
+                        t0,
+                        code,
+                    );
+                }
                 match attempt {
                     Ok(Some(new_ticket)) => {
                         recovered = true;

@@ -11,12 +11,14 @@ use fila_avoidance::{
     Rounding,
 };
 use fila_graph::Fingerprint;
+use fila_runtime::telemetry::{EventKind, TelemetryHandle, CONTROL_LANE};
 use fila_runtime::{
     checkpoint, AvoidanceMode, ExecutionReport, FaultPlan, JobHandle, JobSnapshot, JobVerdict,
     PropagationTrigger, SettleHook, SharedPool, SnapshotError, SwapToken,
 };
 
 use crate::drift::{DriftDetector, DriftOffender, DriftPolicy};
+use crate::metrics::ServiceMetrics;
 use crate::spec::{AvoidanceChoice, JobSpec};
 use crate::stats::{Counters, ServiceStats};
 
@@ -59,6 +61,14 @@ pub struct ServiceConfig {
     /// by the chaos harness (`fila storm --chaos SEED`) to exercise the
     /// supervised-recovery ladder.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Enable the flight recorder: the shared pool records per-worker
+    /// trace events ([`fila_runtime::telemetry`]) and the service
+    /// aggregates them into [`ServiceMetrics`] (latency histograms,
+    /// per-tenant percentiles, the dummy-traffic profiler) surfaced in
+    /// stats schema v6.  `false` — the default — is the zero-cost
+    /// production path: no recorder exists and the pool hot path is
+    /// byte-identical to a telemetry-less build.
+    pub telemetry: bool,
 }
 
 impl Default for ServiceConfig {
@@ -74,6 +84,7 @@ impl Default for ServiceConfig {
             trigger: PropagationTrigger::default(),
             certify: true,
             faults: None,
+            telemetry: false,
         }
     }
 }
@@ -340,6 +351,12 @@ pub struct JobService {
     pub(crate) counters: Arc<Counters>,
     pub(crate) in_flight: Arc<AtomicU64>,
     pub(crate) config: ServiceConfig,
+    /// The pool's flight recorder (`None` unless
+    /// [`ServiceConfig::telemetry`]).
+    pub(crate) telemetry: Option<TelemetryHandle>,
+    /// Aggregated histograms/profiler fed by settle hooks (`None` unless
+    /// [`ServiceConfig::telemetry`]).
+    pub(crate) metrics: Option<Arc<ServiceMetrics>>,
     started: Instant,
 }
 
@@ -363,14 +380,39 @@ impl JobService {
     /// Starts the service: spawns the shared worker pool and an empty plan
     /// cache.
     pub fn new(config: ServiceConfig) -> Self {
+        let pool = SharedPool::with_telemetry(
+            config.workers,
+            config.batch,
+            config.faults.clone(),
+            config.telemetry,
+        );
+        let telemetry = pool.telemetry_handle();
+        let metrics = telemetry.is_some().then(|| Arc::new(ServiceMetrics::new()));
         JobService {
-            pool: SharedPool::with_faults(config.workers, config.batch, config.faults.clone()),
+            pool,
             cache: PlanCache::new(config.plan_cache_capacity),
             counters: Arc::new(Counters::default()),
             in_flight: Arc::new(AtomicU64::new(0)),
             config,
+            telemetry,
+            metrics,
             started: Instant::now(),
         }
+    }
+
+    /// The pool's flight recorder, when [`ServiceConfig::telemetry`] is on
+    /// — drain it (or call
+    /// [`all_events`](TelemetryHandle::all_events)) to export a Chrome
+    /// trace of everything the service ran.
+    pub fn telemetry(&self) -> Option<&TelemetryHandle> {
+        self.telemetry.as_ref()
+    }
+
+    /// The aggregated service metrics (latency histograms, per-tenant
+    /// percentiles, dummy-traffic profiler), when
+    /// [`ServiceConfig::telemetry`] is on.
+    pub fn metrics(&self) -> Option<&Arc<ServiceMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// The active configuration.
@@ -388,6 +430,10 @@ impl JobService {
     /// was scheduled and the reason says why.
     pub fn submit(&self, spec: JobSpec) -> Result<JobTicket, RejectReason> {
         Counters::bump(&self.counters.submitted);
+        // Admission timestamp for the settle-latency histogram: taken at the
+        // door so planning and certification time count against the tenant's
+        // latency, exactly as a client experiences it.
+        let admitted_at = self.metrics.is_some().then(Instant::now);
 
         // 1–2. Validation + size cap.
         let periods = self.validate(&spec)?;
@@ -414,13 +460,30 @@ impl JobService {
             .as_ref()
             .map(|c| AvoidanceMode::Plan(Arc::clone(&c.plan)))
             .unwrap_or(AvoidanceMode::Disabled);
+        // Dummy-traffic profiler key: each edge's certified interval (dense,
+        // aligned with edge ids; `INTERVAL_NONE` for never-dummied edges).
+        // Unplanned jobs have no intervals to attribute traffic to.
+        let edge_intervals = match (&self.metrics, &planned) {
+            (Some(_), Some(c)) => Some(
+                spec.graph
+                    .edge_ids()
+                    .map(|e| {
+                        c.plan
+                            .interval(e)
+                            .finite()
+                            .unwrap_or(crate::metrics::INTERVAL_NONE)
+                    })
+                    .collect::<Vec<u64>>(),
+            ),
+            _ => None,
+        };
         let topology = spec.topology();
         let handle = self.pool.submit_full(
             &topology,
             mode,
             self.config.trigger,
             spec.inputs,
-            Some(self.settle_hook()),
+            Some(self.settle_hook_tagged(spec.tenant.clone(), admitted_at, edge_intervals)),
         );
         // Planned submissions reuse the structural fingerprint the cache
         // already computed; only unplanned jobs hash here.
@@ -585,6 +648,9 @@ impl JobService {
         offenders: Vec<DriftOffender>,
     ) -> AdaptiveOutcome {
         let detected = Instant::now();
+        // Flight-recorder anchor for the DriftSwap span: detection → swap
+        // landed, on the control lane (the supervisor is not a worker).
+        let detected_ns = self.telemetry.as_ref().map(TelemetryHandle::now_ns);
 
         // Estimate the observed profile from a cheap live counter sample —
         // deliberately NOT from a snapshot.  The barrier of a consistent
@@ -697,6 +763,16 @@ impl JobService {
         if hot {
             Counters::bump(&self.counters.hot_swapped);
         }
+        if let (Some(telemetry), Some(t0)) = (self.telemetry.as_ref(), detected_ns) {
+            telemetry.span(
+                CONTROL_LANE,
+                EventKind::DriftSwap,
+                u64::MAX,
+                u32::MAX,
+                t0,
+                u64::from(!hot), // 0 = hot-swap, 1 = quarantine + replan
+            );
+        }
         let report = handle.wait();
         let verdict = handle.verdict().expect("settled job has a verdict");
         let outcome = JobOutcome {
@@ -743,6 +819,10 @@ impl JobService {
             return AdaptiveOutcome::Settled(outcome);
         }
         Counters::bump(&self.counters.drift_cancelled);
+        if let Some(telemetry) = self.telemetry.as_ref() {
+            // 2 = the ladder's last rung: nothing certified, job cancelled.
+            telemetry.instant(CONTROL_LANE, EventKind::DriftSwap, u64::MAX, u32::MAX, 2);
+        }
         AdaptiveOutcome::DriftCancelled {
             offenders,
             observed_periods,
@@ -891,8 +971,25 @@ impl JobService {
     /// when it reaches its verdict: releases the in-flight slot and feeds
     /// the verdict/message counters.
     pub(crate) fn settle_hook(&self) -> SettleHook {
+        self.settle_hook_tagged(None, None, None)
+    }
+
+    /// The full-fat settle hook [`JobService::submit`] installs: the base
+    /// bookkeeping of [`JobService::settle_hook`] plus, when telemetry is
+    /// on, metrics attribution — the tenant-keyed admission→settle latency
+    /// histogram, the per-interval dummy-traffic profiler, and a drain of
+    /// the flight recorder so firing/blocked-time histograms stay fresh
+    /// without anyone polling.
+    pub(crate) fn settle_hook_tagged(
+        &self,
+        tenant: Option<String>,
+        admitted: Option<Instant>,
+        edge_intervals: Option<Vec<u64>>,
+    ) -> SettleHook {
         let counters = Arc::clone(&self.counters);
         let in_flight = Arc::clone(&self.in_flight);
+        let metrics = self.metrics.clone();
+        let telemetry = self.telemetry.clone();
         Box::new(move |report: &ExecutionReport, verdict| {
             in_flight.fetch_sub(1, Ordering::SeqCst);
             let counter = match verdict {
@@ -905,6 +1002,19 @@ impl JobService {
             counters
                 .messages
                 .fetch_add(report.total_messages(), Ordering::Relaxed);
+            if let Some(metrics) = metrics.as_ref() {
+                if let Some(admitted) = admitted {
+                    metrics.record_job(
+                        tenant.as_deref(),
+                        admitted.elapsed(),
+                        report,
+                        edge_intervals.as_deref(),
+                    );
+                }
+                if let Some(telemetry) = telemetry.as_ref() {
+                    metrics.ingest(&telemetry.drain_new());
+                }
+            }
         })
     }
 
@@ -947,6 +1057,26 @@ impl JobService {
             recovery_exhausted: load(&c.recovery_exhausted),
             snapshots_corrupted: load(&c.snapshots_corrupted),
             approx_recovered: load(&c.approx_recovered),
+            latency_settle: self
+                .metrics
+                .as_ref()
+                .map(|m| m.settle_summary())
+                .unwrap_or_default(),
+            latency_firing: self
+                .metrics
+                .as_ref()
+                .map(|m| m.firing_summary())
+                .unwrap_or_default(),
+            latency_blocked: self
+                .metrics
+                .as_ref()
+                .map(|m| m.blocked_summary())
+                .unwrap_or_default(),
+            tenants: self
+                .metrics
+                .as_ref()
+                .map(|m| m.tenant_summaries())
+                .unwrap_or_default(),
             uptime: self.started.elapsed(),
         }
     }
@@ -1147,8 +1277,11 @@ mod tests {
             .unwrap();
         let _ = t.wait();
         let json = svc.stats().to_json();
-        assert!(json.contains("\"schema_version\": 5"));
+        assert!(json.contains("\"schema_version\": 6"));
         assert!(json.contains("\"completed\": 1"));
+        // Telemetry off: v6 fields present but empty.
+        assert!(json.contains("\"latency\": {\"settle\": {\"count\": 0"));
+        assert!(json.contains("\"tenants\": []"));
         assert!(json.contains("\"uncertified_nonprop\": 0"));
         assert!(json.contains("\"snapshots\": 0"));
         assert!(json.contains("\"restores\": 0"));

@@ -121,6 +121,11 @@ pub struct JobSpec {
     /// certificate no longer covers the traffic, which is what the
     /// service's drift detector and response ladder exist to catch.
     pub actual: Option<FilterSpec>,
+    /// Tenant tag for metrics attribution: the service's latency
+    /// histograms and stats schema v6 key per-tenant percentiles by it.
+    /// Deliberately **not** part of [`JobSpec::fingerprint`] — two tenants
+    /// submitting the same shape share one cached plan.
+    pub tenant: Option<String>,
 }
 
 impl JobSpec {
@@ -133,6 +138,7 @@ impl JobSpec {
             inputs,
             avoidance: AvoidanceChoice::Planned(Algorithm::NonPropagation),
             actual: None,
+            tenant: None,
         }
     }
 
@@ -171,6 +177,12 @@ impl JobSpec {
     /// [`JobSpec::actual`] field docs.
     pub fn with_actual_filters(mut self, actual: FilterSpec) -> Self {
         self.actual = Some(actual);
+        self
+    }
+
+    /// Builder-style tenant tag (see the [`JobSpec::tenant`] field docs).
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
         self
     }
 

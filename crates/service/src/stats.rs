@@ -4,6 +4,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use crate::metrics::{LatencySummary, TenantSummary};
+
 /// Lock-free counters the service mutates on its hot paths; snapshotted
 /// into a [`ServiceStats`] on demand.
 #[derive(Debug, Default)]
@@ -149,6 +151,19 @@ pub struct ServiceStats {
     /// [`RecoveryMode::Approximate`](crate::RecoveryMode) with a non-zero
     /// reported divergence bound.
     pub approx_recovered: u64,
+    /// Admission→settle latency percentiles over all settled jobs (all
+    /// zeros unless [`ServiceConfig::telemetry`](crate::ServiceConfig) is
+    /// on).
+    pub latency_settle: LatencySummary,
+    /// Per-node firing-slice duration percentiles from the flight
+    /// recorder (all zeros unless telemetry is on).
+    pub latency_firing: LatencySummary,
+    /// Blocked-stall duration percentiles — time from a task reporting
+    /// Blocked to its next firing (all zeros unless telemetry is on).
+    pub latency_blocked: LatencySummary,
+    /// Per-tenant settle-latency percentiles and job/message counts,
+    /// sorted by tenant tag (empty unless telemetry is on).
+    pub tenants: Vec<TenantSummary>,
     /// Time since the service started.
     pub uptime: Duration,
 }
@@ -215,11 +230,20 @@ impl ServiceStats {
     /// fields (`drift_detected`, `hot_swapped`, `quarantined`,
     /// `drift_cancelled`); version 5 added the self-healing fields
     /// (`recovered`, `recovery_attempts`, `partial_restarts`,
-    /// `recovery_exhausted`, `snapshots_corrupted`, `approx_recovered`).
+    /// `recovery_exhausted`, `snapshots_corrupted`, `approx_recovered`);
+    /// version 6 added the telemetry fields — the nested `"latency"`
+    /// object (`settle`/`firing`/`blocked` percentile summaries) and the
+    /// `"tenants"` array (all-zero/empty when telemetry is off).
     pub fn to_json(&self) -> String {
+        let tenants = self
+            .tenants
+            .iter()
+            .map(TenantSummary::to_json)
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
             concat!(
-                "{{\"schema_version\": 5, ",
+                "{{\"schema_version\": 6, ",
                 "\"submitted\": {}, \"admitted\": {}, ",
                 "\"rejected_invalid\": {}, \"rejected_too_large\": {}, ",
                 "\"rejected_saturated\": {}, \"rejected_unplannable\": {}, ",
@@ -239,6 +263,8 @@ impl ServiceStats {
                 "\"recovered\": {}, \"recovery_attempts\": {}, ",
                 "\"partial_restarts\": {}, \"recovery_exhausted\": {}, ",
                 "\"snapshots_corrupted\": {}, \"approx_recovered\": {}, ",
+                "\"latency\": {{\"settle\": {}, \"firing\": {}, \"blocked\": {}}}, ",
+                "\"tenants\": [{}], ",
                 "\"uptime_ms\": {:.3}, ",
                 "\"msgs_per_sec\": {:.1}, \"jobs_per_sec\": {:.2}}}"
             ),
@@ -278,6 +304,10 @@ impl ServiceStats {
             self.recovery_exhausted,
             self.snapshots_corrupted,
             self.approx_recovered,
+            self.latency_settle.to_json(),
+            self.latency_firing.to_json(),
+            self.latency_blocked.to_json(),
+            tenants,
             self.uptime.as_secs_f64() * 1e3,
             self.msgs_per_sec(),
             self.jobs_per_sec(),
@@ -325,6 +355,29 @@ mod tests {
             recovery_exhausted: 1,
             snapshots_corrupted: 1,
             approx_recovered: 1,
+            latency_settle: LatencySummary {
+                count: 6,
+                p50_ns: 1023,
+                p90_ns: 2047,
+                p99_ns: 4095,
+                p999_ns: 4095,
+                max_ns: 3500,
+            },
+            latency_firing: LatencySummary::default(),
+            latency_blocked: LatencySummary::default(),
+            tenants: vec![TenantSummary {
+                tenant: "acme".to_string(),
+                jobs: 4,
+                messages: 800,
+                latency: LatencySummary {
+                    count: 4,
+                    p50_ns: 1023,
+                    p90_ns: 1023,
+                    p99_ns: 2047,
+                    p999_ns: 2047,
+                    max_ns: 1800,
+                },
+            }],
             uptime: Duration::from_millis(500),
         }
     }
@@ -342,7 +395,7 @@ mod tests {
     #[test]
     fn json_is_parsable_shape() {
         let json = sample().to_json();
-        assert!(json.starts_with("{\"schema_version\": 5, "));
+        assert!(json.starts_with("{\"schema_version\": 6, "));
         assert!(json.ends_with('}'));
         assert!(json.contains("\"admitted\": 7"));
         assert!(json.contains("\"certified\": 4"));
@@ -364,10 +417,24 @@ mod tests {
         assert!(json.contains("\"approx_recovered\": 1"));
         assert!(json.contains("\"cache_hit_rate\": 0.6667"));
         assert!(json.contains("\"msgs_per_sec\": 2000.0"));
+        // Schema v6 nested telemetry objects.
+        assert!(json.contains("\"latency\": {\"settle\": {\"count\": 6, \"p50_ns\": 1023"));
+        assert!(json.contains("\"firing\": {\"count\": 0"));
+        assert!(json.contains("\"tenants\": [{\"tenant\": \"acme\", \"jobs\": 4"));
+        assert!(json.contains("\"p99_ns\": 2047"));
         // Braces balance and no trailing comma sloppiness.
-        assert_eq!(json.matches('{').count(), 1);
-        assert_eq!(json.matches('}').count(), 1);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",}"));
+        assert!(!json.contains(",]"));
+    }
+
+    #[test]
+    fn empty_tenants_render_as_empty_array() {
+        let mut s = sample();
+        s.tenants.clear();
+        let json = s.to_json();
+        assert!(json.contains("\"tenants\": [], "));
     }
 
     #[test]

@@ -80,6 +80,27 @@ pub struct JobShape {
     /// [`JobKind::Drifting`] shapes set this, and always strictly heavier
     /// filtering than declared (drift in the dangerous direction).
     pub actual_periods: Option<Vec<u64>>,
+    /// Tenant tag for the service's per-tenant metrics: one fixed tenant
+    /// per kind (a template is "one client's pipeline"), derived without
+    /// consuming the generator RNG so existing mixes stay bit-for-bit
+    /// identical per seed.
+    pub tenant: &'static str,
+}
+
+impl JobKind {
+    /// The fixed tenant tag of every shape of this kind (see
+    /// [`JobShape::tenant`]).
+    pub fn tenant(self) -> &'static str {
+        match self {
+            JobKind::Pipeline => "pipelines-inc",
+            JobKind::SpDag => "spdag-co",
+            JobKind::Ladder => "ladder-corp",
+            JobKind::InteriorFiltered => "interior-labs",
+            JobKind::Unplannable => "dense-org",
+            JobKind::Deadlocker => "wedge-co",
+            JobKind::Drifting => "drift-lab",
+        }
+    }
 }
 
 impl JobShape {
@@ -312,6 +333,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                     JobShape {
                         label: format!("unplannable-{i}"),
                         kind: JobKind::Unplannable,
+                        tenant: JobKind::Unplannable.tenant(),
                         periods,
                         inputs: 64,
                         avoidance: Some(Algorithm::NonPropagation),
@@ -324,6 +346,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                     JobShape {
                         label: format!("interior-{i}"),
                         kind: JobKind::InteriorFiltered,
+                        tenant: JobKind::InteriorFiltered.tenant(),
                         periods,
                         inputs,
                         avoidance: Some(Algorithm::Propagation),
@@ -336,6 +359,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                     JobShape {
                         label: format!("deadlocker-{i}"),
                         kind: JobKind::Deadlocker,
+                        tenant: JobKind::Deadlocker.tenant(),
                         periods,
                         inputs: 256,
                         avoidance: None,
@@ -348,6 +372,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                     JobShape {
                         label: format!("pipeline-{i}"),
                         kind: JobKind::Pipeline,
+                        tenant: JobKind::Pipeline.tenant(),
                         periods,
                         inputs,
                         avoidance: None,
@@ -360,6 +385,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                     JobShape {
                         label: format!("spdag-{i}"),
                         kind: JobKind::SpDag,
+                        tenant: JobKind::SpDag.tenant(),
                         periods,
                         inputs,
                         avoidance: Some(Algorithm::NonPropagation),
@@ -372,6 +398,7 @@ pub fn job_mix(seed: u64, count: usize) -> Vec<JobShape> {
                     JobShape {
                         label: format!("ladder-{i}"),
                         kind: JobKind::Ladder,
+                        tenant: JobKind::Ladder.tenant(),
                         periods,
                         inputs,
                         avoidance: Some(Algorithm::NonPropagation),
@@ -425,6 +452,7 @@ pub fn job_mix_with_drift(seed: u64, count: usize, drift_rate: f64) -> Vec<JobSh
                     .collect();
                 shape.label = format!("drifting-{i}");
                 shape.kind = JobKind::Drifting;
+                shape.tenant = JobKind::Drifting.tenant();
                 shape.actual_periods = Some(actual);
                 shape.inputs = shape.inputs.max(4096);
             }
@@ -437,6 +465,7 @@ pub fn job_mix_with_drift(seed: u64, count: usize, drift_rate: f64) -> Vec<JobSh
                 *shape = JobShape {
                     label: format!("drifting-dense-{i}"),
                     kind: JobKind::Drifting,
+                    tenant: JobKind::Drifting.tenant(),
                     periods: declared,
                     inputs: DENSE_INPUTS,
                     avoidance: None,

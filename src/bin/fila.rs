@@ -4,6 +4,7 @@
 //! fila run <jobfile> [--workers N]      execute the jobs in a textual job file
 //! fila storm [--jobs N] [--seed S] [--workers N] [--kill-rate F]
 //!            [--drift-rate F] [--chaos SEED] [--json PATH]
+//!            [--trace PATH] [--metrics]
 //!                                       submit a generated mixed workload,
 //!                                       optionally checkpoint/kill/restore
 //!                                       a fraction of it and/or inject
@@ -12,9 +13,16 @@
 //!                                       with --chaos, arm a seeded fault
 //!                                       plan inside the pool itself and
 //!                                       run every job under the
-//!                                       self-healing recovery ladder
+//!                                       self-healing recovery ladder;
+//!                                       with --trace/--metrics, run the
+//!                                       flight recorder and export a
+//!                                       Chrome trace / Prometheus text
+//! fila trace <file>                     summarize an exported Chrome trace
 //! fila help                             this text + the job-file grammar
 //! ```
+//!
+//! Storm's human-readable progress goes to **stderr**; stdout carries only
+//! the stats JSON, so `fila storm --json - | jq` style piping stays clean.
 //!
 //! ## Job-file grammar (line-oriented, `#` comments)
 //!
@@ -44,6 +52,7 @@ fn main() -> ExitCode {
     match it.next() {
         Some("run") => cmd_run(&args[1..]),
         Some("storm") => cmd_storm(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{}", HELP);
             ExitCode::SUCCESS
@@ -62,6 +71,8 @@ USAGE:
   fila run <jobfile> [--workers N]
   fila storm [--jobs N] [--seed S] [--workers N] [--kill-rate F]
              [--drift-rate F] [--chaos SEED] [--json PATH]
+             [--trace PATH] [--metrics]
+  fila trace <file>
   fila help
 
 `run` executes every job of a textual job file on one shared worker pool,
@@ -94,6 +105,21 @@ outcome — recovered or not — is cross-checked against an uninterrupted
 Simulator reference run.  Exact-mode recoveries must reproduce the
 reference verdict, per-edge data counts, and sink firings bit-exactly;
 approximate recoveries may trail by at most the reported divergence.
+
+`--trace PATH` and/or `--metrics` switch on the pool's flight recorder:
+per-worker lock-free event rings capture firing spans, steals,
+park/unpark, blocked stalls, barrier alignments, fault injections,
+recovery-ladder rungs and drift-swap decisions with zero cost when off
+(the recorder simply does not exist).  `--trace PATH` exports everything
+as Chrome `trace_event` JSON for chrome://tracing / Perfetto (and the
+`fila trace` summarizer); `--metrics` prints Prometheus text-format
+metrics — per-tenant settle-latency percentiles, firing/blocked-time
+histograms, and per-interval dummy-vs-data traffic — to stderr.  Storm's
+human-readable summary always goes to stderr; stdout carries only the
+stats JSON (schema v6, with the nested latency/tenant summaries).
+
+`fila trace <file>` summarizes an exported trace: event counts per kind,
+total firing time, steal/stall counts, and per-job span statistics.
 
 JOB FILE GRAMMAR (line oriented, `#` starts a comment):
   job <name>
@@ -128,12 +154,29 @@ fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> R
     }
 }
 
-fn service(workers: usize, max_in_flight: usize) -> JobService {
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn service(workers: usize, max_in_flight: usize, telemetry: bool) -> JobService {
     JobService::new(ServiceConfig {
         workers,
         max_in_flight,
+        telemetry,
         ..ServiceConfig::default()
     })
+}
+
+/// Storm worker-count resolution: an explicit `--workers N` is used as
+/// given; the `0` default floors the pool at two workers even on a
+/// single-core host, so cross-worker behaviour (work stealing, and its
+/// flight-recorder spans) is exercised everywhere CI runs.
+fn storm_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get).max(2)
+    }
 }
 
 // ---------------------------------------------------------------- run ----
@@ -168,7 +211,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         return fail(&format!("{file}: no jobs defined"));
     }
 
-    let svc = service(workers, jobs.len().max(16));
+    let svc = service(workers, jobs.len().max(16), false);
     let mut tickets: Vec<(String, Result<JobTicket, RejectReason>)> = Vec::new();
     for job in jobs {
         let ticket = svc.submit(job.spec);
@@ -202,10 +245,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
                         }
                     }
                 };
+                let rate = outcome
+                    .report
+                    .messages_per_sec()
+                    .map_or_else(|| "-".to_string(), |r| format!("{r:.0}"));
                 println!(
-                    "{name:<20} {verdict:<12} {:>10} {:>12.0} {:>10.1?}  {plan}",
+                    "{name:<20} {verdict:<12} {:>10} {rate:>12} {:>10.1?}  {plan}",
                     outcome.report.total_messages(),
-                    outcome.report.messages_per_sec(),
                     outcome.report.wall_time(),
                 );
             }
@@ -340,6 +386,77 @@ impl JobDraft {
     }
 }
 
+// -------------------------------------------------------------- trace ----
+
+/// `fila trace <file>`: summarize a Chrome trace exported by
+/// `fila storm --trace`.  The exporter writes exactly one event per line,
+/// so this stays a line scanner — no JSON parser needed (or available:
+/// this workspace is serde-free by design).
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let file = match args.first() {
+        Some(f) if !f.starts_with("--") => f.clone(),
+        _ => {
+            eprintln!("fila trace: missing <file> (try `fila help`)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {file}: {e}")),
+    };
+    // One (count, total span µs) accumulator per event name.
+    let mut kinds: Vec<(String, u64, f64)> = Vec::new();
+    let mut jobs = std::collections::BTreeSet::new();
+    let mut workers = std::collections::BTreeSet::new();
+    let mut first_ts = f64::MAX;
+    let mut last_ts = f64::MIN;
+    let mut events = 0u64;
+    let field = |line: &str, key: &str| -> Option<String> {
+        let at = line.find(key)? + key.len();
+        let rest = &line[at..];
+        let end = rest.find([',', '}', '"']).unwrap_or(rest.len());
+        Some(rest[..end].to_string())
+    };
+    for line in text.lines() {
+        let Some(name) = field(line, "\"name\":\"") else {
+            continue; // array brackets / blank lines
+        };
+        events += 1;
+        let ts: f64 = field(line, "\"ts\":").and_then(|v| v.parse().ok()).unwrap_or(0.0);
+        let dur: f64 = field(line, "\"dur\":").and_then(|v| v.parse().ok()).unwrap_or(0.0);
+        first_ts = first_ts.min(ts);
+        last_ts = last_ts.max(ts + dur);
+        if let Some(pid) = field(line, "\"pid\":") {
+            jobs.insert(pid);
+        }
+        if let Some(tid) = field(line, "\"tid\":") {
+            workers.insert(tid);
+        }
+        match kinds.iter_mut().find(|(n, _, _)| *n == name) {
+            Some((_, count, total)) => {
+                *count += 1;
+                *total += dur;
+            }
+            None => kinds.push((name, 1, dur)),
+        }
+    }
+    if events == 0 {
+        return fail(&format!("{file}: no trace events found"));
+    }
+    kinds.sort_by_key(|k| std::cmp::Reverse(k.1));
+    println!(
+        "{file}: {events} events, {} jobs, {} worker lanes, {:.1} ms recorded",
+        jobs.len(),
+        workers.len(),
+        (last_ts - first_ts) / 1_000.0
+    );
+    println!("{:<16} {:>10} {:>14}", "event", "count", "total ms");
+    for (name, count, total_us) in &kinds {
+        println!("{name:<16} {count:>10} {:>14.3}", total_us / 1_000.0);
+    }
+    ExitCode::SUCCESS
+}
+
 // -------------------------------------------------------------- storm ----
 
 fn cmd_storm(args: &[String]) -> ExitCode {
@@ -377,17 +494,26 @@ fn cmd_storm(args: &[String]) -> ExitCode {
         },
         Err(e) => return fail(&e),
     };
+    let trace_path = match parse_flag(args, "--trace") {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let metrics = has_flag(args, "--metrics");
+    let telemetry = trace_path.is_some() || metrics;
+    let workers = storm_workers(workers);
     if let Some(chaos_seed) = chaos {
         if drift_rate > 0.0 {
             return fail("--chaos and --drift-rate are separate smokes; pick one");
         }
         // In chaos mode --kill-rate is the fault-plan arming probability.
         let arm_rate = if kill_rate > 0.0 { kill_rate } else { 0.25 };
-        return cmd_storm_chaos(jobs, seed, chaos_seed, arm_rate, workers, json_path);
+        return cmd_storm_chaos(
+            jobs, seed, chaos_seed, arm_rate, workers, json_path, trace_path, metrics,
+        );
     }
 
     let shapes = job_mix_with_drift(seed, jobs, drift_rate);
-    let svc = service(workers, jobs);
+    let svc = service(workers, jobs, telemetry);
     let policy = DriftPolicy::default();
     let started = Instant::now();
     // Drifting tenants block their supervisor until they settle, so each
@@ -421,6 +547,7 @@ fn cmd_storm(args: &[String]) -> ExitCode {
                 shape.inputs,
                 shape.avoidance,
             )
+            .with_tenant(shape.tenant)
             .with_actual_filters(FilterSpec::PerNode(actual));
             match svc.submit(spec.clone()) {
                 Ok(ticket) => {
@@ -439,7 +566,8 @@ fn cmd_storm(args: &[String]) -> ExitCode {
             shape.periods.clone(),
             shape.inputs,
             shape.avoidance,
-        );
+        )
+        .with_tenant(shape.tenant);
         match svc.submit(spec) {
             Ok(t) => {
                 let i = tickets.len();
@@ -509,7 +637,8 @@ fn cmd_storm(args: &[String]) -> ExitCode {
             shape.periods.clone(),
             shape.inputs,
             shape.avoidance,
-        );
+        )
+        .with_tenant(shape.tenant);
         match svc.resume_job(spec, snapshot) {
             Ok(ticket) => {
                 let resumed = ticket.wait();
@@ -609,7 +738,7 @@ fn cmd_storm(args: &[String]) -> ExitCode {
     }
     let wall = started.elapsed();
     let stats = svc.stats();
-    println!(
+    eprintln!(
         "storm: {jobs} jobs in {wall:.2?} — {completed} completed, {deadlocked} deadlocked, \
          {rejected_unplannable} rejected unplannable, {rejected_other} rejected other, {other} other; \
          {} certified ({fell_back} via fallback, {} uncertified Non-Prop); \
@@ -622,14 +751,14 @@ fn cmd_storm(args: &[String]) -> ExitCode {
         stats.cert_cache_hit_rate() * 100.0,
     );
     if kill_rate > 0.0 {
-        println!(
+        eprintln!(
             "storm kill/restore: {killed} snapshots captured, {outran} settled before \
              their checkpoint, {restored} restored with identical outcomes, \
              {mismatched} mismatched"
         );
     }
     if drift_rate > 0.0 {
-        println!(
+        eprintln!(
             "storm drift: {drifting} drifting tenants — {hot_swapped} hot-swapped, \
              {replanned} replanned, {drift_cancelled} drift-cancelled, \
              {drift_settled} settled untouched"
@@ -642,12 +771,41 @@ fn cmd_storm(args: &[String]) -> ExitCode {
             return fail(&format!("cannot write {path}: {e}"));
         }
     }
+    if let Some(code) = export_telemetry(svc, trace_path.as_deref(), metrics) {
+        return code;
+    }
     if rejected_other == 0 && other == 0 && mismatched == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
     })
+}
+
+/// Flight-recorder export shared by the storm modes: write the Chrome
+/// trace to `trace_path` and/or print the Prometheus text metrics to
+/// stderr (stdout stays reserved for the stats JSON).  Returns an exit
+/// code only on I/O failure.
+fn export_telemetry(svc: &JobService, trace_path: Option<&str>, metrics: bool) -> Option<ExitCode> {
+    if let Some(path) = trace_path {
+        let telemetry = svc.telemetry().expect("--trace switches the recorder on");
+        let trace = fila::runtime::telemetry::chrome_trace(&telemetry.all_events());
+        if let Err(e) = std::fs::write(path, trace) {
+            return Some(fail(&format!("cannot write {path}: {e}")));
+        }
+        let dropped = telemetry.dropped();
+        if dropped > 0 {
+            eprintln!("storm: flight recorder dropped {dropped} events (full rings)");
+        }
+    }
+    if metrics {
+        let m = svc.metrics().expect("--metrics switches the recorder on");
+        if let Some(telemetry) = svc.telemetry() {
+            m.ingest(&telemetry.drain_new());
+        }
+        eprint!("{}", m.prometheus());
+    }
+    None
 }
 
 // -------------------------------------------------------- chaos storm ----
@@ -661,6 +819,7 @@ fn cmd_storm(args: &[String]) -> ExitCode {
 /// the reference verdict, per-edge data counts, and sink firings
 /// bit-exactly; approximate recoveries may trail each count by at most
 /// the divergence the splice accepted.
+#[allow(clippy::too_many_arguments)]
 fn cmd_storm_chaos(
     jobs: usize,
     seed: u64,
@@ -668,6 +827,8 @@ fn cmd_storm_chaos(
     arm_rate: f64,
     workers: usize,
     json_path: Option<String>,
+    trace_path: Option<String>,
+    metrics: bool,
 ) -> ExitCode {
     // Injected fault panics are part of the experiment: silence their
     // default-hook stack traces so the storm output stays readable, but
@@ -690,6 +851,7 @@ fn cmd_storm_chaos(
         workers,
         max_in_flight: jobs,
         faults: Some(faults),
+        telemetry: trace_path.is_some() || metrics,
         ..ServiceConfig::default()
     });
     let started = Instant::now();
@@ -715,7 +877,8 @@ fn cmd_storm_chaos(
                 shape.periods.clone(),
                 shape.inputs,
                 shape.avoidance,
-            );
+            )
+            .with_tenant(shape.tenant);
             // Alternate what recovery is allowed to give up, so one storm
             // exercises both ladder orders: exact (full restore first,
             // partial only at zero divergence) and approximate (partial
@@ -810,7 +973,7 @@ fn cmd_storm_chaos(
 
     let wall = started.elapsed();
     let stats = svc.stats();
-    println!(
+    eprintln!(
         "storm chaos: seed={chaos_seed} arm-rate={arm_rate} — {jobs} jobs in {wall:.2?}: \
          uninterrupted={uninterrupted} recovered={recovered_jobs} crashes={crashes} \
          partial_restarts={partial_restarts} \
@@ -825,6 +988,9 @@ fn cmd_storm_chaos(
         if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
             return fail(&format!("cannot write {path}: {e}"));
         }
+    }
+    if let Some(code) = export_telemetry(&svc, trace_path.as_deref(), metrics) {
+        return code;
     }
     if rejected_other == 0 && exhausted == 0 && mismatched == 0 {
         ExitCode::SUCCESS
