@@ -17,7 +17,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fila_avoidance::{Algorithm, Planner};
 use fila_graph::Graph;
 use fila_runtime::{
-    JobVerdict, PooledExecutor, Scheduler, SharedPool, Simulator, ThreadedExecutor, Topology,
+    Batching, JobVerdict, PooledExecutor, Scheduler, SharedPool, Simulator, ThreadedExecutor,
+    Topology,
 };
 use fila_service::{JobService, JobSpec, ServiceConfig};
 use fila_workloads::generators::{
@@ -280,6 +281,41 @@ fn bench_pooled_scaling(c: &mut Criterion) {
                     },
                 );
             }
+        }
+    }
+
+    // E22: the container-batching sweep — the largest pipeline of the run,
+    // swept over per-container message limits.  `batch/1` carries one
+    // message per container (the scalar engine's exact channel traffic,
+    // plus the container bookkeeping); larger limits amortise ring
+    // crossings, wake checks and threshold lookups over whole runs.
+    // Unlike the capacity-4 scaling sweep above, this workload gives
+    // batching room to form runs: capacity-256 channels and a long input
+    // stream, so container fills are capacity-bound (tens of messages)
+    // rather than ring-bound, and the fixed ring/topology setup — the
+    // dominant per-iteration constant at 16 k edges — is amortised away.
+    // One worker reads the per-core per-message cost directly.
+    {
+        let n = *sizes.last().expect("sweep has sizes");
+        let g = pipeline_graph(n, 256, true);
+        let topo = filtered_topology(&g, 1);
+        let workers = if fast() { 2 } else { 1 };
+        let batch_inputs = if fast() { 64 } else { 4096 };
+        for &limit in &[1u32, 16, 256] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("batch/{limit}/nodes"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let report = PooledExecutor::new(&topo)
+                            .workers(workers)
+                            .batching(Batching::Messages(limit))
+                            .run(batch_inputs);
+                        assert!(report.completed, "{report:?}");
+                        black_box(report.total_messages())
+                    })
+                },
+            );
         }
     }
     group.finish();

@@ -1,0 +1,755 @@
+//! Batched message transport: the [`Container`] abstraction.
+//!
+//! Every channel of the engines carries *containers* rather than raw
+//! [`Message`]s.  A container is an ordered run of messages — data messages
+//! interleaved with run-length-encoded dummy gaps — that travels through an
+//! SPSC ring as a single slot write.  Two implementations exist:
+//!
+//! * [`Single`] — exactly one message per container.  This is the scalar
+//!   path: every ring operation, wake check and wrapper call happens once
+//!   per message, reproducing the pre-container engines byte for byte.
+//! * [`Batch`] — a columnar run of messages (individual data entries plus
+//!   RLE dummy segments).  One ring push ships a whole run, so the
+//!   per-message cost of the atomics, the Dekker wake fences and the
+//!   scheduler hand-offs is amortised across the run.
+//!
+//! ## The capacity-unit invariant
+//!
+//! Channel capacity is modelled in **messages**, never in containers: a ring
+//! of capacity `c` admits containers whose message weights sum to at most
+//! `c` (see [`crate::spsc::Weigh`] and [`crate::spsc::MsgCap`]).  Occupancy
+//! is released per *consumed message*, not per popped container, so the
+//! blocking behaviour — and therefore every deadlock verdict — is identical
+//! to the scalar engines regardless of how messages are grouped.
+//!
+//! The confluence argument of the Kahn-network model does the rest: a
+//! node's accepted-sequence stream is schedule-independent, so per-edge
+//! data/dummy counts and verdicts cannot depend on the batching mode.
+
+use std::cell::RefCell;
+
+use crate::message::{Message, Payload};
+use crate::spsc::{self, Weigh};
+
+/// How an engine groups messages into containers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Batching {
+    /// One message per container: the scalar path, byte-for-byte identical
+    /// to the pre-container engines.
+    Scalar,
+    /// Containers carry up to this many messages (clamped to ≥ 1 and to
+    /// each channel's capacity).
+    Messages(u32),
+    /// Containers grow without bound — in practice limited by channel
+    /// capacity, since a container must fit its ring in message units.
+    Unbounded,
+}
+
+impl Batching {
+    /// The per-container message limit this mode implies.
+    pub fn limit(self) -> usize {
+        match self {
+            Batching::Scalar => 1,
+            Batching::Messages(n) => (n as usize).max(1),
+            Batching::Unbounded => usize::MAX,
+        }
+    }
+}
+
+impl Default for Batching {
+    /// Batching on, 64 messages per container — the pooled engines' default.
+    fn default() -> Self {
+        Batching::Messages(64)
+    }
+}
+
+/// An ordered run of messages travelling a channel as one ring slot.
+///
+/// Invariants every implementation upholds (and [`Batch::try_push`]
+/// enforces):
+///
+/// * sequence numbers are non-decreasing front to back, strictly increasing
+///   except that a dummy may immediately follow a data message with the
+///   *same* sequence number (the heartbeat trigger emits both);
+/// * a container on a ring is never empty;
+/// * nothing follows an EOS marker.
+pub trait Container: Weigh + Send + 'static {
+    /// Wraps one message.
+    fn from_message(m: Message) -> Self;
+    /// Remaining messages.
+    fn len(&self) -> usize {
+        self.weight()
+    }
+    /// True when no message remains.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The front message.  Panics if empty.
+    fn front(&self) -> Message;
+    /// Removes and returns the front message.
+    fn pop_front(&mut self) -> Option<Message>;
+    /// Unwraps a container known to hold exactly one message.
+    fn into_message(self) -> Message;
+    /// Appends `m` if the container holds fewer than `limit` messages and
+    /// the ordering invariant allows it; hands `m` back otherwise.
+    fn try_push(&mut self, limit: usize, m: Message) -> Result<(), Message>;
+    /// Remaining `(data, dummy)` message counts (EOS counts as neither).
+    fn counts(&self) -> (u64, u64);
+    /// Visits the remaining messages front to back (checkpoint flattening).
+    fn for_each(&self, f: &mut dyn FnMut(Message));
+}
+
+// ---------------------------------------------------------------- Single --
+
+/// The scalar container: exactly one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct Single(pub Message);
+
+impl Weigh for Single {
+    const UNIT: bool = true;
+    fn weight(&self) -> usize {
+        1
+    }
+}
+
+impl Container for Single {
+    fn from_message(m: Message) -> Self {
+        Single(m)
+    }
+    fn front(&self) -> Message {
+        self.0
+    }
+    fn pop_front(&mut self) -> Option<Message> {
+        // A `Single` is popped by value via `into_message` on the scalar
+        // path; the by-ref form exists only for trait completeness.
+        Some(self.0)
+    }
+    fn into_message(self) -> Message {
+        self.0
+    }
+    fn try_push(&mut self, _limit: usize, m: Message) -> Result<(), Message> {
+        Err(m)
+    }
+    fn counts(&self) -> (u64, u64) {
+        match self.0 {
+            Message::Data { .. } => (1, 0),
+            Message::Dummy { .. } => (0, 1),
+            Message::Eos => (0, 0),
+        }
+    }
+    fn for_each(&self, f: &mut dyn FnMut(Message)) {
+        f(self.0);
+    }
+}
+
+// ----------------------------------------------------------------- Batch --
+
+/// One segment of a [`Batch`]: a data message, an RLE run of dummies at
+/// consecutive sequence numbers, or the EOS marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Seg {
+    Data { seq: u64, payload: Payload },
+    Dummies { first: u64, len: u64 },
+    Eos,
+}
+
+/// A view of the run at the front of a [`Batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Run {
+    /// A single data message.
+    Data {
+        /// Its sequence number.
+        seq: u64,
+        /// Its payload.
+        payload: Payload,
+    },
+    /// `len` dummies at consecutive sequence numbers `first..first + len`.
+    Dummies {
+        /// Sequence number of the first dummy in the run.
+        first: u64,
+        /// Number of dummies in the run.
+        len: u64,
+    },
+    /// The end-of-stream marker.
+    Eos,
+}
+
+/// A columnar run of messages: data entries plus run-length-encoded dummy
+/// gaps, consumed front to back.
+///
+/// Segments live in a plain `Vec` with a front cursor (`head`): popping
+/// advances the cursor instead of shifting memory, and the vector resets
+/// (retaining its allocation) whenever the batch drains.  Data/dummy counts
+/// are maintained incrementally so [`Container::counts`] — called twice per
+/// delivered container by the flush loop — is O(1).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Batch {
+    segs: Vec<Seg>,
+    /// Index of the front segment; slots below it are consumed.
+    head: usize,
+    /// Dummies already consumed off the front segment (only ever non-zero
+    /// while the front segment is `Seg::Dummies`).
+    skip: u64,
+    /// Remaining messages.
+    len: usize,
+    /// Remaining data messages.
+    data: u64,
+    /// Remaining dummy messages.
+    dummies: u64,
+}
+
+thread_local! {
+    /// Per-thread recycling pool for [`Batch`] segment vectors.
+    ///
+    /// Containers are created and destroyed at message rate (one per staged
+    /// run), and a worker both consumes and produces containers on every
+    /// slice, so recycling the backing vectors thread-locally keeps the hot
+    /// path free of allocator traffic without any cross-thread
+    /// coordination.  The pool is bounded; overflow falls back to the
+    /// allocator.
+    static SEG_POOL: RefCell<Vec<Vec<Seg>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Segment vectors retained per thread (~2 per live edge of a slice is
+/// plenty; beyond this the allocator is fast enough).
+const SEG_POOL_CAP: usize = 64;
+
+/// A segment vector from the thread's pool, or a freshly sized one.
+fn pooled_segs() -> Vec<Seg> {
+    SEG_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_else(|| Vec::with_capacity(8))
+}
+
+impl Drop for Batch {
+    fn drop(&mut self) {
+        if self.segs.capacity() == 0 {
+            return;
+        }
+        let mut segs = std::mem::take(&mut self.segs);
+        segs.clear();
+        // `try_with` so drops during thread teardown (after the TLS value
+        // is destroyed) silently fall through to the allocator.
+        let _ = SEG_POOL.try_with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < SEG_POOL_CAP {
+                pool.push(segs);
+            }
+        });
+    }
+}
+
+impl Batch {
+    /// An empty batch drawing its segment storage from the thread's
+    /// recycling pool (staging starts here; empty batches never reach a
+    /// ring).
+    pub fn new() -> Self {
+        Batch {
+            segs: pooled_segs(),
+            head: 0,
+            skip: 0,
+            len: 0,
+            data: 0,
+            dummies: 0,
+        }
+    }
+
+    /// Consumes the front message, which the caller has just observed via
+    /// [`Batch::front_run`] to be a data message.
+    #[inline]
+    pub(crate) fn consume_data(&mut self) {
+        debug_assert!(matches!(self.segs.get(self.head), Some(Seg::Data { .. })));
+        self.len -= 1;
+        self.data -= 1;
+        self.advance_seg();
+    }
+
+    /// The last sequence number in the batch and whether it belongs to a
+    /// data message; `None` when empty.
+    fn back_seq(&self) -> Option<(u64, bool)> {
+        self.segs.last().map(|seg| match *seg {
+            Seg::Data { seq, .. } => (seq, true),
+            Seg::Dummies { first, len } => (first + (len - 1), false),
+            Seg::Eos => (u64::MAX, false),
+        })
+    }
+
+    /// Drops the front segment (fully consumed), resetting the vector when
+    /// nothing remains so its allocation is reused by later pushes.
+    #[inline]
+    fn advance_seg(&mut self) {
+        self.head += 1;
+        self.skip = 0;
+        if self.head == self.segs.len() {
+            self.segs.clear();
+            self.head = 0;
+        }
+    }
+
+    /// The run at the front, without consuming it.
+    #[inline]
+    pub fn front_run(&self) -> Option<Run> {
+        self.segs.get(self.head).map(|seg| match *seg {
+            Seg::Data { seq, payload } => Run::Data { seq, payload },
+            Seg::Dummies { first, len } => Run::Dummies {
+                first: first + self.skip,
+                len: len - self.skip,
+            },
+            Seg::Eos => Run::Eos,
+        })
+    }
+
+    /// Consumes `n` dummies off the front run (which must be a dummy run of
+    /// at least `n` remaining messages).
+    pub fn consume_dummies(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match self.segs.get(self.head) {
+            Some(Seg::Dummies { len, .. }) => {
+                let len = *len;
+                let remaining = len - self.skip;
+                assert!(n <= remaining, "dummy run under-run");
+                self.skip += n;
+                self.len -= n as usize;
+                self.dummies -= n;
+                if self.skip == len {
+                    self.advance_seg();
+                }
+            }
+            _ => panic!("front run is not a dummy run"),
+        }
+    }
+
+    /// Appends a run of `len` dummies at consecutive sequence numbers
+    /// `first..first + len`, as far as the `limit` allows; returns how many
+    /// were accepted.
+    pub fn push_dummy_run(&mut self, limit: usize, first: u64, len: u64) -> u64 {
+        let room = (limit.saturating_sub(self.len)) as u64;
+        let take = len.min(room);
+        if take == 0 {
+            return 0;
+        }
+        debug_assert!(match self.back_seq() {
+            Some((last, _)) => first > last || last == u64::MAX - 1,
+            None => true,
+        });
+        match self.segs.last_mut() {
+            Some(Seg::Dummies { first: f, len: l }) if *f + *l == first => *l += take,
+            _ => self.segs.push(Seg::Dummies { first, len: take }),
+        }
+        self.len += take as usize;
+        self.dummies += take;
+        take
+    }
+}
+
+impl Weigh for Batch {
+    const UNIT: bool = false;
+    fn weight(&self) -> usize {
+        self.len
+    }
+    fn split_front(&mut self, n: usize) -> Self {
+        debug_assert!(0 < n && n < self.len);
+        let mut front = Batch::new();
+        let mut want = n;
+        while want > 0 {
+            match self.front_run().expect("len accounted") {
+                Run::Data { seq, payload } => {
+                    front.segs.push(Seg::Data { seq, payload });
+                    front.len += 1;
+                    front.data += 1;
+                    self.len -= 1;
+                    self.data -= 1;
+                    self.advance_seg();
+                    want -= 1;
+                }
+                Run::Dummies { first, len } => {
+                    let take = (want as u64).min(len);
+                    front.segs.push(Seg::Dummies { first, len: take });
+                    front.len += take as usize;
+                    front.dummies += take;
+                    self.consume_dummies(take);
+                    want -= take as usize;
+                }
+                Run::Eos => unreachable!("EOS is final and n < len"),
+            }
+        }
+        front
+    }
+}
+
+impl Container for Batch {
+    fn from_message(m: Message) -> Self {
+        let mut b = Batch::new();
+        b.try_push(usize::MAX, m).expect("push into empty batch");
+        b
+    }
+
+    fn front(&self) -> Message {
+        match self.front_run().expect("front of empty batch") {
+            Run::Data { seq, payload } => Message::Data { seq, payload },
+            Run::Dummies { first, .. } => Message::Dummy { seq: first },
+            Run::Eos => Message::Eos,
+        }
+    }
+
+    fn pop_front(&mut self) -> Option<Message> {
+        let run = self.front_run()?;
+        Some(match run {
+            Run::Data { seq, payload } => {
+                self.len -= 1;
+                self.data -= 1;
+                self.advance_seg();
+                Message::Data { seq, payload }
+            }
+            Run::Dummies { first, .. } => {
+                self.consume_dummies(1);
+                Message::Dummy { seq: first }
+            }
+            Run::Eos => {
+                self.len -= 1;
+                self.advance_seg();
+                Message::Eos
+            }
+        })
+    }
+
+    fn into_message(mut self) -> Message {
+        debug_assert_eq!(self.len, 1);
+        self.pop_front().expect("non-empty")
+    }
+
+    fn try_push(&mut self, limit: usize, m: Message) -> Result<(), Message> {
+        if self.len >= limit {
+            return Err(m);
+        }
+        // Ordering: strictly increasing, except a dummy may share the
+        // sequence number of an immediately preceding data message.
+        if let Some((last, last_is_data)) = self.back_seq() {
+            let ok = m.seq() > last || (m.is_dummy() && m.seq() == last && last_is_data);
+            if !ok {
+                return Err(m);
+            }
+        }
+        match m {
+            Message::Data { seq, payload } => {
+                self.segs.push(Seg::Data { seq, payload });
+                self.data += 1;
+            }
+            Message::Dummy { seq } => {
+                match self.segs.last_mut() {
+                    Some(Seg::Dummies { first, len }) if *first + *len == seq => *len += 1,
+                    _ => self.segs.push(Seg::Dummies { first: seq, len: 1 }),
+                }
+                self.dummies += 1;
+            }
+            Message::Eos => self.segs.push(Seg::Eos),
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    fn counts(&self) -> (u64, u64) {
+        (self.data, self.dummies)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(Message)) {
+        for (i, seg) in self.segs[self.head..].iter().enumerate() {
+            match *seg {
+                Seg::Data { seq, payload } => f(Message::Data { seq, payload }),
+                Seg::Dummies { first, len } => {
+                    let skip = if i == 0 { self.skip } else { 0 };
+                    for k in skip..len {
+                        f(Message::Dummy { seq: first + k });
+                    }
+                }
+                Seg::Eos => f(Message::Eos),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------- ring endpoint extensions --
+
+/// Container-granular consumption on an SPSC consumer endpoint.
+///
+/// Message occupancy is released per *consumed message* (never per popped
+/// container), which keeps ring occupancy equal to the modelled channel
+/// occupancy at every instant — the invariant the deadlock verdicts rest
+/// on.
+pub trait ConsumeMsgs<C: Container> {
+    /// Peeks the front message of the front container.
+    fn front_msg(&mut self) -> Option<Message>;
+    /// Peeks the front message, registering the blocked-on-empty waiting
+    /// flag (with the mandatory Dekker re-peek) when the ring is empty.
+    fn front_msg_or_register(&mut self) -> Option<Message>;
+    /// Consumes the front message, releasing one message of capacity and
+    /// freeing the slot if its container is exhausted.
+    fn pop_msg(&mut self) -> Option<Message>;
+}
+
+impl<C: Container> ConsumeMsgs<C> for spsc::Consumer<C> {
+    fn front_msg(&mut self) -> Option<Message> {
+        self.front_mut().map(|c| c.front())
+    }
+
+    fn front_msg_or_register(&mut self) -> Option<Message> {
+        if let Some(m) = self.front_msg() {
+            return Some(m);
+        }
+        self.begin_wait();
+        match self.front_msg() {
+            Some(m) => {
+                self.cancel_wait();
+                Some(m)
+            }
+            None => None,
+        }
+    }
+
+    fn pop_msg(&mut self) -> Option<Message> {
+        if C::UNIT {
+            return self.pop().map(C::into_message);
+        }
+        let c = self.front_mut()?;
+        let m = c.pop_front();
+        debug_assert!(m.is_some(), "empty container on a ring");
+        let exhausted = c.is_empty();
+        self.release_msgs(1);
+        if exhausted {
+            self.advance_exhausted();
+        }
+        m
+    }
+}
+
+/// Container delivery on an SPSC producer endpoint: ships a staged
+/// container whole when it fits the remaining message capacity, or splits
+/// off the largest deliverable prefix and leaves the remainder staged.
+pub trait DeliverMsgs<C: Container> {
+    /// Attempts to deliver `staged`; returns the number of messages that
+    /// made it onto the ring.  On partial (or zero) delivery the remainder
+    /// stays in `staged`.
+    fn deliver(&mut self, staged: &mut Option<C>) -> usize;
+    /// [`DeliverMsgs::deliver`], registering the blocked-on-full waiting
+    /// flag (with the mandatory Dekker retry) when anything stays staged.
+    fn deliver_or_register(&mut self, staged: &mut Option<C>) -> usize;
+}
+
+impl<C: Container> DeliverMsgs<C> for spsc::Producer<C> {
+    fn deliver(&mut self, staged: &mut Option<C>) -> usize {
+        let Some(c) = staged.take() else { return 0 };
+        if C::UNIT {
+            return match self.push(c) {
+                Ok(()) => 1,
+                Err(back) => {
+                    *staged = Some(back);
+                    0
+                }
+            };
+        }
+        let space = self.space_msgs();
+        if space == 0 {
+            *staged = Some(c);
+            return 0;
+        }
+        let w = c.weight();
+        if w <= space {
+            match self.push(c) {
+                Ok(()) => w,
+                Err(_) => {
+                    // The consumer only ever frees space, so a push after a
+                    // successful space check cannot fail.
+                    unreachable!("push failed with {space} msgs of space")
+                }
+            }
+        } else {
+            let mut rest = c;
+            let part = rest.split_front(space);
+            *staged = Some(rest);
+            match self.push(part) {
+                Ok(()) => space,
+                Err(_) => unreachable!("prefix push cannot outgrow checked space"),
+            }
+        }
+    }
+
+    fn deliver_or_register(&mut self, staged: &mut Option<C>) -> usize {
+        let mut n = self.deliver(staged);
+        if staged.is_none() {
+            return n;
+        }
+        self.begin_wait();
+        n += self.deliver(staged);
+        if staged.is_none() {
+            self.cancel_wait();
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spsc::MsgCap;
+
+    fn drain(b: &Batch) -> Vec<Message> {
+        let mut v = Vec::new();
+        b.for_each(&mut |m| v.push(m));
+        v
+    }
+
+    #[test]
+    fn batch_preserves_message_order() {
+        let mut b = Batch::new();
+        b.try_push(64, Message::Data { seq: 0, payload: 7 }).unwrap();
+        b.try_push(64, Message::Dummy { seq: 1 }).unwrap();
+        b.try_push(64, Message::Dummy { seq: 2 }).unwrap();
+        b.try_push(64, Message::Data { seq: 3, payload: 9 }).unwrap();
+        // Heartbeat: a dummy may share a data message's sequence number.
+        b.try_push(64, Message::Dummy { seq: 3 }).unwrap();
+        b.try_push(64, Message::Eos).unwrap();
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.counts(), (2, 3));
+        let mut popped = Vec::new();
+        let mut c = b.clone();
+        while let Some(m) = c.pop_front() {
+            popped.push(m);
+        }
+        assert_eq!(popped, drain(&b));
+        assert_eq!(
+            popped,
+            vec![
+                Message::Data { seq: 0, payload: 7 },
+                Message::Dummy { seq: 1 },
+                Message::Dummy { seq: 2 },
+                Message::Data { seq: 3, payload: 9 },
+                Message::Dummy { seq: 3 },
+                Message::Eos,
+            ]
+        );
+    }
+
+    #[test]
+    fn batch_rejects_order_violations_and_limit() {
+        let mut b = Batch::new();
+        b.try_push(2, Message::Data { seq: 5, payload: 0 }).unwrap();
+        // Same seq data, regressions, and dummy-before-data are rejected.
+        assert!(b.try_push(2, Message::Data { seq: 5, payload: 1 }).is_err());
+        assert!(b.try_push(2, Message::Dummy { seq: 4 }).is_err());
+        b.try_push(2, Message::Dummy { seq: 5 }).unwrap();
+        assert!(b.try_push(2, Message::Dummy { seq: 6 }).is_err(), "limit");
+    }
+
+    #[test]
+    fn batch_rle_merges_consecutive_dummies() {
+        let mut b = Batch::new();
+        for seq in 10..20 {
+            b.try_push(usize::MAX, Message::Dummy { seq }).unwrap();
+        }
+        assert_eq!(b.segs.len(), 1, "consecutive dummies collapse to one run");
+        assert_eq!(b.front_run(), Some(Run::Dummies { first: 10, len: 10 }));
+        b.consume_dummies(4);
+        assert_eq!(b.front_run(), Some(Run::Dummies { first: 14, len: 6 }));
+        assert_eq!(b.counts(), (0, 6));
+        assert_eq!(b.push_dummy_run(8, 20, 10), 2, "limit caps the extension");
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn batch_split_front_preserves_order_and_weights() {
+        let mut b = Batch::new();
+        b.try_push(64, Message::Data { seq: 0, payload: 1 }).unwrap();
+        for seq in 1..6 {
+            b.try_push(64, Message::Dummy { seq }).unwrap();
+        }
+        b.try_push(64, Message::Data { seq: 6, payload: 2 }).unwrap();
+        let all = drain(&b);
+        let front = b.split_front(3);
+        assert_eq!(front.weight(), 3);
+        assert_eq!(b.weight(), 4);
+        let mut rejoined = drain(&front);
+        rejoined.extend(drain(&b));
+        assert_eq!(rejoined, all);
+    }
+
+    #[test]
+    fn single_matches_message_semantics() {
+        let s = Single::from_message(Message::Data { seq: 3, payload: 8 });
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.front(), Message::Data { seq: 3, payload: 8 });
+        assert_eq!(s.counts(), (1, 0));
+        assert_eq!(s.into_message(), Message::Data { seq: 3, payload: 8 });
+        let mut d = Single::from_message(Message::Dummy { seq: 0 });
+        assert!(d.try_push(64, Message::Dummy { seq: 1 }).is_err());
+        assert_eq!(d.counts(), (0, 1));
+    }
+
+    #[test]
+    fn ring_occupancy_is_in_messages_not_containers() {
+        // Capacity 4: one 3-message batch + one 1-message batch fill it.
+        let (mut tx, mut rx) = spsc::ring::<Batch>(MsgCap::new(4));
+        let mut b = Batch::new();
+        for seq in 0..3 {
+            b.try_push(64, Message::Dummy { seq }).unwrap();
+        }
+        tx.push(b).unwrap();
+        tx.push(Batch::from_message(Message::Dummy { seq: 3 })).unwrap();
+        let overflow = Batch::from_message(Message::Dummy { seq: 4 });
+        assert!(tx.push(overflow).is_err(), "4 msgs of 4 are occupied");
+        // Consuming one message releases exactly one message of capacity.
+        assert_eq!(rx.pop_msg(), Some(Message::Dummy { seq: 0 }));
+        tx.push(Batch::from_message(Message::Dummy { seq: 4 })).unwrap();
+        assert!(tx
+            .push(Batch::from_message(Message::Dummy { seq: 5 }))
+            .is_err());
+        for seq in 1..5 {
+            assert_eq!(rx.pop_msg(), Some(Message::Dummy { seq }));
+        }
+        tx.push(Batch::from_message(Message::Dummy { seq: 5 })).unwrap();
+        assert_eq!(rx.pop_msg(), Some(Message::Dummy { seq: 5 }));
+        assert_eq!(rx.pop_msg(), None);
+    }
+
+    #[test]
+    fn deliver_splits_to_fit_and_registers() {
+        let (mut tx, mut rx) = spsc::ring::<Batch>(MsgCap::new(4));
+        let mut b = Batch::new();
+        for seq in 0..6 {
+            b.try_push(64, Message::Dummy { seq }).unwrap();
+        }
+        let mut staged = Some(b);
+        assert_eq!(tx.deliver_or_register(&mut staged), 4, "prefix shipped");
+        assert_eq!(staged.as_ref().map(Container::len), Some(2));
+        // The producer stays registered: the consumer's pops must report it.
+        assert_eq!(rx.pop_msg(), Some(Message::Dummy { seq: 0 }));
+        assert!(rx.take_producer_waiting());
+        // One message of space opened, so exactly one more message ships.
+        assert_eq!(tx.deliver_or_register(&mut staged), 1);
+        assert_eq!(staged.as_ref().map(Container::len), Some(1));
+        assert_eq!(rx.pop_msg(), Some(Message::Dummy { seq: 1 }));
+        assert!(rx.take_producer_waiting());
+        assert_eq!(tx.deliver_or_register(&mut staged), 1);
+        assert!(staged.is_none());
+        for seq in 2..6 {
+            assert_eq!(rx.pop_msg(), Some(Message::Dummy { seq }));
+        }
+    }
+
+    #[test]
+    fn front_msg_walks_containers() {
+        let (mut tx, mut rx) = spsc::ring::<Batch>(MsgCap::new(8));
+        let mut b = Batch::new();
+        b.try_push(64, Message::Data { seq: 0, payload: 5 }).unwrap();
+        b.try_push(64, Message::Dummy { seq: 1 }).unwrap();
+        tx.push(b).unwrap();
+        tx.push(Batch::from_message(Message::Eos)).unwrap();
+        assert_eq!(rx.front_msg(), Some(Message::Data { seq: 0, payload: 5 }));
+        assert_eq!(rx.pop_msg(), Some(Message::Data { seq: 0, payload: 5 }));
+        assert_eq!(rx.front_msg(), Some(Message::Dummy { seq: 1 }));
+        assert_eq!(rx.pop_msg(), Some(Message::Dummy { seq: 1 }));
+        assert_eq!(rx.front_msg(), Some(Message::Eos));
+    }
+}

@@ -8,6 +8,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::message::Payload;
 use crate::node::{FireDecision, FireInput, NodeBehavior};
 
 /// Emits a data message on every output channel for every accepted input.
@@ -29,6 +30,10 @@ impl NodeBehavior for Broadcast {
     fn fire(&mut self, input: &FireInput<'_>) -> FireDecision {
         let payload = combined_payload(input);
         FireDecision::broadcast(self.outputs, payload)
+    }
+
+    fn fire_into(&mut self, input: &FireInput<'_>, emit: &mut [Option<Payload>]) {
+        emit.fill(Some(combined_payload(input)));
     }
 }
 
@@ -103,6 +108,14 @@ impl NodeBehavior for ModuloFilter {
             FireDecision::silence(self.outputs)
         }
     }
+
+    fn fire_into(&mut self, input: &FireInput<'_>, emit: &mut [Option<Payload>]) {
+        if input.seq % self.period == self.phase {
+            emit.fill(Some(combined_payload(input)));
+        } else {
+            emit.fill(None);
+        }
+    }
 }
 
 /// A split node that routes each accepted input to exactly one output,
@@ -125,6 +138,11 @@ impl NodeBehavior for RouteRoundRobin {
         let idx = (input.seq % self.outputs as u64) as usize;
         FireDecision::only(self.outputs, idx, combined_payload(input))
     }
+
+    fn fire_into(&mut self, input: &FireInput<'_>, emit: &mut [Option<Payload>]) {
+        emit.fill(None);
+        emit[(input.seq % self.outputs as u64) as usize] = Some(combined_payload(input));
+    }
 }
 
 /// A sink behaviour that accumulates the payloads it consumes; useful for
@@ -135,6 +153,10 @@ pub struct Collector;
 impl NodeBehavior for Collector {
     fn fire(&mut self, _input: &FireInput<'_>) -> FireDecision {
         FireDecision::silence(0)
+    }
+
+    fn fire_into(&mut self, _input: &FireInput<'_>, emit: &mut [Option<Payload>]) {
+        emit.fill(None);
     }
 }
 
@@ -165,6 +187,13 @@ where
             .map(|i| (self.predicate)(input.seq, i).then_some(payload))
             .collect();
         FireDecision { emit }
+    }
+
+    fn fire_into(&mut self, input: &FireInput<'_>, emit: &mut [Option<Payload>]) {
+        let payload = combined_payload(input);
+        for (i, slot) in emit.iter_mut().enumerate() {
+            *slot = (self.predicate)(input.seq, i).then_some(payload);
+        }
     }
 }
 

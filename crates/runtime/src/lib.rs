@@ -38,6 +38,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod checkpoint;
+pub mod container;
 pub mod faults;
 pub mod filters;
 pub mod message;
@@ -57,6 +58,7 @@ pub use checkpoint::{
     CheckpointOutcome, JobSnapshot, NodeSnapshot, RestoreError, SnapshotError, SpliceDivergence,
     SwapToken,
 };
+pub use container::{Batch, Batching, Container, Run, Single};
 pub use faults::{CrashSite, FaultArm, FaultPlan, SnapshotDamage};
 pub use filters::{Bernoulli, Broadcast, Collector, ModuloFilter, RouteRoundRobin};
 pub use message::{Message, Payload};
@@ -68,4 +70,4 @@ pub use simulator::{Scheduler, Simulator};
 pub use telemetry::{chrome_trace, EventKind, JobTimeline, TelemetryHandle, TraceEvent};
 pub use threaded::ThreadedExecutor;
 pub use topology::{BehaviorFactory, Topology};
-pub use wrapper::{AvoidanceMode, DummyWrapper, PropagationTrigger};
+pub use wrapper::{AvoidanceMode, DummyWrapper, PropagationTrigger, RunDummies};

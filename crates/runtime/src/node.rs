@@ -85,6 +85,20 @@ pub trait NodeBehavior: Send {
     ///   message.  Sequence numbers consumed purely from dummies do not
     ///   reach the behaviour (the wrapper handles them).
     fn fire(&mut self, input: &FireInput<'_>) -> FireDecision;
+
+    /// Allocation-free variant of [`NodeBehavior::fire`]: writes the
+    /// decision into `emit`, a scratch slice the engine pre-sizes to the
+    /// node's output count and reuses across firings.
+    ///
+    /// The default delegates to `fire` (correct for any behaviour);
+    /// deterministic built-ins override it to skip the per-firing `Vec`.  An
+    /// override must produce exactly the decision `fire` would — the engines
+    /// pick whichever entry point suits their hot path and the equivalence
+    /// guarantees assume the two agree.
+    fn fire_into(&mut self, input: &FireInput<'_>, emit: &mut [Option<Payload>]) {
+        let d = self.fire(input);
+        emit.copy_from_slice(&d.emit);
+    }
 }
 
 impl<F> NodeBehavior for F

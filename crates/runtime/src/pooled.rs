@@ -45,8 +45,9 @@ use std::time::Instant;
 
 use fila_avoidance::AvoidancePlan;
 
+use crate::container::{Batch, Batching, Single};
 use crate::report::ExecutionReport;
-use crate::task::{self, Outcome, Task};
+use crate::task::{self, Outcome, StepPolicy, Task};
 use crate::topology::Topology;
 use crate::wrapper::{AvoidanceMode, PropagationTrigger};
 
@@ -58,11 +59,13 @@ pub struct PooledExecutor<'t> {
     trigger: PropagationTrigger,
     workers: Option<NonZeroUsize>,
     batch: u32,
+    batching: Batching,
 }
 
 impl<'t> PooledExecutor<'t> {
     /// Creates an executor with deadlock avoidance disabled, one worker per
-    /// available hardware thread, and a firing batch of 64 per task wake.
+    /// available hardware thread, a firing batch of 64 per task wake, and
+    /// message batching on (the [`Batching`] default).
     pub fn new(topology: &'t Topology) -> Self {
         PooledExecutor {
             topology,
@@ -70,6 +73,7 @@ impl<'t> PooledExecutor<'t> {
             trigger: PropagationTrigger::default(),
             workers: None,
             batch: 64,
+            batching: Batching::default(),
         }
     }
 
@@ -115,11 +119,27 @@ impl<'t> PooledExecutor<'t> {
         self
     }
 
+    /// Selects how messages are grouped into containers on the rings (see
+    /// [`Batching`]; the default batches 64 messages per container).
+    /// [`Batching::Scalar`] restores the one-message-per-slot engine bit
+    /// for bit; by confluence every mode produces identical reports.
+    pub fn batching(mut self, batching: Batching) -> Self {
+        self.batching = batching;
+        self
+    }
+
     /// Runs the application, offering `inputs` sequence numbers at every
     /// source node, and returns the execution report.  The deadlock verdict
     /// is exact (all workers parked with unfinished nodes), never inferred
     /// from a timeout.
     pub fn run(&self, inputs: u64) -> ExecutionReport {
+        match self.batching {
+            Batching::Scalar => self.run_typed::<Single>(inputs),
+            _ => self.run_typed::<Batch>(inputs),
+        }
+    }
+
+    fn run_typed<C: StepPolicy>(&self, inputs: u64) -> ExecutionReport {
         let started = Instant::now();
         let g = self.topology.graph();
         let node_count = g.node_count();
@@ -142,10 +162,11 @@ impl<'t> PooledExecutor<'t> {
             })
             .clamp(1, node_count);
 
-        let tasks: Vec<Mutex<Task>> = task::build_tasks(self.topology, &self.mode, self.trigger)
-            .into_iter()
-            .map(Mutex::new)
-            .collect();
+        let tasks: Vec<Mutex<Task<C>>> =
+            task::build_tasks(self.topology, &self.mode, self.trigger, self.batching)
+                .into_iter()
+                .map(Mutex::new)
+                .collect();
 
         let pool = Pool {
             states: (0..node_count).map(|_| AtomicU8::new(QUEUED)).collect(),
@@ -201,9 +222,9 @@ const DEADLOCKED: u8 = 2;
 /// A worker panicked (a node behaviour threw); peers must not wait for it.
 const PANICKED: u8 = 3;
 
-struct Pool {
+struct Pool<C: StepPolicy> {
     states: Vec<AtomicU8>,
-    tasks: Vec<Mutex<Task>>,
+    tasks: Vec<Mutex<Task<C>>>,
     queues: Vec<Mutex<VecDeque<u32>>>,
     /// Tasks currently sitting in some run queue (transiently an
     /// over-estimate: it is incremented before the push).
@@ -226,9 +247,9 @@ struct Pool {
 /// everyone, and the scope itself re-raises the panic — so
 /// [`PooledExecutor::run`] propagates behaviour panics exactly like
 /// [`crate::Simulator::run`] does.
-struct PanicAbort<'p>(&'p Pool);
+struct PanicAbort<'p, C: StepPolicy>(&'p Pool<C>);
 
-impl Drop for PanicAbort<'_> {
+impl<C: StepPolicy> Drop for PanicAbort<'_, C> {
     fn drop(&mut self) {
         if std::thread::panicking() {
             let _guard = self.0.lock_coordinator();
@@ -238,7 +259,7 @@ impl Drop for PanicAbort<'_> {
     }
 }
 
-impl Pool {
+impl<C: StepPolicy> Pool<C> {
     fn worker_loop(&self, worker: usize) {
         let _abort_on_panic = PanicAbort(self);
         while self.verdict.load(Ordering::Acquire) == RUNNING_VERDICT {

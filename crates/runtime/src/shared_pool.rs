@@ -73,13 +73,19 @@ use fila_graph::Graph;
 use crate::checkpoint::{
     self, JobSnapshot, NodeSnapshot, RestoreError, SnapshotError, SwapToken, SNAPSHOT_VERSION,
 };
+use crate::container::{Batch, Batching, Container};
 use crate::faults::{FaultArm, FaultPlan};
 use crate::message::Message;
 use crate::report::{BlockedReason, ExecutionReport};
-use crate::task::{self, Outcome, Task};
+use crate::task::{self, Outcome};
 use crate::telemetry::{EventKind, TelemetryHandle, CONTROL_LANE};
 use crate::topology::Topology;
 use crate::wrapper::{AvoidanceMode, PropagationTrigger};
+
+/// The pool always drives container-typed tasks; `Batching::Scalar` maps to
+/// a per-container limit of one message, which the equivalence property
+/// tests pin to the scalar engines' behaviour.
+type Task = task::Task<Batch>;
 
 /// Task scheduling states (one `AtomicU8` per node per job); identical
 /// protocol to [`crate::PooledExecutor`]'s.
@@ -225,7 +231,7 @@ impl JobState {
             // An EOS-queued producer with an empty staging queue has
             // delivered its EOS marker; consumers never pop EOS, so it is
             // part of the channel state and must survive the restore.
-            if task.eos_queued && port.queue.len() == 0 {
+            if task.eos_queued && port.queue.is_empty() {
                 snap.channels[port.edge as usize].push(Message::Eos);
             }
         }
@@ -236,16 +242,15 @@ impl JobState {
             done: task.done,
             firings: task.firings,
             sink_firings: task.sink_firings,
-            staged: task
-                .outs
-                .iter()
-                .flat_map(|port| {
-                    [port.queue.first, port.queue.second]
-                        .into_iter()
-                        .flatten()
-                        .map(move |m| (port.edge, m))
-                })
-                .collect(),
+            staged: {
+                // Flatten staged containers to the per-message `FILASNAP`
+                // wire form so batched snapshots restore anywhere.
+                let mut staged = Vec::new();
+                for port in &task.outs {
+                    port.queue.for_each(&mut |m| staged.push((port.edge, m)));
+                }
+                staged
+            },
         });
         snap.remaining -= 1;
         if snap.remaining == 0 {
@@ -288,7 +293,7 @@ struct JobSnapSink<'a> {
     worker: usize,
 }
 
-impl task::SnapSink for JobSnapSink<'_> {
+impl task::SnapSink<Batch> for JobSnapSink<'_> {
     fn pending(&self) -> u64 {
         self.job.snap_pending.load(Ordering::Acquire)
     }
@@ -638,6 +643,10 @@ struct PoolCore {
     /// waiter is released with a `Cancelled` report.
     live: Mutex<Vec<Arc<JobState>>>,
     batch: u32,
+    /// Container batching mode stamped on every submitted job's rings
+    /// (default [`Batching::default`]; `Scalar` = one message per
+    /// container).
+    batching: Batching,
     /// Rotates the seeding origin so small jobs spread over all workers.
     next_seed: AtomicUsize,
     /// The pool-wide fault-injection schedule (`None` in production).
@@ -700,6 +709,22 @@ impl SharedPool {
         faults: Option<Arc<FaultPlan>>,
         telemetry: bool,
     ) -> Self {
+        Self::with_options(workers, batch, faults, telemetry, Batching::default())
+    }
+
+    /// The full configuration form: [`SharedPool::with_telemetry`] plus the
+    /// container [`Batching`] mode applied to every job submitted to this
+    /// pool.  Batching only changes how messages are packed into ring slots
+    /// — verdicts, per-edge counts and snapshot wire state are identical
+    /// across modes (the Kahn-network confluence argument; pinned by the
+    /// engine-equivalence property tests).
+    pub fn with_options(
+        workers: usize,
+        batch: u32,
+        faults: Option<Arc<FaultPlan>>,
+        telemetry: bool,
+        batching: Batching,
+    ) -> Self {
         let workers = NonZeroUsize::new(workers)
             .map(NonZeroUsize::get)
             .unwrap_or_else(|| {
@@ -717,6 +742,7 @@ impl SharedPool {
             shutdown: AtomicBool::new(false),
             live: Mutex::new(Vec::new()),
             batch: batch.max(1),
+            batching,
             next_seed: AtomicUsize::new(0),
             faults,
             next_serial: AtomicU64::new(0),
@@ -818,10 +844,11 @@ impl SharedPool {
             return JobHandle { job, core: Arc::downgrade(&self.core) };
         }
 
-        let tasks: Vec<Mutex<Task>> = task::build_tasks(topology, &mode, trigger)
-            .into_iter()
-            .map(Mutex::new)
-            .collect();
+        let tasks: Vec<Mutex<Task>> =
+            task::build_tasks(topology, &mode, trigger, self.core.batching)
+                .into_iter()
+                .map(Mutex::new)
+                .collect();
         let (serial, fault) = self.core.arm_next();
         let job = Arc::new(JobState {
             states: (0..node_count).map(|_| AtomicU8::new(QUEUED)).collect(),
@@ -889,7 +916,7 @@ impl SharedPool {
         let started = Instant::now();
         let g = topology.graph();
         let node_count = g.node_count();
-        let mut tasks = task::build_tasks(topology, &mode, trigger);
+        let mut tasks = task::build_tasks(topology, &mode, trigger, self.core.batching);
         for (idx, task) in tasks.iter_mut().enumerate() {
             let node = &snapshot.nodes[idx];
             task.next_source_seq = node.next_source_seq;
@@ -904,8 +931,10 @@ impl SharedPool {
                 for &message in &snapshot.channels[port.edge as usize] {
                     // `validate_for` bounds channel lengths by ring capacity,
                     // but a hostile/corrupted blob must degrade to a typed
-                    // error, never a panic on the restore path.
-                    if port.tx.push(message).is_err() {
+                    // error, never a panic on the restore path.  One unit
+                    // container per wire message always fits: the ring has
+                    // one slot per modelled message of capacity.
+                    if port.tx.push(Batch::from_message(message)).is_err() {
                         return Err(RestoreError::Corrupted(
                             "restored channel overflows ring capacity".into(),
                         ));
@@ -921,10 +950,34 @@ impl SharedPool {
                         ))
                     }
                 };
-                if port.queue.first.is_none() {
-                    port.queue.first = Some(message);
+                // Re-pack the wire-form staged list (per-port, in order)
+                // into containers.  No limit here: a batched capture may
+                // have staged more messages than this engine's per-push
+                // limit, and delivery re-splits by ring space anyway.
+                let use_second = port.queue.second.is_some();
+                let slot = if use_second {
+                    &mut port.queue.second
                 } else {
-                    port.queue.second = Some(message);
+                    &mut port.queue.first
+                };
+                let rejected = match slot {
+                    Some(batch) => batch.try_push(usize::MAX, message).is_err(),
+                    None => {
+                        *slot = Some(Batch::from_message(message));
+                        false
+                    }
+                };
+                if rejected {
+                    // Out of sequence order within the open container: the
+                    // capture engines never produce this mid-port, so at
+                    // most one fresh container absorbs it (data-then-dummy
+                    // boundaries); anything further is a corrupted blob.
+                    if use_second {
+                        return Err(RestoreError::Corrupted(
+                            "staged messages out of sequence order".into(),
+                        ));
+                    }
+                    port.queue.second = Some(Batch::from_message(message));
                 }
                 task.staged += 1;
             }
@@ -1245,7 +1298,7 @@ impl PoolCore {
                 .telemetry
                 .as_ref()
                 .and_then(|tele| tele.slice_start(worker))
-                .map(|t0| (t0, task.firings));
+                .map(|t0| (t0, task.firings, task.delivered()));
             let result = catch_unwind(AssertUnwindSafe(|| {
                 if let Some(arm) = &job.fault {
                     // Chaos: an armed firing crash panics here, exactly
@@ -1262,12 +1315,24 @@ impl PoolCore {
             }));
             match result {
                 Ok(outcome) => {
-                    if let (Some(tele), Some((t0, fired_before))) =
+                    if let (Some(tele), Some((t0, fired_before, delivered_before))) =
                         (&self.telemetry, slice_start)
                     {
+                        // The span arg is the *messages delivered* in the
+                        // slice (data + dummies shipped into rings), so the
+                        // firing spans of a trace sum to the job's total
+                        // traffic regardless of container batching.
                         let fired = task.firings - fired_before;
-                        if fired > 0 {
-                            tele.span(worker, EventKind::Firing, job.serial, tref.node, t0, fired);
+                        let delivered = task.delivered() - delivered_before;
+                        if fired > 0 || delivered > 0 {
+                            tele.span(
+                                worker,
+                                EventKind::Firing,
+                                job.serial,
+                                tref.node,
+                                t0,
+                                delivered,
+                            );
                         }
                         if matches!(outcome, Outcome::Blocked) {
                             if let Some(reason) = task.blocked_on() {

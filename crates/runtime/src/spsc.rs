@@ -44,19 +44,79 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// The message weight of a ring value.
+///
+/// Channel capacity is modelled in **messages**: a ring of capacity `c`
+/// admits values whose weights sum to at most `c`.  Scalar payloads
+/// (`UNIT = true`, weight 1 each) use the slot indices alone for the
+/// occupancy check — byte-for-byte the classic Lamport ring.  Weighted
+/// payloads (message containers) additionally maintain a consumed-message
+/// cursor so occupancy is accounted — and released — per message, never per
+/// slot; see [`crate::container`].
+pub trait Weigh {
+    /// True when every value of this type weighs exactly one message.
+    const UNIT: bool;
+    /// The current message weight (≥ 1 on a ring).
+    fn weight(&self) -> usize;
+    /// Splits off the first `n` messages (`0 < n <` weight).  Only invoked
+    /// on weighted types during partial delivery; unit types never split.
+    fn split_front(&mut self, n: usize) -> Self
+    where
+        Self: Sized,
+    {
+        let _ = n;
+        unreachable!("unit-weight values never split");
+    }
+}
+
+impl Weigh for crate::message::Message {
+    const UNIT: bool = true;
+    fn weight(&self) -> usize {
+        1
+    }
+}
+
+/// A channel capacity in **messages** — the unit of the paper's buffer
+/// model.  The newtype exists so no ring construction site can silently
+/// reinterpret "slots of containers" as "slots of messages": a ring of
+/// `MsgCap(c)` allocates `c` slots (the worst case of one message per
+/// container) and admits at most `c` messages regardless of how they are
+/// grouped into containers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgCap(usize);
+
+impl MsgCap {
+    /// Wraps a capacity of `messages` (≥ 1).
+    pub fn new(messages: usize) -> Self {
+        assert!(messages >= 1, "channel capacity must be at least 1 message");
+        MsgCap(messages)
+    }
+
+    /// The capacity in messages.
+    pub fn messages(self) -> usize {
+        self.0
+    }
+}
+
 /// Pads and aligns to a cache line so the producer- and consumer-owned
 /// indices do not false-share.
 #[repr(align(64))]
 struct CachePadded<T>(T);
 
 struct Ring<T> {
-    /// One slot per unit of channel capacity.
+    /// One slot per message of channel capacity (worst case: every
+    /// container holds a single message).
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Channel capacity in **messages** (and slot count).
     cap: usize,
     /// Next slot to pop; written only by the consumer.
     head: CachePadded<AtomicUsize>,
     /// Next slot to push; written only by the producer.
     tail: CachePadded<AtomicUsize>,
+    /// Total messages fully consumed (monotonic); written only by the
+    /// consumer, and only used when `T` is weighted (`!T::UNIT`).  Kept on
+    /// its own cache line for the same false-sharing reason as `head`.
+    msg_head: CachePadded<AtomicUsize>,
     /// Set by the producer when it observed the ring full and intends to
     /// park; consumed by the consumer after a pop.
     producer_waiting: AtomicBool,
@@ -97,6 +157,12 @@ pub struct Producer<T> {
     /// Consumer index as of our last refresh; only ever behind the truth,
     /// so a push based on it is conservative (may refresh, never corrupts).
     cached_head: Cell<usize>,
+    /// Total message weight pushed (monotonic); producer-local, only used
+    /// for weighted payloads.
+    msg_tail: Cell<usize>,
+    /// Consumed-message cursor as of our last refresh; behind the truth,
+    /// so the capacity check based on it is conservative.
+    cached_msg_head: Cell<usize>,
 }
 
 /// The consuming endpoint of a [`ring`].  Not cloneable: exactly one task
@@ -119,9 +185,9 @@ impl<T> std::fmt::Debug for Consumer<T> {
     }
 }
 
-/// Creates a bounded SPSC ring of capacity `cap` (≥ 1).
-pub fn ring<T>(cap: usize) -> (Producer<T>, Consumer<T>) {
-    assert!(cap >= 1, "spsc ring capacity must be at least 1");
+/// Creates a bounded SPSC ring of capacity `cap` **messages** (≥ 1).
+pub fn ring<T: Weigh>(cap: MsgCap) -> (Producer<T>, Consumer<T>) {
+    let cap = cap.messages();
     let buf = (0..cap)
         .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
         .collect::<Vec<_>>()
@@ -131,6 +197,7 @@ pub fn ring<T>(cap: usize) -> (Producer<T>, Consumer<T>) {
         cap,
         head: CachePadded(AtomicUsize::new(0)),
         tail: CachePadded(AtomicUsize::new(0)),
+        msg_head: CachePadded(AtomicUsize::new(0)),
         producer_waiting: AtomicBool::new(false),
         consumer_waiting: AtomicBool::new(false),
     });
@@ -138,6 +205,8 @@ pub fn ring<T>(cap: usize) -> (Producer<T>, Consumer<T>) {
         Producer {
             ring: Arc::clone(&ring),
             cached_head: Cell::new(0),
+            msg_tail: Cell::new(0),
+            cached_msg_head: Cell::new(0),
         },
         Consumer {
             ring,
@@ -146,8 +215,11 @@ pub fn ring<T>(cap: usize) -> (Producer<T>, Consumer<T>) {
     )
 }
 
-impl<T> Producer<T> {
-    /// Attempts to push; hands the value back if the ring is full.
+impl<T: Weigh> Producer<T> {
+    /// Attempts to push; hands the value back if it does not fit the
+    /// remaining **message** capacity (or, for weighted payloads, when no
+    /// slot is free — a transient state while the consumer finishes a
+    /// partially consumed front container).
     pub fn push(&mut self, value: T) -> Result<(), T> {
         let ring = &*self.ring;
         let tail = ring.tail.0.load(Ordering::Relaxed);
@@ -161,9 +233,51 @@ impl<T> Producer<T> {
                 return Err(value);
             }
         }
+        if !T::UNIT {
+            // Weighted payloads additionally account occupancy in messages:
+            // a free slot alone does not prove `weight` messages of space.
+            let w = value.weight();
+            debug_assert!(
+                (1..=ring.cap).contains(&w),
+                "container weight {w} exceeds channel capacity {}",
+                ring.cap
+            );
+            if self.msg_tail.get() + w > self.cached_msg_head.get() + ring.cap {
+                self.cached_msg_head
+                    .set(ring.msg_head.0.load(Ordering::Acquire));
+                if self.msg_tail.get() + w > self.cached_msg_head.get() + ring.cap {
+                    return Err(value);
+                }
+            }
+            self.msg_tail.set(self.msg_tail.get() + w);
+        }
         unsafe { (*ring.slot(tail)).write(value) };
         ring.tail.0.store(tail + 1, Ordering::Release);
         Ok(())
+    }
+
+    /// Messages that can be pushed right now: the remaining message
+    /// capacity, or 0 when no slot is free.  Conservative (caches refresh
+    /// only when the cached view says "no space"), never an over-estimate.
+    pub(crate) fn space_msgs(&self) -> usize {
+        let ring = &*self.ring;
+        let tail = ring.tail.0.load(Ordering::Relaxed);
+        if tail - self.cached_head.get() >= ring.cap {
+            self.cached_head.set(ring.head.0.load(Ordering::Acquire));
+            if tail - self.cached_head.get() >= ring.cap {
+                return 0;
+            }
+        }
+        if T::UNIT {
+            return ring.cap - (tail - self.cached_head.get());
+        }
+        let mut used = self.msg_tail.get() - self.cached_msg_head.get();
+        if used >= ring.cap {
+            self.cached_msg_head
+                .set(ring.msg_head.0.load(Ordering::Acquire));
+            used = self.msg_tail.get() - self.cached_msg_head.get();
+        }
+        ring.cap - used.min(ring.cap)
     }
 
     /// Pushes, or — when the ring is full — registers this endpoint as
@@ -198,8 +312,9 @@ impl<T> Producer<T> {
     pub fn begin_wait(&self) {
         self.ring.producer_waiting.store(true, Ordering::SeqCst);
         fence(Ordering::SeqCst);
-        // Force the retry to re-read the consumer's true index.
+        // Force the retry to re-read the consumer's true indices.
         self.cached_head.set(0);
+        self.cached_msg_head.set(0);
     }
 
     /// Withdraws a [`Producer::begin_wait`] registration after the retry
@@ -221,8 +336,8 @@ impl<T> Producer<T> {
     }
 }
 
-impl<T> Consumer<T> {
-    /// Number of messages currently buffered (may be stale by concurrent
+impl<T: Weigh> Consumer<T> {
+    /// Number of values currently buffered (may be stale by concurrent
     /// pushes, never by pops — the consumer owns `head`).
     pub fn len(&self) -> usize {
         let head = self.ring.head.0.load(Ordering::Relaxed);
@@ -230,12 +345,13 @@ impl<T> Consumer<T> {
         tail - head
     }
 
-    /// True when no message is buffered (same staleness as [`Consumer::len`]).
+    /// True when nothing is buffered (same staleness as [`Consumer::len`]).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Attempts to pop the front message.
+    /// Attempts to pop the front value, releasing its full remaining
+    /// message weight.
     pub fn pop(&mut self) -> Option<T> {
         let ring = &*self.ring;
         let head = ring.head.0.load(Ordering::Relaxed);
@@ -243,8 +359,43 @@ impl<T> Consumer<T> {
             return None;
         }
         let value = unsafe { (*ring.slot(head)).assume_init_read() };
+        if !T::UNIT {
+            self.release_msgs(value.weight());
+        }
         ring.head.0.store(head + 1, Ordering::Release);
         Some(value)
+    }
+
+    /// Exclusive access to the front value without consuming it.  Sound
+    /// because the consumer owns every slot in `head..tail` until it
+    /// advances `head`.
+    pub(crate) fn front_mut(&mut self) -> Option<&mut T> {
+        let ring = &*self.ring;
+        let head = ring.head.0.load(Ordering::Relaxed);
+        if !self.refresh_nonempty(head) {
+            return None;
+        }
+        Some(unsafe { (*ring.slot(head)).assume_init_mut() })
+    }
+
+    /// Drops the fully consumed front value and frees its slot.  The caller
+    /// must have drained it (weight 0) and released its messages via
+    /// [`Consumer::release_msgs`].
+    pub(crate) fn advance_exhausted(&mut self) {
+        let ring = &*self.ring;
+        let head = ring.head.0.load(Ordering::Relaxed);
+        debug_assert!(self.cached_tail.get() > head, "no front value");
+        unsafe { (*ring.slot(head)).assume_init_drop() };
+        ring.head.0.store(head + 1, Ordering::Release);
+    }
+
+    /// Releases `n` consumed messages to the producer's capacity account.
+    /// Weighted payloads only: capacity is released per consumed message so
+    /// ring occupancy equals modelled channel occupancy at every instant.
+    pub(crate) fn release_msgs(&self, n: usize) {
+        debug_assert!(!T::UNIT);
+        let cur = self.ring.msg_head.0.load(Ordering::Relaxed);
+        self.ring.msg_head.0.store(cur + n, Ordering::Release);
     }
 
     /// Registers this endpoint as blocked-on-empty.  The caller **must
@@ -288,7 +439,7 @@ impl<T> Consumer<T> {
     }
 }
 
-impl<T: Copy> Consumer<T> {
+impl<T: Copy + Weigh> Consumer<T> {
     /// Copies the front message without consuming it (the acceptance rule of
     /// §II.A needs to compare the heads of several channels before deciding
     /// which to pop).
@@ -330,6 +481,17 @@ impl<T: Copy> Consumer<T> {
 mod tests {
     use super::*;
     use std::thread;
+
+    impl Weigh for u64 {
+        const UNIT: bool = true;
+        fn weight(&self) -> usize {
+            1
+        }
+    }
+
+    fn ring<T: Weigh>(cap: usize) -> (Producer<T>, Consumer<T>) {
+        super::ring(MsgCap::new(cap))
+    }
 
     #[test]
     fn fifo_order_and_capacity() {
@@ -415,6 +577,12 @@ mod tests {
         impl Drop for Token {
             fn drop(&mut self) {
                 DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        impl Weigh for Token {
+            const UNIT: bool = true;
+            fn weight(&self) -> usize {
+                1
             }
         }
         let (mut tx, mut rx) = ring::<Token>(4);

@@ -18,46 +18,137 @@
 //! The engines differ only in *scheduling policy* (how tasks are queued,
 //! woken and how verdicts are detected); everything a task does while it
 //! holds a worker lives here.
+//!
+//! ## Containers and the two step policies
+//!
+//! Since the [`crate::container`] refactor a task is generic over the
+//! [`Container`] its rings carry, and the run loop is chosen by
+//! [`StepPolicy`]:
+//!
+//! * [`Single`] steps **one message at a time** — the scalar path, operation
+//!   for operation the engine as it existed before containers;
+//! * [`Batch`] drains **whole runs** between scheduler interactions: one
+//!   acceptance scan per run, bulk consumption of RLE dummy runs with the
+//!   wrapper's run arithmetic, one producer-wake check per input per run,
+//!   and one ring push per staged container.
+//!
+//! Batching never changes semantics: capacity is accounted in *messages*
+//! (see [`crate::spsc::MsgCap`]), staging is allowed only while everything
+//! already staged is deliverable — preserving the scalar engine's exactly
+//! one-firing overshoot on a full channel — and the Kahn-network confluence
+//! of the model does the rest: verdicts, per-edge counts and checkpoint
+//! barriers are identical across policies.
 
 use std::sync::Mutex;
 
 use fila_graph::NodeId;
 
 use crate::checkpoint::NodeSnapshot;
+use crate::container::{Batch, Batching, Container, ConsumeMsgs, DeliverMsgs, Run, Single};
 use crate::message::{Message, Payload};
-use crate::node::{FireDecision, FireInput, NodeBehavior};
+use crate::node::{FireInput, NodeBehavior};
 use crate::report::{BlockedInfo, BlockedReason, ExecutionReport};
-use crate::spsc;
-use crate::threaded::PortQueue;
+use crate::spsc::{self, MsgCap};
 use crate::topology::Topology;
-use crate::wrapper::{AvoidanceMode, DummyWrapper, PropagationTrigger};
+use crate::wrapper::{AvoidanceMode, DummyWrapper, PropagationTrigger, RunDummies};
+
+/// The two-slot output staging area of one port, generalised to containers.
+///
+/// `first` is the older container; `second` exists only when a message could
+/// not extend `first` (container at its limit, or — for [`Single`], which
+/// never extends — the dummy accompanying a data message of the same
+/// firing).  For `Single` this is exactly the historical data-then-dummy
+/// staging pair.
+pub(crate) struct Stage<C> {
+    pub(crate) first: Option<C>,
+    pub(crate) second: Option<C>,
+}
+
+impl<C> Default for Stage<C> {
+    fn default() -> Self {
+        Stage {
+            first: None,
+            second: None,
+        }
+    }
+}
+
+impl<C: Container> Stage<C> {
+    /// Staged messages (not containers).
+    pub(crate) fn len(&self) -> usize {
+        self.first.as_ref().map_or(0, C::len) + self.second.as_ref().map_or(0, C::len)
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.first.is_none() && self.second.is_none()
+    }
+
+    /// Appends one message to the newest staged container, opening a second
+    /// container when the newest cannot take it.  The run loops bound
+    /// staging by `limit` *before* accepting, so the overflow chain never
+    /// exceeds two containers.
+    pub(crate) fn stage(&mut self, limit: usize, m: Message) {
+        let m = if let Some(c) = &mut self.second {
+            match c.try_push(limit, m) {
+                Ok(()) => return,
+                Err(_) => unreachable!("staging past the bounded overflow container"),
+            }
+        } else if let Some(c) = &mut self.first {
+            match c.try_push(limit, m) {
+                Ok(()) => return,
+                Err(m) => m,
+            }
+        } else {
+            self.first = Some(C::from_message(m));
+            return;
+        };
+        self.second = Some(C::from_message(m));
+    }
+
+    /// Visits every staged message front to back (checkpoint flattening).
+    pub(crate) fn for_each(&self, f: &mut dyn FnMut(Message)) {
+        if let Some(c) = &self.first {
+            c.for_each(f);
+        }
+        if let Some(c) = &self.second {
+            c.for_each(f);
+        }
+    }
+}
 
 /// One input channel of a task.
-pub(crate) struct InPort {
-    pub(crate) rx: spsc::Consumer<Message>,
+pub(crate) struct InPort<C: Container> {
+    pub(crate) rx: spsc::Consumer<C>,
     pub(crate) edge: u32,
     /// Node index of the channel's producer (the task to wake when a pop
     /// makes the channel non-full).
     pub(crate) producer: u32,
+    /// Batched-run scratch: set when the current run consumed from this
+    /// port, so the producer waiting flag is checked once per run instead of
+    /// once per message (always false between runs).
+    touched: bool,
 }
 
-/// One output channel of a task, with its two-slot staging queue and the
+/// One output channel of a task, with its staging queue and the
 /// producer-side delivery counters (each edge has exactly one producer, so
 /// the counters need no atomics).
-pub(crate) struct OutPort {
-    pub(crate) tx: spsc::Producer<Message>,
+pub(crate) struct OutPort<C: Container> {
+    pub(crate) tx: spsc::Producer<C>,
     pub(crate) edge: u32,
     /// Node index of the channel's consumer (the task to wake when a push
     /// makes the channel non-empty).
     pub(crate) consumer: u32,
-    pub(crate) queue: PortQueue,
+    pub(crate) queue: Stage<C>,
+    /// Messages a staged container may hold: the batching limit clamped to
+    /// the edge capacity, so a full container always fits its ring.
+    pub(crate) limit: usize,
     pub(crate) data: u64,
     pub(crate) dummies: u64,
 }
 
 /// The per-node task state: everything [`crate::Simulator`] keeps per node,
 /// plus the owned channel endpoints.
-pub(crate) struct Task {
+pub(crate) struct Task<C: Container> {
     pub(crate) is_source: bool,
     pub(crate) done: bool,
     pub(crate) eos_queued: bool,
@@ -66,10 +157,13 @@ pub(crate) struct Task {
     pub(crate) staged: usize,
     pub(crate) behavior: Box<dyn NodeBehavior>,
     pub(crate) wrapper: DummyWrapper,
-    pub(crate) ins: Vec<InPort>,
-    pub(crate) outs: Vec<OutPort>,
+    pub(crate) ins: Vec<InPort<C>>,
+    pub(crate) outs: Vec<OutPort<C>>,
     /// Reusable per-firing scratch, aligned with `ins`.
     pub(crate) data_in: Vec<Option<Payload>>,
+    /// Reusable per-firing decision scratch, aligned with `outs` (filled by
+    /// [`NodeBehavior::fire_into`], read by the staging loop).
+    pub(crate) emit: Vec<Option<Payload>>,
     pub(crate) firings: u64,
     pub(crate) sink_firings: u64,
     /// Epoch of the last barrier snapshot this task contributed to (0 =
@@ -77,19 +171,25 @@ pub(crate) struct Task {
     pub(crate) snap_epoch: u64,
 }
 
-impl Task {
+impl<C: Container> Task<C> {
     /// Diagnoses what this (blocked, not-done) task is waiting on: a full
     /// output channel wins over an empty input (undelivered staged messages
     /// block everything else), mirroring the deadlock report's per-node
     /// diagnosis.  `None` if neither applies (e.g. the task is done).
     pub(crate) fn blocked_on(&self) -> Option<BlockedReason> {
-        if let Some(port) = self.outs.iter().find(|p| p.queue.front().is_some()) {
+        if let Some(port) = self.outs.iter().find(|p| !p.queue.is_empty()) {
             return Some(BlockedReason::WaitingForSpace(edge_id(port.edge)));
         }
         self.ins
             .iter()
             .find(|p| p.rx.is_empty())
             .map(|port| BlockedReason::WaitingForInput(edge_id(port.edge)))
+    }
+
+    /// Total messages this task has delivered onto its output rings (EOS
+    /// markers excluded) — the basis of per-slice telemetry attribution.
+    pub(crate) fn delivered(&self) -> u64 {
+        self.outs.iter().map(|p| p.data + p.dummies).sum()
     }
 }
 
@@ -101,10 +201,10 @@ impl Task {
 /// load per firing), `barrier()` the barrier sequence number `k`, and
 /// `contribute` captures the task's state into the collection buffer.  The
 /// caller always holds the task mutex when invoking `contribute`.
-pub(crate) trait SnapSink {
+pub(crate) trait SnapSink<C: Container> {
     fn pending(&self) -> u64;
     fn barrier(&self) -> u64;
-    fn contribute(&self, task: &mut Task);
+    fn contribute(&self, task: &mut Task<C>);
 }
 
 /// Contributes `task` to a pending snapshot if it is *already aligned*
@@ -116,7 +216,7 @@ pub(crate) trait SnapSink {
 /// source's counters are frozen, or the restore would re-deliver them to a
 /// consumer that already processed them.  Tasks aligned mid-stream are
 /// caught by the acceptance-time check in [`step`] instead.
-fn contribute_if_aligned(task: &mut Task, snap: &dyn SnapSink) {
+fn contribute_if_aligned<C: Container>(task: &mut Task<C>, snap: &dyn SnapSink<C>) {
     let epoch = snap.pending();
     if epoch == 0 || task.snap_epoch == epoch {
         return;
@@ -134,16 +234,17 @@ fn contribute_if_aligned(task: &mut Task, snap: &dyn SnapSink) {
 /// snapshot ([`crate::shared_pool::JobHandle::salvage`]): out-port delivery
 /// counters, staged messages, wrapper gaps, and — unlike the aligned
 /// barrier capture in [`SnapSink::contribute`] — the task's *input* rings,
-/// drained message by message into the per-edge channel buffers.  No EOS
-/// is inferred: a delivered EOS marker is still sitting in the consumer's
-/// ring (consumers never pop EOS) and is captured literally by the drain.
+/// drained (containers flattened back to messages) into the per-edge
+/// channel buffers.  No EOS is inferred: a delivered EOS marker is still
+/// sitting in the consumer's ring (consumers never pop EOS) and is captured
+/// literally by the drain.
 ///
 /// The result is not a consistent cut: a job that died mid-flight has
 /// tasks at unrelated sequence numbers.  It is exactly the raw material a
 /// partial restart splices against a consistent base snapshot
 /// ([`crate::checkpoint::JobSnapshot::splice_downstream`]).
-pub(crate) fn capture_wreck(
-    task: &mut Task,
+pub(crate) fn capture_wreck<C: Container>(
+    task: &mut Task<C>,
     per_edge_data: &mut [u64],
     per_edge_dummies: &mut [u64],
     channels: &mut [Vec<Message>],
@@ -154,9 +255,13 @@ pub(crate) fn capture_wreck(
     }
     for port in &mut task.ins {
         let buf = &mut channels[port.edge as usize];
-        while let Some(message) = port.rx.pop() {
-            buf.push(message);
+        while let Some(container) = port.rx.pop() {
+            container.for_each(&mut |m| buf.push(m));
         }
+    }
+    let mut staged = Vec::new();
+    for port in &task.outs {
+        port.queue.for_each(&mut |m| staged.push((port.edge, m)));
     }
     NodeSnapshot {
         gaps: task.wrapper.gaps().to_vec(),
@@ -165,16 +270,7 @@ pub(crate) fn capture_wreck(
         done: task.done,
         firings: task.firings,
         sink_firings: task.sink_firings,
-        staged: task
-            .outs
-            .iter()
-            .flat_map(|port| {
-                [port.queue.first, port.queue.second]
-                    .into_iter()
-                    .flatten()
-                    .map(move |m| (port.edge, m))
-            })
-            .collect(),
+        staged,
     }
 }
 
@@ -192,18 +288,23 @@ pub(crate) enum Outcome {
 /// Builds one [`Task`] per node of `topology`: an SPSC ring per edge with
 /// the endpoints moved into the unique producing / consuming task, a fresh
 /// behaviour instance per node, and the per-node dummy-wrapper state for
-/// `mode`/`trigger`.
-pub(crate) fn build_tasks(
+/// `mode`/`trigger`.  `batching` sets the per-container message limit
+/// (clamped per edge to the channel capacity).
+pub(crate) fn build_tasks<C: Container>(
     topology: &Topology,
     mode: &AvoidanceMode,
     trigger: PropagationTrigger,
-) -> Vec<Task> {
+    batching: Batching,
+) -> Vec<Task<C>> {
     let g = topology.graph();
     let edge_count = g.edge_count();
-    let mut producers: Vec<Option<spsc::Producer<Message>>> = Vec::with_capacity(edge_count);
-    let mut consumers: Vec<Option<spsc::Consumer<Message>>> = Vec::with_capacity(edge_count);
+    let limit = batching.limit();
+    let mut producers: Vec<Option<spsc::Producer<C>>> = Vec::with_capacity(edge_count);
+    let mut consumers: Vec<Option<spsc::Consumer<C>>> = Vec::with_capacity(edge_count);
     for e in g.edge_ids() {
-        let (tx, rx) = spsc::ring(g.capacity(e) as usize);
+        // Channel capacity is modelled in messages; `MsgCap` keeps the unit
+        // explicit at every ring construction site.
+        let (tx, rx) = spsc::ring(MsgCap::new(g.capacity(e) as usize));
         producers.push(Some(tx));
         consumers.push(Some(rx));
     }
@@ -217,6 +318,7 @@ pub(crate) fn build_tasks(
                     rx: consumers[e.index()].take().expect("one consumer per edge"),
                     edge: e.index() as u32,
                     producer: g.tail(e).index() as u32,
+                    touched: false,
                 })
                 .collect::<Vec<_>>();
             let outs = g
@@ -226,12 +328,14 @@ pub(crate) fn build_tasks(
                     tx: producers[e.index()].take().expect("one producer per edge"),
                     edge: e.index() as u32,
                     consumer: g.head(e).index() as u32,
-                    queue: PortQueue::default(),
+                    queue: Stage::default(),
+                    limit: limit.min(g.capacity(e) as usize),
                     data: 0,
                     dummies: 0,
                 })
                 .collect::<Vec<_>>();
             let data_in = vec![None; ins.len()];
+            let emit = vec![None; outs.len()];
             Task {
                 is_source: ins.is_empty(),
                 done: false,
@@ -243,6 +347,7 @@ pub(crate) fn build_tasks(
                 ins,
                 outs,
                 data_in,
+                emit,
                 firings: 0,
                 sink_firings: 0,
                 snap_epoch: 0,
@@ -251,17 +356,72 @@ pub(crate) fn build_tasks(
         .collect()
 }
 
-/// Runs one task for up to `batch` firings.  `wake` receives the node index
-/// of every peer task a channel event of this run made runnable.  `snap`,
-/// when present, is checked before every firing (and at acceptance time
-/// inside [`step`]) so a task never crosses a pending snapshot barrier
-/// without contributing its aligned state first.
-pub(crate) fn run_task(
-    task: &mut Task,
+/// How a task's run loop consumes its containers.
+///
+/// The scalar policy ([`Single`]) performs one message per iteration —
+/// operation for operation the engine as it existed before containers; the
+/// batched policy ([`Batch`]) drains whole runs between scheduler
+/// interactions.  Confluence of the model makes the two produce identical
+/// verdicts and per-edge counts.
+pub(crate) trait StepPolicy: Container {
+    fn run_slice(
+        task: &mut Task<Self>,
+        inputs: u64,
+        batch: u32,
+        wake: &mut dyn FnMut(u32),
+        snap: Option<&dyn SnapSink<Self>>,
+    ) -> Outcome
+    where
+        Self: Sized;
+}
+
+impl StepPolicy for Single {
+    fn run_slice(
+        task: &mut Task<Self>,
+        inputs: u64,
+        batch: u32,
+        wake: &mut dyn FnMut(u32),
+        snap: Option<&dyn SnapSink<Self>>,
+    ) -> Outcome {
+        run_scalar(task, inputs, batch, wake, snap)
+    }
+}
+
+impl StepPolicy for Batch {
+    fn run_slice(
+        task: &mut Task<Self>,
+        inputs: u64,
+        batch: u32,
+        wake: &mut dyn FnMut(u32),
+        snap: Option<&dyn SnapSink<Self>>,
+    ) -> Outcome {
+        run_batched(task, inputs, batch, wake, snap)
+    }
+}
+
+/// Runs one task for up to `batch` accepted sequence numbers.  `wake`
+/// receives the node index of every peer task a channel event of this run
+/// made runnable.  `snap`, when present, is checked before every firing
+/// (and at acceptance time inside [`step`]) so a task never crosses a
+/// pending snapshot barrier without contributing its aligned state first.
+pub(crate) fn run_task<C: StepPolicy>(
+    task: &mut Task<C>,
     inputs: u64,
     batch: u32,
     wake: &mut dyn FnMut(u32),
-    snap: Option<&dyn SnapSink>,
+    snap: Option<&dyn SnapSink<C>>,
+) -> Outcome {
+    C::run_slice(task, inputs, batch, wake, snap)
+}
+
+/// The scalar run loop: one [`step`] per iteration, exactly the historical
+/// engine.
+fn run_scalar<C: Container>(
+    task: &mut Task<C>,
+    inputs: u64,
+    batch: u32,
+    wake: &mut dyn FnMut(u32),
+    snap: Option<&dyn SnapSink<C>>,
 ) -> Outcome {
     let mut fired = 0;
     while fired < batch {
@@ -286,14 +446,383 @@ pub(crate) fn run_task(
     }
 }
 
+/// The batched run loop: flush, then drain runs while staging stays within
+/// both the container limit and the deliverable space of every output (plus
+/// the scalar engine's one-acceptance overshoot), so blocking behaviour —
+/// and with it every deadlock verdict — matches the scalar policy exactly.
+fn run_batched(
+    task: &mut Task<Batch>,
+    inputs: u64,
+    batch: u32,
+    wake: &mut dyn FnMut(u32),
+    snap: Option<&dyn SnapSink<Batch>>,
+) -> Outcome {
+    let mut accepted: u32 = 0;
+    loop {
+        // Deliver leftover staged output *before* the alignment check: a
+        // source only contributes with empty staging queues, and checking
+        // first would let the per-message fallback below fire it past the
+        // barrier right after this flush drained them — freezing its
+        // counters at a cursor the restore never re-plays.  (The scalar
+        // loop is safe by construction: `step` returns directly after a
+        // delivering flush, so its loop-top check always runs between the
+        // drain and the next firing.)
+        flush(task, wake);
+        mark_done_if_drained(task);
+        if let Some(snap) = snap {
+            contribute_if_aligned(task, snap);
+        }
+        if task.done {
+            return Outcome::Done;
+        }
+        if task.staged > 0 {
+            // Some channel is full; `flush` registered the waiting flags.
+            return Outcome::Blocked;
+        }
+        if accepted >= batch {
+            return Outcome::Yielded;
+        }
+        if let Some(snap) = snap {
+            let epoch = snap.pending();
+            if epoch != 0 && task.snap_epoch != epoch {
+                // A snapshot is being collected: drop to the per-message
+                // step for its exact acceptance-time barrier alignment.
+                if !step(task, inputs, wake, Some(snap)) {
+                    return Outcome::Blocked;
+                }
+                accepted += 1;
+                continue;
+            }
+        }
+        let progressed = if task.is_source {
+            source_run(task, inputs, &mut accepted, batch)
+        } else {
+            let progressed = interior_run(task, &mut accepted, batch, snap);
+            // One producer-wake check per consumed input for the whole run
+            // (the Dekker begin-wait/retry protocol makes the deferral
+            // lose no wakeups: a producer parking meanwhile re-reads the
+            // indices our consumption already published).
+            for port in &mut task.ins {
+                if port.touched {
+                    port.touched = false;
+                    if port.rx.take_producer_waiting() {
+                        wake(port.producer);
+                    }
+                }
+            }
+            progressed
+        };
+        if !progressed {
+            debug_assert!(!task.is_source, "sources always progress when runnable");
+            return Outcome::Blocked;
+        }
+    }
+}
+
+/// True while every output port can take another acceptance: its staged
+/// queue is under the container limit and everything already staged is
+/// deliverable right now.  The *first* acceptance after a flush always
+/// passes (the queue is empty), so a full channel still receives exactly
+/// one overshooting acceptance — the scalar engine's blocking shape.
+fn outputs_have_room(task: &Task<Batch>) -> bool {
+    task.outs.iter().all(|port| {
+        let len = port.queue.len();
+        len < port.limit && len <= port.tx.space_msgs()
+    })
+}
+
+/// Drains acceptances for a non-source task until the budget, the staging
+/// room or an input runs out.  Returns false (with a waiting flag
+/// registered) only when no acceptance happened at all.
+fn interior_run(
+    task: &mut Task<Batch>,
+    accepted: &mut u32,
+    batch: u32,
+    snap: Option<&dyn SnapSink<Batch>>,
+) -> bool {
+    let mut progressed = false;
+    'run: while *accepted < batch && outputs_have_room(task) {
+        // Acceptance scan: one pass over the input heads.
+        let mut accept_seq = u64::MAX;
+        for port in &mut task.ins {
+            let head = match port.rx.front_msg() {
+                Some(m) => m,
+                None if progressed => break 'run,
+                None => match port.rx.front_msg_or_register() {
+                    Some(m) => m,
+                    None => return false,
+                },
+            };
+            accept_seq = accept_seq.min(head.seq());
+        }
+        // Acceptance-time barrier alignment, exactly like [`step`]'s: a
+        // snapshot epoch can be published *mid-run* (the slice-top check in
+        // `run_batched` precedes it), and a head with seq ≥ barrier proves
+        // the publication happened-before its arrival — so it must not be
+        // consumed until this task's pre-barrier state is contributed.
+        let mut barrier = u64::MAX;
+        if let Some(snap) = snap {
+            let epoch = snap.pending();
+            if epoch != 0 && task.snap_epoch != epoch {
+                barrier = snap.barrier();
+                if accept_seq >= barrier {
+                    task.snap_epoch = epoch;
+                    snap.contribute(task);
+                    barrier = u64::MAX;
+                }
+            }
+        }
+        if accept_seq == u64::MAX {
+            // End of stream on every input.
+            for port in &mut task.outs {
+                port.queue.stage(port.limit, Message::Eos);
+                task.staged += 1;
+            }
+            task.eos_queued = true;
+            progressed = true;
+            break 'run;
+        }
+
+        // Bulk path: a single input whose head starts a dummy run is
+        // accepted a run at a time — gap counters move by run arithmetic
+        // and forwarded dummies are staged as one RLE segment.
+        if task.ins.len() == 1 {
+            if let Some(Run::Dummies { first, len }) = task.ins[0]
+                .rx
+                .front_mut()
+                .expect("head checked non-empty")
+                .front_run()
+            {
+                debug_assert_eq!(first, accept_seq);
+                // A pending, uncontributed barrier splits the run: consume
+                // only the pre-barrier prefix, so the next scan lands on
+                // the barrier sequence and contributes before crossing.
+                let mut n = len
+                    .min(u64::from(batch - *accepted))
+                    .min(barrier - first);
+                for out in &task.outs {
+                    let qlen = out.queue.len() as u64;
+                    n = n
+                        .min(out.limit as u64 - qlen)
+                        .min((out.tx.space_msgs() as u64).saturating_sub(qlen) + 1);
+                }
+                debug_assert!(n >= 1, "room was checked before the scan");
+                let port = &mut task.ins[0];
+                let container = port.rx.front_mut().expect("head checked non-empty");
+                container.consume_dummies(n);
+                let exhausted = container.is_empty();
+                port.rx.release_msgs(n as usize);
+                if exhausted {
+                    port.rx.advance_exhausted();
+                }
+                port.touched = true;
+                let Task {
+                    wrapper,
+                    outs,
+                    staged,
+                    ..
+                } = task;
+                wrapper.on_accept_dummy_run(n, |i, run| {
+                    let out = &mut outs[i];
+                    match run {
+                        RunDummies::None => {}
+                        RunDummies::All => {
+                            stage_dummy_run(out, first, n);
+                            *staged += n as usize;
+                        }
+                        RunDummies::Periodic { first: p0, period } => {
+                            let mut p = p0;
+                            while p < n {
+                                out.queue.stage(out.limit, Message::Dummy { seq: first + p });
+                                *staged += 1;
+                                p += period;
+                            }
+                        }
+                    }
+                });
+                *accepted += n as u32;
+                progressed = true;
+                continue 'run;
+            }
+        }
+
+        // Bulk path: a single-input node whose head starts a *data* run and
+        // which stages on at most one output — a pipeline stage or a sink —
+        // fires a tight burst: ring atomics (capacity release, the producer
+        // wake check) and the room refresh are paid once per burst, and the
+        // per-message work reduces to segment-cursor moves, the behaviour
+        // call and the staging push.
+        if task.ins.len() == 1 && task.outs.len() <= 1 {
+            let burst = data_burst(task, accepted, batch, barrier);
+            if burst > 0 {
+                progressed = true;
+                continue 'run;
+            }
+        }
+
+        // Per-sequence path (multi-input alignment or a data head).
+        task.data_in.fill(None);
+        let mut consumed_dummy = false;
+        for (idx, port) in task.ins.iter_mut().enumerate() {
+            let head = port.rx.front_msg().expect("all heads checked non-empty");
+            if head.seq() != accept_seq {
+                continue;
+            }
+            port.rx.pop_msg();
+            port.touched = true;
+            match head {
+                Message::Data { payload, .. } => task.data_in[idx] = Some(payload),
+                Message::Dummy { .. } => consumed_dummy = true,
+                Message::Eos => unreachable!("EOS has maximal sequence number"),
+            }
+        }
+        if task.data_in.iter().any(Option::is_some) {
+            if task.outs.is_empty() {
+                task.sink_firings += 1;
+            }
+            task.firings += 1;
+            let Task {
+                behavior,
+                data_in,
+                emit,
+                ..
+            } = task;
+            behavior.fire_into(
+                &FireInput {
+                    seq: accept_seq,
+                    data_in,
+                },
+                emit,
+            );
+            queue_outputs(task, accept_seq, true, consumed_dummy);
+        } else {
+            queue_outputs(task, accept_seq, false, consumed_dummy);
+        }
+        *accepted += 1;
+        progressed = true;
+    }
+    progressed
+}
+
+/// Fires the data prefix of a single-input, at-most-one-output task's head
+/// container as one burst; returns the number of messages consumed (0 when
+/// the head is not data — the caller falls back to the general paths).
+///
+/// The caller has verified the acceptance preconditions for the *first*
+/// message (head non-empty, `outputs_have_room`, budget, pre-barrier);
+/// every later iteration re-checks them with burst-local state: the output
+/// room against a once-read `space_msgs` snapshot (stale is smaller is
+/// conservative — the burst just ends early and the outer loop re-checks),
+/// the barrier against each message's own sequence number.
+fn data_burst(
+    task: &mut Task<Batch>,
+    accepted: &mut u32,
+    batch: u32,
+    barrier: u64,
+) -> usize {
+    let Task {
+        ins,
+        outs,
+        behavior,
+        wrapper,
+        data_in,
+        emit,
+        staged,
+        firings,
+        sink_firings,
+        ..
+    } = task;
+    let port = &mut ins[0];
+    let space = outs.first().map_or(usize::MAX, |o| o.tx.space_msgs());
+    let mut took = 0usize;
+    let exhausted = {
+        let container = port.rx.front_mut().expect("head checked non-empty");
+        while *accepted < batch {
+            if let [out] = &outs[..] {
+                let len = out.queue.len();
+                if !(len < out.limit && len <= space) {
+                    break;
+                }
+            }
+            let Some(Run::Data { seq, payload }) = container.front_run() else {
+                break;
+            };
+            if seq >= barrier {
+                // An uncontributed pending barrier splits the burst; the
+                // next acceptance scan lands on `seq` and contributes.
+                break;
+            }
+            container.consume_data();
+            data_in[0] = Some(payload);
+            *firings += 1;
+            if outs.is_empty() {
+                *sink_firings += 1;
+            }
+            behavior.fire_into(&FireInput { seq, data_in }, emit);
+            stage_decision(wrapper, outs, staged, emit, seq, true, false);
+            *accepted += 1;
+            took += 1;
+        }
+        container.is_empty()
+    };
+    if took > 0 {
+        port.rx.release_msgs(took);
+        if exhausted {
+            port.rx.advance_exhausted();
+        }
+        port.touched = true;
+    }
+    took
+}
+
+/// Stages a run of `n` forwarded dummies at `first..first + n` on one port
+/// as a single RLE segment (the caller bounded `n` by the queue room).
+fn stage_dummy_run(out: &mut OutPort<Batch>, first: u64, n: u64) {
+    let slot = if out.queue.second.is_some() {
+        &mut out.queue.second
+    } else {
+        &mut out.queue.first
+    };
+    let container = slot.get_or_insert_with(Batch::new);
+    let took = container.push_dummy_run(out.limit, first, n);
+    debug_assert_eq!(took, n, "bulk dummy staging was bounded by queue room");
+}
+
+/// Drains source firings until the budget or the staging room runs out;
+/// stages the EOS markers (once, with empty staging queues, like the scalar
+/// engine) when the input supply is exhausted.
+fn source_run(task: &mut Task<Batch>, inputs: u64, accepted: &mut u32, batch: u32) -> bool {
+    let mut progressed = false;
+    while *accepted < batch && task.next_source_seq < inputs && outputs_have_room(task) {
+        let seq = task.next_source_seq;
+        task.next_source_seq += 1;
+        task.firings += 1;
+        task.behavior
+            .fire_into(&FireInput { seq, data_in: &[] }, &mut task.emit);
+        queue_outputs(task, seq, true, false);
+        *accepted += 1;
+        progressed = true;
+    }
+    if task.next_source_seq >= inputs && !task.eos_queued && task.staged == 0 && *accepted < batch
+    {
+        task.eos_queued = true;
+        for port in &mut task.outs {
+            port.queue.stage(port.limit, Message::Eos);
+            task.staged += 1;
+        }
+        progressed = true;
+    }
+    progressed
+}
+
 /// Attempts one unit of progress on a task; mirrors `Simulator`'s per-node
 /// step exactly (same acceptance rule, same per-channel independent
 /// delivery), so all engines are confluent to the same terminal state.
-fn step(
-    task: &mut Task,
+fn step<C: Container>(
+    task: &mut Task<C>,
     inputs: u64,
     wake: &mut dyn FnMut(u32),
-    snap: Option<&dyn SnapSink>,
+    snap: Option<&dyn SnapSink<C>>,
 ) -> bool {
     // Phase 1: flush staged outputs; a node with undelivered messages does
     // nothing else (mirrors a blocking send).
@@ -316,8 +845,8 @@ fn step(
     // waiting flag on the first empty input (if that channel never fills,
     // the node cannot progress no matter what the others do).
     let mut accept_seq = u64::MAX;
-    for port in &task.ins {
-        match port.rx.front_or_register() {
+    for port in &mut task.ins {
+        match port.rx.front_msg_or_register() {
             Some(head) => accept_seq = accept_seq.min(head.seq()),
             None => return false,
         }
@@ -336,8 +865,10 @@ fn step(
     if accept_seq == u64::MAX {
         // End of stream on every input.
         for port in &mut task.outs {
-            debug_assert_eq!(port.queue.len(), 0);
-            port.queue.first = Some(Message::Eos);
+            if C::UNIT {
+                debug_assert!(port.queue.is_empty());
+            }
+            port.queue.stage(port.limit, Message::Eos);
             task.staged += 1;
         }
         task.eos_queued = true;
@@ -350,11 +881,11 @@ fn step(
     task.data_in.fill(None);
     let mut consumed_dummy = false;
     for (idx, port) in task.ins.iter_mut().enumerate() {
-        let head = port.rx.front().expect("all heads checked non-empty");
+        let head = port.rx.front_msg().expect("all heads checked non-empty");
         if head.seq() != accept_seq {
             continue;
         }
-        port.rx.pop();
+        port.rx.pop_msg();
         if port.rx.take_producer_waiting() {
             wake(port.producer);
         }
@@ -371,37 +902,46 @@ fn step(
         }
         task.firings += 1;
         let Task {
-            behavior, data_in, ..
-        } = task;
-        let decision = behavior.fire(&FireInput {
-            seq: accept_seq,
+            behavior,
             data_in,
-        });
-        queue_outputs(task, accept_seq, Some(&decision), consumed_dummy);
+            emit,
+            ..
+        } = task;
+        behavior.fire_into(
+            &FireInput {
+                seq: accept_seq,
+                data_in,
+            },
+            emit,
+        );
+        queue_outputs(task, accept_seq, true, consumed_dummy);
     } else {
         // Only dummies were consumed: no behaviour call, no data out.
-        queue_outputs(task, accept_seq, None, consumed_dummy);
+        queue_outputs(task, accept_seq, false, consumed_dummy);
     }
     flush(task, wake);
     mark_done_if_drained(task);
     true
 }
 
-fn step_source(task: &mut Task, inputs: u64, wake: &mut dyn FnMut(u32)) -> bool {
+fn step_source<C: Container>(task: &mut Task<C>, inputs: u64, wake: &mut dyn FnMut(u32)) -> bool {
     if task.next_source_seq < inputs {
         let seq = task.next_source_seq;
         task.next_source_seq += 1;
         task.firings += 1;
-        let decision = task.behavior.fire(&FireInput { seq, data_in: &[] });
-        queue_outputs(task, seq, Some(&decision), false);
+        task.behavior
+            .fire_into(&FireInput { seq, data_in: &[] }, &mut task.emit);
+        queue_outputs(task, seq, true, false);
         flush(task, wake);
         return true;
     }
     if !task.eos_queued {
         task.eos_queued = true;
         for port in &mut task.outs {
-            debug_assert_eq!(port.queue.len(), 0);
-            port.queue.first = Some(Message::Eos);
+            if C::UNIT {
+                debug_assert!(port.queue.is_empty());
+            }
+            port.queue.stage(port.limit, Message::Eos);
             task.staged += 1;
         }
         flush(task, wake);
@@ -412,32 +952,43 @@ fn step_source(task: &mut Task, inputs: u64, wake: &mut dyn FnMut(u32)) -> bool 
     false
 }
 
-/// Delivers as many staged outputs as ring capacities allow; FIFO per
+/// Delivers as many staged containers as ring capacities allow; FIFO per
 /// channel, channels independent.  Registers the producer waiting flag
 /// (with the mandatory retry) on every channel that stays full, and wakes
-/// the consumer of every channel this delivery made non-empty.
-fn flush(task: &mut Task, wake: &mut dyn FnMut(u32)) -> bool {
+/// the consumer of every channel this delivery made non-empty.  The
+/// delivery counters advance by the *messages* that shipped (a container
+/// can deliver partially, split at the remaining message capacity).
+fn flush<C: Container>(task: &mut Task<C>, wake: &mut dyn FnMut(u32)) -> bool {
     if task.staged == 0 {
         return false;
     }
     let mut delivered = false;
     for port in &mut task.outs {
-        while let Some(message) = port.queue.front() {
-            if port.tx.push_or_register(message).is_err() {
+        loop {
+            if port.queue.first.is_none() {
+                port.queue.first = port.queue.second.take();
+                if port.queue.first.is_none() {
+                    break;
+                }
+            }
+            let (d0, u0) = port.queue.first.as_ref().map_or((0, 0), |c| c.counts());
+            let n = port.tx.deliver_or_register(&mut port.queue.first);
+            if n == 0 {
                 // Port still full; the registration stays active and the
                 // consumer's next pop wakes this task.
                 break;
             }
-            port.queue.pop_front();
-            task.staged -= 1;
+            task.staged -= n;
             delivered = true;
-            match message {
-                Message::Data { .. } => port.data += 1,
-                Message::Dummy { .. } => port.dummies += 1,
-                Message::Eos => {}
-            }
+            let (d1, u1) = port.queue.first.as_ref().map_or((0, 0), |c| c.counts());
+            port.data += d0 - d1;
+            port.dummies += u0 - u1;
             if port.tx.take_consumer_waiting() {
                 wake(port.consumer);
+            }
+            if port.queue.first.is_some() {
+                // Partial delivery: the remainder stays staged, registered.
+                break;
             }
         }
     }
@@ -447,39 +998,54 @@ fn flush(task: &mut Task, wake: &mut dyn FnMut(u32)) -> bool {
     delivered
 }
 
-fn mark_done_if_drained(task: &mut Task) {
+fn mark_done_if_drained<C: Container>(task: &mut Task<C>) {
     if task.eos_queued && task.staged == 0 {
         task.done = true;
     }
 }
 
 /// Stages the data and dummy messages produced for one accepted sequence
-/// number (`decision` is `None` when the node consumed only dummies and
-/// emits no data).
-fn queue_outputs(
-    task: &mut Task,
-    seq: u64,
-    decision: Option<&FireDecision>,
-    consumed_dummy: bool,
-) {
+/// number (`fired` is false when the node consumed only dummies and emits
+/// no data; when true the decision sits in the task's `emit` scratch).
+fn queue_outputs<C: Container>(task: &mut Task<C>, seq: u64, fired: bool, consumed_dummy: bool) {
     let Task {
         wrapper,
         outs,
         staged,
+        emit,
         ..
     } = task;
-    let dummies = wrapper.on_accept(consumed_dummy, |i| {
-        decision.is_some_and(|d| d.emit[i].is_some())
-    });
+    stage_decision(wrapper, outs, staged, emit, seq, fired, consumed_dummy);
+}
+
+/// [`queue_outputs`] on split borrows, for callers already holding other
+/// task fields (the batched data-burst loop).
+fn stage_decision<C: Container>(
+    wrapper: &mut DummyWrapper,
+    outs: &mut [OutPort<C>],
+    staged: &mut usize,
+    emit: &[Option<Payload>],
+    seq: u64,
+    fired: bool,
+    consumed_dummy: bool,
+) {
+    let dummies = wrapper.on_accept(consumed_dummy, |i| fired && emit[i].is_some());
     for (idx, port) in outs.iter_mut().enumerate() {
-        debug_assert_eq!(port.queue.len(), 0);
-        port.queue.first = decision
-            .and_then(|d| d.emit[idx])
-            .map(|payload| Message::Data { seq, payload });
-        // Under the heartbeat trigger a dummy may accompany a data message
-        // carrying the same sequence number.
-        port.queue.second = dummies[idx].then_some(Message::Dummy { seq });
-        *staged += port.queue.len();
+        if C::UNIT {
+            debug_assert!(port.queue.is_empty());
+        }
+        if fired {
+            if let Some(payload) = emit[idx] {
+                port.queue.stage(port.limit, Message::Data { seq, payload });
+                *staged += 1;
+            }
+        }
+        if dummies[idx] {
+            // Under the heartbeat trigger a dummy may accompany a data
+            // message carrying the same sequence number.
+            port.queue.stage(port.limit, Message::Dummy { seq });
+            *staged += 1;
+        }
     }
 }
 
@@ -487,8 +1053,8 @@ fn queue_outputs(
 /// per-edge delivery counters, firing totals and — for deadlocks — the
 /// blocked-node diagnoses, exactly as [`crate::PooledExecutor`] has always
 /// reported them.
-pub(crate) fn assemble_report(
-    tasks: &[Mutex<Task>],
+pub(crate) fn assemble_report<C: Container>(
+    tasks: &[Mutex<Task<C>>],
     edge_count: usize,
     inputs: u64,
     deadlocked: bool,

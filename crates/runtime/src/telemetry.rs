@@ -53,8 +53,10 @@ const CONTROL_CAP: usize = 1 << 16;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[repr(u8)]
 pub enum EventKind {
-    /// A task execution slice that made progress (span; `arg` = firings in
-    /// the slice).
+    /// A task execution slice that made progress (span; `arg` = messages
+    /// the slice *delivered* into its output rings — data plus dummies,
+    /// EOS markers excluded — so a trace's firing spans sum to the job's
+    /// total channel traffic regardless of container batching).
     #[default]
     Firing = 0,
     /// A worker popped work from another worker's queue (instant; `arg` =

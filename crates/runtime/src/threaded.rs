@@ -105,7 +105,9 @@ impl<'t> ThreadedExecutor<'t> {
         let mut consumers: Vec<Option<spsc::Consumer<Message>>> =
             Vec::with_capacity(edge_count);
         for e in g.edge_ids() {
-            let (tx, rx) = spsc::ring(g.capacity(e) as usize);
+            // The modelled capacity is in *messages*; `MsgCap` keeps that
+            // unit explicit now that rings can also carry containers.
+            let (tx, rx) = spsc::ring(spsc::MsgCap::new(g.capacity(e) as usize));
             producers.push(Some(tx));
             consumers.push(Some(rx));
         }

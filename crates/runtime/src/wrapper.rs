@@ -90,6 +90,26 @@ pub enum PropagationTrigger {
     Heartbeat,
 }
 
+/// What a run-level accept ([`DummyWrapper::on_accept_dummy_run`]) emits on
+/// one output channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunDummies {
+    /// No dummies for this run.
+    None,
+    /// One dummy per accepted sequence number of the run (the Propagation
+    /// protocol forwards every consumed dummy on a non-data channel).
+    All,
+    /// Dummies at the 0-based run positions `first`, `first + period`,
+    /// `first + 2·period`, … below the run length (the Non-Propagation
+    /// interval counter crossing its threshold inside the run).
+    Periodic {
+        /// Position of the first threshold crossing within the run.
+        first: u64,
+        /// The channel's dummy-interval threshold.
+        period: u64,
+    },
+}
+
 /// Per-node dummy-message state: one gap counter per output channel.
 ///
 /// All tables are resolved to dense, `out_edges`-aligned vectors at
@@ -226,6 +246,50 @@ impl DummyWrapper {
             }
         }
         &self.dummies
+    }
+
+    /// Processes a run of `n` consecutive accepted sequence numbers at which
+    /// the node consumed **only dummies** (so no output carries data and
+    /// every acceptance had `consumed_dummy = true`), updating the gap
+    /// counters by run arithmetic instead of `n` scalar calls — the
+    /// threshold lookup is hoisted out of the per-message loop entirely.
+    ///
+    /// `emit(i, run)` is called once per output channel with what that
+    /// channel must send; the result is exactly what `n` successive
+    /// [`DummyWrapper::on_accept`]`(true, |_| false)` calls would have
+    /// produced.
+    pub fn on_accept_dummy_run(&mut self, n: u64, mut emit: impl FnMut(usize, RunDummies)) {
+        debug_assert!(n > 0);
+        let Some(algorithm) = self.algorithm else {
+            // Disabled mode touches no state and sends nothing.
+            return;
+        };
+        for i in 0..self.gap.len() {
+            match algorithm {
+                Algorithm::Propagation => {
+                    // Every acceptance consumed a dummy and carried no data,
+                    // so the forwarding rule fires at each of the n numbers
+                    // (under either trigger) and leaves the counter reset.
+                    self.gap[i] = 0;
+                    emit(i, RunDummies::All);
+                }
+                Algorithm::NonPropagation => {
+                    let t = self.threshold[i];
+                    let g = self.gap[i];
+                    if t == u64::MAX || g + n < t {
+                        self.gap[i] = g + n;
+                        emit(i, RunDummies::None);
+                    } else {
+                        // First crossing after t - g silent numbers, then
+                        // every t; the final counter is what accumulated
+                        // after the last crossing.
+                        let first = t - g - 1;
+                        self.gap[i] = (n - 1 - first) % t;
+                        emit(i, RunDummies::Periodic { first, period: t });
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -366,6 +430,76 @@ mod tests {
         assert!(!w.on_accept(false, |i| i == 1)[0]);
         assert!(!w.on_accept(false, |i| i == 1)[0]);
         assert!(w.on_accept(false, |i| i == 1)[0]);
+    }
+
+    #[test]
+    fn dummy_run_arithmetic_matches_scalar_calls() {
+        // One run-level call must leave the counters and emissions exactly
+        // where n scalar on_accept(true, no-data) calls would.
+        let g = fig2();
+        let a = g.node_by_name("A").unwrap();
+        for algorithm in [Algorithm::Propagation, Algorithm::NonPropagation] {
+            for threshold in [2u64, 3, 7] {
+                let mut m = IntervalMap::for_graph(&g);
+                for e in g.out_edges(a) {
+                    m.set(*e, DummyInterval::Finite(threshold));
+                }
+                let plan = AvoidancePlan::new(&g, algorithm, Rounding::Ceil, m);
+                let mode = AvoidanceMode::plan(plan);
+                for warmup in 0..threshold {
+                    for n in [1u64, 2, 5, 16] {
+                        let mut scalar = DummyWrapper::new(&g, a, &mode);
+                        let mut run = DummyWrapper::new(&g, a, &mode);
+                        // Build a non-zero starting gap (warmup < threshold,
+                        // so nothing fires yet).
+                        for _ in 0..warmup {
+                            scalar.on_accept(false, |_| false);
+                            run.on_accept(false, |_| false);
+                        }
+                        let mut want: Vec<Vec<u64>> =
+                            vec![Vec::new(); scalar.outputs()];
+                        for k in 0..n {
+                            let d = scalar.on_accept(true, |_| false).to_vec();
+                            for (i, &fire) in d.iter().enumerate() {
+                                if fire {
+                                    want[i].push(k);
+                                }
+                            }
+                        }
+                        let mut got: Vec<Vec<u64>> = vec![Vec::new(); run.outputs()];
+                        run.on_accept_dummy_run(n, |i, rd| match rd {
+                            RunDummies::None => {}
+                            RunDummies::All => got[i].extend(0..n),
+                            RunDummies::Periodic { first, period } => {
+                                let mut p = first;
+                                while p < n {
+                                    got[i].push(p);
+                                    p += period;
+                                }
+                            }
+                        });
+                        assert_eq!(
+                            got, want,
+                            "{algorithm}: threshold={threshold} warmup={warmup} n={n}"
+                        );
+                        assert_eq!(
+                            run.gaps(),
+                            scalar.gaps(),
+                            "{algorithm}: threshold={threshold} warmup={warmup} n={n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dummy_run_in_disabled_mode_is_inert() {
+        let g = fig2();
+        let a = g.node_by_name("A").unwrap();
+        let mut w = DummyWrapper::new(&g, a, &AvoidanceMode::Disabled);
+        w.on_accept_dummy_run(10, |_, _| panic!("disabled mode must emit nothing"));
+        assert!(w.gaps().iter().all(|&g| g == 0));
     }
 
     #[test]

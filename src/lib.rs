@@ -47,7 +47,7 @@ pub mod prelude {
     };
     pub use fila_graph::{EdgeId, Fingerprint, Graph, GraphBuilder, NodeId};
     pub use fila_runtime::{
-        CheckpointOutcome, ExecutionReport, JobSnapshot, JobVerdict, PooledExecutor,
+        Batching, CheckpointOutcome, ExecutionReport, JobSnapshot, JobVerdict, PooledExecutor,
         RestoreError, Scheduler, SharedPool, Simulator, SnapshotError, SwapToken,
         ThreadedExecutor, Topology,
     };

@@ -110,31 +110,78 @@ fn assert_equivalent(scenario: Scenario) -> Result<(), TestCaseError> {
         };
         s.run(inputs)
     };
+    // The batched simulator must agree with its own scalar reference too
+    // (same worklist, runs drained in longer slices).
+    for batching in [Batching::Messages(4), Batching::Unbounded] {
+        let s = Simulator::new(&topo).batching(batching);
+        let s = match &plan {
+            Some(p) => s.with_plan(p),
+            None => s,
+        };
+        let batched = s.run(inputs);
+        prop_assert_eq!(sim.completed, batched.completed);
+        prop_assert_eq!(sim.deadlocked, batched.deadlocked);
+        prop_assert_eq!(&sim.per_edge_data, &batched.per_edge_data);
+        prop_assert_eq!(&sim.per_edge_dummies, &batched.per_edge_dummies);
+        prop_assert_eq!(&sim.per_node_firings, &batched.per_node_firings);
+    }
+
     // Exercise single-worker, multi-worker, and a tiny batch (maximal
-    // interleaving) — the verdict and counts must be identical in all.
+    // interleaving), swept across every container-batching mode — the
+    // verdict and counts must be identical in all.
     let workers = 1 + (mix(seed ^ 4) % 4) as usize;
     let batch = 1 + (mix(seed ^ 5) % 64) as u32;
-    let pooled = {
-        let p = PooledExecutor::new(&topo).workers(workers).batch(batch);
-        let p = match &plan {
-            Some(pl) => p.with_plan(pl),
-            None => p,
+    let modes = [
+        Batching::Scalar,
+        Batching::Messages(1),
+        Batching::Messages(4),
+        Batching::Messages(64),
+        Batching::Unbounded,
+    ];
+    let mut scalar: Option<ExecutionReport> = None;
+    for batching in modes {
+        let pooled = {
+            let p = PooledExecutor::new(&topo)
+                .workers(workers)
+                .batch(batch)
+                .batching(batching);
+            let p = match &plan {
+                Some(pl) => p.with_plan(pl),
+                None => p,
+            };
+            p.run(inputs)
         };
-        p.run(inputs)
-    };
 
-    prop_assert_eq!(sim.completed, pooled.completed);
-    prop_assert_eq!(sim.deadlocked, pooled.deadlocked);
-    prop_assert_eq!(sim.data_messages, pooled.data_messages);
-    prop_assert_eq!(sim.dummy_messages, pooled.dummy_messages);
-    prop_assert_eq!(sim.sink_firings, pooled.sink_firings);
-    prop_assert_eq!(&sim.per_edge_data, &pooled.per_edge_data);
-    prop_assert_eq!(&sim.per_edge_dummies, &pooled.per_edge_dummies);
-    // The pooled verdict is exact: a run either completes or deadlocks,
-    // and a deadlock names at least one blocked node.
-    prop_assert!(!pooled.inconclusive());
-    if pooled.deadlocked {
-        prop_assert!(!pooled.blocked.is_empty());
+        prop_assert_eq!(sim.completed, pooled.completed);
+        prop_assert_eq!(sim.deadlocked, pooled.deadlocked);
+        prop_assert_eq!(sim.data_messages, pooled.data_messages);
+        prop_assert_eq!(sim.dummy_messages, pooled.dummy_messages);
+        prop_assert_eq!(sim.sink_firings, pooled.sink_firings);
+        prop_assert_eq!(&sim.per_edge_data, &pooled.per_edge_data);
+        prop_assert_eq!(&sim.per_edge_dummies, &pooled.per_edge_dummies);
+        // The pooled verdict is exact: a run either completes or deadlocks,
+        // and a deadlock names at least one blocked node.
+        prop_assert!(!pooled.inconclusive());
+        if pooled.deadlocked {
+            prop_assert!(!pooled.blocked.is_empty());
+        }
+        // One-message containers must reproduce the scalar engine exactly —
+        // not just the same verdict, the same state on every
+        // schedule-independent channel of the report.
+        match batching {
+            Batching::Scalar => scalar = Some(pooled),
+            Batching::Messages(1) => {
+                let scalar = scalar.as_ref().expect("scalar mode ran first");
+                prop_assert_eq!(scalar.completed, pooled.completed);
+                prop_assert_eq!(scalar.deadlocked, pooled.deadlocked);
+                prop_assert_eq!(scalar.steps, pooled.steps);
+                prop_assert_eq!(scalar.sink_firings, pooled.sink_firings);
+                prop_assert_eq!(&scalar.per_node_firings, &pooled.per_node_firings);
+                prop_assert_eq!(&scalar.per_edge_data, &pooled.per_edge_data);
+                prop_assert_eq!(&scalar.per_edge_dummies, &pooled.per_edge_dummies);
+            }
+            _ => {}
+        }
     }
     Ok(())
 }

@@ -161,6 +161,65 @@ fn panic_after_checkpoint_recovers_from_last_snapshot() {
 }
 
 #[test]
+fn snapshots_cross_container_batching_modes() {
+    // Container batching is invisible on the snapshot wire: a barrier cut
+    // taken on a run-batched pool flattens its containers to the exact
+    // `FILASNAP` per-message state, restores into a scalar-container pool,
+    // and vice versa — cumulative counts land on the uninterrupted totals
+    // either way.
+    let inputs = 300;
+    let g = fig2_triangle(4);
+    let plan = Arc::new(
+        Planner::new(&g)
+            .algorithm(Algorithm::Propagation)
+            .plan()
+            .unwrap(),
+    );
+    let topo = slow_filtered_topology(&g, Duration::from_micros(100));
+    let reference = Simulator::new(&topo)
+        .with_shared_plan(Arc::clone(&plan))
+        .run(inputs);
+    assert!(reference.completed);
+
+    for (capture_mode, restore_mode) in [
+        (Batching::Unbounded, Batching::Scalar),
+        (Batching::Scalar, Batching::Unbounded),
+    ] {
+        let capture_pool = SharedPool::with_options(2, 64, None, false, capture_mode);
+        let handle =
+            capture_pool.submit_with(&topo, AvoidanceMode::Plan(Arc::clone(&plan)), inputs);
+        let snapshot = handle.checkpoint();
+        let original = handle.wait();
+        assert!(original.completed, "{original:?}");
+        assert_eq!(original.per_edge_data, reference.per_edge_data);
+        let Ok(snapshot) = snapshot else {
+            // The job outran the checkpoint (vanishingly unlikely with the
+            // slowed fork); the uninterrupted counts above still hold.
+            continue;
+        };
+        // Round-trip through the wire format: what the batched capture
+        // wrote must be plain per-message `FILASNAP` state.
+        let snapshot = JobSnapshot::from_bytes(&snapshot.to_bytes()).expect("wire round-trip");
+        let restore_pool = SharedPool::with_options(2, 64, None, false, restore_mode);
+        let resumed = restore_pool
+            .resume_full(
+                &topo,
+                AvoidanceMode::Plan(Arc::clone(&plan)),
+                PropagationTrigger::default(),
+                &snapshot,
+                None,
+            )
+            .expect("cross-mode restore validates")
+            .wait();
+        assert!(resumed.completed, "{resumed:?}");
+        assert_eq!(resumed.resumed_from, Some(snapshot.steps));
+        assert_eq!(resumed.per_edge_data, reference.per_edge_data);
+        assert_eq!(resumed.per_edge_dummies, reference.per_edge_dummies);
+        assert_eq!(resumed.sink_firings, reference.sink_firings);
+    }
+}
+
+#[test]
 fn pool_restore_rejects_drifted_plan_and_foreign_bytes() {
     let inputs = 200;
     let g = fig2_triangle(4);

@@ -184,6 +184,53 @@ fn service_telemetry_end_to_end() {
 }
 
 #[test]
+fn firing_spans_sum_to_delivered_messages() {
+    // The `Firing` span arg is the number of messages the slice delivered
+    // into its output rings (`messages_in_run`): data plus dummies, EOS
+    // markers excluded.  Summed over a job's trace it must equal the
+    // report's total channel traffic — in every container batching mode,
+    // whether a slice ships one message or a whole run.
+    use std::sync::Arc;
+
+    use fila::runtime::filters::Predicate;
+    use fila::runtime::AvoidanceMode;
+
+    let g = fork_cycle();
+    let plan = Arc::new(
+        Planner::new(&g)
+            .algorithm(Algorithm::Propagation)
+            .plan()
+            .unwrap(),
+    );
+    let a = g.node_by_name("a").unwrap();
+    for batching in [Batching::Scalar, Batching::Messages(16), Batching::Unbounded] {
+        let topo = Topology::from_graph(&g)
+            .with(a, || Predicate::new(2, |seq, out| out == 0 || seq % 64 == 0));
+        let pool = fila::runtime::SharedPool::with_options(2, 8, None, true, batching);
+        let report = pool
+            .submit_with(&topo, AvoidanceMode::Plan(Arc::clone(&plan)), 500)
+            .wait();
+        assert!(report.completed, "{report:?}");
+        assert!(report.dummy_messages > 0, "plan must generate dummy traffic");
+
+        let telemetry = pool.telemetry_handle().expect("telemetry on");
+        let events = telemetry.all_events();
+        assert_eq!(telemetry.dropped(), 0, "ring sized for this workload");
+        let span_sum: u64 = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Firing)
+            .map(|e| e.arg)
+            .sum();
+        let traffic: u64 = report.per_edge_data.iter().sum::<u64>()
+            + report.per_edge_dummies.iter().sum::<u64>();
+        assert_eq!(
+            span_sum, traffic,
+            "firing spans must sum to delivered messages under {batching:?}"
+        );
+    }
+}
+
+#[test]
 fn telemetry_off_records_nothing_and_stats_stay_empty() {
     let svc = JobService::default();
     let spec = JobSpec::new(fork_cycle(), FilterSpec::Fork(2), 50).with_tenant("acme");
